@@ -1,0 +1,120 @@
+"""Minimal in-tree PEP 517/660 build backend (pure stdlib).
+
+Exists so ``pip install -e .`` works in fully offline environments: the
+``[build-system]`` table declares ``requires = []`` and points here via
+``backend-path``, so pip's isolated build env needs nothing from the
+network — not even the ``wheel`` package that setuptools' editable builds
+require.
+
+Produces spec-compliant wheels by hand: the editable wheel carries a
+``.pth`` file pointing at ``src/``; the regular wheel packages the tree.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import tarfile
+import zipfile
+from pathlib import Path
+
+NAME = "repro"
+VERSION = "1.0.0"
+_ROOT = Path(__file__).resolve().parent
+
+_METADATA = f"""Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: Reproduction of 'On Using Linux Kernel Huge Pages with FLASH' (CLUSTER 2022)
+Requires-Python: >=3.10
+Requires-Dist: numpy>=1.24
+Requires-Dist: scipy>=1.10
+"""
+
+_WHEEL = """Wheel-Version: 1.0
+Generator: repro-in-tree-backend
+Root-Is-Purelib: true
+Tag: py3-none-any
+"""
+
+_ENTRY_POINTS = """[console_scripts]
+repro-experiments = repro.experiments.__main__:main
+"""
+
+
+def _dist_info() -> str:
+    return f"{NAME}-{VERSION}.dist-info"
+
+
+def _record_entry(name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(
+        hashlib.sha256(data).digest()).rstrip(b"=").decode()
+    return f"{name},sha256={digest},{len(data)}"
+
+
+def _write_wheel(wheel_directory: str, files: dict[str, bytes]) -> str:
+    whl_name = f"{NAME}-{VERSION}-py3-none-any.whl"
+    record_name = f"{_dist_info()}/RECORD"
+    record = "\n".join(_record_entry(n, d) for n, d in files.items())
+    record += f"\n{record_name},,\n"
+    with zipfile.ZipFile(Path(wheel_directory) / whl_name, "w",
+                         zipfile.ZIP_DEFLATED) as zf:
+        for name, data in files.items():
+            zf.writestr(name, data)
+        zf.writestr(record_name, record)
+    return whl_name
+
+
+def _dist_info_files() -> dict[str, bytes]:
+    return {
+        f"{_dist_info()}/METADATA": _METADATA.encode(),
+        f"{_dist_info()}/WHEEL": _WHEEL.encode(),
+        f"{_dist_info()}/entry_points.txt": _ENTRY_POINTS.encode(),
+    }
+
+
+# --- PEP 660: editable install ------------------------------------------------
+def build_editable(wheel_directory, config_settings=None,
+                   metadata_directory=None) -> str:
+    files = {f"_{NAME}_editable.pth": (str(_ROOT / "src") + "\n").encode()}
+    files.update(_dist_info_files())
+    return _write_wheel(wheel_directory, files)
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+# --- PEP 517: regular wheel -----------------------------------------------------
+def build_wheel(wheel_directory, config_settings=None,
+                metadata_directory=None) -> str:
+    files: dict[str, bytes] = {}
+    src = _ROOT / "src"
+    for path in sorted(src.rglob("*")):
+        if not path.is_file() or "__pycache__" in path.parts:
+            continue
+        files[path.relative_to(src).as_posix()] = path.read_bytes()
+    files.update(_dist_info_files())
+    return _write_wheel(wheel_directory, files)
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def build_sdist(sdist_directory, config_settings=None) -> str:
+    sdist_name = f"{NAME}-{VERSION}.tar.gz"
+    base = f"{NAME}-{VERSION}"
+    with tarfile.open(Path(sdist_directory) / sdist_name, "w:gz") as tf:
+        for rel in ("pyproject.toml", "_repro_build.py", "README.md",
+                    "DESIGN.md", "EXPERIMENTS.md"):
+            if (_ROOT / rel).exists():
+                tf.add(_ROOT / rel, arcname=f"{base}/{rel}")
+        tf.add(_ROOT / "src", arcname=f"{base}/src",
+               filter=lambda ti: None if "__pycache__" in ti.name else ti)
+    return sdist_name
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []

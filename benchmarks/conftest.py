@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+The numeric workloads are recorded once per session (and cached on disk
+across sessions); the benchmarks then measure the *replay* — the part the
+paper's experiments vary — plus microbenchmarks of the library's hot
+components.
+"""
+
+import pytest
+
+from repro.experiments.workloads import eos_problem_worklog, hydro_problem_worklog
+
+
+@pytest.fixture(scope="session")
+def eos_log():
+    """The 2-d supernova work log (quick variant: 8 steps)."""
+    return eos_problem_worklog(quick=True)
+
+
+@pytest.fixture(scope="session")
+def hydro_log():
+    """The 3-d Sedov work log (quick variant: 5 steps)."""
+    return hydro_problem_worklog(quick=True)

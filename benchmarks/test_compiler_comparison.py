@@ -1,0 +1,19 @@
+"""Benchmark the section II compiler comparison (E4).
+
+Run:  pytest benchmarks/test_compiler_comparison.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.compilers import compiler_comparison
+
+
+def test_bench_compiler_comparison(benchmark, eos_log):
+    result = benchmark.pedantic(
+        lambda: compiler_comparison(eos_log, replication=2),
+        rounds=2, iterations=1,
+    )
+    print("\n" + result.render())
+    assert result.arm_vs_gcc == pytest.approx(2.5, rel=0.25)
+    assert result.cray_vs_gcc == pytest.approx(1.0, abs=0.1)
+    assert result.ookami_vs_xeon == pytest.approx(3.0, rel=0.4)

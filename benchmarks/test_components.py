@@ -1,0 +1,110 @@
+"""Microbenchmarks of the library's hot components.
+
+These track the performance of the substrates themselves (the TLB
+simulator, the EOS, the hydro kernels, guard-cell machinery) so
+regressions in the simulation engine are visible independently of the
+paper-table results.
+
+Run:  pytest benchmarks/test_components.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.a64fx import A64FX
+from repro.hw.tlb import TLBSimulator
+from repro.hw.trace import PageTrace
+from repro.mesh.grid import Grid, MeshSpec
+from repro.mesh.guardcell import fill_guardcells
+from repro.mesh.tree import AMRTree
+from repro.physics.eos import CO_WD, HelmholtzEOS
+from repro.physics.eos.fermi import fermi_dirac_all
+from repro.physics.eos.invert import invert_dens_eint
+from repro.physics.hydro.sweep import sweep_blocks
+from repro.setups.sod import SodProblem
+
+
+def test_bench_tlb_simulator(benchmark):
+    """Exact LRU TLB replay throughput (events/s govern table runtimes)."""
+    rng = np.random.default_rng(0)
+    pages = (rng.integers(0, 600, size=200_000) * 65536).astype(np.int64)
+    trace = PageTrace.from_accesses(pages, np.full(pages.size, 65536, np.int64))
+
+    def run():
+        sim = TLBSimulator(A64FX.tlb)
+        return sim.run(trace)
+
+    stats = benchmark(run)
+    assert stats.l1_misses > 0
+
+
+def test_bench_fermi_dirac(benchmark):
+    """Vectorised relativistic Fermi-Dirac integrals (table building)."""
+    eta = np.linspace(-20.0, 2000.0, 20_000)
+    beta = np.full_like(eta, 0.3)
+    f12, f32, f52 = benchmark(lambda: fermi_dirac_all(eta, beta))
+    assert (f12 > 0).all()
+
+
+def test_bench_eos_dt(benchmark):
+    """Helmholtz EOS forward evaluation over 50k zones."""
+    eos = HelmholtzEOS()
+    dens = np.logspace(3, 9, 50_000)
+    temp = np.full_like(dens, 3e8)
+    result = benchmark(lambda: eos.eos_dt(dens, temp, CO_WD.abar, CO_WD.zbar))
+    assert (result.pres > 0).all()
+
+
+def test_bench_eos_inversion(benchmark):
+    """The branchy Newton inversion the paper profiles, 20k zones."""
+    eos = HelmholtzEOS()
+    dens = np.logspace(3, 9, 20_000)
+    temp = np.full_like(dens, 3e8)
+    eint = eos.eos_dt(dens, temp, CO_WD.abar, CO_WD.zbar).eint
+
+    def run():
+        t, iters = invert_dens_eint(eos, dens, eint, CO_WD.abar, CO_WD.zbar,
+                                    temp_guess=temp * 1.1)
+        return t
+
+    t = benchmark(run)
+    np.testing.assert_allclose(t, temp, rtol=1e-5)
+
+
+@pytest.fixture()
+def sod_grid():
+    tree = AMRTree(ndim=2, nblockx=4, nblocky=4, max_level=0,
+                   domain=((0, 1), (0, 1), (0, 1)))
+    spec = MeshSpec(ndim=2, nxb=16, nyb=16, nzb=1, nguard=4, maxblocks=32)
+    grid = Grid(tree, spec)
+    from repro.physics.eos import GammaLawEOS
+
+    SodProblem().initialize(grid, GammaLawEOS(1.4))
+    fill_guardcells(grid)
+    return grid
+
+
+def test_bench_hydro_sweep(benchmark, sod_grid):
+    """One block-vectorised MUSCL-Hancock sweep over 16 blocks."""
+    benchmark(lambda: sweep_blocks(sod_grid, 1e-4, 0))
+
+
+def test_bench_guardcell_fill(benchmark, sod_grid):
+    """Guard-cell fill over the whole mesh (PARAMESH amr_guardcell)."""
+    benchmark(lambda: fill_guardcells(sod_grid))
+
+
+def test_bench_vmm_fault_path(benchmark):
+    """Demand-faulting a FLASH-sized mapping (THP promotion checks)."""
+    from repro.kernel.params import ookami_config
+    from repro.kernel.vmm import Kernel
+
+    def run():
+        k = Kernel(ookami_config())
+        s = k.new_address_space()
+        vma = s.mmap(256 << 20)
+        s.touch_range(vma, 0, vma.length)
+        return vma
+
+    vma = benchmark(run)
+    assert vma.resident_bytes == vma.length

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 1 — the with/without-HP ratio chart.
+
+Run:  pytest benchmarks/test_figure1_ratios.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.figure1 import FIGURE1_MEASURES, figure1_data, render_figure1
+from repro.experiments.tables import run_table
+
+
+def test_bench_figure1(benchmark, eos_log, hydro_log):
+    def build():
+        t1 = run_table("eos", eos_log, quick=True)
+        t2 = run_table("hydro", hydro_log, quick=True)
+        return figure1_data(t1, t2)
+
+    data = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n" + render_figure1(data))
+
+    # the figure's headline: all bars near one except the DTLB pair,
+    # with the EOS bar far below the hydro bar
+    for key in FIGURE1_MEASURES:
+        if key == "dtlb_misses_per_s":
+            continue
+        assert 0.8 < data.eos[key] < 1.2
+        assert 0.9 < data.hydro[key] < 1.1
+    assert data.eos["dtlb_misses_per_s"] < 0.12
+    assert 0.15 < data.hydro["dtlb_misses_per_s"] < 0.6
+    assert data.eos["dtlb_misses_per_s"] < data.hydro["dtlb_misses_per_s"]

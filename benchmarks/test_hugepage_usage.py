@@ -1,0 +1,34 @@
+"""Benchmark the section III/IV allocation experiments (E5/E6).
+
+Run:  pytest benchmarks/test_hugepage_usage.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.testprograms import (
+    hugepage_usage_matrix,
+    render_outcomes,
+    static_vs_dynamic,
+)
+
+
+def test_bench_usage_matrix(benchmark):
+    outcomes = benchmark.pedantic(hugepage_usage_matrix, rounds=2, iterations=1)
+    print("\n" + render_outcomes(outcomes, "HUGE-PAGE USAGE MATRIX"))
+    by_label = {o.label: o for o in outcomes}
+    for label, o in by_label.items():
+        if label.startswith(("FLASH/gnu", "FLASH/cray")):
+            assert not o.uses_huge_pages, label
+    assert by_label["FLASH/fujitsu (default)"].uses_huge_pages
+    assert not by_label["FLASH/fujitsu (-Knolargepage)"].uses_huge_pages
+
+
+def test_bench_static_vs_dynamic(benchmark):
+    outcomes = benchmark.pedantic(
+        lambda: static_vs_dynamic("gnu") + static_vs_dynamic("cray"),
+        rounds=3, iterations=1,
+    )
+    print("\n" + render_outcomes(outcomes, "STATIC VS DYNAMIC TOY PROGRAMS"))
+    dyn_gnu, stat_gnu, dyn_cray, stat_cray = outcomes
+    assert dyn_gnu.uses_huge_pages and dyn_cray.uses_huge_pages
+    assert not stat_gnu.uses_huge_pages and not stat_cray.uses_huge_pages

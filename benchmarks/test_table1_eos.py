@@ -1,0 +1,42 @@
+"""Benchmark regenerating Table I — the EOS problem, with/without HPs.
+
+Run:  pytest benchmarks/test_table1_eos.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.tables import render_table, run_table
+
+
+@pytest.fixture(scope="module")
+def table1(eos_log):
+    return run_table("eos", eos_log, quick=True)
+
+
+def test_bench_table1(benchmark, eos_log, table1):
+    """Times one full Table-I regeneration (both columns)."""
+    result = benchmark.pedantic(
+        lambda: run_table("eos", eos_log, replication=table1.replication),
+        rounds=2, iterations=1,
+    )
+    print("\n" + render_table(result))
+    # the paper's shape must hold on every regeneration
+    assert result.ratio("dtlb_misses_per_s") < 0.12
+    assert 0.85 < result.ratio("time_s") < 1.0
+    assert result.reports["with"].uses_huge_pages
+    assert not result.reports["without"].uses_huge_pages
+
+
+def test_bench_table1_without_hp_column(benchmark, eos_log, table1):
+    """Times the without-huge-pages measurement alone."""
+    from repro.perfmodel.pipeline import PerformancePipeline
+    from repro.toolchain.compiler import FUJITSU
+
+    report = benchmark.pedantic(
+        lambda: PerformancePipeline(eos_log, FUJITSU,
+                                    flags=("-Knolargepage",),
+                                    replication=table1.replication).run(),
+        rounds=2, iterations=1,
+    )
+    m = report.region("eos")
+    assert m["dtlb_misses_per_s"] == pytest.approx(2.34e7, rel=0.6)

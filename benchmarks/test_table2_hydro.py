@@ -1,0 +1,49 @@
+"""Benchmark regenerating Table II — the 3-d Hydro (Sedov) problem.
+
+Run:  pytest benchmarks/test_table2_hydro.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.tables import render_table, run_table
+
+
+@pytest.fixture(scope="module")
+def table2(hydro_log):
+    return run_table("hydro", hydro_log, quick=True)
+
+
+def test_bench_table2(benchmark, hydro_log, table2):
+    result = benchmark.pedantic(
+        lambda: run_table("hydro", hydro_log, replication=table2.replication),
+        rounds=2, iterations=1,
+    )
+    print("\n" + render_table(result))
+    # hydro's reduction is modest (paper: 0.324) and time is unchanged
+    assert 0.15 < result.ratio("dtlb_misses_per_s") < 0.6
+    assert 0.95 < result.ratio("time_s") < 1.02
+
+
+def test_bench_sedov_numerics(benchmark):
+    """Times the underlying 3-d hydro numerics (2 steps, small mesh) —
+    the substrate whose work the tables replay."""
+    from repro.driver.simulation import Simulation
+    from repro.mesh.grid import Grid, MeshSpec
+    from repro.mesh.tree import AMRTree
+    from repro.physics.eos import GammaLawEOS
+    from repro.physics.hydro.unit import HydroUnit
+    from repro.setups.sedov import sedov_setup
+
+    def run():
+        tree = AMRTree(ndim=3, nblockx=2, nblocky=2, nblockz=2, max_level=1,
+                       domain=((0, 1), (0, 1), (0, 1)))
+        spec = MeshSpec(ndim=3, nxb=8, nyb=8, nzb=8, nguard=4, maxblocks=64)
+        grid = Grid(tree, spec)
+        eos = GammaLawEOS(gamma=1.4)
+        sedov_setup(grid, eos, center=(0.5, 0.5, 0.5))
+        sim = Simulation(grid, HydroUnit(eos, cfl=0.4), nrefs=0, dtinit=1e-5)
+        sim.evolve(nend=2)
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert grid.total("dens", weight=None) == pytest.approx(1.0, rel=1e-10)

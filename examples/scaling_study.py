@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The porting study's scaling narrative (section II / ref [33]).
+
+FLASH "ran right out of the box ... and scaled reasonably well with no
+tuning": distribute the Morton-ordered blocks of a supernova mesh across
+simulated MPI ranks and chart the predicted strong-scaling curve with the
+Ookami InfiniBand cost model.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.mesh.grid import Grid, MeshSpec
+from repro.mesh.tree import AMRTree
+from repro.mpisim.comm import CommCostModel, DomainDecomposition, scaling_model
+
+
+def main() -> None:
+    # a uniform 16x16 block mesh stands in for the supernova's leaf set
+    tree = AMRTree(ndim=2, nblockx=16, nblocky=16, max_level=0,
+                   domain=((0, 1), (0, 1), (0, 1)))
+    spec = MeshSpec(ndim=2, nxb=16, nyb=16, nzb=1, nguard=4, maxblocks=512)
+    grid = Grid(tree, spec)
+    print(f"mesh: {grid.tree.n_leaves} blocks of 16x16 zones")
+
+    # per-block per-step cost from the calibrated model: ~6000 cycles/zone
+    seconds_per_block_step = 256 * 6000 / 1.8e9
+    bytes_per_face = 4 * 16 * 12 * 8  # nguard x zones x nvar x 8B
+
+    ranks = [1, 2, 4, 8, 16, 32, 48]
+    times = scaling_model(grid, ranks,
+                          seconds_per_block_step=seconds_per_block_step,
+                          bytes_per_face=bytes_per_face, steps=100)
+
+    print(f"\n{'ranks':>6}{'time (s)':>12}{'speedup':>10}{'efficiency':>12}"
+          f"{'imbalance':>11}")
+    t1 = times[1]
+    for p in ranks:
+        dd = DomainDecomposition.split(grid, p)
+        speedup = t1 / times[p]
+        print(f"{p:>6}{times[p]:>12.3f}{speedup:>10.2f}"
+              f"{speedup / p:>11.1%}{dd.load_imbalance():>11.2f}")
+
+    cost = CommCostModel()
+    print(f"\ninterconnect model: latency {cost.latency_s * 1e6:.1f} us, "
+          f"bandwidth {cost.bandwidth_Bps / 1e9:.1f} GB/s (HDR100)")
+    print("the curve flattens as halo surface/volume grows — 'scaled "
+          "reasonably well with no tuning'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The paper's science problem: a Type Iax supernova deflagration.
+
+Builds a hydrostatic hybrid C/O/Ne white dwarf with the Helmholtz-type
+degenerate EOS, ignites an off-centre match-head, and evolves the pure
+deflagration with hydro + ADR model flame + monopole gravity — the
+workload behind the paper's "EOS" test.  Writes a checkpoint at the end.
+
+Run:  python examples/supernova_deflagration.py [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.driver.io import write_checkpoint
+from repro.driver.simulation import Simulation
+from repro.setups.supernova import supernova_setup
+from repro.util.constants import M_SUN
+
+
+def main(steps: int = 15) -> None:
+    print("constructing the hybrid CONe white dwarf (Helmholtz EOS) ...")
+    prob = supernova_setup(nblock=3, nxb=16, max_level=2, maxblocks=512)
+    model = prob.model
+    print(f"  progenitor: M = {model.total_mass / M_SUN:.3f} Msun, "
+          f"R = {model.surface_radius / 1e5:.0f} km, "
+          f"rho_c = {model.dens[0]:.2e} g/cc")
+    print(f"  mesh: {prob.grid.tree.n_leaves} leaf blocks "
+          f"({prob.grid.tree.n_leaves * prob.grid.spec.zones_per_block()} zones)")
+
+    sim = Simulation(prob.grid, prob.hydro, flame=prob.flame,
+                     gravity=prob.gravity, nrefs=4,
+                     refine_var="dens", refine_cutoff=0.75,
+                     derefine_cutoff=0.05)
+
+    e0 = prob.grid.total("eint")
+    burned0 = prob.grid.total("fl01")
+    print(f"\nevolving the deflagration for {steps} steps ...")
+    for _ in range(steps):
+        info = sim.step()
+        if info.n % 5 == 0 or info.n == 1:
+            t_max = max(float(prob.grid.interior(b, "temp").max())
+                        for b in prob.grid.leaf_blocks())
+            print(f"  step {info.n:3d}  t = {info.t:.4e} s  "
+                  f"dt = {info.dt:.2e}  blocks = {info.n_blocks}  "
+                  f"T_max = {t_max:.2e} K")
+
+    e1 = prob.grid.total("eint")
+    burned1 = prob.grid.total("fl01")
+    print(f"\n  internal-energy change: {e1 - e0:+.3e} erg (2-d slice; "
+          "includes the star's initial hydrostatic relaxation)")
+    print(f"  burned mass (rho-weighted fl01): {burned0:.3e} -> {burned1:.3e}")
+    print("  (a real deflagration needs ~1 s of star time; at "
+          f"dt ~ {sim.history[-1].dt:.1e} s the front crosses a zone every "
+          "~500 steps — the paper's 50-step runs probe performance, not "
+          "burning progress)")
+
+    path = write_checkpoint(prob.grid, "supernova_chk.npz",
+                            time=sim.t, n_step=sim.n_step)
+    print(f"  checkpoint written: {path}")
+    print("\nFLASH-style timers:")
+    print(sim.timers.summary())
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 15)

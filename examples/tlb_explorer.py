@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Explore the A64FX DTLB with the exact TLB simulator.
+
+Sweeps working-set size and page size through the two-level DTLB model
+and prints the miss-rate landscape — the mechanism behind Tables I/II in
+miniature: the 16-entry L1 is tiny, the 1024-entry L2 is big, and page
+size moves working sets across both capacities.
+
+Run:  python examples/tlb_explorer.py
+"""
+
+import numpy as np
+
+from repro.hw.a64fx import A64FX
+from repro.hw.tlb import TLBSimulator
+from repro.hw.trace import PageTrace
+from repro.util import KiB, MiB
+
+
+def random_gather_trace(working_set: int, page_size: int, n: int = 60_000,
+                        seed: int = 0) -> PageTrace:
+    """n random accesses over a working set (the EOS-table pattern)."""
+    rng = np.random.default_rng(seed)
+    n_pages = max(working_set // page_size, 1)
+    pages = (rng.integers(0, n_pages, size=n) * page_size).astype(np.int64)
+    return PageTrace.from_accesses(pages, np.full(n, page_size, np.int64))
+
+
+def streaming_trace(working_set: int, page_size: int,
+                    passes: int = 4) -> PageTrace:
+    """Sequential sweeps over a working set (the hydro pattern)."""
+    n_pages = max(working_set // page_size, 1)
+    pages = (np.tile(np.arange(n_pages), passes) * page_size).astype(np.int64)
+    return PageTrace.from_accesses(pages,
+                                   np.full(pages.size, page_size, np.int64))
+
+
+def main() -> None:
+    print(f"A64FX DTLB: L1 {A64FX.tlb.l1.entries} entries (full assoc), "
+          f"L2 {A64FX.tlb.l2.entries} entries ({A64FX.tlb.l2.assoc}-way)\n")
+
+    page_sizes = [(64 * KiB, "64K base"), (2 * MiB, "2M huge"),
+                  (512 * MiB, "512M THP")]
+    working_sets = [1 * MiB, 8 * MiB, 30 * MiB, 128 * MiB, 1024 * MiB]
+
+    for pattern_name, maker in (("random gathers (EOS-like)", random_gather_trace),
+                                ("streaming sweeps (hydro-like)", streaming_trace)):
+        print(f"--- {pattern_name} ---")
+        header = f"{'working set':>14}" + "".join(
+            f"{label:>16}" for _, label in page_sizes)
+        print(header + "   (L1 miss rate)")
+        for ws in working_sets:
+            row = f"{ws // MiB:>11} MiB"
+            for psize, _ in page_sizes:
+                trace = maker(ws, psize)
+                sim = TLBSimulator(A64FX.tlb)
+                sim.run(trace)  # warm
+                stats = sim.run(trace)
+                row += f"{stats.l1_miss_rate:>15.1%} "
+            print(row)
+        print()
+
+    print("Read-off: the 30 MiB Helmholtz table misses on nearly every")
+    print("random gather with 64K pages but fits the TLB with 2M pages —")
+    print("the paper's 21x EOS DTLB reduction.  Streaming misses only on")
+    print("page transitions, so huge pages buy hydro far less — the 3x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` / `setup.py develop` work on environments
+without the `wheel` package (PEP 660 editable installs require it)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — reproduction of *On Using Linux Kernel Huge Pages with FLASH,
+an Astrophysical Simulation Code* (Calder et al., IEEE CLUSTER 2022).
+
+The library has two halves that meet in :mod:`repro.perfmodel`:
+
+* a FLASH-like block-structured AMR astrophysics code
+  (:mod:`repro.mesh`, :mod:`repro.physics`, :mod:`repro.setups`,
+  :mod:`repro.driver`) with real numerics — compressible hydrodynamics,
+  a degenerate electron/positron equation of state, an
+  advection-diffusion-reaction model flame, and self-gravity;
+* a simulated Ookami node — Linux kernel memory management
+  (:mod:`repro.kernel`), an A64FX hardware model (:mod:`repro.hw`),
+  compiler/runtime toolchains (:mod:`repro.toolchain`), and PAPI-style
+  instrumentation (:mod:`repro.papi`).
+
+:mod:`repro.experiments` regenerates every table and figure in the paper.
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+
+The most common entry points are re-exported here::
+
+    from repro import (Simulation, HydroUnit, GammaLawEOS, HelmholtzEOS,
+                       supernova_setup, sedov_setup, WorkLog,
+                       PerformancePipeline, Kernel, ookami_config, FUJITSU)
+"""
+
+__version__ = "1.0.0"
+
+from repro.analysis import line_profile, peak_location, radial_profile
+from repro.driver.io import read_checkpoint, restart_simulation, write_checkpoint
+from repro.driver.simulation import Simulation
+from repro.kernel.params import ookami_config
+from repro.kernel.vmm import Kernel
+from repro.mesh.grid import Grid, MeshSpec, VariableRegistry
+from repro.mesh.tree import AMRTree
+from repro.perfmodel.pipeline import PerformancePipeline
+from repro.perfmodel.workrecord import WorkLog
+from repro.physics.eos import GammaLawEOS, HelmholtzEOS
+from repro.physics.flame.adr import ADRFlame
+from repro.physics.gravity.monopole import MonopoleGravity
+from repro.physics.hydro.unit import HydroUnit
+from repro.setups.sedov import SedovSolution, sedov_setup
+from repro.setups.supernova import supernova_setup
+from repro.setups.whitedwarf import build_white_dwarf
+from repro.toolchain.compiler import ARM, COMPILERS, CRAY, FUJITSU, GNU
+
+__all__ = [
+    "__version__",
+    "Simulation",
+    "write_checkpoint",
+    "read_checkpoint",
+    "restart_simulation",
+    "line_profile",
+    "peak_location",
+    "radial_profile",
+    "Kernel",
+    "ookami_config",
+    "Grid",
+    "MeshSpec",
+    "VariableRegistry",
+    "AMRTree",
+    "PerformancePipeline",
+    "WorkLog",
+    "GammaLawEOS",
+    "HelmholtzEOS",
+    "ADRFlame",
+    "MonopoleGravity",
+    "HydroUnit",
+    "SedovSolution",
+    "sedov_setup",
+    "supernova_setup",
+    "build_white_dwarf",
+    "COMPILERS",
+    "GNU",
+    "CRAY",
+    "ARM",
+    "FUJITSU",
+]

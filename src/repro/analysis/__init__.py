@@ -1,0 +1,11 @@
+"""Post-processing utilities: flattening AMR data for analysis."""
+
+from repro.analysis.profiles import (
+    scatter_variable,
+    radial_profile,
+    peak_location,
+    line_profile,
+)
+
+__all__ = ["scatter_variable", "radial_profile", "peak_location",
+           "line_profile"]

@@ -1,0 +1,91 @@
+"""Flattening AMR block data into analysis-friendly arrays.
+
+The AMR mesh stores data block-by-block at mixed resolutions; analysis
+and verification usually want flat coordinate/value arrays, radial
+averages about a blast or stellar centre, or 1-d cuts.  These helpers
+are what the examples and the verification tests build on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.grid import Grid
+from repro.util.errors import MeshError
+
+
+def scatter_variable(grid: Grid, name: str):
+    """All leaf interior zones as flat arrays: (x, y, z, value, cell_volume).
+
+    Coordinates are cell centres; mixed-resolution data simply yields
+    points at different spacings (weight by the returned volumes for
+    integrals).
+    """
+    xs, ys, zs, vals, vols = [], [], [], [], []
+    for block in grid.leaf_blocks():
+        x, y, z = grid.cell_centers(block)
+        q = grid.interior(block, name)
+        shape = q.shape
+        xs.append(np.broadcast_to(x, shape).ravel())
+        ys.append(np.broadcast_to(y, shape).ravel())
+        zs.append(np.broadcast_to(z, shape).ravel())
+        vals.append(q.ravel())
+        vols.append(np.full(q.size, grid.cell_volume(block)))
+    if not xs:
+        raise MeshError("no leaf blocks to scatter")
+    return (np.concatenate(xs), np.concatenate(ys), np.concatenate(zs),
+            np.concatenate(vals), np.concatenate(vols))
+
+
+def _radii(grid: Grid, x, y, z, center):
+    ndim = grid.spec.ndim
+    r2 = (x - center[0]) ** 2
+    if ndim > 1:
+        r2 = r2 + (y - center[1]) ** 2
+    if ndim > 2:
+        r2 = r2 + (z - center[2]) ** 2
+    return np.sqrt(r2)
+
+
+def radial_profile(grid: Grid, name: str,
+                   center: tuple[float, float, float] = (0.0, 0.0, 0.0),
+                   n_bins: int = 64, r_max: float | None = None,
+                   volume_weighted: bool = True):
+    """Volume-weighted radial average about ``center``.
+
+    Returns ``(bin_centers, mean_values)``; empty bins carry NaN.
+    """
+    x, y, z, vals, vols = scatter_variable(grid, name)
+    r = _radii(grid, x, y, z, center)
+    if r_max is None:
+        r_max = float(r.max())
+    edges = np.linspace(0.0, r_max, n_bins + 1)
+    idx = np.clip(np.searchsorted(edges, r) - 1, 0, n_bins - 1)
+    w = vols if volume_weighted else np.ones_like(vols)
+    num = np.bincount(idx, weights=vals * w, minlength=n_bins)
+    den = np.bincount(idx, weights=w, minlength=n_bins)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean = np.where(den > 0.0, num / den, np.nan)
+    return 0.5 * (edges[:-1] + edges[1:]), mean
+
+
+def peak_location(grid: Grid, name: str,
+                  center: tuple[float, float, float] = (0.0, 0.0, 0.0)):
+    """(radius, value) of the variable's maximum — e.g. a shock position."""
+    x, y, z, vals, _ = scatter_variable(grid, name)
+    i = int(np.argmax(vals))
+    r = _radii(grid, x[i:i + 1], y[i:i + 1], z[i:i + 1], center)
+    return float(r[0]), float(vals[i])
+
+
+def line_profile(grid: Grid, name: str, axis: int = 0):
+    """A sorted 1-d cut: coordinates along ``axis`` and values, for every
+    zone (useful for planar problems like Sod)."""
+    x, y, z, vals, _ = scatter_variable(grid, name)
+    coord = (x, y, z)[axis]
+    order = np.argsort(coord, kind="stable")
+    return coord[order], vals[order]
+
+
+__all__ = ["scatter_variable", "radial_profile", "peak_location",
+           "line_profile"]

@@ -1,0 +1,13 @@
+"""Simulation driver: runtime parameters, timestep control, evolution."""
+
+from repro.driver.config import RuntimeParameters
+from repro.driver.simulation import Simulation, StepInfo
+from repro.driver.io import write_checkpoint, read_checkpoint
+
+__all__ = [
+    "RuntimeParameters",
+    "Simulation",
+    "StepInfo",
+    "write_checkpoint",
+    "read_checkpoint",
+]

@@ -1,0 +1,113 @@
+"""flash.par-style runtime parameters.
+
+FLASH reads a plain ``name = value`` parameter file; this replica parses
+the same format (comments with ``#``, booleans as ``.true.``/``.false.``,
+strings quoted) on top of a defaults dictionary, with type checking
+against the default's type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.errors import ConfigurationError
+
+#: defaults shared by the example applications (subset of FLASH's)
+DEFAULTS: dict[str, object] = {
+    "basenm": "repro_",
+    "restart": False,
+    "nend": 100,
+    "tmax": 1.0e99,
+    "dtinit": 1.0e-10,
+    "dtmax": 1.0e99,
+    "cfl": 0.4,
+    "lrefine_max": 4,
+    "nrefs": 4,
+    "refine_var_1": "dens",
+    "refine_cutoff_1": 0.8,
+    "derefine_cutoff_1": 0.2,
+    "smlrho": 1.0e-12,
+    "smallp": 1.0e-12,
+    "eosModeInit": "dens_temp",
+    "xl_boundary_type": "outflow",
+    "xr_boundary_type": "outflow",
+    "yl_boundary_type": "outflow",
+    "yr_boundary_type": "outflow",
+    "zl_boundary_type": "outflow",
+    "zr_boundary_type": "outflow",
+}
+
+
+def _parse_value(text: str, like: object):
+    text = text.strip()
+    if isinstance(like, bool):
+        low = text.lower()
+        if low in (".true.", "true", "t", "1"):
+            return True
+        if low in (".false.", "false", "f", "0"):
+            return False
+        raise ConfigurationError(f"bad boolean {text!r}")
+    if isinstance(like, int) and not isinstance(like, bool):
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad integer {text!r}") from exc
+    if isinstance(like, float):
+        try:
+            return float(text.replace("d", "e").replace("D", "E"))
+        except ValueError as exc:
+            raise ConfigurationError(f"bad real {text!r}") from exc
+    return text.strip("\"'")
+
+
+@dataclass
+class RuntimeParameters:
+    """Typed key-value runtime parameters with flash.par parsing."""
+
+    values: dict[str, object] = field(default_factory=lambda: dict(DEFAULTS))
+
+    @classmethod
+    def from_par(cls, text: str,
+                 defaults: dict[str, object] | None = None) -> "RuntimeParameters":
+        params = cls(dict(defaults if defaults is not None else DEFAULTS))
+        for lineno, raw in enumerate(text.splitlines(), 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if "=" not in line:
+                raise ConfigurationError(f"line {lineno}: expected name = value")
+            name, _, value = line.partition("=")
+            params.set(name.strip(), value)
+        return params
+
+    @classmethod
+    def from_file(cls, path: str | Path, **kw) -> "RuntimeParameters":
+        return cls.from_par(Path(path).read_text(), **kw)
+
+    def get(self, name: str):
+        try:
+            return self.values[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown runtime parameter {name!r}") from None
+
+    def set(self, name: str, value) -> None:
+        if name in self.values and isinstance(value, str):
+            value = _parse_value(value, self.values[name])
+        elif isinstance(value, str):
+            # unknown parameter: keep as best-effort typed literal
+            for caster in (int, float):
+                try:
+                    value = caster(value)
+                    break
+                except ValueError:
+                    continue
+            else:
+                value = value.strip().strip("\"'")
+        self.values[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+
+__all__ = ["RuntimeParameters", "DEFAULTS"]

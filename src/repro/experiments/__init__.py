@@ -1,0 +1,42 @@
+"""Paper-experiment harness.
+
+One module per artefact of the paper (see DESIGN.md section 4):
+
+* :mod:`repro.experiments.workloads` — the two instrumented workloads
+  ("EOS" = 2-d Type Iax supernova; "3-d Hydro" = Sedov), run once and
+  cached as WorkLogs;
+* :mod:`repro.experiments.tables` — **Table I** and **Table II**;
+* :mod:`repro.experiments.figure1` — **Figure 1** (the ratio bar chart);
+* :mod:`repro.experiments.compilers` — the section II compiler
+  comparison (Arm 2.5x slower; GCC ~ Cray; Xeon ~ 3x faster);
+* :mod:`repro.experiments.testprograms` — the section IV toy programs
+  and the huge-page usage matrix;
+* :mod:`repro.experiments.report` — text rendering.
+
+``python -m repro.experiments all`` regenerates everything.
+"""
+
+from repro.experiments.measures import PAPER_TABLE1, PAPER_TABLE2, MEASURE_LABELS
+from repro.experiments.workloads import eos_problem_worklog, hydro_problem_worklog
+from repro.experiments.tables import run_table, render_table
+from repro.experiments.figure1 import figure1_data, render_figure1
+from repro.experiments.compilers import compiler_comparison
+from repro.experiments.testprograms import (
+    hugepage_usage_matrix,
+    static_vs_dynamic,
+)
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "MEASURE_LABELS",
+    "eos_problem_worklog",
+    "hydro_problem_worklog",
+    "run_table",
+    "render_table",
+    "figure1_data",
+    "render_figure1",
+    "compiler_comparison",
+    "hugepage_usage_matrix",
+    "static_vs_dynamic",
+]

@@ -1,0 +1,70 @@
+"""The section II compiler comparison.
+
+"We found that the ARM compiler produced an executable that ran almost
+2.5 times slower than those created with the Cray and GCC compilers; the
+runtime differences between the latter were negligible.  However, the
+same executable compiled using GCC ... on Intel Xeon E5-2683v3 CPUs ran
+three times quicker as the fastest runs on Ookami."
+
+The comparison replays the supernova workload under each toolchain (same
+kernel, no huge pages anywhere — this predates the huge-page study) and,
+for the Xeon row, under the Haswell machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.a64fx import A64FX, XEON_E5_2683V3
+from repro.perfmodel.pipeline import PerformancePipeline
+from repro.perfmodel.workrecord import WorkLog
+from repro.toolchain.compiler import ARM, CRAY, GNU
+
+
+@dataclass
+class CompilerComparison:
+    """Whole-run times per toolchain plus the paper's headline ratios."""
+
+    times_s: dict[str, float]
+
+    @property
+    def arm_vs_gcc(self) -> float:
+        return self.times_s["arm/A64FX"] / self.times_s["gnu/A64FX"]
+
+    @property
+    def cray_vs_gcc(self) -> float:
+        return self.times_s["cray/A64FX"] / self.times_s["gnu/A64FX"]
+
+    @property
+    def ookami_vs_xeon(self) -> float:
+        """Fastest Ookami run over the Xeon run (paper: ~3)."""
+        fastest = min(self.times_s["gnu/A64FX"], self.times_s["cray/A64FX"])
+        return fastest / self.times_s["gnu/Xeon"]
+
+    def render(self) -> str:
+        lines = ["COMPILER COMPARISON (section II, supernova problem)",
+                 "----------------------------------------------------"]
+        base = self.times_s["gnu/A64FX"]
+        for name, t in sorted(self.times_s.items()):
+            lines.append(f"  {name:<14} {t:10.2f} s   ({t / base:4.2f}x GCC/A64FX)")
+        lines.append(f"  Arm vs GCC:    {self.arm_vs_gcc:.2f}x slower (paper ~2.5x)")
+        lines.append(f"  Cray vs GCC:   {self.cray_vs_gcc:.2f}x (paper ~1.0x)")
+        lines.append(f"  Ookami vs Xeon: {self.ookami_vs_xeon:.2f}x slower "
+                     f"(paper ~3x)")
+        return "\n".join(lines)
+
+
+def compiler_comparison(log: WorkLog, replication: int = 4) -> CompilerComparison:
+    """Replay the workload under GNU/Cray/Arm on A64FX and GNU on Xeon."""
+    times: dict[str, float] = {}
+    for compiler in (GNU, CRAY, ARM):
+        report = PerformancePipeline(log, compiler,
+                                     replication=replication).run()
+        times[f"{compiler.name}/A64FX"] = report.flash_timer_s
+    report = PerformancePipeline(log, GNU, machine=XEON_E5_2683V3,
+                                 replication=replication).run()
+    times["gnu/Xeon"] = report.flash_timer_s
+    return CompilerComparison(times_s=times)
+
+
+__all__ = ["compiler_comparison", "CompilerComparison"]

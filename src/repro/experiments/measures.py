@@ -1,0 +1,80 @@
+"""The paper's reported values and measure bookkeeping."""
+
+from __future__ import annotations
+
+#: row labels in table order
+MEASURE_LABELS = {
+    "hardware_cycles": "Hardware (cycles)",
+    "time_s": "Time (s)",
+    "sve_per_cycle": "SVE Instructions/cycle",
+    "mem_gbytes_per_s": "Memory (Gbytes/s)",
+    "dtlb_misses_per_s": "DTLB misses (1/s)",
+    "flash_timer_s": "FLASH Timer (s)",
+}
+
+#: Table I — results with the Fujitsu compiler for the EOS problem
+PAPER_TABLE1 = {
+    "without": {
+        "hardware_cycles": 1.25e11,
+        "time_s": 6.97e1,
+        "sve_per_cycle": 0.47,
+        "mem_gbytes_per_s": 4.19,
+        "dtlb_misses_per_s": 2.34e7,
+        "flash_timer_s": 339.032,
+    },
+    "with": {
+        "hardware_cycles": 1.17e11,
+        "time_s": 6.52e1,
+        "sve_per_cycle": 0.51,
+        "mem_gbytes_per_s": 4.45,
+        "dtlb_misses_per_s": 1.10e6,
+        "flash_timer_s": 333.150,
+    },
+}
+
+#: Table II — results with the Fujitsu compiler for the 3-d Hydro problem
+PAPER_TABLE2 = {
+    "without": {
+        "hardware_cycles": 1.21e12,
+        "time_s": 6.70e2,
+        "sve_per_cycle": 0.11,
+        "mem_gbytes_per_s": 10.10,
+        "dtlb_misses_per_s": 2.42e6,
+        "flash_timer_s": 1203.616,
+    },
+    "with": {
+        "hardware_cycles": 1.20e12,
+        "time_s": 6.69e2,
+        "sve_per_cycle": 0.11,
+        "mem_gbytes_per_s": 10.09,
+        "dtlb_misses_per_s": 7.83e5,
+        "flash_timer_s": 1176.312,
+    },
+}
+
+
+def paper_ratios(paper_table: dict) -> dict[str, float]:
+    """Figure 1's with/without ratios for one problem."""
+    return {
+        key: paper_table["with"][key] / paper_table["without"][key]
+        for key in paper_table["without"]
+    }
+
+
+#: section II narrative numbers
+PAPER_COMPILER_FINDINGS = {
+    # runtime relative to the GCC executable on Ookami
+    "arm_vs_gcc": 2.5,
+    "cray_vs_gcc": 1.0,
+    # the same problem on Intel Xeon E5-2683v3 ran ~3x faster than the
+    # fastest Ookami runs
+    "ookami_vs_xeon": 3.0,
+}
+
+__all__ = [
+    "MEASURE_LABELS",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_COMPILER_FINDINGS",
+    "paper_ratios",
+]

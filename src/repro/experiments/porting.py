@@ -1,0 +1,86 @@
+"""The porting narrative (section II): out of the box, and scaling.
+
+"This effort showed that FLASH ran 'right out of the box' with these
+[compilers] and scaled reasonably well with no tuning."
+
+Two experiments:
+
+* :func:`out_of_the_box` — the same supernova workload replayed under
+  every toolchain completes and produces sane counters (no compiler-
+  specific failures — the paper's porting table stakes);
+* :func:`strong_scaling` — the simulated-MPI strong-scaling curve on the
+  Ookami interconnect model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mesh.grid import Grid, MeshSpec
+from repro.mesh.tree import AMRTree
+from repro.mpisim.comm import DomainDecomposition, scaling_model
+from repro.perfmodel.pipeline import PerformancePipeline
+from repro.perfmodel.workrecord import WorkLog
+from repro.toolchain.compiler import COMPILERS
+
+
+@dataclass
+class PortingResult:
+    """Per-compiler whole-run times plus the scaling curve."""
+
+    compiler_times_s: dict[str, float]
+    scaling_times_s: dict[int, float]
+
+    def speedup(self, ranks: int) -> float:
+        return self.scaling_times_s[1] / self.scaling_times_s[ranks]
+
+    def efficiency(self, ranks: int) -> float:
+        return self.speedup(ranks) / ranks
+
+    def render(self) -> str:
+        lines = ["PORTING STUDY (section II): out of the box + scaling",
+                 "-----------------------------------------------------"]
+        for name, t in sorted(self.compiler_times_s.items()):
+            lines.append(f"  {name:<10} {t:10.2f} s  (ran out of the box)")
+        lines.append("  strong scaling (simulated MPI):")
+        for p, t in sorted(self.scaling_times_s.items()):
+            lines.append(f"    {p:>4} ranks  {t:10.3f} s  "
+                         f"speedup {self.speedup(p):6.2f}  "
+                         f"efficiency {self.efficiency(p):6.1%}")
+        return "\n".join(lines)
+
+
+def out_of_the_box(log: WorkLog, replication: int = 2) -> dict[str, float]:
+    """Replay the workload under all four toolchains; return run times."""
+    times = {}
+    for name, compiler in COMPILERS.items():
+        report = PerformancePipeline(log, compiler,
+                                     replication=replication).run()
+        times[name] = report.flash_timer_s
+    return times
+
+
+def strong_scaling(rank_counts=(1, 2, 4, 8, 16, 32, 48),
+                   nblock: int = 16) -> dict[int, float]:
+    """Predicted strong-scaling times for a uniform supernova-like mesh."""
+    tree = AMRTree(ndim=2, nblockx=nblock, nblocky=nblock, max_level=0,
+                   domain=((0, 1), (0, 1), (0, 1)))
+    spec = MeshSpec(ndim=2, nxb=16, nyb=16, nzb=1, nguard=4,
+                    maxblocks=nblock * nblock + 4)
+    grid = Grid(tree, spec)
+    seconds_per_block_step = 256 * 6000 / 1.8e9  # calibrated zone cost
+    bytes_per_face = 4 * 16 * 12 * 8
+    return scaling_model(grid, list(rank_counts),
+                         seconds_per_block_step=seconds_per_block_step,
+                         bytes_per_face=bytes_per_face, steps=100)
+
+
+def porting_study(log: WorkLog) -> PortingResult:
+    return PortingResult(
+        compiler_times_s=out_of_the_box(log),
+        scaling_times_s=strong_scaling(),
+    )
+
+
+__all__ = ["porting_study", "out_of_the_box", "strong_scaling",
+           "PortingResult"]

@@ -1,0 +1,49 @@
+"""Assembling the full experiment report (used by __main__ and docs)."""
+
+from __future__ import annotations
+
+from repro.experiments.compilers import compiler_comparison
+from repro.experiments.figure1 import figure1_data, render_figure1
+from repro.experiments.tables import render_table, run_table
+from repro.experiments.testprograms import (
+    hugepage_usage_matrix,
+    render_outcomes,
+    static_vs_dynamic,
+)
+from repro.experiments.workloads import eos_problem_worklog, hydro_problem_worklog
+
+
+def full_report(*, quick: bool = False) -> str:
+    """Regenerate every table and figure; returns the text report."""
+    sections = []
+
+    eos_log = eos_problem_worklog(quick=quick)
+    hydro_log = hydro_problem_worklog(quick=quick)
+
+    table1 = run_table("eos", eos_log, quick=quick)
+    sections.append(render_table(table1))
+
+    table2 = run_table("hydro", hydro_log, quick=quick)
+    sections.append(render_table(table2))
+
+    sections.append(render_figure1(figure1_data(table1, table2)))
+
+    sections.append(compiler_comparison(eos_log,
+                                        replication=2 if quick else 4).render())
+
+    sections.append(render_outcomes(
+        static_vs_dynamic("gnu") + static_vs_dynamic("cray"),
+        "STATIC VS DYNAMIC TOY PROGRAMS (section IV)"))
+
+    sections.append(render_outcomes(
+        hugepage_usage_matrix(),
+        "HUGE-PAGE USAGE MATRIX (sections III-IV)"))
+
+    from repro.experiments.porting import porting_study
+
+    sections.append(porting_study(eos_log).render())
+
+    return "\n\n".join(sections)
+
+
+__all__ = ["full_report"]

@@ -1,0 +1,136 @@
+"""Section IV's allocation experiments.
+
+* :func:`static_vs_dynamic` — "we wrote two simple Fortran test programs,
+  one statically allocating memory for a 2-d array and one dynamically
+  allocating memory ... As expected, the program with the dynamically
+  allocated array was able to use huge pages with the GNU compiler while
+  the statically allocated array version could not."
+* :func:`hugepage_usage_matrix` — the full compiler x mechanism matrix:
+  FLASH never huge-pages under GNU/Cray whatever is tried, huge-pages
+  naturally under Fujitsu, and ``-Knolargepage`` turns that off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util import GiB, MiB
+from repro.kernel.meminfo import meminfo
+from repro.kernel.params import ookami_config
+from repro.kernel.tools import Hugeadm, hugectl
+from repro.kernel.vmm import Kernel
+from repro.toolchain.compiler import COMPILERS, CRAY, FUJITSU, GNU
+
+#: the toy programs sum over a big 2-d array
+TOY_ARRAY_BYTES = 2 * GiB
+#: FLASH's main containers at the 2-d supernova scale
+FLASH_UNK_BYTES = 96 * MiB
+
+
+@dataclass
+class AllocationOutcome:
+    """One experiment cell: did huge pages back the allocation?"""
+
+    label: str
+    uses_huge_pages: bool
+    anon_huge_kb: int
+    hugetlb_pages: int
+
+    def render(self) -> str:
+        verdict = "HUGE PAGES" if self.uses_huge_pages else "no huge pages"
+        return (f"  {self.label:<44} {verdict:<14} "
+                f"AnonHugePages={self.anon_huge_kb} kB  "
+                f"HugePages in use={self.hugetlb_pages}")
+
+
+def _outcome(label: str, kernel: Kernel, proc) -> AllocationOutcome:
+    info = meminfo(kernel)
+    in_use = info["HugePages_Total"] - info["HugePages_Free"]
+    return AllocationOutcome(
+        label=label,
+        uses_huge_pages=proc.uses_huge_pages(),
+        anon_huge_kb=info["AnonHugePages"],
+        hugetlb_pages=in_use,
+    )
+
+
+def static_vs_dynamic(compiler_name: str = "gnu") -> list[AllocationOutcome]:
+    """The two toy programs, on a modified node with THP enabled."""
+    compiler = COMPILERS[compiler_name]
+    out = []
+
+    kernel = Kernel(ookami_config())
+    Hugeadm(kernel).thp_always()  # the modified nodes' `echo always`
+    proc = compiler.compile("toy_dynamic").launch(kernel)
+    proc.allocate(TOY_ARRAY_BYTES, "array")
+    proc.first_touch("array", order="sequential")
+    out.append(_outcome(f"{compiler_name}: dynamic ALLOCATE (2 GiB array)",
+                        kernel, proc))
+
+    kernel = Kernel(ookami_config())
+    Hugeadm(kernel).thp_always()
+    exe = compiler.compile("toy_static")
+    exe = type(exe)(**{**exe.__dict__, "static_bytes": TOY_ARRAY_BYTES + MiB})
+    proc = exe.launch(kernel)
+    proc.static_array(TOY_ARRAY_BYTES, "array")
+    proc.first_touch("array", order="sequential")
+    out.append(_outcome(f"{compiler_name}: static array (2 GiB, data/BSS)",
+                        kernel, proc))
+    return out
+
+
+def _run_flash_like(kernel: Kernel, compiler, flags=(), env=None):
+    exe = compiler.compile("flash4", flags=flags)
+    proc = exe.launch(kernel, env=env)
+    proc.allocate(FLASH_UNK_BYTES, "unk")
+    proc.allocate(FLASH_UNK_BYTES // 8, "facevar")
+    proc.first_touch("unk", order="strided", stride=2 * MiB)
+    proc.first_touch("facevar", order="strided", stride=2 * MiB)
+    return proc
+
+
+def hugepage_usage_matrix() -> list[AllocationOutcome]:
+    """Every FLASH x mechanism combination the paper tried."""
+    out: list[AllocationOutcome] = []
+
+    for compiler in (GNU, CRAY):
+        for env, env_label in (
+            (None, "plain"),
+            (hugectl(heap=True), "hugectl --heap"),
+            (hugectl(shm=True), "hugectl --shm"),
+            (hugectl(shm=True, thp=True), "hugectl --shm --thp"),
+            ({"LD_PRELOAD": "libhugetlbfs.so"}, "LD_PRELOAD=libhugetlbfs"),
+        ):
+            kernel = Kernel(ookami_config())
+            Hugeadm(kernel).thp_always()
+            Hugeadm(kernel).pool_pages_min(4096)  # generous modified-node pool
+            proc = _run_flash_like(kernel, compiler, env=env)
+            out.append(_outcome(f"FLASH/{compiler.name} ({env_label})",
+                                kernel, proc))
+
+    for flags, env, label in (
+        ((), None, "default"),
+        (("-Knolargepage",), None, "-Knolargepage"),
+        ((), {"XOS_MMM_L_HPAGE_TYPE": "none"}, "XOS_MMM_L_HPAGE_TYPE=none"),
+        ((), {"XOS_MMM_L_HPAGE_TYPE": "hugetlbfs"},
+         "XOS_MMM_L_HPAGE_TYPE=hugetlbfs"),
+    ):
+        kernel = Kernel(ookami_config())
+        proc = _run_flash_like(kernel, FUJITSU, flags=flags, env=env)
+        out.append(_outcome(f"FLASH/fujitsu ({label})", kernel, proc))
+
+    # the unmodified-node check
+    kernel = Kernel(ookami_config(modified_node=False))
+    proc = _run_flash_like(kernel, FUJITSU)
+    out.append(_outcome("FLASH/fujitsu (unmodified node)", kernel, proc))
+    return out
+
+
+def render_outcomes(outcomes: list[AllocationOutcome], title: str) -> str:
+    lines = [title, "-" * len(title)]
+    lines += [o.render() for o in outcomes]
+    return "\n".join(lines)
+
+
+__all__ = ["static_vs_dynamic", "hugepage_usage_matrix", "render_outcomes",
+           "AllocationOutcome", "TOY_ARRAY_BYTES", "FLASH_UNK_BYTES"]

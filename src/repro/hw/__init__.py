@@ -1,0 +1,30 @@
+"""A64FX hardware model.
+
+Provides the machine description for an Ookami node
+(:mod:`repro.hw.a64fx`), an exact set-associative LRU TLB simulator
+(:mod:`repro.hw.tlb`) fed by page-granular access traces
+(:mod:`repro.hw.trace`), a cache/bandwidth accounting model
+(:mod:`repro.hw.cache`), and the cycle-accounting CPU model
+(:mod:`repro.hw.cpu`) calibrated against the paper's reported scales
+(:mod:`repro.hw.calibration`).
+"""
+
+from repro.hw.a64fx import A64FX, MachineSpec, TLBGeometry, XEON_E5_2683V3
+from repro.hw.trace import PageTrace
+from repro.hw.tlb import TLBSimulator, TLBStats
+from repro.hw.cache import CacheModel
+from repro.hw.cpu import CycleModel, CycleBreakdown, WorkCounts
+
+__all__ = [
+    "A64FX",
+    "XEON_E5_2683V3",
+    "MachineSpec",
+    "TLBGeometry",
+    "PageTrace",
+    "TLBSimulator",
+    "TLBStats",
+    "CacheModel",
+    "CycleModel",
+    "CycleBreakdown",
+    "WorkCounts",
+]

@@ -1,0 +1,135 @@
+"""Calibration constants anchoring the performance model to FLASH's scale.
+
+Two kinds of constants live here:
+
+* **footprints** of the real code's data structures that our compact
+  Python implementations deliberately shrink — chiefly the Helmholtz EOS
+  table: FLASH's ``helm_table.dat`` expands to ~30 MiB of interpolation
+  coefficient arrays in memory, while our bicubic-spline table is ~0.6 MiB.
+  The *performance* model uses the FLASH footprint, because the paper
+  measured FLASH (DESIGN.md section 6);
+* **work densities** (flops/zone, bytes/zone, gathers/zone) for each unit,
+  set from operation counts of the implemented kernels and tuned within
+  plausible ranges so the without-huge-pages "EOS" run lands near the
+  paper's reported scale (~2000 cycles/zone/call, ~4 GB/s, ~2e7 DTLB
+  miss/s).
+
+Everything here is data, not mechanism: the mechanisms live in
+:mod:`repro.hw` and :mod:`repro.perfmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import KiB, MiB
+
+
+@dataclass(frozen=True)
+class UnitWorkModel:
+    """Per-zone work densities of one unit (per invocation)."""
+
+    #: double-precision operations per zone (scalar-equivalent)
+    flops_per_zone: float
+    #: unk bytes read+written per zone
+    unk_bytes_per_zone: float
+    #: scratch-array bytes touched per zone
+    scratch_bytes_per_zone: float
+    #: data-dependent table gathers per zone (0 for non-table units)
+    gathers_per_zone: float = 0.0
+
+
+#: the hydro solver, per sweep.  FLASH runs PPM with characteristic
+#: tracing and contact steepening — far heavier than our MUSCL kernels —
+#: so the flop density models PPM (~700 ops/zone/sweep).  The byte count
+#: is *effective DRAM traffic* including the working-set spills a 24^3
+#: padded panel suffers in an 8 MiB L2 (calibrated to the paper's
+#: ~10 GB/s at ~1000 cycles/zone/sweep).
+HYDRO_SWEEP = UnitWorkModel(
+    flops_per_zone=700.0,
+    unk_bytes_per_zone=5600.0,
+    scratch_bytes_per_zone=26 * 8 * 2.0,
+)
+
+#: one mesh-wide Helmholtz EOS call (dens_ei): per *Newton iteration* costs
+#: are folded in via the recorded iteration counts; this is the per-zone
+#: base cost (the Eos_wrapped data marshalling and conversions)
+EOS_CALL = UnitWorkModel(
+    flops_per_zone=500.0,
+    unk_bytes_per_zone=1200.0,
+    scratch_bytes_per_zone=6 * 8 * 2.0,
+    gathers_per_zone=2.0,
+)
+#: per-zone per-Newton-iteration flops: one biquintic Helmholtz
+#: interpolation of the 9 tabulated quantities with derivatives
+EOS_FLOPS_PER_ITERATION = 350.0
+#: per-zone per-iteration effective DRAM bytes (coefficient line pulls)
+EOS_BYTES_PER_ITERATION = 800.0
+#: per-zone per-iteration *page-level* table touches: the biquintic stencil
+#: reads rows of ~9 separate coefficient arrays — each its own page region
+EOS_GATHERS_PER_ITERATION = 8.0
+
+#: the gamma-law EOS call is pure arithmetic
+EOS_GAMMA_CALL = UnitWorkModel(
+    flops_per_zone=12.0,
+    unk_bytes_per_zone=6 * 8 * 2.0,
+    scratch_bytes_per_zone=0.0,
+)
+
+#: guard-cell fill, per *guard* zone moved
+GUARDCELL = UnitWorkModel(
+    flops_per_zone=6.0,
+    unk_bytes_per_zone=2 * 8.0,  # copy in + out, per variable handled upstream
+    scratch_bytes_per_zone=0.0,
+)
+
+#: ADR flame step: Laplacian + reaction + speed lookup
+FLAME_STEP = UnitWorkModel(
+    flops_per_zone=60.0,
+    unk_bytes_per_zone=5 * 8 * 2.0,
+    scratch_bytes_per_zone=2 * 8.0,
+    gathers_per_zone=1.0,
+)
+
+#: monopole gravity kick
+GRAVITY_STEP = UnitWorkModel(
+    flops_per_zone=30.0,
+    unk_bytes_per_zone=4 * 8 * 2.0,
+    scratch_bytes_per_zone=8.0,
+)
+
+#: FLASH's Helmholtz table in memory (coefficients + derivatives);
+#: our spline table is far smaller, but the paper profiled FLASH
+FLASH_HELM_TABLE_BYTES = 30 * MiB
+#: fraction of the table hot per block (states within a block cluster),
+#: used for cache-traffic accounting of the gathers
+TABLE_HOT_FRACTION = 0.1
+#: the tabulated flame speed data
+FLASH_FLAME_TABLE_BYTES = 2 * MiB
+#: per-sweep scratch: FLASH's hy_ppm keeps ~two dozen 1-d work arrays;
+#: they are distinct allocations, hence distinct (base) pages
+N_SCRATCH_ARRAYS = 24
+SCRATCH_ARRAY_BYTES = 192 * KiB
+
+#: fraction of whole-run time outside the modelled units (I/O, MPI waits,
+#: driver overhead) — folded into the FLASH timer only
+DRIVER_OVERHEAD_FRACTION = 0.12
+
+__all__ = [
+    "UnitWorkModel",
+    "HYDRO_SWEEP",
+    "EOS_CALL",
+    "EOS_FLOPS_PER_ITERATION",
+    "EOS_BYTES_PER_ITERATION",
+    "EOS_GATHERS_PER_ITERATION",
+    "TABLE_HOT_FRACTION",
+    "EOS_GAMMA_CALL",
+    "GUARDCELL",
+    "FLAME_STEP",
+    "GRAVITY_STEP",
+    "FLASH_HELM_TABLE_BYTES",
+    "FLASH_FLAME_TABLE_BYTES",
+    "N_SCRATCH_ARRAYS",
+    "SCRATCH_ARRAY_BYTES",
+    "DRIVER_OVERHEAD_FRACTION",
+]

@@ -1,0 +1,109 @@
+"""Cycle accounting: work counts + TLB misses -> cycles and derived measures.
+
+The model (DESIGN.md section 6) is deliberately simple and fully inspectable:
+
+``cycles = issue + exposed_mem * mem_stall + exposed_tlb_walks``
+
+* *issue* cycles come from scalar and SIMD instruction counts divided by
+  the machine's sustainable IPC for each class;
+* *memory* stall cycles come from DRAM bytes over the per-core stream
+  bandwidth, partially overlapped with execution;
+* *TLB* cycles come from the simulated miss counts times the exposed
+  walk/refill penalties.
+
+The paper's own data fixes the interesting constant: between the
+with/without huge-page runs of Table I, 1.56e9 fewer DTLB misses bought
+8e9 cycles, i.e. ~5 exposed cycles per miss; Table II implies ~9.  The
+defaults in :mod:`repro.hw.a64fx` land in that range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.a64fx import MachineSpec
+from repro.hw.tlb import TLBStats
+
+
+@dataclass
+class WorkCounts:
+    """Instruction/traffic totals for a region of execution."""
+
+    scalar_ops: float = 0.0
+    #: SIMD (SVE) *instructions* — already divided by vector lanes
+    simd_ops: float = 0.0
+    dram_bytes: float = 0.0
+
+    def __add__(self, other: "WorkCounts") -> "WorkCounts":
+        return WorkCounts(
+            self.scalar_ops + other.scalar_ops,
+            self.simd_ops + other.simd_ops,
+            self.dram_bytes + other.dram_bytes,
+        )
+
+    def scaled(self, factor: float) -> "WorkCounts":
+        return WorkCounts(
+            self.scalar_ops * factor,
+            self.simd_ops * factor,
+            self.dram_bytes * factor,
+        )
+
+
+@dataclass
+class CycleBreakdown:
+    """Where the cycles of a region went."""
+
+    issue_cycles: float
+    mem_cycles: float
+    tlb_cycles: float
+
+    @property
+    def total(self) -> float:
+        return self.issue_cycles + self.mem_cycles + self.tlb_cycles
+
+    def __add__(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        return CycleBreakdown(
+            self.issue_cycles + other.issue_cycles,
+            self.mem_cycles + other.mem_cycles,
+            self.tlb_cycles + other.tlb_cycles,
+        )
+
+
+@dataclass
+class CycleModel:
+    """Turns work counts and TLB stats into cycles and PAPI-style measures."""
+
+    machine: MachineSpec
+    #: fraction of raw memory stall not hidden behind execution
+    #: (None: use the machine's own figure)
+    mem_exposed: float | None = None
+
+    def cycles(self, work: WorkCounts, tlb: TLBStats | None = None) -> CycleBreakdown:
+        m = self.machine
+        exposed = self.mem_exposed if self.mem_exposed is not None else m.mem_exposed
+        issue = work.scalar_ops / m.scalar_ipc + work.simd_ops / m.simd_ipc
+        mem_raw = work.dram_bytes / m.stream_bw_per_core * m.freq_hz
+        tlb_cycles = tlb.exposed_walk_cycles(m.tlb) if tlb is not None else 0.0
+        return CycleBreakdown(
+            issue_cycles=issue,
+            mem_cycles=exposed * mem_raw,
+            tlb_cycles=tlb_cycles,
+        )
+
+    def seconds(self, breakdown: CycleBreakdown) -> float:
+        return breakdown.total / self.machine.freq_hz
+
+    def measures(self, work: WorkCounts, tlb: TLBStats) -> dict[str, float]:
+        """The paper's five PAPI measures for an instrumented region."""
+        breakdown = self.cycles(work, tlb)
+        seconds = self.seconds(breakdown)
+        return {
+            "hardware_cycles": breakdown.total,
+            "time_s": seconds,
+            "sve_per_cycle": work.simd_ops / breakdown.total if breakdown.total else 0.0,
+            "mem_gbytes_per_s": work.dram_bytes / seconds / 1e9 if seconds else 0.0,
+            "dtlb_misses_per_s": tlb.l1_misses / seconds if seconds else 0.0,
+        }
+
+
+__all__ = ["WorkCounts", "CycleBreakdown", "CycleModel"]

@@ -1,0 +1,143 @@
+"""Page-granular memory access traces.
+
+A :class:`PageTrace` is the interface between the application side (which
+knows *which bytes* it touches, via :mod:`repro.perfmodel.patterns` and the
+VMM's ``translate``) and the TLB simulator (which only cares about the
+sequence of page identities).
+
+Traces are stored as parallel NumPy arrays of page base addresses and page
+sizes, in access order.  Because a TLB hit/miss stream is invariant under
+removal of *consecutive duplicate* pages (the repeat is always a hit), the
+canonical form is consecutive-deduplicated, with a ``weight`` recording how
+many raw accesses each kept entry stands for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class PageTrace:
+    """An ordered sequence of page accesses.
+
+    Attributes
+    ----------
+    page:
+        Page base virtual addresses (int64), one per access (after
+        consecutive deduplication).
+    size:
+        Page size in bytes for each access (int64).
+    weight:
+        Raw accesses represented by each entry (>= 1).
+    """
+
+    page: np.ndarray
+    size: np.ndarray
+    weight: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.page = np.asarray(self.page, dtype=np.int64)
+        self.size = np.asarray(self.size, dtype=np.int64)
+        self.weight = np.asarray(self.weight, dtype=np.int64)
+        if not (self.page.shape == self.size.shape == self.weight.shape):
+            raise ValueError("trace arrays must have identical shapes")
+
+    @classmethod
+    def empty(cls) -> "PageTrace":
+        z = np.empty(0, dtype=np.int64)
+        return cls(z, z.copy(), z.copy())
+
+    @classmethod
+    def from_accesses(cls, page: np.ndarray, size: np.ndarray) -> "PageTrace":
+        """Build a canonical trace from raw per-access page arrays."""
+        page = np.asarray(page, dtype=np.int64)
+        size = np.asarray(size, dtype=np.int64)
+        if page.size == 0:
+            return cls.empty()
+        keep = np.empty(page.shape, dtype=bool)
+        keep[0] = True
+        np.not_equal(page[1:], page[:-1], out=keep[1:])
+        idx = np.flatnonzero(keep)
+        weights = np.diff(np.append(idx, page.size))
+        return cls(page[idx], size[idx], weights)
+
+    @property
+    def n_events(self) -> int:
+        """Deduplicated trace length (what the TLB simulator iterates)."""
+        return int(self.page.size)
+
+    @property
+    def n_accesses(self) -> int:
+        """Raw access count, including consecutive repeats."""
+        return int(self.weight.sum()) if self.weight.size else 0
+
+    def concat(self, *others: "PageTrace") -> "PageTrace":
+        """Concatenate traces in order, re-deduplicating at the seams."""
+        parts = [self, *others]
+        page = np.concatenate([p.page for p in parts])
+        size = np.concatenate([p.size for p in parts])
+        weight = np.concatenate([p.weight for p in parts])
+        if page.size == 0:
+            return PageTrace.empty()
+        keep = np.empty(page.shape, dtype=bool)
+        keep[0] = True
+        np.not_equal(page[1:], page[:-1], out=keep[1:])
+        idx = np.flatnonzero(keep)
+        # sum the weights of merged runs
+        grp = np.cumsum(keep) - 1
+        merged_w = np.bincount(grp, weights=weight).astype(np.int64)
+        return PageTrace(page[idx], size[idx], merged_w)
+
+    def unique_pages(self) -> int:
+        """Number of distinct pages the trace touches (its footprint)."""
+        return int(np.unique(self.page).size)
+
+    def footprint_bytes(self) -> int:
+        """Bytes of address space covered by the touched pages."""
+        if self.page.size == 0:
+            return 0
+        _, first = np.unique(self.page, return_index=True)
+        return int(self.size[first].sum())
+
+    def repeated(self, times: int) -> "PageTrace":
+        """The trace repeated back-to-back ``times`` times (steady state)."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        if times == 1:
+            return self
+        return self.concat(*([self] * (times - 1)))
+
+
+def interleave(traces: list[PageTrace], chunk: int = 1) -> PageTrace:
+    """Round-robin interleave several traces, ``chunk`` events at a time.
+
+    Models concurrent streams (e.g. reading `unk` while gathering from an
+    EOS table): the TLB sees their accesses interleaved, which is what
+    creates capacity pressure.
+    """
+    live = [t for t in traces if t.n_events]
+    if not live:
+        return PageTrace.empty()
+    pages, sizes, weights = [], [], []
+    cursors = [0] * len(live)
+    remaining = sum(t.n_events for t in live)
+    while remaining > 0:
+        for i, t in enumerate(live):
+            lo = cursors[i]
+            if lo >= t.n_events:
+                continue
+            hi = min(lo + chunk, t.n_events)
+            pages.append(t.page[lo:hi])
+            sizes.append(t.size[lo:hi])
+            weights.append(t.weight[lo:hi])
+            cursors[i] = hi
+            remaining -= hi - lo
+    return PageTrace(
+        np.concatenate(pages), np.concatenate(sizes), np.concatenate(weights)
+    ).concat()  # canonicalise seams
+
+
+__all__ = ["PageTrace", "interleave"]

@@ -1,0 +1,47 @@
+"""Simulated Linux kernel memory management.
+
+This subpackage models the pieces of the Linux memory subsystem the paper
+interacts with, faithfully enough that every huge-page observation in the
+paper emerges from documented mechanisms:
+
+* base pages and huge pages on an aarch64 64 KiB-granule kernel
+  (:mod:`repro.kernel.page`): 64 KiB base, 2 MiB CONT_PTE hugetlbfs pages,
+  512 MiB PMD pages — matching the paper's boot parameters
+  ``hugepagesz=2M hugepagesz=512M default_hugepagesz=2M``;
+* boot parameters and sysctl state (:mod:`repro.kernel.params`);
+* transparent huge pages with the 4.18-era PMD-only fault-path promotion
+  rule (:mod:`repro.kernel.thp`) plus a khugepaged model;
+* the hugetlbfs reserved pool (:mod:`repro.kernel.hugetlbfs`);
+* virtual memory areas with demand faulting (:mod:`repro.kernel.vmm`);
+* ``/proc/meminfo`` rendering (:mod:`repro.kernel.meminfo`);
+* the ``hugeadm`` and ``hugectl`` administration tools
+  (:mod:`repro.kernel.tools`).
+"""
+
+from repro.kernel.page import PageGeometry, AARCH64_64K, X86_64_4K
+from repro.kernel.params import BootParams, Sysctl, KernelConfig
+from repro.kernel.thp import THPMode, THPState
+from repro.kernel.hugetlbfs import HugePool
+from repro.kernel.vmm import Kernel, AddressSpace, VMA, MapFlags
+from repro.kernel.meminfo import meminfo, render_meminfo
+from repro.kernel.tools import Hugeadm, hugectl
+
+__all__ = [
+    "PageGeometry",
+    "AARCH64_64K",
+    "X86_64_4K",
+    "BootParams",
+    "Sysctl",
+    "KernelConfig",
+    "THPMode",
+    "THPState",
+    "HugePool",
+    "Kernel",
+    "AddressSpace",
+    "VMA",
+    "MapFlags",
+    "meminfo",
+    "render_meminfo",
+    "Hugeadm",
+    "hugectl",
+]

@@ -1,0 +1,125 @@
+"""The hugetlbfs reserved pool.
+
+Models the per-size pools reported by ``/proc/meminfo`` as
+``HugePages_Total / Free / Rsvd / Surp``:
+
+* a **static pool** sized via boot parameters, ``vm.nr_hugepages``, or the
+  ``hugeadm --pool-pages-min`` tool used on the modified Ookami nodes;
+* a **surplus** mechanism (``vm.nr_overcommit_hugepages``) allowing
+  temporary pages beyond the static pool;
+* **reservation** semantics: a successful ``mmap(MAP_HUGETLB)`` reserves
+  pages up front (so later faults cannot fail), and faulting converts
+  reserved pages to allocated ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import AllocationError, KernelError
+
+
+@dataclass
+class HugePool:
+    """One huge-page pool (there is one per supported page size)."""
+
+    page_size: int
+    #: persistent pool pages configured by the administrator
+    nr_hugepages: int = 0
+    #: ceiling on surplus pages allocatable beyond the static pool
+    nr_overcommit: int = 0
+    #: currently materialised surplus pages
+    surplus: int = 0
+    #: pages backing faulted-in mappings
+    allocated: int = 0
+    #: pages promised to mappings but not yet faulted
+    reserved: int = 0
+
+    @property
+    def total(self) -> int:
+        """``HugePages_Total``: static pool plus live surplus pages."""
+        return self.nr_hugepages + self.surplus
+
+    @property
+    def free(self) -> int:
+        """``HugePages_Free``: pool pages not yet backing any mapping.
+
+        Reserved-but-unfaulted pages still count as free (as in Linux),
+        which is why ``HugePages_Rsvd`` exists as a separate field.
+        """
+        return self.total - self.allocated
+
+    @property
+    def available_for_reservation(self) -> int:
+        """Pages a new mapping could still reserve (incl. potential surplus)."""
+        headroom = self.nr_overcommit - self.surplus
+        return self.free - self.reserved + max(headroom, 0)
+
+    def set_pool_size(self, pages: int) -> None:
+        """Model ``hugeadm --pool-pages-min`` / ``vm.nr_hugepages``.
+
+        Shrinking below the number of in-use pages converts the excess to
+        surplus, as the kernel does.
+        """
+        if pages < 0:
+            raise KernelError("pool size cannot be negative")
+        in_use = self.allocated + self.reserved
+        if pages < in_use - self.surplus:
+            self.surplus += (in_use - self.surplus) - pages
+        self.nr_hugepages = pages
+
+    def reserve(self, pages: int) -> None:
+        """Reserve pages at ``mmap`` time; raises ENOMEM-style on exhaustion."""
+        if pages < 0:
+            raise KernelError("cannot reserve a negative page count")
+        shortfall = pages - (self.free - self.reserved)
+        if shortfall > 0:
+            if self.surplus + shortfall > self.nr_overcommit:
+                raise AllocationError(
+                    f"hugetlb pool ({self.page_size} B) exhausted: "
+                    f"need {pages}, free {self.free - self.reserved}, "
+                    f"overcommit headroom {self.nr_overcommit - self.surplus}"
+                )
+            self.surplus += shortfall
+        self.reserved += pages
+
+    def unreserve(self, pages: int) -> None:
+        """Return unfaulted reservations (munmap of an untouched mapping)."""
+        if pages > self.reserved:
+            raise KernelError("unreserving more pages than are reserved")
+        self.reserved -= pages
+        self._shrink_surplus()
+
+    def fault(self, pages: int, reserved: bool = True) -> None:
+        """Convert reservations to allocations at fault time."""
+        if reserved:
+            if pages > self.reserved:
+                raise KernelError("faulting more pages than were reserved")
+            self.reserved -= pages
+        elif pages > self.free - self.reserved:
+            raise AllocationError("hugetlb fault with no reservation and empty pool")
+        self.allocated += pages
+
+    def release(self, pages: int) -> None:
+        """Free allocated pages back to the pool (munmap / exit)."""
+        if pages > self.allocated:
+            raise KernelError("releasing more pages than are allocated")
+        self.allocated -= pages
+        self._shrink_surplus()
+
+    def _shrink_surplus(self) -> None:
+        """Surplus pages are returned to the buddy allocator once idle."""
+        idle = self.total - self.allocated - self.reserved
+        give_back = min(self.surplus, idle)
+        if give_back > 0:
+            self.surplus -= give_back
+
+    def check_invariants(self) -> None:
+        """Raise if the accounting ever goes inconsistent (used by tests)."""
+        if min(self.nr_hugepages, self.surplus, self.allocated, self.reserved) < 0:
+            raise KernelError(f"negative hugetlb accounting: {self}")
+        if self.allocated + self.reserved > self.total:
+            raise KernelError(f"hugetlb pool oversubscribed: {self}")
+
+
+__all__ = ["HugePool"]

@@ -1,0 +1,62 @@
+"""``/proc/meminfo`` rendering.
+
+The paper's section III monitors these fields to confirm huge pages are in
+use: ``AnonHugePages``, ``ShmemHugePages``, ``HugePages_Total``,
+``HugePages_Free``, ``HugePages_Rsvd``, ``HugePages_Surp``,
+``Hugepagesize``, ``Hugetlb``.  This module renders the same fields from
+the simulated kernel state, in the same units (kB).
+"""
+
+from __future__ import annotations
+
+from repro.util import KiB
+from repro.kernel.vmm import Kernel
+
+
+def meminfo(kernel: Kernel) -> dict[str, int]:
+    """Return the meminfo fields as a dict of kB (counts for HugePages_*)."""
+    anon_base = kernel.anon_base_bytes
+    anon_thp = kernel.anon_thp_bytes
+    default_pool = kernel.pool()
+    fields = {
+        "MemTotal": kernel.config.mem_total // KiB,
+        "MemFree": kernel.mem_free // KiB,
+        "AnonPages": (anon_base + anon_thp) // KiB,
+        "AnonHugePages": anon_thp // KiB,
+        "ShmemHugePages": 0,
+        "FilePages": kernel.file_bytes // KiB,
+        "HugePages_Total": default_pool.total,
+        "HugePages_Free": default_pool.free,
+        "HugePages_Rsvd": default_pool.reserved,
+        "HugePages_Surp": default_pool.surplus,
+        "Hugepagesize": default_pool.page_size // KiB,
+        "Hugetlb": kernel.hugetlb_total_bytes // KiB,
+    }
+    return fields
+
+
+def render_meminfo(kernel: Kernel) -> str:
+    """Render the fields in the familiar ``/proc/meminfo`` text format."""
+    counts = {"HugePages_Total", "HugePages_Free", "HugePages_Rsvd", "HugePages_Surp"}
+    lines = []
+    for key, value in meminfo(kernel).items():
+        if key in counts:
+            lines.append(f"{key + ':':<16}{value:>12}")
+        else:
+            lines.append(f"{key + ':':<16}{value:>12} kB")
+    return "\n".join(lines)
+
+
+def hugepages_in_use(kernel: Kernel) -> bool:
+    """The paper's monitoring criterion: any meminfo huge-page signal nonzero.
+
+    True when either transparent huge pages back anonymous memory
+    (``AnonHugePages > 0``) or hugetlbfs pages are faulted in
+    (``HugePages_Total - HugePages_Free > 0`` for any pool).
+    """
+    if kernel.anon_thp_bytes > 0:
+        return True
+    return any(p.allocated > 0 for p in kernel.pools.values())
+
+
+__all__ = ["meminfo", "render_meminfo", "hugepages_in_use"]

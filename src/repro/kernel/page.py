@@ -1,0 +1,148 @@
+"""Page-size geometry and alignment arithmetic.
+
+On aarch64 the kernel may be built with a 4 KiB, 16 KiB, or 64 KiB
+translation granule.  CentOS / RHEL 8 aarch64 kernels (the 4.18 kernel the
+paper used on Ookami) are built with the **64 KiB granule**, which yields:
+
+=================  ==============  =========================
+level              page size       Linux role
+=================  ==============  =========================
+PTE (base)         64 KiB          base page
+CONT_PTE (32x)     2 MiB           hugetlbfs huge page
+PMD                512 MiB         THP granule + hugetlbfs
+CONT_PMD (32x)     16 GiB          hugetlbfs (rarely used)
+=================  ==============  =========================
+
+This explains the paper's kernel boot parameters
+``hugepagesz=2M hugepagesz=512M default_hugepagesz=2M`` and — because
+4.18-era transparent huge pages exist *only* at PMD level — it is the load
+bearing fact behind the paper's "mystery" (see DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util import KiB, MiB, GiB
+from repro.util.errors import ConfigurationError
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def align_down(addr: int, alignment: int) -> int:
+    """Round ``addr`` down to a multiple of ``alignment`` (a power of two)."""
+    return addr & ~(alignment - 1)
+
+
+def align_up(addr: int, alignment: int) -> int:
+    """Round ``addr`` up to a multiple of ``alignment`` (a power of two)."""
+    return (addr + alignment - 1) & ~(alignment - 1)
+
+
+def is_aligned(addr: int, alignment: int) -> bool:
+    """True when ``addr`` is a multiple of ``alignment`` (a power of two)."""
+    return (addr & (alignment - 1)) == 0
+
+
+def pages_spanned(start: int, length: int, page_size: int) -> int:
+    """Number of ``page_size`` pages touched by ``[start, start+length)``."""
+    if length <= 0:
+        return 0
+    first = align_down(start, page_size)
+    last = align_down(start + length - 1, page_size)
+    return (last - first) // page_size + 1
+
+
+@dataclass(frozen=True)
+class PageGeometry:
+    """Page sizes offered by a kernel build.
+
+    Parameters
+    ----------
+    base_page:
+        The translation granule (PTE-level page) in bytes.
+    cont_pte_page:
+        The contiguous-PTE huge page (hugetlbfs only), or ``None`` when the
+        architecture has no such level (x86-64).
+    pmd_page:
+        The PMD-level huge page.  This is the *only* size transparent huge
+        pages come in on a 4.18-era kernel.
+    """
+
+    base_page: int
+    pmd_page: int
+    cont_pte_page: int | None = None
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        for size in (self.base_page, self.pmd_page):
+            if not is_power_of_two(size):
+                raise ConfigurationError(f"page size {size} is not a power of two")
+        if self.cont_pte_page is not None and not is_power_of_two(self.cont_pte_page):
+            raise ConfigurationError(
+                f"cont-PTE page size {self.cont_pte_page} is not a power of two"
+            )
+        if self.pmd_page <= self.base_page:
+            raise ConfigurationError("PMD page must be larger than the base page")
+
+    @property
+    def thp_page(self) -> int:
+        """The THP granule: PMD-only on the kernels we model."""
+        return self.pmd_page
+
+    @property
+    def hugetlb_sizes(self) -> tuple[int, ...]:
+        """Huge-page sizes hugetlbfs can serve, smallest first."""
+        sizes = [self.pmd_page]
+        if self.cont_pte_page is not None:
+            sizes.insert(0, self.cont_pte_page)
+        return tuple(sizes)
+
+    def validate_huge_size(self, size: int) -> int:
+        """Return ``size`` if hugetlbfs supports it, else raise."""
+        if size not in self.hugetlb_sizes:
+            raise ConfigurationError(
+                f"{self.name}: hugepagesz={size} unsupported; "
+                f"supported: {self.hugetlb_sizes}"
+            )
+        return size
+
+
+#: The Ookami configuration: CentOS 8 aarch64, 64 KiB granule.
+AARCH64_64K = PageGeometry(
+    base_page=64 * KiB,
+    cont_pte_page=2 * MiB,
+    pmd_page=512 * MiB,
+    name="aarch64-64k",
+)
+
+#: A familiar x86-64 configuration, for contrast in tests and examples.
+X86_64_4K = PageGeometry(
+    base_page=4 * KiB,
+    cont_pte_page=None,
+    pmd_page=2 * MiB,
+    name="x86_64-4k",
+)
+
+#: aarch64 built with the 4 KiB granule (not what Ookami ran, but valid).
+AARCH64_4K = PageGeometry(
+    base_page=4 * KiB,
+    cont_pte_page=64 * KiB,
+    pmd_page=2 * MiB,
+    name="aarch64-4k",
+)
+
+__all__ = [
+    "PageGeometry",
+    "AARCH64_64K",
+    "AARCH64_4K",
+    "X86_64_4K",
+    "align_down",
+    "align_up",
+    "is_aligned",
+    "is_power_of_two",
+    "pages_spanned",
+]

@@ -1,0 +1,162 @@
+"""Kernel boot parameters, sysctl state, and the overall kernel configuration.
+
+Models the knobs the paper's system administration section manipulates:
+
+* boot-time ``hugepagesz=... default_hugepagesz=...`` parameters, which
+  select the hugetlbfs pool sizes that exist at all;
+* ``kernel.perf_event_paranoid`` (required by the Fujitsu toolchain install);
+* the ``hugetlb_shm_group`` gid allowing unprivileged SysV-SHM huge pages;
+* ``vm.nr_hugepages`` / ``vm.nr_overcommit_hugepages``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util import GiB, KiB, MiB
+from repro.util.errors import ConfigurationError
+from repro.kernel.page import AARCH64_64K, PageGeometry
+from repro.kernel.thp import THPMode
+
+
+def _parse_size(text: str) -> int:
+    """Parse a kernel-style size string such as ``2M`` or ``512M``."""
+    text = text.strip()
+    multipliers = {"K": KiB, "M": MiB, "G": GiB}
+    if text and text[-1].upper() in multipliers:
+        return int(text[:-1]) * multipliers[text[-1].upper()]
+    return int(text)
+
+
+@dataclass
+class BootParams:
+    """Kernel command-line parameters relevant to huge pages.
+
+    The defaults replicate the modified Ookami nodes from the paper:
+    ``hugepagesz=2M hugepagesz=512M default_hugepagesz=2M``.
+    """
+
+    hugepagesz: tuple[int, ...] = (2 * MiB, 512 * MiB)
+    default_hugepagesz: int = 2 * MiB
+    #: pages preallocated at boot per size (``hugepages=N`` after a
+    #: ``hugepagesz=`` selects that size)
+    hugepages: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_cmdline(cls, cmdline: str, geometry: PageGeometry = AARCH64_64K) -> "BootParams":
+        """Parse a kernel command line, honouring parameter ordering.
+
+        ``hugepages=N`` applies to the most recent ``hugepagesz=`` (or the
+        architecture default size if none was given yet), as the real kernel
+        does.
+        """
+        sizes: list[int] = []
+        default = None
+        counts: dict[int, int] = {}
+        current = geometry.hugetlb_sizes[0]
+        for token in cmdline.split():
+            if "=" not in token:
+                continue
+            key, _, value = token.partition("=")
+            if key == "hugepagesz":
+                current = geometry.validate_huge_size(_parse_size(value))
+                if current not in sizes:
+                    sizes.append(current)
+            elif key == "default_hugepagesz":
+                default = geometry.validate_huge_size(_parse_size(value))
+            elif key == "hugepages":
+                counts[current] = int(value)
+        if not sizes:
+            sizes = [geometry.hugetlb_sizes[0]]
+        if default is None:
+            default = sizes[0]
+        if default not in sizes:
+            sizes.append(default)
+        return cls(hugepagesz=tuple(sorted(sizes)), default_hugepagesz=default, hugepages=counts)
+
+    def validate(self, geometry: PageGeometry) -> None:
+        for size in self.hugepagesz:
+            geometry.validate_huge_size(size)
+        if self.default_hugepagesz not in self.hugepagesz:
+            raise ConfigurationError(
+                "default_hugepagesz must be one of the configured hugepagesz values"
+            )
+
+
+@dataclass
+class Sysctl:
+    """The small subset of sysctl state the paper touches."""
+
+    #: ``kernel.perf_event_paranoid`` — the Fujitsu compiler install on the
+    #: modified nodes set this to 1 so PAPI could read PMU counters.
+    perf_event_paranoid: int = 2
+    #: ``vm.hugetlb_shm_group`` — gid allowed to create SysV SHM huge pages.
+    hugetlb_shm_group: int = -1
+    #: ``vm.nr_overcommit_hugepages`` per size (surplus pool ceiling).
+    nr_overcommit_hugepages: dict[int, int] = field(default_factory=dict)
+
+    def allows_pmu_access(self, privileged: bool = False) -> bool:
+        """Whether PAPI-style PMU access works for an unprivileged user."""
+        return privileged or self.perf_event_paranoid <= 2
+
+    def allows_full_pmu(self, privileged: bool = False) -> bool:
+        """Whether *system-wide* counter access works (paranoid <= 0)."""
+        return privileged or self.perf_event_paranoid <= 0
+
+
+@dataclass
+class KernelConfig:
+    """Everything needed to boot a :class:`repro.kernel.vmm.Kernel`.
+
+    The defaults replicate the Ookami nodes of the paper: a CentOS 8
+    aarch64 kernel (64 KiB granule), 32 GiB of node memory, THP compiled in
+    and set to ``always``.
+    """
+
+    geometry: PageGeometry = AARCH64_64K
+    mem_total: int = 32 * GiB
+    boot: BootParams = field(default_factory=BootParams)
+    sysctl: Sysctl = field(default_factory=Sysctl)
+    thp_mode: THPMode = THPMode.ALWAYS
+    #: bytes reserved for the kernel image, OS daemons, filesystem cache...
+    os_reserved: int = 2 * GiB
+
+    def __post_init__(self) -> None:
+        self.boot.validate(self.geometry)
+        if self.os_reserved >= self.mem_total:
+            raise ConfigurationError("os_reserved must be smaller than mem_total")
+
+
+def ookami_config(
+    thp_mode: THPMode = THPMode.MADVISE,
+    modified_node: bool = True,
+) -> KernelConfig:
+    """The Ookami node configuration from the paper's section III.
+
+    ``modified_node=True`` replicates the two specially configured nodes:
+    huge-page boot parameters, ``kernel.perf_event_paranoid=1`` (from
+    ``98-fujitsucompilersettings.conf``), and the ``hugetlb_shm_group``.
+    Unmodified nodes keep stock settings (and, as the paper observed, behave
+    identically for the Fujitsu runtime because it allocates its huge pages
+    through its own library).
+
+    The default THP mode is ``madvise`` — the HPC-site-standard setting
+    (512 MiB PMD THP under the 64 KiB granule is considered hazardous;
+    cf. the Percona reference the paper cites), and the only mode
+    consistent with *all* of the paper's observations: with ``always``,
+    multi-GB FLASH meshes would have shown nonzero ``AnonHugePages`` under
+    GNU/Cray.  The modified nodes let the authors ``echo always`` for the
+    toy-program experiments (:mod:`repro.experiments.testprograms`).
+    """
+    if modified_node:
+        boot = BootParams.from_cmdline(
+            "hugepagesz=2M hugepagesz=512M default_hugepagesz=2M"
+        )
+        sysctl = Sysctl(perf_event_paranoid=1, hugetlb_shm_group=1001)
+    else:
+        boot = BootParams(hugepagesz=(2 * MiB, 512 * MiB), default_hugepagesz=2 * MiB)
+        sysctl = Sysctl(perf_event_paranoid=2)
+    return KernelConfig(boot=boot, sysctl=sysctl, thp_mode=thp_mode)
+
+
+__all__ = ["BootParams", "Sysctl", "KernelConfig", "ookami_config"]

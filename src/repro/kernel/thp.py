@@ -1,0 +1,109 @@
+"""Transparent huge pages: policy, fault-path promotion, khugepaged.
+
+Models the THP implementation of the 4.18-era kernel the paper ran:
+
+* THP exists **only at PMD granularity** (512 MiB with the 64 KiB granule,
+  2 MiB with the 4 KiB granule).  There is no multi-size THP on 4.18.
+* The global mode lives in
+  ``/sys/kernel/mm/transparent_hugepage/enabled`` and is one of
+  ``always``, ``madvise``, ``never`` — the file the paper toggles with
+  ``echo always > .../enabled``.
+* The fault path installs a huge page only when the faulting PMD extent is
+  (a) entirely inside one anonymous VMA, (b) currently empty (``pmd_none``),
+  and (c) the mode (or a ``MADV_HUGEPAGE`` hint) allows it.
+* ``khugepaged`` may later *collapse* an extent of populated base pages into
+  a huge page when at most ``max_ptes_none`` of its PTEs are empty.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class THPMode(enum.Enum):
+    """Contents of ``/sys/kernel/mm/transparent_hugepage/enabled``."""
+
+    ALWAYS = "always"
+    MADVISE = "madvise"
+    NEVER = "never"
+
+    @classmethod
+    def parse(cls, text: str) -> "THPMode":
+        """Parse either a bare word or the bracketed sysfs form."""
+        text = text.strip()
+        if "[" in text:
+            text = text[text.index("[") + 1 : text.index("]")]
+        return cls(text)
+
+    def sysfs(self) -> str:
+        """Render the sysfs file contents with the active mode bracketed."""
+        words = []
+        for mode in THPMode:
+            word = mode.value
+            words.append(f"[{word}]" if mode is self else word)
+        return " ".join(words)
+
+
+@dataclass
+class KhugepagedConfig:
+    """Tunables under ``/sys/kernel/mm/transparent_hugepage/khugepaged``."""
+
+    #: maximum number of empty PTEs tolerated when collapsing an extent;
+    #: the 4.18 default is 511 of 512 PTEs — i.e. almost any partially
+    #: populated extent is collapsible *eventually*.
+    max_ptes_none: int = 511
+    #: pages scanned per wakeup and the wakeup period; at the defaults the
+    #: daemon needs many minutes to chew through a multi-GiB address space,
+    #: which is why short benchmark runs never see collapses.
+    pages_to_scan: int = 4096
+    scan_sleep_millisecs: int = 10000
+    #: whether the daemon runs at all (mode ``never`` stops it).
+    defrag: bool = True
+
+
+@dataclass
+class THPState:
+    """Runtime THP policy state for a simulated kernel."""
+
+    mode: THPMode = THPMode.ALWAYS
+    khugepaged: KhugepagedConfig = field(default_factory=KhugepagedConfig)
+    #: counters mirroring /proc/vmstat
+    thp_fault_alloc: int = 0
+    thp_fault_fallback: int = 0
+    thp_collapse_alloc: int = 0
+
+    def write_enabled(self, text: str) -> None:
+        """Model ``echo <word> > /sys/kernel/mm/transparent_hugepage/enabled``."""
+        self.mode = THPMode.parse(text)
+
+    def read_enabled(self) -> str:
+        """Model reading the ``enabled`` sysfs file."""
+        return self.mode.sysfs()
+
+    def fault_allows_huge(self, *, anonymous: bool, madv_hugepage: bool,
+                          madv_nohugepage: bool) -> bool:
+        """Whether the fault path may try a PMD-sized allocation."""
+        if not anonymous or madv_nohugepage:
+            return False
+        if self.mode is THPMode.NEVER:
+            return False
+        if self.mode is THPMode.MADVISE:
+            return madv_hugepage
+        return True
+
+    def collapse_allows_huge(self, *, anonymous: bool, madv_hugepage: bool,
+                             madv_nohugepage: bool, populated_ptes: int,
+                             ptes_per_extent: int) -> bool:
+        """Whether khugepaged may collapse an extent with the given population."""
+        if not self.fault_allows_huge(
+            anonymous=anonymous,
+            madv_hugepage=madv_hugepage,
+            madv_nohugepage=madv_nohugepage,
+        ):
+            return False
+        empty = ptes_per_extent - populated_ptes
+        return empty <= self.khugepaged.max_ptes_none and populated_ptes > 0
+
+
+__all__ = ["THPMode", "THPState", "KhugepagedConfig"]

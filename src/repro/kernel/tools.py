@@ -1,0 +1,93 @@
+"""Models of the libhugetlbfs administration tools the paper used.
+
+* ``hugeadm`` (from ``libhugetlbfs-utils``) configures the hugetlb pools
+  and THP mode — what the admins ran on the two modified Ookami nodes.
+* ``hugectl`` wraps a *command* with an environment that asks libhugetlbfs
+  to back parts of the process with huge pages (``--heap``, ``--shm``,
+  ``--thp``...).  Crucially, the heap remapping works through the glibc
+  *morecore* hook only — allocations that glibc serves via ``mmap`` (i.e.
+  anything above ``mmap_threshold``) are untouched, which is the mechanism
+  behind the paper's failed attempts with GNU/Cray FLASH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.vmm import Kernel
+from repro.util.errors import KernelError
+
+
+@dataclass
+class Hugeadm:
+    """The subset of ``hugeadm`` used in the paper's node setup."""
+
+    kernel: Kernel
+
+    def pool_pages_min(self, pages: int, page_size: int | None = None) -> None:
+        """``hugeadm --pool-pages-min <size>:<pages>``."""
+        self.kernel.pool(page_size).set_pool_size(pages)
+
+    def pool_pages_max(self, pages: int, page_size: int | None = None) -> None:
+        """``hugeadm --pool-pages-max <size>:<pages>`` (overcommit ceiling)."""
+        pool = self.kernel.pool(page_size)
+        if pages < pool.nr_hugepages:
+            raise KernelError("pool-pages-max below pool-pages-min")
+        pool.nr_overcommit = pages - pool.nr_hugepages
+
+    def thp_always(self) -> None:
+        """``hugeadm --thp-always``."""
+        self.kernel.write_sysfs_thp_enabled("always")
+
+    def thp_madvise(self) -> None:
+        """``hugeadm --thp-madvise``."""
+        self.kernel.write_sysfs_thp_enabled("madvise")
+
+    def thp_never(self) -> None:
+        """``hugeadm --thp-never``."""
+        self.kernel.write_sysfs_thp_enabled("never")
+
+    def pool_list(self) -> list[dict[str, int]]:
+        """``hugeadm --pool-list``: per-size pool status."""
+        return [
+            {
+                "size": pool.page_size,
+                "minimum": pool.nr_hugepages,
+                "current": pool.total,
+                "maximum": pool.nr_hugepages + pool.nr_overcommit,
+            }
+            for pool in self.kernel.pools.values()
+        ]
+
+
+def hugectl(
+    *,
+    heap: bool = False,
+    shm: bool = False,
+    thp: bool = False,
+    heap_page_size: int | None = None,
+) -> dict[str, str]:
+    """Return the environment ``hugectl`` would set for the wrapped command.
+
+    The returned dict is merged into a
+    :class:`repro.toolchain.env.ProcessEnv`.  ``--heap`` sets
+    ``HUGETLB_MORECORE`` (morecore-path interception only); ``--shm`` sets
+    ``HUGETLB_SHM`` (SysV shared memory only — irrelevant to FLASH, which
+    the paper's experiments confirmed); ``--thp`` aligns the heap so THP
+    *could* engage (``HUGETLB_MORECORE=thp``).
+    """
+    env: dict[str, str] = {}
+    if heap:
+        env["HUGETLB_MORECORE"] = "yes"
+        if heap_page_size is not None:
+            env["HUGETLB_MORECORE"] = str(heap_page_size)
+    if thp:
+        env["HUGETLB_MORECORE"] = "thp"
+    if shm:
+        env["HUGETLB_SHM"] = "yes"
+    if env:
+        env["LD_PRELOAD"] = "libhugetlbfs.so"
+    return env
+
+
+__all__ = ["Hugeadm", "hugectl"]

@@ -1,0 +1,498 @@
+"""Virtual memory: VMAs, demand faulting, THP promotion, translation.
+
+This is the heart of the simulated kernel.  A :class:`Kernel` owns physical
+memory accounting, the THP policy state, and the hugetlbfs pools; each
+simulated process gets an :class:`AddressSpace` in which allocator models
+(:mod:`repro.toolchain.allocator`) create :class:`VMA` mappings.
+
+Two operations drive everything the paper measures:
+
+``touch``
+    Simulates demand faulting in a given order.  The 4.18 fault path
+    installs a PMD-sized transparent huge page only when the faulting
+    PMD *extent* is entirely contained in one anonymous VMA and is still
+    empty (``pmd_none``), the THP mode (or ``MADV_HUGEPAGE``) allows it,
+    and physical memory is available.  With the 64 KiB granule the extent
+    is **512 MiB**, which is why FLASH's ~100 MB arrays never get THP
+    while a multi-GiB toy array does (DESIGN.md section 5).
+
+``translate``
+    Vectorised virtual-address-to-page mapping used by the performance
+    pipeline to feed the TLB simulator: for each byte offset it returns
+    the base address and size of the backing page.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import AllocationError, KernelError
+from repro.kernel.hugetlbfs import HugePool
+from repro.kernel.page import align_down, align_up, pages_spanned
+from repro.kernel.params import KernelConfig
+from repro.kernel.thp import THPState
+
+
+class MapFlags(enum.Flag):
+    """The mmap flags the model distinguishes."""
+
+    NONE = 0
+    ANONYMOUS = enum.auto()
+    HUGETLB = enum.auto()
+    SHARED = enum.auto()
+    #: file-backed image segment (text/data/BSS) — never THP-eligible
+    IMAGE = enum.auto()
+    POPULATE = enum.auto()
+
+
+@dataclass
+class VMA:
+    """One virtual memory area.
+
+    Backing state is stored at two granularities: a base-page "populated"
+    bitmap and a per-PMD-extent THP flag plus populated-PTE count.
+    """
+
+    start: int
+    length: int
+    flags: MapFlags
+    name: str = ""
+    hugetlb_size: int | None = None
+    madv_hugepage: bool = False
+    madv_nohugepage: bool = False
+
+    # populated internals (set by AddressSpace)
+    _base_shift: int = 0
+    _ext_shift: int = 0
+    _base_pop: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _ext_thp: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _ext_base_count: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+    _huge_pop: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    @property
+    def anonymous(self) -> bool:
+        return bool(self.flags & MapFlags.ANONYMOUS) and not bool(self.flags & MapFlags.IMAGE)
+
+    @property
+    def is_hugetlb(self) -> bool:
+        return self.hugetlb_size is not None
+
+    # --- derived geometry ---------------------------------------------------
+    def _init_backing(self, base_page: int, ext_size: int) -> None:
+        self._base_shift = base_page.bit_length() - 1
+        self._ext_shift = ext_size.bit_length() - 1
+        if self.is_hugetlb:
+            n_huge = pages_spanned(self.start, self.length, self.hugetlb_size)
+            self._huge_pop = np.zeros(n_huge, dtype=bool)
+        else:
+            n_base = pages_spanned(self.start, self.length, base_page)
+            n_ext = pages_spanned(self.start, self.length, ext_size)
+            self._base_pop = np.zeros(n_base, dtype=bool)
+            self._ext_thp = np.zeros(n_ext, dtype=bool)
+            self._ext_base_count = np.zeros(n_ext, dtype=np.int64)
+
+    def _ext_contained(self, ext_local: int) -> bool:
+        """Whether local extent ``ext_local`` lies entirely inside the VMA."""
+        ext_size = 1 << self._ext_shift
+        ext_abs = (align_down(self.start, ext_size)) + ext_local * ext_size
+        return ext_abs >= self.start and ext_abs + ext_size <= self.end
+
+    # --- statistics ----------------------------------------------------------
+    @property
+    def thp_bytes(self) -> int:
+        """Bytes of this VMA backed by transparent huge pages."""
+        if self.is_hugetlb or self._ext_thp is None:
+            return 0
+        return int(self._ext_thp.sum()) << self._ext_shift
+
+    @property
+    def base_bytes(self) -> int:
+        """Bytes of this VMA backed by base pages."""
+        if self.is_hugetlb or self._base_pop is None:
+            return 0
+        return int(self._base_pop.sum()) << self._base_shift
+
+    @property
+    def hugetlb_pages_faulted(self) -> int:
+        if not self.is_hugetlb:
+            return 0
+        return int(self._huge_pop.sum())
+
+    @property
+    def resident_bytes(self) -> int:
+        if self.is_hugetlb:
+            return self.hugetlb_pages_faulted * self.hugetlb_size
+        return self.thp_bytes + self.base_bytes
+
+    def uses_huge_pages(self) -> bool:
+        """Whether any part of this VMA is currently huge-page backed."""
+        return self.is_hugetlb and self.hugetlb_pages_faulted > 0 or self.thp_bytes > 0
+
+
+class AddressSpace:
+    """A process address space: mmap/brk/munmap/madvise/touch/translate."""
+
+    #: canonical layout anchors (arbitrary but deterministic)
+    _MMAP_BASE = 0x7F00_0000_0000
+    _BRK_BASE = 0x5600_0000_0000
+    _IMAGE_BASE = 0x4000_0000_0000
+    _STACK_TOP = 0x7FFF_FFFF_0000
+
+    def __init__(self, kernel: "Kernel", name: str = "proc") -> None:
+        self.kernel = kernel
+        self.name = name
+        self.vmas: list[VMA] = []
+        self._mmap_cursor = self._MMAP_BASE
+        self._brk = self._BRK_BASE
+        self._heap_vma: VMA | None = None
+
+    # --- mapping management ---------------------------------------------------
+    def mmap(
+        self,
+        length: int,
+        *,
+        flags: MapFlags = MapFlags.ANONYMOUS,
+        hugetlb_size: int | None = None,
+        name: str = "",
+        align: int | None = None,
+    ) -> VMA:
+        """Create a new mapping; hugetlb mappings reserve pool pages up front."""
+        geo = self.kernel.config.geometry
+        if length <= 0:
+            raise KernelError("mmap length must be positive")
+        if hugetlb_size is not None:
+            geo.validate_huge_size(hugetlb_size)
+            flags |= MapFlags.HUGETLB
+            length = align_up(length, hugetlb_size)
+            align = max(align or 0, hugetlb_size)
+        else:
+            length = align_up(length, geo.base_page)
+        align = max(align or 0, geo.base_page)
+
+        start = align_up(self._mmap_cursor, align)
+        self._mmap_cursor = start + length + geo.base_page  # guard gap
+        vma = VMA(start=start, length=length, flags=flags, name=name,
+                  hugetlb_size=hugetlb_size)
+        vma._init_backing(geo.base_page, geo.thp_page)
+        if hugetlb_size is not None:
+            pool = self.kernel.pool(hugetlb_size)
+            pool.reserve(length // hugetlb_size)
+        self.vmas.append(vma)
+        if flags & MapFlags.POPULATE:
+            self.touch_range(vma, 0, length)
+        return vma
+
+    def munmap(self, vma: VMA) -> None:
+        """Remove a mapping, releasing pool pages and physical memory."""
+        if vma not in self.vmas:
+            raise KernelError("munmap of unknown VMA")
+        if vma.is_hugetlb:
+            pool = self.kernel.pool(vma.hugetlb_size)
+            faulted = vma.hugetlb_pages_faulted
+            reserved_left = vma.length // vma.hugetlb_size - faulted
+            pool.release(faulted)
+            pool.unreserve(reserved_left)
+        else:
+            self.kernel._uncharge(vma.resident_bytes, anonymous=vma.anonymous,
+                                  thp_bytes=vma.thp_bytes)
+        self.vmas.remove(vma)
+        if vma is self._heap_vma:
+            self._heap_vma = None
+
+    def brk_heap(self, *, hugetlb_size: int | None = None) -> VMA:
+        """Return (creating on demand) the brk heap VMA.
+
+        ``hugetlb_size`` models libhugetlbfs' ``HUGETLB_MORECORE``, which
+        replaces the morecore path with hugetlbfs-backed memory.  It must be
+        chosen before the heap is first used.
+        """
+        if self._heap_vma is None:
+            # a generous fixed-size arena stands in for a growable segment
+            self._heap_vma = self.mmap(
+                256 << 20,
+                flags=MapFlags.ANONYMOUS,
+                hugetlb_size=hugetlb_size,
+                name="[heap]",
+            )
+        elif hugetlb_size is not None and self._heap_vma.hugetlb_size != hugetlb_size:
+            raise KernelError("heap already created with a different backing")
+        return self._heap_vma
+
+    def map_image(self, data_bytes: int, name: str = "a.out") -> VMA:
+        """Map an executable's data/BSS segment.
+
+        Image segments are file-backed mappings: the fault path never gives
+        them transparent huge pages, which is why the paper's *statically*
+        allocated test program could not use THP.
+        """
+        geo = self.kernel.config.geometry
+        length = align_up(max(data_bytes, geo.base_page), geo.base_page)
+        start = align_up(self._IMAGE_BASE, geo.base_page)
+        self._IMAGE_BASE = start + length + geo.base_page
+        vma = VMA(start=start, length=length,
+                  flags=MapFlags.IMAGE, name=name)
+        vma._init_backing(geo.base_page, geo.thp_page)
+        self.vmas.append(vma)
+        return vma
+
+    def madvise(self, vma: VMA, advice: str) -> None:
+        """``MADV_HUGEPAGE`` / ``MADV_NOHUGEPAGE`` at whole-VMA granularity."""
+        if advice == "MADV_HUGEPAGE":
+            vma.madv_hugepage, vma.madv_nohugepage = True, False
+        elif advice == "MADV_NOHUGEPAGE":
+            vma.madv_hugepage, vma.madv_nohugepage = False, True
+        else:
+            raise KernelError(f"unsupported madvise advice {advice!r}")
+
+    # --- faulting --------------------------------------------------------------
+    def touch(self, vma: VMA, offsets: np.ndarray) -> None:
+        """Fault in pages for byte ``offsets`` (relative to the VMA start),
+        in order.  Ordering matters only for THP promotion edge cases; the
+        dominant effect is the extent-containment rule."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.size == 0:
+            return
+        if offsets.min() < 0 or offsets.max() >= vma.length:
+            raise KernelError("touch outside VMA")
+        if vma.is_hugetlb:
+            self._touch_hugetlb(vma, offsets)
+        else:
+            self._touch_anon(vma, offsets)
+
+    def touch_range(self, vma: VMA, offset: int, length: int) -> None:
+        """Sequentially fault a byte range (one representative touch/page)."""
+        geo = self.kernel.config.geometry
+        step = vma.hugetlb_size or geo.base_page
+        first = align_down(offset, step)
+        last = offset + length - 1
+        probes = np.arange(first, last + 1, step, dtype=np.int64)
+        probes = np.clip(probes, 0, vma.length - 1)
+        self.touch(vma, probes)
+
+    def _touch_hugetlb(self, vma: VMA, offsets: np.ndarray) -> None:
+        hp = vma.hugetlb_size
+        idx = np.unique((vma.start + offsets - align_down(vma.start, hp)) // hp)
+        new = idx[~vma._huge_pop[idx]]
+        if new.size:
+            self.kernel.pool(hp).fault(int(new.size), reserved=True)
+            vma._huge_pop[new] = True
+
+    def _touch_anon(self, vma: VMA, offsets: np.ndarray) -> None:
+        kernel = self.kernel
+        geo = kernel.config.geometry
+        bp_shift = vma._base_shift
+        ext_shift = vma._ext_shift
+        va = vma.start + offsets
+        bp_idx = (va >> bp_shift) - (vma.start >> bp_shift)
+        ext_idx = (va >> ext_shift) - (vma.start >> ext_shift)
+
+        faulting = ~(vma._base_pop[bp_idx] | vma._ext_thp[ext_idx])
+        if not faulting.any():
+            return
+        f_bp = bp_idx[faulting]
+        f_ext = ext_idx[faulting]
+
+        thp_ok = kernel.thp.fault_allows_huge(
+            anonymous=vma.anonymous,
+            madv_hugepage=vma.madv_hugepage,
+            madv_nohugepage=vma.madv_nohugepage,
+        ) and not bool(vma.flags & MapFlags.IMAGE)
+
+        uniq_ext, first_pos = np.unique(f_ext, return_index=True)
+        for e in uniq_ext[np.argsort(first_pos)]:
+            e = int(e)
+            promoted = False
+            if (
+                thp_ok
+                and vma._ext_contained(e)
+                and vma._ext_base_count[e] == 0
+                and kernel._try_charge(geo.thp_page, anonymous=True, thp=True)
+            ):
+                vma._ext_thp[e] = True
+                kernel.thp.thp_fault_alloc += 1
+                promoted = True
+            elif thp_ok and vma._ext_contained(e) and vma._ext_base_count[e] == 0:
+                kernel.thp.thp_fault_fallback += 1
+            if not promoted:
+                bps = np.unique(f_bp[f_ext == e])
+                new = bps[~vma._base_pop[bps]]
+                if new.size:
+                    if not kernel._try_charge(int(new.size) << bp_shift,
+                                              anonymous=vma.anonymous, thp=False):
+                        raise AllocationError("out of memory faulting base pages")
+                    vma._base_pop[new] = True
+                    vma._ext_base_count[e] += int(new.size)
+
+    # --- khugepaged --------------------------------------------------------------
+    def khugepaged_scan(self, max_extents: int | None = None) -> int:
+        """Collapse eligible partially populated extents into huge pages.
+
+        Returns the number of collapses performed.  Not run automatically:
+        at the 4.18 defaults the daemon is far too slow to matter within a
+        benchmark run, matching the paper's observations.
+        """
+        kernel = self.kernel
+        geo = kernel.config.geometry
+        ptes_per_extent = geo.thp_page // geo.base_page
+        budget = max_extents if max_extents is not None else np.inf
+        collapsed = 0
+        for vma in self.vmas:
+            if vma.is_hugetlb or vma._ext_thp is None:
+                continue
+            for e in np.flatnonzero(~vma._ext_thp):
+                e = int(e)
+                if collapsed >= budget:
+                    return collapsed
+                count = int(vma._ext_base_count[e])
+                if not vma._ext_contained(e):
+                    continue
+                if not kernel.thp.collapse_allows_huge(
+                    anonymous=vma.anonymous,
+                    madv_hugepage=vma.madv_hugepage,
+                    madv_nohugepage=vma.madv_nohugepage,
+                    populated_ptes=count,
+                    ptes_per_extent=ptes_per_extent,
+                ):
+                    continue
+                freed = count << vma._base_shift
+                if not kernel._try_charge(geo.thp_page - freed, anonymous=True, thp=True):
+                    continue
+                # re-classify the freed base bytes as THP bytes
+                kernel._uncharge(freed, anonymous=True, thp_bytes=0)
+                kernel.anon_thp_bytes += freed
+                ext_size = 1 << vma._ext_shift
+                ext_abs = align_down(vma.start, ext_size) + e * ext_size
+                lo = (ext_abs >> vma._base_shift) - (vma.start >> vma._base_shift)
+                hi = lo + ptes_per_extent
+                lo = max(lo, 0)
+                vma._base_pop[lo:hi] = False
+                vma._ext_base_count[e] = 0
+                vma._ext_thp[e] = True
+                kernel.thp.thp_collapse_alloc += 1
+                collapsed += 1
+        return collapsed
+
+    # --- translation ------------------------------------------------------------
+    def translate(self, vma: VMA, offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map byte offsets to ``(page_base_va, page_size)`` arrays.
+
+        Pages are assumed present (the performance pipeline touches first);
+        unpopulated addresses translate as base pages, which is also what a
+        fresh fault would install for them in steady state.
+        """
+        geo = self.kernel.config.geometry
+        offsets = np.asarray(offsets, dtype=np.int64)
+        va = vma.start + offsets
+        if vma.is_hugetlb:
+            size = np.full(va.shape, vma.hugetlb_size, dtype=np.int64)
+            base = va & ~(vma.hugetlb_size - 1)
+            return base, size
+        ext_idx = (va >> vma._ext_shift) - (vma.start >> vma._ext_shift)
+        is_thp = vma._ext_thp[ext_idx]
+        size = np.where(is_thp, geo.thp_page, geo.base_page).astype(np.int64)
+        base = va & ~(size - 1)
+        return base, size
+
+    # --- statistics ---------------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        return sum(v.resident_bytes for v in self.vmas)
+
+    def anon_huge_bytes(self) -> int:
+        """This address space's contribution to AnonHugePages."""
+        return sum(v.thp_bytes for v in self.vmas)
+
+    def hugetlb_bytes(self) -> int:
+        return sum(v.hugetlb_pages_faulted * v.hugetlb_size
+                   for v in self.vmas if v.is_hugetlb)
+
+
+class Kernel:
+    """The simulated kernel: physical memory, THP state, hugetlbfs pools."""
+
+    def __init__(self, config: KernelConfig | None = None) -> None:
+        self.config = config or KernelConfig()
+        self.thp = THPState(mode=self.config.thp_mode)
+        self.pools: dict[int, HugePool] = {}
+        for size in self.config.boot.hugepagesz:
+            pool = HugePool(page_size=size,
+                            nr_hugepages=self.config.boot.hugepages.get(size, 0))
+            overc = self.config.sysctl.nr_overcommit_hugepages.get(size, 0)
+            pool.nr_overcommit = overc
+            self.pools[size] = pool
+        self.anon_base_bytes = 0
+        self.anon_thp_bytes = 0
+        self.file_bytes = 0
+        self.address_spaces: list[AddressSpace] = []
+
+    # --- pools -------------------------------------------------------------------
+    def pool(self, size: int | None = None) -> HugePool:
+        """The hugetlb pool for ``size`` (default: default_hugepagesz)."""
+        size = size or self.config.boot.default_hugepagesz
+        if size not in self.pools:
+            raise KernelError(
+                f"no hugetlb pool of size {size}; boot with hugepagesz={size}"
+            )
+        return self.pools[size]
+
+    @property
+    def hugetlb_total_bytes(self) -> int:
+        return sum(p.total * p.page_size for p in self.pools.values())
+
+    # --- memory accounting ----------------------------------------------------------
+    @property
+    def mem_used(self) -> int:
+        return (self.config.os_reserved + self.anon_base_bytes +
+                self.anon_thp_bytes + self.file_bytes + self.hugetlb_total_bytes)
+
+    @property
+    def mem_free(self) -> int:
+        return self.config.mem_total - self.mem_used
+
+    def _try_charge(self, nbytes: int, *, anonymous: bool, thp: bool) -> bool:
+        if nbytes > self.mem_free:
+            return False
+        if thp:
+            self.anon_thp_bytes += nbytes
+        elif anonymous:
+            self.anon_base_bytes += nbytes
+        else:
+            self.file_bytes += nbytes
+        return True
+
+    def _uncharge(self, nbytes: int, *, anonymous: bool, thp_bytes: int) -> None:
+        if anonymous:
+            self.anon_thp_bytes -= thp_bytes
+            self.anon_base_bytes -= nbytes - thp_bytes
+        else:
+            self.file_bytes -= nbytes
+
+    # --- processes --------------------------------------------------------------------
+    def new_address_space(self, name: str = "proc") -> AddressSpace:
+        space = AddressSpace(self, name)
+        self.address_spaces.append(space)
+        return space
+
+    def exit_process(self, space: AddressSpace) -> None:
+        """Tear down an address space, releasing all its memory."""
+        for vma in list(space.vmas):
+            space.munmap(vma)
+        self.address_spaces.remove(space)
+
+    # --- sysfs front door ---------------------------------------------------------------
+    def write_sysfs_thp_enabled(self, text: str) -> None:
+        """``echo <word> > /sys/kernel/mm/transparent_hugepage/enabled``."""
+        self.thp.write_enabled(text)
+
+    def read_sysfs_thp_enabled(self) -> str:
+        return self.thp.read_enabled()
+
+
+__all__ = ["Kernel", "AddressSpace", "VMA", "MapFlags"]

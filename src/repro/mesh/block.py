@@ -1,0 +1,66 @@
+"""Block identity and metadata for the AMR tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class BlockId:
+    """A block's logical position: refinement level plus integer coords.
+
+    At level ``L`` the domain is tiled by ``nbase * 2**L`` blocks per
+    dimension (where ``nbase`` is the base-grid block count), so
+    ``0 <= ix < nblockx * 2**L`` etc.  Unused dimensions have coord 0.
+    """
+
+    level: int
+    ix: int
+    iy: int
+    iz: int = 0
+
+    def child(self, dx: int, dy: int, dz: int = 0) -> "BlockId":
+        """The child block offset by (dx, dy, dz) in {0,1}^ndim."""
+        return BlockId(self.level + 1, 2 * self.ix + dx, 2 * self.iy + dy,
+                       2 * self.iz + dz)
+
+    @property
+    def parent(self) -> "BlockId":
+        if self.level == 0:
+            raise ValueError("root blocks have no parent")
+        return BlockId(self.level - 1, self.ix // 2, self.iy // 2, self.iz // 2)
+
+    def neighbor(self, axis: int, direction: int) -> "BlockId":
+        """Same-level neighbour across the given face (may not exist)."""
+        d = [self.ix, self.iy, self.iz]
+        d[axis] += direction
+        return BlockId(self.level, *d)
+
+    def coords(self) -> tuple[int, int, int]:
+        return (self.ix, self.iy, self.iz)
+
+
+@dataclass
+class Block:
+    """Runtime state of one block: its grid slot and physical extent."""
+
+    bid: BlockId
+    #: slot index into the unk array's block axis
+    slot: int
+    #: physical bounding box: ((xlo, xhi), (ylo, yhi), (zlo, zhi))
+    bbox: tuple[tuple[float, float], ...]
+    is_leaf: bool = True
+
+    @property
+    def level(self) -> int:
+        return self.bid.level
+
+    def deltas(self, nzones: tuple[int, int, int]) -> tuple[float, ...]:
+        """Cell widths (dx, dy, dz) given interior zone counts."""
+        return tuple(
+            (hi - lo) / n if n > 0 else 0.0
+            for (lo, hi), n in zip(self.bbox, nzones)
+        )
+
+
+__all__ = ["Block", "BlockId"]

@@ -1,0 +1,138 @@
+"""Flux conservation at refinement jumps.
+
+With PARAMESH's single global timestep, conservation across a coarse/fine
+face requires the coarse cell adjacent to the face to be updated with the
+*area-averaged fine* fluxes instead of its own coarse flux.  The hydro
+unit deposits its boundary face fluxes here; after all blocks are updated,
+:meth:`FluxRegister.correct` applies the difference
+
+``U_coarse += -(dt/dx) * direction * (F_fine_avg - F_coarse)``
+
+to the first interior zone layer behind each under-resolved face.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.block import BlockId
+from repro.mesh.grid import Grid
+from repro.mesh.prolong import restrict_fluxes
+from repro.util.errors import MeshError
+
+
+@dataclass
+class FluxRegister:
+    """Stores per-block boundary face fluxes for one timestep.
+
+    Keyed by ``(bid, axis, side)`` with ``side`` 0 (low face) or 1 (high
+    face); fluxes are per-unit-area arrays shaped ``(nvar, nt, nu)`` over
+    the block's interior transverse zones.
+    """
+
+    grid: Grid
+    fluxes: dict[tuple[BlockId, int, int], np.ndarray] = field(default_factory=dict)
+
+    def put(self, bid: BlockId, axis: int, side: int, flux: np.ndarray) -> None:
+        self.fluxes[(bid, axis, side)] = np.array(flux, copy=True)
+
+    def get(self, bid: BlockId, axis: int, side: int) -> np.ndarray:
+        return self.fluxes[(bid, axis, side)]
+
+    def clear(self) -> None:
+        self.fluxes.clear()
+
+    def correct(self, dt: float, conserved_vars: list[str] | None = None) -> int:
+        """Apply fine-flux corrections to coarse cells; returns the number
+        of corrected faces."""
+        grid = self.grid
+        tree = grid.tree
+        spec = grid.spec
+        g = spec.nguard
+        n = spec.interior_zones
+        corrected = 0
+        names = conserved_vars or list(grid.variables.names)
+        var_idx = np.array([grid.var(v) for v in names])
+
+        for block in grid.leaf_blocks():
+            bid = block.bid
+            deltas = block.deltas(n)
+            for axis in range(spec.ndim):
+                for direction in (-1, 1):
+                    kind, info = tree.face_neighbor(bid, axis, direction)
+                    if kind != "finer":
+                        continue
+                    side = 0 if direction < 0 else 1
+                    key = (bid, axis, side)
+                    if key not in self.fluxes:
+                        raise MeshError(f"missing coarse flux for {key}")
+                    coarse_flux = self.fluxes[key][var_idx]
+                    fine_avg = self._averaged_fine_flux(info, axis, direction,
+                                                        var_idx)
+                    diff = fine_avg - coarse_flux  # (nvar_sel, nt, nu)
+                    data = grid.block_data(block)
+                    # first interior layer behind the face
+                    layer = g if direction < 0 else g + n[axis] - 1
+                    sel: list = [var_idx, slice(None), slice(None), slice(None)]
+                    sel[axis + 1] = slice(layer, layer + 1)
+                    for t in range(spec.ndim):
+                        if t != axis:
+                            sel[t + 1] = slice(g, g + n[t])
+                    for t in range(spec.ndim, 3):
+                        sel[t + 1] = slice(0, 1)
+                    shape = [len(var_idx), 1, 1, 1]
+                    tshape = list(diff.shape[1:])
+                    ti = 0
+                    for t in range(3):
+                        if t == axis:
+                            continue
+                        if t < spec.ndim:
+                            shape[t + 1] = tshape[ti]
+                            ti += 1
+                    # sign: at the low face flux enters the cell, at the
+                    # high face it leaves
+                    sign = 1.0 if direction < 0 else -1.0
+                    data[tuple(sel)] += (
+                        sign * dt / deltas[axis] * diff.reshape(shape)
+                    )
+                    corrected += 1
+        return corrected
+
+    def _averaged_fine_flux(self, children: list[BlockId], axis: int,
+                            direction: int, var_idx: np.ndarray) -> np.ndarray:
+        """Area-average the touching children's face fluxes onto the coarse
+        face, assembled over the transverse extent."""
+        grid = self.grid
+        spec = grid.spec
+        n = spec.interior_zones
+        # fine child face: opposite side of ours
+        child_side = 1 if direction < 0 else 0
+        transverse = [t for t in range(spec.ndim) if t != axis]
+        # output transverse shape: full coarse interior
+        out_shape = [len(var_idx)] + [
+            (n[t] if t < spec.ndim and t != axis else 1) for t in range(3)
+        ]
+        out_shape = [len(var_idx)] + [n[t] for t in transverse]
+        while len(out_shape) < 3:
+            out_shape.append(1)
+        out = np.zeros(out_shape)
+        for child in children:
+            key = (child, axis, child_side)
+            if key not in self.fluxes:
+                raise MeshError(f"missing fine flux for {key}")
+            fine = self.fluxes[key][var_idx]
+            coarse = restrict_fluxes(fine, tuple(range(len(transverse))))
+            sel: list = [slice(None)]
+            for ti, t in enumerate(transverse):
+                ct = child.coords()[t] % 2
+                half = n[t] // 2
+                sel.append(slice(ct * half, (ct + 1) * half))
+            while len(sel) < out.ndim:
+                sel.append(slice(None))
+            out[tuple(sel)] = coarse
+        return out
+
+
+__all__ = ["FluxRegister"]

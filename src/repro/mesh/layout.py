@@ -1,0 +1,126 @@
+"""Byte-offset layout of the ``unk`` container.
+
+The paper (section I-C): "PARAMESH is thus designed for loops using data
+from blocks, and there is a stride in memory for addressing variables in
+different zones or blocks.  This feature motivated our interest in
+investigating the use of huge pages."
+
+This module makes those strides explicit.  For the Fortran-ordered array
+``unk(nvar, 1:NX, 1:NY, 1:NZ, maxblocks)`` of 8-byte reals the byte offset
+of element ``(v, i, j, k, b)`` is::
+
+    8 * (v + nvar*(i + NX*(j + NY*(k + NZ*b))))
+
+so consecutive *variables of one zone* are contiguous, zones along x are
+``nvar`` elements apart, and blocks are whole ``nvar*NX*NY*NZ`` panels
+apart.  The performance model's access patterns
+(:mod:`repro.perfmodel.patterns`) are generated from these formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.grid import MeshSpec
+
+
+@dataclass(frozen=True)
+class UnkLayout:
+    """Stride calculator for a concrete unk allocation."""
+
+    nvar: int
+    spec: MeshSpec
+    itemsize: int = 8
+
+    @property
+    def shape(self) -> tuple[int, int, int, int, int]:
+        nx, ny, nz = self.spec.padded_shape
+        return (self.nvar, nx, ny, nz, self.spec.maxblocks)
+
+    @property
+    def strides(self) -> tuple[int, int, int, int, int]:
+        """Byte strides (var, i, j, k, block) — Fortran order."""
+        nx, ny, nz = self.spec.padded_shape
+        sv = self.itemsize
+        si = sv * self.nvar
+        sj = si * nx
+        sk = sj * ny
+        sb = sk * nz
+        return (sv, si, sj, sk, sb)
+
+    @property
+    def block_bytes(self) -> int:
+        """Bytes of one block's panel (all variables, padded zones)."""
+        return self.strides[4]
+
+    @property
+    def nbytes(self) -> int:
+        return self.block_bytes * self.spec.maxblocks
+
+    def offset(self, v, i, j, k, b) -> np.ndarray:
+        """Byte offset(s) of unk elements; arguments broadcast."""
+        sv, si, sj, sk, sb = self.strides
+        return (np.asarray(v, np.int64) * sv + np.asarray(i, np.int64) * si
+                + np.asarray(j, np.int64) * sj + np.asarray(k, np.int64) * sk
+                + np.asarray(b, np.int64) * sb)
+
+    # --- canonical access patterns ----------------------------------------------
+    def zone_gather_offsets(self, slot: int, variables: np.ndarray) -> np.ndarray:
+        """Offsets for gathering ``variables`` of every interior zone of a
+        block, zone-by-zone (the EOS call pattern: all thermodynamic
+        variables of zone (i,j,k), then zone (i+1,j,k), ...)."""
+        sx, sy, sz = self.spec.interior_slices()
+        ii = np.arange(sx.start, sx.stop, dtype=np.int64)
+        jj = np.arange(sy.start, sy.stop, dtype=np.int64)
+        kk = np.arange(sz.start, sz.stop, dtype=np.int64)
+        v = np.asarray(variables, dtype=np.int64)
+        # order: v fastest, then i, j, k (Fortran loop nest)
+        off = self.offset(
+            v[:, None, None, None],
+            ii[None, :, None, None],
+            jj[None, None, :, None],
+            kk[None, None, None, :],
+            slot,
+        )
+        return off.reshape(-1, order="F")
+
+    def sweep_offsets(self, slot: int, variables: np.ndarray, axis: int,
+                      include_guards: bool = True) -> np.ndarray:
+        """Offsets for a directional stencil sweep over a block.
+
+        The sweep reads each variable's padded plane in natural (Fortran)
+        memory order — what a hydro x/y/z sweep does per block.  For y/z
+        sweeps the *memory* order is identical (the code still loads the
+        same panel); the TLB cares about pages, and page order within one
+        block barely depends on the sweep axis, so one canonical order
+        per block is the honest model.
+        """
+        nx, ny, nz = self.spec.padded_shape
+        if not include_guards:
+            sx, sy, sz = self.spec.interior_slices()
+            ii = np.arange(sx.start, sx.stop, dtype=np.int64)
+            jj = np.arange(sy.start, sy.stop, dtype=np.int64)
+            kk = np.arange(sz.start, sz.stop, dtype=np.int64)
+        else:
+            ii = np.arange(nx, dtype=np.int64)
+            jj = np.arange(ny, dtype=np.int64)
+            kk = np.arange(nz, dtype=np.int64)
+        v = np.asarray(variables, dtype=np.int64)
+        off = self.offset(
+            v[:, None, None, None],
+            ii[None, :, None, None],
+            jj[None, None, :, None],
+            kk[None, None, None, :],
+            slot,
+        )
+        return off.reshape(-1, order="F")
+
+    def block_panel_range(self, slot: int) -> tuple[int, int]:
+        """(start, stop) byte range of one block's panel."""
+        start = int(self.offset(0, 0, 0, 0, slot))
+        return start, start + self.block_bytes
+
+
+__all__ = ["UnkLayout"]

@@ -1,0 +1,154 @@
+"""Refinement criteria and the refine/derefine pass.
+
+FLASH marks blocks with a Löhner-style second-derivative error estimator
+on chosen refinement variables (density by default) and refines blocks
+above ``refine_cutoff`` / coalesces sibling bundles below
+``derefine_cutoff``, subject to 2:1 balance and level limits.
+
+Data motion on refinement uses the conservative operators of
+:mod:`repro.mesh.prolong`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.block import Block, BlockId
+from repro.mesh.grid import Grid
+from repro.mesh.prolong import prolong, restrict
+from repro.util.errors import MeshError
+
+
+def loehner_error(grid: Grid, block: Block, name: str, eps: float = 1.0e-2) -> float:
+    """Maximum modified-Löhner indicator of one variable on one block.
+
+    A dimension-by-dimension second-derivative estimator normalised by the
+    first-derivative magnitude plus a noise filter: robust to both shocks
+    and smooth flows, like FLASH's default.
+    """
+    q = grid.interior(block, name)
+    worst = 0.0
+    for axis in range(grid.spec.ndim):
+        n = q.shape[axis]
+        if n < 3:
+            continue
+        mid = [slice(1, -1)] * q.ndim
+        lo = [slice(None, -2)] * q.ndim
+        hi = [slice(2, None)] * q.ndim
+        for a in range(q.ndim):
+            if a != axis:
+                mid[a] = lo[a] = hi[a] = slice(None)
+        qm, ql, qh = q[tuple(mid)], q[tuple(lo)], q[tuple(hi)]
+        num = np.abs(qh - 2.0 * qm + ql)
+        den = np.abs(qh - qm) + np.abs(qm - ql) + eps * (
+            np.abs(qh) + 2.0 * np.abs(qm) + np.abs(ql)
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            ratio = np.where(den > 0.0, num / den, 0.0)
+        worst = max(worst, float(ratio.max()))
+    return worst
+
+
+def refine_block(grid: Grid, bid: BlockId) -> list[BlockId]:
+    """Refine one leaf (recursively pre-refining for 2:1 balance),
+    prolonging the solution into the new children.  Returns new leaves."""
+    tree = grid.tree
+    if not tree.is_leaf(bid):
+        return []
+    created: list[BlockId] = []
+    for axis in range(tree.ndim):
+        for direction in (-1, 1):
+            kind, info = tree.face_neighbor(bid, axis, direction)
+            if kind == "coarser":
+                created += refine_block(grid, info)
+    parent_block = grid.blocks[bid]
+    sx, sy, sz = grid.spec.interior_slices()
+    parent_interior = grid.block_data(parent_block)[:, sx, sy, sz].copy()
+    active = tuple(range(grid.spec.ndim))
+    fine = prolong(parent_interior, active)
+
+    kids = tree.split(bid)
+    n = grid.spec.interior_zones
+    for kid in kids:
+        kb = grid._add_block(kid)
+        sel: list = [slice(None)]
+        for axis in range(3):
+            if axis < grid.spec.ndim:
+                half = kid.coords()[axis] % 2
+                sel.append(slice(half * n[axis], (half + 1) * n[axis]))
+            else:
+                sel.append(slice(None))
+        grid.block_data(kb)[:, sx, sy, sz] = fine[tuple(sel)]
+        created.append(kid)
+    grid._remove_block(bid)
+    return created
+
+
+def derefine_block(grid: Grid, parent: BlockId) -> bool:
+    """Coalesce a sibling bundle into its parent (restriction); False if
+    the tree's balance rules forbid it."""
+    tree = grid.tree
+    if not tree.can_derefine(parent):
+        return False
+    sx, sy, sz = grid.spec.interior_slices()
+    n = grid.spec.interior_zones
+    active = tuple(range(grid.spec.ndim))
+    pb = grid._add_block(parent)  # slot first; children still hold data
+    for kid in tree.children(parent):
+        kid_interior = grid.block_data(grid.blocks[kid])[:, sx, sy, sz]
+        coarse = restrict(kid_interior, active)
+        sel: list = [slice(None)]
+        for axis in range(3):
+            if axis < grid.spec.ndim:
+                half = kid.coords()[axis] % 2
+                half_n = n[axis] // 2
+                sel.append(slice(grid.spec.nguard + half * half_n,
+                                 grid.spec.nguard + (half + 1) * half_n))
+            else:
+                sel.append(slice(0, 1))
+        grid.block_data(pb)[tuple(sel)] = coarse
+    removed = tree.derefine(parent)
+    for kid in removed:
+        grid._remove_block(kid)
+    return True
+
+
+def refine_pass(grid: Grid, name: str = "dens",
+                refine_cutoff: float = 0.8,
+                derefine_cutoff: float = 0.2,
+                max_new: int | None = None) -> tuple[int, int]:
+    """One FLASH-style remesh: mark by Löhner error, derefine then refine.
+
+    Returns ``(n_refined, n_derefined)`` block-split/merge counts.
+    """
+    if not (0.0 <= derefine_cutoff < refine_cutoff <= 1.0):
+        raise MeshError("need 0 <= derefine_cutoff < refine_cutoff <= 1")
+    tree = grid.tree
+    errors = {b.bid: loehner_error(grid, b, name) for b in grid.leaf_blocks()}
+
+    # derefinement: whole sibling bundles below the low threshold
+    n_deref = 0
+    parents = {bid.parent for bid in errors if bid.level > 0}
+    for parent in sorted(parents):
+        kids = tree.children(parent)
+        if all(tree.is_leaf(k) and errors.get(k, 1.0) < derefine_cutoff
+               for k in kids):
+            if derefine_block(grid, parent):
+                n_deref += 1
+                for k in kids:
+                    errors.pop(k, None)
+
+    # refinement: leaves above the high threshold
+    n_ref = 0
+    marks = [bid for bid, err in sorted(errors.items())
+             if err > refine_cutoff and bid.level < tree.max_level]
+    for bid in marks:
+        if max_new is not None and n_ref >= max_new:
+            break
+        if tree.is_leaf(bid):
+            refine_block(grid, bid)
+            n_ref += 1
+    return n_ref, n_deref
+
+
+__all__ = ["loehner_error", "refine_block", "derefine_block", "refine_pass"]

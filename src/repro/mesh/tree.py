@@ -1,0 +1,234 @@
+"""The AMR quad/octree: refinement topology, 2:1 balance, Morton order.
+
+PARAMESH keeps a fully threaded tree whose leaves carry the solution
+blocks.  We store the set of existing blocks in a dict keyed by
+:class:`~repro.mesh.block.BlockId` and enforce the standard 2:1 balance
+rule: a leaf's face neighbours differ by at most one refinement level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.mesh.block import BlockId
+from repro.util.errors import MeshError
+
+
+def morton_key(bid: BlockId, max_level: int) -> tuple[int, int]:
+    """Space-filling-curve sort key: bit-interleaved normalised coords.
+
+    Coordinates are scaled to the finest level so blocks of different
+    levels sort into a single curve; ties broken by level (coarse first).
+    """
+    shift = max_level - bid.level
+    x, y, z = bid.ix << shift, bid.iy << shift, bid.iz << shift
+    key = 0
+    for bit in range(max_level + 24):
+        key |= ((x >> bit) & 1) << (3 * bit)
+        key |= ((y >> bit) & 1) << (3 * bit + 1)
+        key |= ((z >> bit) & 1) << (3 * bit + 2)
+    return (key, bid.level)
+
+
+@dataclass
+class AMRTree:
+    """Refinement topology over an ``nblockx x nblocky x nblockz`` base grid."""
+
+    ndim: int = 2
+    nblockx: int = 1
+    nblocky: int = 1
+    nblockz: int = 1
+    max_level: int = 4
+    domain: tuple[tuple[float, float], ...] = (((0.0, 1.0)), (0.0, 1.0), (0.0, 1.0))
+    periodic: tuple[bool, bool, bool] = (False, False, False)
+    #: bid -> is_leaf
+    _blocks: dict[BlockId, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.ndim not in (1, 2, 3):
+            raise MeshError("ndim must be 1, 2 or 3")
+        if self.ndim < 3:
+            self.nblockz = 1
+        if self.ndim < 2:
+            self.nblocky = 1
+        if not self._blocks:
+            for iz in range(self.nblockz):
+                for iy in range(self.nblocky):
+                    for ix in range(self.nblockx):
+                        self._blocks[BlockId(0, ix, iy, iz)] = True
+
+    # --- queries ------------------------------------------------------------
+    def exists(self, bid: BlockId) -> bool:
+        return bid in self._blocks
+
+    def is_leaf(self, bid: BlockId) -> bool:
+        return self._blocks.get(bid, False)
+
+    def leaves(self) -> list[BlockId]:
+        """All leaf blocks in Morton (space-filling) order (cached)."""
+        cached = getattr(self, "_leaf_cache", None)
+        if cached is not None:
+            return cached
+        out = [b for b, leaf in self._blocks.items() if leaf]
+        out.sort(key=lambda b: morton_key(b, self.max_level))
+        self._leaf_cache = out
+        return out
+
+    def _invalidate_leaves(self) -> None:
+        self._leaf_cache = None
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for leaf in self._blocks.values() if leaf)
+
+    def extent(self, level: int) -> tuple[int, int, int]:
+        """Blocks per dimension at the given level."""
+        return (self.nblockx << level, self.nblocky << level, self.nblockz << level)
+
+    def child_offsets(self) -> list[tuple[int, int, int]]:
+        return [
+            (dx, dy, dz)
+            for dz in (range(2) if self.ndim > 2 else [0])
+            for dy in (range(2) if self.ndim > 1 else [0])
+            for dx in range(2)
+        ]
+
+    def children(self, bid: BlockId) -> list[BlockId]:
+        return [bid.child(dx, dy, dz) for dx, dy, dz in self.child_offsets()]
+
+    def in_domain(self, bid: BlockId) -> bool:
+        ex = self.extent(bid.level)
+        return all(0 <= c < e for c, e in zip(bid.coords(), ex))
+
+    def wrap(self, bid: BlockId) -> BlockId | None:
+        """Apply periodic wrapping; None when the block is off-domain."""
+        ex = self.extent(bid.level)
+        coords = list(bid.coords())
+        for axis in range(3):
+            if coords[axis] < 0 or coords[axis] >= ex[axis]:
+                if self.periodic[axis]:
+                    coords[axis] %= ex[axis]
+                else:
+                    return None
+        return BlockId(bid.level, *coords)
+
+    def bbox(self, bid: BlockId) -> tuple[tuple[float, float], ...]:
+        """Physical bounding box of a block."""
+        ex = self.extent(bid.level)
+        out = []
+        for axis, (lo, hi) in enumerate(self.domain[:3]):
+            n = ex[axis]
+            width = (hi - lo) / n
+            c = bid.coords()[axis]
+            out.append((lo + c * width, lo + (c + 1) * width))
+        return tuple(out)
+
+    # --- neighbour finding ------------------------------------------------------
+    def face_neighbor(self, bid: BlockId, axis: int, direction: int):
+        """Neighbour across a face.
+
+        Returns one of:
+
+        * ``("leaf", nid)`` — same-level leaf neighbour;
+        * ``("coarser", nid)`` — the neighbouring leaf is one level up;
+        * ``("finer", [nids])`` — the face abuts same-level-parent whose
+          touching children are the leaves;
+        * ``("boundary", None)`` — a physical domain boundary.
+        """
+        raw = bid.neighbor(axis, direction)
+        nid = self.wrap(raw)
+        if nid is None:
+            return ("boundary", None)
+        if self.is_leaf(nid):
+            return ("leaf", nid)
+        if self.exists(nid):
+            # refined neighbour: collect its children touching our face
+            touching = []
+            for child in self.children(nid):
+                cc = child.coords()[axis] % 2
+                if (direction > 0 and cc == 0) or (direction < 0 and cc == 1):
+                    touching.append(child)
+            return ("finer", touching)
+        if bid.level > 0:
+            parent = nid.parent
+            if self.is_leaf(parent):
+                return ("coarser", parent)
+        raise MeshError(f"tree inconsistent around {bid} axis={axis} dir={direction}")
+
+    # --- refinement -----------------------------------------------------------------
+    def split(self, bid: BlockId) -> list[BlockId]:
+        """Split one leaf into children (no balance cascade).
+
+        Low-level primitive used by :func:`repro.mesh.refine.refine_block`,
+        which handles balance *and* the solution data.
+        """
+        if not self.is_leaf(bid):
+            raise MeshError(f"cannot refine non-leaf {bid}")
+        if bid.level >= self.max_level:
+            raise MeshError(f"{bid} already at max_level={self.max_level}")
+        self._blocks[bid] = False
+        kids = self.children(bid)
+        for child in kids:
+            self._blocks[child] = True
+        self._invalidate_leaves()
+        return kids
+
+    def refine(self, bid: BlockId) -> list[BlockId]:
+        """Split a leaf into children, recursively keeping 2:1 balance.
+
+        Returns every *new* leaf created (children of this block and of any
+        neighbours refined to restore balance), so callers can fill data.
+        """
+        created: list[BlockId] = []
+        # balance first: face neighbours must exist at bid.level
+        for axis in range(self.ndim):
+            for direction in (-1, 1):
+                kind, info = self.face_neighbor(bid, axis, direction)
+                if kind == "coarser":
+                    created += self.refine(info)
+        created += self.split(bid)
+        return created
+
+    def can_derefine(self, bid: BlockId) -> bool:
+        """Whether a parent's children may be coalesced back into it."""
+        if self.is_leaf(bid) or not self.exists(bid):
+            return False
+        kids = self.children(bid)
+        if not all(self.is_leaf(k) for k in kids):
+            return False
+        # balance: no neighbour of any child may be finer than the child
+        for kid in kids:
+            for axis in range(self.ndim):
+                for direction in (-1, 1):
+                    kind, _ = self.face_neighbor(kid, axis, direction)
+                    if kind == "finer":
+                        return False
+        return True
+
+    def derefine(self, bid: BlockId) -> list[BlockId]:
+        """Coalesce children back into ``bid``; returns the removed leaves."""
+        if not self.can_derefine(bid):
+            raise MeshError(f"cannot derefine {bid}")
+        kids = self.children(bid)
+        for kid in kids:
+            del self._blocks[kid]
+        self._blocks[bid] = True
+        self._invalidate_leaves()
+        return kids
+
+    def check_balance(self) -> None:
+        """Raise if any leaf violates 2:1 balance (test hook)."""
+        for bid in self.leaves():
+            for axis in range(self.ndim):
+                for direction in (-1, 1):
+                    kind, info = self.face_neighbor(bid, axis, direction)
+                    if kind == "finer":
+                        for child in info:
+                            if not self.is_leaf(child):
+                                raise MeshError(
+                                    f"2:1 balance violated at {bid} vs {child}"
+                                )
+
+
+__all__ = ["AMRTree", "morton_key"]

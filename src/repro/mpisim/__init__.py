@@ -1,0 +1,5 @@
+"""Simulated MPI: rank decomposition and communication cost modelling."""
+
+from repro.mpisim.comm import SimComm, DomainDecomposition, CommCostModel
+
+__all__ = ["SimComm", "DomainDecomposition", "CommCostModel"]

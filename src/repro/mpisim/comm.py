@@ -1,0 +1,162 @@
+"""Simulated MPI for scaling studies.
+
+FLASH parallelises by distributing Morton-ordered blocks across ranks;
+guard-cell fills become halo exchanges and the timestep reduction an
+allreduce.  This module provides:
+
+* :class:`DomainDecomposition` — Morton-contiguous block partitioning
+  with its surface/volume communication statistics;
+* :class:`CommCostModel` — a latency/bandwidth (alpha-beta) cost model
+  parameterised for Ookami's InfiniBand HDR100 fat tree;
+* :class:`SimComm` — a deterministic single-process "communicator" whose
+  collective operations compute real results over per-rank values while
+  charging the modelled communication time.
+
+This supports the porting-section narrative ("scaled reasonably well")
+without real message passing — the paper's tables are single-node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.grid import Grid
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """alpha-beta model for Ookami's HDR100 InfiniBand fat tree."""
+
+    latency_s: float = 1.3e-6
+    bandwidth_Bps: float = 12.5e9  # HDR100 ~ 100 Gb/s
+    #: per-node injection limit shared by resident ranks
+    node_bandwidth_Bps: float = 12.5e9
+
+    def p2p_time(self, nbytes: int) -> float:
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+    def allreduce_time(self, nbytes: int, n_ranks: int) -> float:
+        """Recursive-doubling estimate: log2(P) rounds."""
+        if n_ranks <= 1:
+            return 0.0
+        rounds = int(np.ceil(np.log2(n_ranks)))
+        return rounds * self.p2p_time(nbytes)
+
+
+@dataclass
+class DomainDecomposition:
+    """Morton-contiguous partitioning of leaf blocks across ranks."""
+
+    n_ranks: int
+    #: rank -> list of BlockIds
+    assignment: dict[int, list] = field(default_factory=dict)
+
+    @classmethod
+    def split(cls, grid: Grid, n_ranks: int) -> "DomainDecomposition":
+        if n_ranks < 1:
+            raise ConfigurationError("need at least one rank")
+        leaves = grid.tree.leaves()
+        out = cls(n_ranks=n_ranks)
+        per = len(leaves) / n_ranks
+        for rank in range(n_ranks):
+            lo = int(round(rank * per))
+            hi = int(round((rank + 1) * per))
+            out.assignment[rank] = leaves[lo:hi]
+        return out
+
+    def rank_of(self, bid) -> int:
+        for rank, blocks in self.assignment.items():
+            if bid in blocks:
+                return rank
+        raise KeyError(bid)
+
+    def load_imbalance(self) -> float:
+        """max/mean block count across ranks (1.0 = perfect)."""
+        counts = np.array([len(b) for b in self.assignment.values()], float)
+        mean = counts.mean()
+        return float(counts.max() / mean) if mean > 0 else 1.0
+
+    def halo_bytes(self, grid: Grid, rank: int, bytes_per_face: int) -> int:
+        """Bytes rank must receive per guard-cell fill (off-rank faces)."""
+        mine = set(self.assignment[rank])
+        total = 0
+        for bid in self.assignment[rank]:
+            for axis in range(grid.tree.ndim):
+                for direction in (-1, 1):
+                    kind, info = grid.tree.face_neighbor(bid, axis, direction)
+                    if kind == "boundary":
+                        continue
+                    neighbors = info if isinstance(info, list) else [info]
+                    for nid in neighbors:
+                        if nid not in mine:
+                            total += bytes_per_face
+        return total
+
+
+class SimComm:
+    """A deterministic simulated communicator.
+
+    Per-rank values live in arrays indexed by rank; collectives combine
+    them exactly and charge modelled time to ``elapsed_s``.
+    """
+
+    def __init__(self, n_ranks: int,
+                 cost: CommCostModel | None = None) -> None:
+        if n_ranks < 1:
+            raise ConfigurationError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.cost = cost or CommCostModel()
+        self.elapsed_s = 0.0
+        self.bytes_moved = 0
+
+    def allreduce_min(self, values) -> float:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n_ranks,):
+            raise ConfigurationError("one value per rank expected")
+        self.elapsed_s += self.cost.allreduce_time(8, self.n_ranks)
+        return float(values.min())
+
+    def allreduce_sum(self, values) -> float:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n_ranks,):
+            raise ConfigurationError("one value per rank expected")
+        self.elapsed_s += self.cost.allreduce_time(8, self.n_ranks)
+        return float(values.sum())
+
+    def halo_exchange(self, per_rank_bytes) -> None:
+        """Charge a guard-cell fill's communication time (bulk model)."""
+        per_rank_bytes = np.asarray(per_rank_bytes)
+        worst = int(per_rank_bytes.max()) if per_rank_bytes.size else 0
+        self.elapsed_s += self.cost.p2p_time(worst)
+        self.bytes_moved += int(per_rank_bytes.sum())
+
+
+def scaling_model(grid: Grid, rank_counts: list[int], *,
+                  seconds_per_block_step: float,
+                  bytes_per_face: int,
+                  steps: int = 1,
+                  cost: CommCostModel | None = None) -> dict[int, float]:
+    """Predicted time per run vs rank count (compute + halo + allreduce).
+
+    Returns {n_ranks: seconds}; the shape gives the porting study's
+    "scaled reasonably well" curve with the usual surface/volume tail.
+    """
+    cost = cost or CommCostModel()
+    out = {}
+    for p in rank_counts:
+        dd = DomainDecomposition.split(grid, p)
+        per_rank_blocks = max(len(b) for b in dd.assignment.values())
+        compute = per_rank_blocks * seconds_per_block_step
+        halo = max(
+            cost.p2p_time(dd.halo_bytes(grid, r, bytes_per_face))
+            for r in range(p)
+        )
+        reduce_t = cost.allreduce_time(8, p)
+        out[p] = steps * (compute + halo + reduce_t)
+    return out
+
+
+__all__ = ["SimComm", "DomainDecomposition", "CommCostModel", "scaling_model"]

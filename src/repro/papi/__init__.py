@@ -1,0 +1,41 @@
+"""PAPI-style instrumentation and FLASH-style timers.
+
+The simulated PMU is a :class:`~repro.papi.counters.CounterBank` that the
+performance pipeline advances as the application executes.  On top of it:
+
+* :class:`~repro.papi.counters.EventSet` — PAPI event sets with
+  start/stop/read semantics;
+* :class:`~repro.papi.region.FortranPerfObject` — the paper's Fortran-OOP
+  instrumentation wrapper (constructor/finalizer pattern), including the
+  Fujitsu 4.5 finalizer bug that forced the authors to fall back to the
+  "hard-coded" API (:func:`~repro.papi.region.hardcoded_begin` /
+  :func:`~repro.papi.region.hardcoded_end`);
+* :class:`~repro.papi.timers.Timers` — FLASH's internal hierarchical
+  timers, used in the paper as a consistency check.
+"""
+
+from repro.papi.events import Event, DERIVED_MEASURES, derive_measures
+from repro.papi.counters import CounterBank, EventSet, PmuPermissionError
+from repro.papi.region import (
+    FortranPerfObject,
+    PapiFinalizerError,
+    RegionStore,
+    hardcoded_begin,
+    hardcoded_end,
+)
+from repro.papi.timers import Timers
+
+__all__ = [
+    "Event",
+    "DERIVED_MEASURES",
+    "derive_measures",
+    "CounterBank",
+    "EventSet",
+    "PmuPermissionError",
+    "FortranPerfObject",
+    "PapiFinalizerError",
+    "RegionStore",
+    "hardcoded_begin",
+    "hardcoded_end",
+    "Timers",
+]

@@ -1,0 +1,96 @@
+"""The simulated PMU (CounterBank) and PAPI event sets.
+
+The performance pipeline (:mod:`repro.perfmodel.pipeline`) is the
+"hardware": after modelling each unit's execution it advances the bank's
+monotonic counters.  Instrumentation reads the bank exactly the way PAPI
+reads MSRs — snapshot at start, delta at stop — so nested/overlapping
+regions behave correctly by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.papi.events import Event, derive_measures
+from repro.kernel.params import Sysctl
+from repro.util.errors import ReproError
+
+
+class PmuPermissionError(ReproError):
+    """PMU access denied (``kernel.perf_event_paranoid`` too strict)."""
+
+
+class CounterBank:
+    """Monotonic event totals plus a simulated wall clock."""
+
+    def __init__(self, sysctl: Sysctl | None = None) -> None:
+        self._sysctl = sysctl
+        self.totals: dict[Event, float] = {e: 0.0 for e in Event}
+        self.time_s: float = 0.0
+
+    def check_access(self, privileged: bool = False) -> None:
+        if self._sysctl is not None and not self._sysctl.allows_pmu_access(privileged):
+            raise PmuPermissionError(
+                "perf_event_paranoid forbids PMU access; the Fujitsu install "
+                "sets kernel.perf_event_paranoid=1 (see section III)"
+            )
+
+    def advance(self, seconds: float, increments: dict[Event, float] | None = None) -> None:
+        """Advance the clock and the counters by one executed chunk."""
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self.time_s += seconds
+        for event, value in (increments or {}).items():
+            if value < 0:
+                raise ValueError(f"counter {event} cannot decrease")
+            self.totals[event] += value
+
+    def snapshot(self) -> tuple[float, dict[Event, float]]:
+        return self.time_s, dict(self.totals)
+
+
+@dataclass
+class EventSet:
+    """A PAPI event set: start/stop/read with delta semantics."""
+
+    bank: CounterBank
+    events: tuple[Event, ...] = tuple(Event)
+    _start: tuple[float, dict[Event, float]] | None = field(default=None, repr=False)
+    accumulated: dict[Event, float] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    n_intervals: int = 0
+
+    def start(self) -> None:
+        self.bank.check_access()
+        if self._start is not None:
+            raise ReproError("event set already started")
+        self._start = self.bank.snapshot()
+
+    def stop(self) -> None:
+        if self._start is None:
+            raise ReproError("event set not started")
+        t0, c0 = self._start
+        t1, c1 = self.bank.snapshot()
+        self.elapsed_s += t1 - t0
+        for event in self.events:
+            delta = c1[event] - c0[event]
+            self.accumulated[event] = self.accumulated.get(event, 0.0) + delta
+        self._start = None
+        self.n_intervals += 1
+
+    def read(self) -> dict[Event, float]:
+        """Accumulated counts over all completed start/stop intervals."""
+        return dict(self.accumulated)
+
+    def measures(self) -> dict[str, float]:
+        """The paper's derived measures for the accumulated region."""
+        return derive_measures(self.accumulated, self.elapsed_s)
+
+    def reset(self) -> None:
+        self.accumulated.clear()
+        self.elapsed_s = 0.0
+        self.n_intervals = 0
+        self._start = None
+
+
+__all__ = ["CounterBank", "EventSet", "PmuPermissionError"]

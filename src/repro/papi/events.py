@@ -1,0 +1,54 @@
+"""PAPI event definitions and the paper's derived measures.
+
+The paper instruments a subset of events "that can characterize overall
+performance — use of SVE measured as SVE instructions per cycle, memory
+bandwidth, DTLB misses, and the number of hardware cycles."
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Event(enum.Enum):
+    """Raw (simulated) PMU events."""
+
+    #: hardware cycles — PAPI_TOT_CYC
+    TOT_CYC = "PAPI_TOT_CYC"
+    #: data TLB misses — PAPI_TLB_DM (L1 DTLB refills on the A64FX)
+    TLB_DM = "PAPI_TLB_DM"
+    #: retired SVE vector instructions (native event)
+    SVE_INST = "SVE_INST_RETIRED"
+    #: bytes moved to/from memory (derived from the CMG traffic counters)
+    MEM_BYTES = "MEM_BYTES"
+    #: retired scalar floating-point operations
+    FP_OPS = "PAPI_FP_OPS"
+
+
+#: the five measures of Tables I/II (plus the FLASH timer, kept elsewhere)
+DERIVED_MEASURES = (
+    "hardware_cycles",
+    "time_s",
+    "sve_per_cycle",
+    "mem_gbytes_per_s",
+    "dtlb_misses_per_s",
+)
+
+
+def derive_measures(counts: dict[Event, float], elapsed_s: float) -> dict[str, float]:
+    """Turn raw event counts + elapsed time into the paper's measures."""
+    cycles = counts.get(Event.TOT_CYC, 0.0)
+    return {
+        "hardware_cycles": cycles,
+        "time_s": elapsed_s,
+        "sve_per_cycle": counts.get(Event.SVE_INST, 0.0) / cycles if cycles else 0.0,
+        "mem_gbytes_per_s": (
+            counts.get(Event.MEM_BYTES, 0.0) / elapsed_s / 1e9 if elapsed_s else 0.0
+        ),
+        "dtlb_misses_per_s": (
+            counts.get(Event.TLB_DM, 0.0) / elapsed_s if elapsed_s else 0.0
+        ),
+    }
+
+
+__all__ = ["Event", "DERIVED_MEASURES", "derive_measures"]

@@ -1,0 +1,117 @@
+"""Wiring PAPI instrumentation into a running simulation — the paper's way.
+
+Section II: the authors first wrapped regions with a Fortran *object*
+whose constructor starts PAPI and whose finalizer stops it; that worked
+under GNU and Cray but not under Fujitsu 4.5 (unreliable ``final``
+procedures), so they "fell back to just 'hard coding' the PAPI calls ...
+to work with all compilers".
+
+:class:`PapiInstrumentation` reproduces exactly that protocol: in ``auto``
+style it *tries* the OOP wrapper first and, on the first
+:class:`~repro.papi.region.PapiFinalizerError`, permanently switches to
+the hard-coded begin/end calls (recording that it did, so experiments can
+assert the story).  Units accept an instrumentation object and bracket
+their regions with :meth:`begin`/:meth:`end`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.papi.counters import CounterBank, EventSet
+from repro.papi.region import (
+    FortranPerfObject,
+    PapiFinalizerError,
+    RegionStore,
+    hardcoded_begin,
+    hardcoded_end,
+)
+from repro.toolchain.compiler import Compiler
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class PapiInstrumentation:
+    """Region instrumentation with the paper's OOP-then-fallback protocol.
+
+    Styles:
+
+    * ``"oop"`` — always use the Fortran-object wrapper (raises under a
+      compiler with broken finalizers, i.e. Fujitsu 4.5);
+    * ``"hardcoded"`` — always use explicit begin/end calls;
+    * ``"auto"`` — the paper's experience: try OOP, fall back to
+      hard-coded on the first finalizer failure.
+    """
+
+    compiler: Compiler
+    bank: CounterBank = field(default_factory=CounterBank)
+    style: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.style not in ("oop", "hardcoded", "auto"):
+            raise ConfigurationError(f"unknown instrumentation style {self.style!r}")
+        self.store = RegionStore(self.bank)
+        self.fell_back = False
+        self._lost_measurements = 0
+        self._open: dict[str, FortranPerfObject] = {}
+
+    # --- region protocol -----------------------------------------------------
+    def _use_oop(self) -> bool:
+        if self.style == "oop":
+            return True
+        if self.style == "hardcoded":
+            return False
+        return not self.fell_back
+
+    def begin(self, region: str) -> None:
+        if self._use_oop():
+            obj = FortranPerfObject(self.store, region, self.compiler)
+            obj.__enter__()
+            self._open[region] = obj
+        else:
+            hardcoded_begin(self.store, region)
+
+    def end(self, region: str) -> None:
+        obj = self._open.pop(region, None)
+        if obj is not None:
+            try:
+                obj.__exit__(None, None, None)
+            except PapiFinalizerError:
+                # the Fujitsu experience: measurement lost; switch styles
+                self._lost_measurements += 1
+                if self.style == "oop":
+                    raise
+                self.fell_back = True
+            return
+        hardcoded_end(self.store, region)
+
+    class _Scope:
+        def __init__(self, inst: "PapiInstrumentation", region: str) -> None:
+            self.inst, self.region = inst, region
+
+        def __enter__(self):
+            self.inst.begin(self.region)
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            if exc_type is None:
+                self.inst.end(self.region)
+            return False
+
+    def scope(self, region: str) -> "PapiInstrumentation._Scope":
+        return PapiInstrumentation._Scope(self, region)
+
+    # --- results -----------------------------------------------------------------
+    def event_set(self, region: str) -> EventSet:
+        return self.store.event_set(region)
+
+    def measures(self, region: str) -> dict[str, float]:
+        return self.store.measures(region)
+
+    @property
+    def lost_measurements(self) -> int:
+        """Intervals destroyed by the finalizer bug before the fallback."""
+        return self._lost_measurements
+
+
+__all__ = ["PapiInstrumentation"]

@@ -1,0 +1,103 @@
+"""Instrumented regions: the Fortran-OOP wrapper and the hard-coded API.
+
+The paper instrumented FLASH two ways:
+
+1. A Fortran object (after Vanpoucke's "Constructors and Destructors"
+   OOP tutorial) whose *constructor* starts PAPI and whose *finalizer*
+   stops it, instantiated inside a Fortran ``block`` construct.  This is
+   :class:`FortranPerfObject`, used as a context manager (the ``block``).
+   It worked under GNU 11.2 and (slightly modified) Cray 10.0.3 — but not
+   under Fujitsu 4.5, whose final-procedure support is unreliable: the
+   finalizer misbehaves and the measurement is lost.  We model that bug
+   faithfully: exiting the block under a compiler with
+   ``finalizers_work=False`` raises :class:`PapiFinalizerError`.
+
+2. The fallback that worked everywhere: "hard coding" the PAPI calls —
+   :func:`hardcoded_begin` / :func:`hardcoded_end` on a
+   :class:`RegionStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.papi.counters import CounterBank, EventSet
+from repro.toolchain.compiler import Compiler
+from repro.util.errors import ReproError
+
+
+class PapiFinalizerError(ReproError):
+    """The compiler's Fortran ``final`` support corrupted the measurement."""
+
+
+@dataclass
+class RegionStore:
+    """Per-region accumulated event sets (the module-level storage the
+    paper's instrumentation module kept region identifiers in)."""
+
+    bank: CounterBank
+    regions: dict[str, EventSet] = field(default_factory=dict)
+
+    def event_set(self, region: str) -> EventSet:
+        if region not in self.regions:
+            self.regions[region] = EventSet(bank=self.bank)
+        return self.regions[region]
+
+    def measures(self, region: str) -> dict[str, float]:
+        return self.event_set(region).measures()
+
+
+class FortranPerfObject:
+    """The OOP wrapper: constructor = PAPI begin, finalizer = PAPI end.
+
+    Use as a context manager — entering models instantiating the object
+    inside a Fortran ``block`` construct; exiting models the finalizer
+    running when the block ends.
+    """
+
+    def __init__(self, store: RegionStore, region: str, compiler: Compiler) -> None:
+        self.store = store
+        self.region = region
+        self.compiler = compiler
+        self._es: EventSet | None = None
+
+    def __enter__(self) -> "FortranPerfObject":
+        # "use a Fortran module to initialize the object and allocate
+        # member variables, call the PAPI begin function"
+        self._es = self.store.event_set(self.region)
+        self._es.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            return False
+        if not self.compiler.finalizers_work:
+            # the Fujitsu 4.5 behaviour: the finalizer is called at the
+            # wrong time / not reliably — the interval never lands
+            self._es._start = None  # measurement lost
+            raise PapiFinalizerError(
+                f"{self.compiler.name} {self.compiler.version}: Fortran "
+                "final procedures are unreliable; fall back to "
+                "hardcoded_begin/hardcoded_end (paper, section II)"
+            )
+        self._es.stop()
+        return False
+
+
+def hardcoded_begin(store: RegionStore, region: str) -> None:
+    """The fallback that works with every compiler: explicit PAPI begin."""
+    store.event_set(region).start()
+
+
+def hardcoded_end(store: RegionStore, region: str) -> None:
+    """Explicit PAPI end; accumulates into the region's event set."""
+    store.event_set(region).stop()
+
+
+__all__ = [
+    "FortranPerfObject",
+    "PapiFinalizerError",
+    "RegionStore",
+    "hardcoded_begin",
+    "hardcoded_end",
+]

@@ -1,0 +1,95 @@
+"""FLASH-style hierarchical timers.
+
+FLASH's internal timers record elapsed time per named code section with
+arbitrary nesting; the paper reports the top-level "evolution" timer as a
+consistency check against the PAPI measurements.  Our timers read the same
+simulated clock as the PMU, so the consistency holds by construction —
+and tests assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.papi.counters import CounterBank
+from repro.util.errors import ReproError
+
+
+@dataclass
+class _TimerNode:
+    name: str
+    total_s: float = 0.0
+    calls: int = 0
+    children: dict[str, "_TimerNode"] = field(default_factory=dict)
+    _started_at: float | None = None
+
+
+class Timers:
+    """Nested named timers over a simulated clock (FLASH's Timers unit)."""
+
+    def __init__(self, bank: CounterBank) -> None:
+        self.bank = bank
+        self.root = _TimerNode(name="")
+        self._stack: list[_TimerNode] = [self.root]
+
+    def start(self, name: str) -> None:
+        parent = self._stack[-1]
+        node = parent.children.setdefault(name, _TimerNode(name=name))
+        if node._started_at is not None:
+            raise ReproError(f"timer {name!r} already running")
+        node._started_at = self.bank.time_s
+        self._stack.append(node)
+
+    def stop(self, name: str) -> None:
+        node = self._stack[-1]
+        if node.name != name:
+            raise ReproError(
+                f"timer stop mismatch: stopping {name!r} but {node.name!r} is open"
+            )
+        node.total_s += self.bank.time_s - node._started_at
+        node.calls += 1
+        node._started_at = None
+        self._stack.pop()
+
+    class _Scope:
+        def __init__(self, timers: "Timers", name: str) -> None:
+            self.timers, self.name = timers, name
+
+        def __enter__(self):
+            self.timers.start(self.name)
+            return self
+
+        def __exit__(self, *exc):
+            self.timers.stop(self.name)
+            return False
+
+    def scope(self, name: str) -> "Timers._Scope":
+        """``with timers.scope("hydro"): ...``"""
+        return Timers._Scope(self, name)
+
+    def get(self, path: str) -> float:
+        """Total seconds for a slash-separated timer path."""
+        node = self.root
+        for part in path.split("/"):
+            if part not in node.children:
+                raise KeyError(path)
+            node = node.children[part]
+        return node.total_s
+
+    def summary(self) -> str:
+        """Render the familiar FLASH timer summary block."""
+        lines = [f"{'accounting unit':<34}{'time (s)':>12}{'calls':>8}"]
+
+        def walk(node: _TimerNode, depth: int) -> None:
+            for child in node.children.values():
+                lines.append(
+                    f"{'  ' * depth + child.name:<34}{child.total_s:>12.3f}"
+                    f"{child.calls:>8}"
+                )
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+
+__all__ = ["Timers"]

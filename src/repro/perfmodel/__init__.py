@@ -1,0 +1,31 @@
+"""The performance model: couples the application to the machine model.
+
+The split mirrors how the paper's measurements work:
+
+1. the *numerics* run once (:mod:`repro.driver`), while a
+   :class:`~repro.perfmodel.workrecord.WorkLog` records what each unit did
+   per step (zones, block lists in Morton order, EOS Newton iterations);
+2. the log is *replayed* against any (compiler, kernel, machine)
+   combination by :class:`~repro.perfmodel.pipeline.PerformancePipeline`:
+   allocations are made through the toolchain's allocator model, page
+   traces are synthesised from the recorded access structure
+   (:mod:`repro.perfmodel.patterns`), the TLB simulator counts misses,
+   the cycle model prices the work, and PAPI-style counters advance.
+
+Replaying means one numeric run yields both the with- and without-huge-
+pages columns of the paper's tables — exactly the controlled comparison
+the authors ran.
+"""
+
+from repro.perfmodel.workrecord import StepRecord, UnitInvocation, WorkLog
+from repro.perfmodel.patterns import TraceBuilder
+from repro.perfmodel.pipeline import PerformancePipeline, PerfReport
+
+__all__ = [
+    "StepRecord",
+    "UnitInvocation",
+    "WorkLog",
+    "TraceBuilder",
+    "PerformancePipeline",
+    "PerfReport",
+]

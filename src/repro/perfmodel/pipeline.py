@@ -1,0 +1,249 @@
+"""The performance pipeline: replay a WorkLog on a simulated Ookami node.
+
+``PerformancePipeline.run()`` performs the full measurement the paper
+describes: launch the (compiled) executable on the simulated kernel,
+allocate FLASH's data structures through the toolchain's allocator (this
+is where huge pages do or do not happen), first-touch them the way the
+code does, synthesise the memory traces of a steady-state step, replay
+them through the A64FX TLB model, price all recorded work with the cycle
+model, and report the paper's measures per instrumented region plus the
+whole-run FLASH timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.hw import calibration as cal
+from repro.hw.a64fx import A64FX, MachineSpec
+from repro.hw.cache import CacheModel
+from repro.hw.cpu import CycleModel, WorkCounts
+from repro.hw.tlb import TLBSimulator, TLBStats
+from repro.kernel.meminfo import hugepages_in_use, meminfo
+from repro.kernel.params import ookami_config
+from repro.kernel.vmm import Kernel
+from repro.mesh.layout import UnkLayout
+from repro.papi.counters import CounterBank
+from repro.papi.events import Event, derive_measures
+from repro.perfmodel.patterns import TraceBuilder
+from repro.perfmodel.workrecord import UnitInvocation, WorkLog
+from repro.toolchain.compiler import Compiler
+
+#: map invocation unit -> (work model, vectorisation key)
+_UNIT_MODELS = {
+    "hydro_sweep": (cal.HYDRO_SWEEP, "hydro"),
+    "eos": (cal.EOS_CALL, "eos"),
+    "eos_gamma": (cal.EOS_GAMMA_CALL, "eos"),
+    "guardcell": (cal.GUARDCELL, "mesh"),
+    "flame": (cal.FLAME_STEP, "flame"),
+    "gravity": (cal.GRAVITY_STEP, "gravity"),
+}
+
+
+@dataclass
+class UnitTotals:
+    """Accumulated work + misses for one unit across the whole run."""
+
+    work: WorkCounts = field(default_factory=WorkCounts)
+    tlb: TLBStats = field(default_factory=TLBStats)
+
+
+@dataclass
+class PerfReport:
+    """Everything the experiment harness needs to print a paper table."""
+
+    units: dict[str, UnitTotals]
+    seconds: dict[str, float]
+    flash_timer_s: float
+    uses_huge_pages: bool
+    meminfo: dict[str, int]
+    machine: MachineSpec
+    compiler: str
+    n_steps: int
+
+    def region(self, unit_names: tuple[str, ...] | str) -> dict[str, float]:
+        """The paper's five measures for an instrumented region."""
+        if isinstance(unit_names, str):
+            unit_names = (unit_names,)
+        work = WorkCounts()
+        tlb = TLBStats()
+        for name in unit_names:
+            if name in self.units:
+                work = work + self.units[name].work
+                tlb = tlb + self.units[name].tlb
+        model = CycleModel(self.machine)
+        return model.measures(work, tlb)
+
+    def as_counterbank(self) -> CounterBank:
+        """Mirror the totals into a PAPI counter bank (for EventSet use)."""
+        bank = CounterBank()
+        model = CycleModel(self.machine)
+        for name, tot in self.units.items():
+            breakdown = model.cycles(tot.work, tot.tlb)
+            bank.advance(self.seconds[name], {
+                Event.TOT_CYC: breakdown.total,
+                Event.TLB_DM: tot.tlb.l1_misses,
+                Event.SVE_INST: tot.work.simd_ops,
+                Event.MEM_BYTES: tot.work.dram_bytes,
+                Event.FP_OPS: tot.work.scalar_ops,
+            })
+        return bank
+
+
+class PerformancePipeline:
+    """Replay a WorkLog under one (compiler, kernel, machine) combination."""
+
+    def __init__(
+        self,
+        log: WorkLog,
+        compiler: Compiler,
+        *,
+        flags: tuple[str, ...] = (),
+        env: dict[str, str] | None = None,
+        kernel: Kernel | None = None,
+        machine: MachineSpec = A64FX,
+        replication: int = 1,
+        fine_sample_blocks: int = 4,
+        seed: int = 1234,
+    ) -> None:
+        self.log = log
+        self.compiler = compiler
+        self.flags = flags
+        self.env = env
+        self.kernel = kernel or Kernel(ookami_config())
+        self.machine = machine
+        self.replication = replication
+        self.fine_sample_blocks = fine_sample_blocks
+        self.seed = seed
+
+    # --- setup: the allocation story -------------------------------------------------
+    def _launch_and_allocate(self):
+        exe = self.compiler.compile("flash4", flags=self.flags)
+        proc = exe.launch(self.kernel, env=self.env)
+        spec_virtual = replace(self.log.spec,
+                               maxblocks=self.log.maxblocks * self.replication)
+        layout = UnkLayout(nvar=self.log.nvar, spec=spec_virtual)
+
+        unk = proc.allocate(layout.nbytes, "unk")
+        scratch = [proc.allocate(cal.SCRATCH_ARRAY_BYTES, f"scratch{i:02d}")
+                   for i in range(cal.N_SCRATCH_ARRAYS)]
+        eos_table = proc.allocate(cal.FLASH_HELM_TABLE_BYTES, "helm_table")
+        flame_table = proc.allocate(cal.FLASH_FLAME_TABLE_BYTES, "flame_table")
+        # PARAMESH's block-sized flux arrays (~half of unk's variables)
+        flux_scratch = proc.allocate(max(layout.block_bytes // 2, 1 << 16),
+                                     "flux_scratch")
+
+        # first touch the way the code does: PARAMESH initialises unk
+        # variable by variable (strided); tables are read in sequentially
+        proc.first_touch("unk", order="strided", stride=2 << 20)
+        for i in range(cal.N_SCRATCH_ARRAYS):
+            proc.first_touch(f"scratch{i:02d}")
+        proc.first_touch("helm_table")
+        proc.first_touch("flame_table")
+        proc.first_touch("flux_scratch")
+        return proc, layout, unk, scratch, eos_table, flame_table, flux_scratch
+
+    # --- work pricing ------------------------------------------------------------------
+    def _invocation_work(self, inv: UnitInvocation) -> WorkCounts:
+        model, vf_key = _UNIT_MODELS[inv.unit]
+        zones = inv.zones * self.replication
+        flops = model.flops_per_zone * zones
+        if inv.unit == "eos":
+            iters_per_zone = inv.newton_iterations / max(inv.zones, 1)
+            flops += cal.EOS_FLOPS_PER_ITERATION * iters_per_zone * zones
+        vf = self.compiler.perf.unit_vector_fraction(vf_key)
+        scalar = flops * (1.0 - vf) * self.compiler.perf.scalar_multiplier
+        simd = flops * vf / self.compiler.perf.sve_lane_efficiency
+
+        cache = CacheModel(cache_bytes=self.machine.l2_bytes)
+        dram = model.unk_bytes_per_zone * zones
+        if inv.unit == "eos":
+            iters = inv.newton_iterations / max(inv.zones, 1)
+            dram += cal.EOS_BYTES_PER_ITERATION * iters * zones
+            n_gathers = zones * (model.gathers_per_zone
+                                 + cal.EOS_GATHERS_PER_ITERATION * iters)
+            hot = int(cal.TABLE_HOT_FRACTION * cal.FLASH_HELM_TABLE_BYTES)
+            dram += cache.gather_traffic(int(n_gathers), 8, hot)
+        elif inv.unit == "flame":
+            dram += cache.gather_traffic(int(zones * model.gathers_per_zone),
+                                         8, cal.FLASH_FLAME_TABLE_BYTES)
+        return WorkCounts(scalar_ops=scalar, simd_ops=simd, dram_bytes=dram)
+
+    # --- the run ---------------------------------------------------------------------------
+    def run(self) -> PerfReport:
+        proc, layout, unk, scratch, eos_table, flame_table, flux_scratch = \
+            self._launch_and_allocate()
+        builder = TraceBuilder(
+            space=proc.space, layout=layout, unk=unk, scratch=scratch,
+            eos_table=eos_table, flame_table=flame_table, log=self.log,
+            flux_scratch=flux_scratch,
+            replication=self.replication,
+            fine_sample_blocks=self.fine_sample_blocks, seed=self.seed,
+        )
+        rep = self.log.representative_step()
+
+        # --- TLB: stream pass (capacity behaviour), warmed then measured
+        stream_sim = TLBSimulator(self.machine.tlb)
+        stream_traces = [builder.invocation_stream_trace(rep, inv)
+                         for inv in rep.invocations]
+        for t in stream_traces:
+            stream_sim.run(t)  # warm pass
+        stream_stats = [stream_sim.run(t) for t in stream_traces]
+
+        # --- TLB: fine passes (inner-loop behaviour), per invocation
+        fine_stats: list[TLBStats] = []
+        for inv in rep.invocations:
+            if inv.unit in ("eos", "eos_gamma", "hydro_sweep", "flame"):
+                trace, scale = builder.fine_unit_trace(rep, inv)
+                sim = TLBSimulator(self.machine.tlb)
+                sim.run(trace)  # warm
+                stats = sim.run(trace).scaled(scale)
+            else:
+                stats = TLBStats()
+            fine_stats.append(stats)
+
+        # --- accumulate per unit over the whole run, scaling the
+        # representative step's misses by each unit's total zone count
+        units: dict[str, UnitTotals] = {}
+        rep_zone = {i: inv.zones for i, inv in enumerate(rep.invocations)}
+        per_step_tlb: dict[str, TLBStats] = {}
+        for i, inv in enumerate(rep.invocations):
+            tot = per_step_tlb.setdefault(inv.unit, TLBStats())
+            per_step_tlb[inv.unit] = tot + stream_stats[i] + fine_stats[i]
+        rep_unit_zones: dict[str, int] = {}
+        for inv in rep.invocations:
+            rep_unit_zones[inv.unit] = rep_unit_zones.get(inv.unit, 0) + inv.zones
+
+        for rec in self.log.steps:
+            for inv in rec.invocations:
+                totals = units.setdefault(inv.unit, UnitTotals())
+                totals.work = totals.work + self._invocation_work(inv)
+        for unit, totals in units.items():
+            total_zones = self.log.total_zone_updates(unit)
+            scale = total_zones / max(rep_unit_zones.get(unit, total_zones), 1)
+            totals.tlb = per_step_tlb.get(unit, TLBStats()).scaled(scale)
+
+        # --- price everything
+        model = CycleModel(self.machine)
+        seconds = {}
+        for unit, totals in units.items():
+            seconds[unit] = model.seconds(model.cycles(totals.work, totals.tlb))
+        flash_timer = sum(seconds.values()) * (1.0 + cal.DRIVER_OVERHEAD_FRACTION)
+
+        report = PerfReport(
+            units=units,
+            seconds=seconds,
+            flash_timer_s=flash_timer,
+            uses_huge_pages=proc.uses_huge_pages(),
+            meminfo=meminfo(self.kernel),
+            machine=self.machine,
+            compiler=self.compiler.name,
+            n_steps=self.log.n_steps,
+        )
+        proc.exit()
+        return report
+
+
+__all__ = ["PerformancePipeline", "PerfReport", "UnitTotals"]

@@ -1,0 +1,133 @@
+"""Recording what the application did, step by step.
+
+A :class:`WorkLog` attaches to a :class:`~repro.driver.simulation.Simulation`
+and snapshots, per step, the unit invocations with everything the
+performance replay needs: zone counts, the leaf blocks' slots in Morton
+order (the iteration order of every unit — and hence the panel order of
+the memory traces), and the EOS Newton iteration totals (the
+data-dependent part of the EOS cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.driver.simulation import Simulation, StepInfo
+from repro.mesh.grid import MeshSpec
+
+
+@dataclass(frozen=True)
+class UnitInvocation:
+    """One unit doing one pass over the mesh."""
+
+    unit: str  # hydro_sweep | eos | eos_gamma | guardcell | flame | gravity
+    zones: int
+    #: total Newton iterations across zones (eos only)
+    newton_iterations: int = 0
+    axis: int | None = None
+
+
+@dataclass
+class StepRecord:
+    """Everything the replay needs about one step."""
+
+    n: int
+    dt: float
+    #: leaf slots in Morton order at the time of the step
+    slots: tuple[int, ...]
+    #: refinement level per leaf (same order)
+    levels: tuple[int, ...]
+    invocations: tuple[UnitInvocation, ...]
+
+    @property
+    def zones_total(self) -> int:
+        return sum(inv.zones for inv in self.invocations)
+
+
+@dataclass
+class WorkLog:
+    """Per-step work records plus the mesh geometry they refer to."""
+
+    spec: MeshSpec
+    nvar: int
+    steps: list[StepRecord] = field(default_factory=list)
+
+    @property
+    def ndim(self) -> int:
+        return self.spec.ndim
+
+    @property
+    def zones_per_block(self) -> int:
+        return self.spec.zones_per_block()
+
+    @property
+    def maxblocks(self) -> int:
+        return self.spec.maxblocks
+
+    @classmethod
+    def attach(cls, sim: Simulation, *, helmholtz_eos: bool = True) -> "WorkLog":
+        """Create a log and hook it onto the simulation's step events."""
+        grid = sim.grid
+        log = cls(spec=grid.spec, nvar=len(grid.variables))
+        state = {"eos_iters": 0, "eos_calls": 0}
+
+        def hook(sim: Simulation, info: StepInfo) -> None:
+            eos_work = sim.hydro.work.eos
+            d_iters = eos_work.newton_iterations - state["eos_iters"]
+            d_calls = eos_work.calls - state["eos_calls"]
+            state["eos_iters"] = eos_work.newton_iterations
+            state["eos_calls"] = eos_work.calls
+            log.record_step(sim, info, d_calls, d_iters,
+                            helmholtz_eos=helmholtz_eos)
+
+        sim.step_hooks.append(hook)
+        return log
+
+    def record_step(self, sim: Simulation, info: StepInfo, eos_calls: int,
+                    eos_iters: int, *, helmholtz_eos: bool) -> None:
+        grid = sim.grid
+        blocks = grid.leaf_blocks()
+        slots = tuple(b.slot for b in blocks)
+        levels = tuple(b.level for b in blocks)
+        zones = len(blocks) * self.zones_per_block
+        ndim = grid.spec.ndim
+
+        inv: list[UnitInvocation] = []
+        for axis in range(ndim):
+            inv.append(UnitInvocation(unit="guardcell", zones=zones, axis=axis))
+            inv.append(UnitInvocation(unit="hydro_sweep", zones=zones, axis=axis))
+            per_call_iters = eos_iters // max(eos_calls, 1)
+            inv.append(UnitInvocation(
+                unit="eos" if helmholtz_eos else "eos_gamma",
+                zones=zones,
+                newton_iterations=per_call_iters if helmholtz_eos else 0,
+            ))
+        if sim.gravity is not None:
+            inv.append(UnitInvocation(unit="gravity", zones=zones))
+        if sim.flame is not None:
+            inv.append(UnitInvocation(unit="guardcell", zones=zones))
+            inv.append(UnitInvocation(unit="flame", zones=zones))
+
+        self.steps.append(StepRecord(
+            n=info.n, dt=info.dt, slots=slots, levels=levels,
+            invocations=tuple(inv),
+        ))
+
+    # --- summaries -----------------------------------------------------------
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    def total_zone_updates(self, unit: str) -> int:
+        return sum(inv.zones for rec in self.steps
+                   for inv in rec.invocations if inv.unit == unit)
+
+    def representative_step(self) -> StepRecord:
+        """A steady-state step for trace sampling (the median-work step)."""
+        if not self.steps:
+            raise ValueError("empty work log")
+        ordered = sorted(self.steps, key=lambda r: r.zones_total)
+        return ordered[len(ordered) // 2]
+
+
+__all__ = ["WorkLog", "StepRecord", "UnitInvocation"]

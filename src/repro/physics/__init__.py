@@ -1,0 +1,1 @@
+"""Physics units: equation of state, hydrodynamics, gravity, model flame."""

@@ -1,0 +1,41 @@
+"""Equations of state.
+
+Two production EOSes, sharing the :class:`~repro.physics.eos.helmholtz.EosResult`
+interface:
+
+* :class:`~repro.physics.eos.gamma.GammaLawEOS` — ideal gas, used by the
+  Sedov problem (FLASH's default for that test);
+* :class:`~repro.physics.eos.helmholtz.HelmholtzEOS` — the degenerate
+  electron/positron + ion + radiation (+ Coulomb) stellar EOS of the
+  supernova problem, built from first-principles Fermi-Dirac integrals
+  (:mod:`~repro.physics.eos.fermi`, :mod:`~repro.physics.eos.electron`)
+  and tabulated for speed (:mod:`~repro.physics.eos.table`).
+
+All EOS calls are vectorised over zones; the inversion modes
+(:mod:`~repro.physics.eos.invert`) carry the per-zone branching the paper
+identifies as the obstacle to SVE vectorisation.
+"""
+
+from repro.physics.eos.gamma import GammaLawEOS
+from repro.physics.eos.helmholtz import EosResult, HelmholtzEOS
+from repro.physics.eos.ion import (
+    CO_WD,
+    HYBRID_CONE_WD,
+    NSE_ASH,
+    SI_ASH,
+    Composition,
+)
+from repro.physics.eos.table import ElectronTable, default_table
+
+__all__ = [
+    "GammaLawEOS",
+    "HelmholtzEOS",
+    "EosResult",
+    "Composition",
+    "CO_WD",
+    "HYBRID_CONE_WD",
+    "SI_ASH",
+    "NSE_ASH",
+    "ElectronTable",
+    "default_table",
+]

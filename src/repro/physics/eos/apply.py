@@ -1,0 +1,106 @@
+"""Applying the EOS across the whole mesh (FLASH's ``Eos_wrapped``).
+
+After each hydro sweep the thermodynamic variables (``pres``, ``temp``,
+``gamc``, ``game``) must be refreshed from the updated ``(dens, eint)``.
+This module does that for all leaf blocks at once, stacked along the
+block axis — and reports the work done (zones, Newton iterations) so the
+performance model can account for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.grid import Grid
+
+
+@dataclass
+class EosWork:
+    """Work accounting for one mesh-wide EOS application."""
+
+    zones: int = 0
+    newton_iterations: int = 0
+    calls: int = 0
+
+    def __iadd__(self, other: "EosWork") -> "EosWork":
+        self.zones += other.zones
+        self.newton_iterations += other.newton_iterations
+        self.calls += other.calls
+        return self
+
+
+def composition_from_species(grid: Grid, stacked: dict[str, np.ndarray],
+                             fuel, ash, progress_var: str = "fl01"):
+    """(abar, zbar) per zone for a fuel/ash mixture set by a progress
+    variable: linear mixing of 1/abar and zbar/abar (exact for mass
+    fractions)."""
+    phi = stacked[progress_var]
+    inv_abar = (1.0 - phi) / fuel.abar + phi / ash.abar
+    z_over_a = (1.0 - phi) * fuel.zbar / fuel.abar + phi * ash.zbar / ash.abar
+    abar = 1.0 / inv_abar
+    zbar = abar * z_over_a
+    return abar, zbar
+
+
+def apply_eos(grid: Grid, eos, mode: str = "dens_ei",
+              composition=None, species: tuple[str, ...] = ()) -> EosWork:
+    """Refresh pres/temp/gamc/game on every leaf block.
+
+    ``composition`` is either ``None`` (the EOS's defaults / gamma law),
+    a :class:`~repro.physics.eos.ion.Composition`, or a callable
+    ``(grid, stacked_species) -> (abar, zbar)`` for reactive mixtures.
+    """
+    blocks = grid.leaf_blocks()
+    if not blocks:
+        return EosWork()
+    slots = [b.slot for b in blocks]
+    sx, sy, sz = grid.spec.interior_slices()
+
+    dens = grid.unk[grid.var("dens"), sx, sy, sz, slots]
+    eint = grid.unk[grid.var("eint"), sx, sy, sz, slots]
+    temp = grid.unk[grid.var("temp"), sx, sy, sz, slots]
+    shape = dens.shape
+
+    if callable(composition):
+        stacked = {s: grid.unk[grid.var(s), sx, sy, sz, slots] for s in species}
+        abar, zbar = composition(grid, stacked)
+        abar, zbar = abar.ravel(), zbar.ravel()
+    elif composition is not None:
+        abar, zbar = composition.abar, composition.zbar
+    else:
+        abar = zbar = 1.0
+
+    if mode == "dens_ei":
+        result = eos.eos_de(dens.ravel(), eint.ravel(), abar, zbar,
+                            temp_guess=temp.ravel())
+    elif mode == "dens_temp":
+        result = eos.eos_dt(dens.ravel(), temp.ravel(), abar, zbar)
+    else:
+        raise ValueError(f"unsupported EOS mode {mode!r}")
+
+    def put(name, values):
+        grid.unk[grid.var(name), sx, sy, sz, slots] = values.reshape(shape)
+
+    put("pres", result.pres)
+    put("temp", result.temp)
+    put("gamc", result.gamc)
+    put("game", result.game)
+    if mode == "dens_temp":
+        put("eint", result.eint)
+        ke = 0.5 * sum(
+            grid.unk[grid.var(v), sx, sy, sz, slots] ** 2
+            for v in ("velx", "vely", "velz")
+        )
+        put("ener", result.eint.reshape(shape) + ke)
+
+    iters = getattr(result, "iterations", None)
+    return EosWork(
+        zones=int(dens.size),
+        newton_iterations=int(iters.sum()) if iters is not None else 0,
+        calls=1,
+    )
+
+
+__all__ = ["apply_eos", "composition_from_species", "EosWork"]

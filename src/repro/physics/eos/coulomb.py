@@ -1,0 +1,58 @@
+"""Coulomb corrections to the ion gas (one-component-plasma fits).
+
+In a white-dwarf interior the ions are strongly coupled
+(:math:`\\Gamma \\gtrsim 1`), reducing pressure and energy below the ideal
+gas.  We use the standard OCP free-energy fits: Debye-Hückel at weak
+coupling, the DeWitt/Slattery-style liquid fit at strong coupling, blended
+smoothly — the same physics FLASH's Helmholtz EOS applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.constants import AVOGADRO, BOLTZMANN
+
+#: electron charge [esu]
+E_CHARGE = 4.80320425e-10
+
+#: DeWitt/Slattery liquid OCP fit coefficients (Gamma >= 1)
+_A1, _B1, _C1, _D1 = -0.898004, 0.96786, 0.220703, -0.86097
+
+
+def coupling_gamma(dens, temp, abar, zbar) -> np.ndarray:
+    """Plasma coupling parameter Gamma = (Ze)^2 / (a kT)."""
+    dens = np.asarray(dens, dtype=np.float64)
+    temp = np.asarray(temp, dtype=np.float64)
+    n_ion = dens * AVOGADRO / abar
+    a_ion = (3.0 / (4.0 * np.pi * n_ion)) ** (1.0 / 3.0)
+    return (zbar * E_CHARGE) ** 2 / (a_ion * BOLTZMANN * temp)
+
+
+def coulomb_corrections(dens, temp, abar, zbar):
+    """Return (pressure [erg/cm^3], specific energy [erg/g]) corrections.
+
+    Both are negative (binding) in the strongly coupled regime.
+    """
+    dens = np.asarray(dens, dtype=np.float64)
+    temp = np.asarray(temp, dtype=np.float64)
+    gamma = coupling_gamma(dens, temp, abar, zbar)
+    n_ion = dens * AVOGADRO / abar
+    nkt = n_ion * BOLTZMANN * temp
+
+    # strong coupling: u/NkT = A Gamma + B Gamma^{1/4} + C Gamma^{-1/4} + D
+    g = np.maximum(gamma, 1e-30)
+    u_strong = _A1 * g + _B1 * g**0.25 + _C1 * g**-0.25 + _D1
+    # weak coupling (Debye-Hückel): u/NkT = -(sqrt(3)/2) Gamma^{3/2}
+    u_weak = -np.sqrt(3.0) / 2.0 * g**1.5
+
+    blend = 0.5 * (1.0 + np.tanh(4.0 * (g - 1.0)))
+    u_per_nkt = blend * u_strong + (1.0 - blend) * u_weak
+    # OCP virial: P_coul = u_coul / 3 (per volume)
+    u_vol = u_per_nkt * nkt
+    p_coul = u_vol / 3.0
+    e_coul = u_vol / dens
+    return p_coul, e_coul
+
+
+__all__ = ["coupling_gamma", "coulomb_corrections", "E_CHARGE"]

@@ -1,0 +1,174 @@
+"""Electron/positron thermodynamics from Fermi-Dirac integrals.
+
+Follows the classic formulation (Timmes & Arnett 1999): with
+:math:`\\beta = kT/m_ec^2` and degeneracy parameter :math:`\\eta`,
+
+.. math::
+
+    n_- &= C_n \\beta^{3/2} [F_{1/2}(\\eta,\\beta) + \\beta F_{3/2}] \\\\
+    P_- &= \\tfrac{2}{3} C_n m_ec^2 \\beta^{5/2}
+           [F_{3/2}(\\eta,\\beta) + \\tfrac{\\beta}{2} F_{5/2}] \\\\
+    u_- &= C_n m_ec^2 \\beta^{5/2} [F_{3/2}(\\eta,\\beta) + \\beta F_{5/2}]
+
+with :math:`C_n = 8\\pi\\sqrt{2}\\,(m_ec/h)^3`.  Positrons use
+:math:`\\eta_+ = -\\eta - 2/\\beta` and carry the pair rest-mass energy
+:math:`2 m_ec^2 n_+`.  Charge neutrality
+:math:`n_- - n_+ = \\rho Y_e N_A` fixes :math:`\\eta`, solved here by a
+vectorised bisection (monotone in :math:`\\eta`, hence unconditionally
+convergent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.constants import (
+    AVOGADRO,
+    BOLTZMANN,
+    C_LIGHT,
+    ELECTRON_MASS,
+    H_PLANCK,
+    ME_C2,
+)
+from repro.util.errors import ConvergenceError
+from repro.physics.eos.fermi import fermi_dirac_all
+
+#: C_n = 8 pi sqrt(2) (m_e c / h)^3  [1/cm^3]
+C_N = 8.0 * np.pi * np.sqrt(2.0) * (ELECTRON_MASS * C_LIGHT / H_PLANCK) ** 3
+
+#: positrons are negligible once eta_+ = -eta - 2/beta < this
+_POSITRON_CUTOFF = -40.0
+
+
+@dataclass
+class ElectronState:
+    """Electron+positron thermodynamic state (per unit volume)."""
+
+    eta: np.ndarray
+    n_ele: np.ndarray  # electron number density [1/cm^3]
+    n_pos: np.ndarray  # positron number density [1/cm^3]
+    pressure: np.ndarray  # [erg/cm^3]
+    energy_density: np.ndarray  # kinetic + pair rest mass [erg/cm^3]
+    entropy_density: np.ndarray  # [erg/cm^3/K]
+
+
+def _species(eta: np.ndarray, beta: np.ndarray):
+    """(n, P, u) per unit volume for one lepton species at (eta, beta)."""
+    f12, f32, f52 = fermi_dirac_all(eta, beta)
+    b32 = beta**1.5
+    b52 = beta**2.5
+    n = C_N * b32 * (f12 + beta * f32)
+    p = (2.0 / 3.0) * C_N * ME_C2 * b52 * (f32 + 0.5 * beta * f52)
+    u = C_N * ME_C2 * b52 * (f32 + beta * f52)
+    return n, p, u
+
+
+def net_density(eta, temp) -> np.ndarray:
+    """n_- - n_+ at the given degeneracy parameter and temperature [K]."""
+    eta = np.asarray(eta, dtype=np.float64)
+    temp = np.asarray(temp, dtype=np.float64)
+    beta = BOLTZMANN * temp / ME_C2
+    n_ele, _, _ = _species(eta, beta)
+    eta_pos = -eta - 2.0 / beta
+    n_pos = np.zeros_like(n_ele)
+    mask = eta_pos > _POSITRON_CUTOFF
+    if mask.any():
+        n_pos_m, _, _ = _species(eta_pos[mask], beta[mask])
+        n_pos[mask] = n_pos_m
+    return n_ele - n_pos
+
+
+def solve_eta(rho_ye, temp, iterations: int = 80) -> np.ndarray:
+    """Solve charge neutrality for eta, vectorised bisection.
+
+    ``rho_ye`` is rho * Ye [g/cm^3]; the target net density is
+    ``rho_ye * N_A``.
+    """
+    rho_ye = np.atleast_1d(np.asarray(rho_ye, dtype=np.float64))
+    temp = np.broadcast_to(np.asarray(temp, dtype=np.float64), rho_ye.shape)
+    target = rho_ye * AVOGADRO
+    beta = BOLTZMANN * temp / ME_C2
+
+    # bracket: nondegenerate guess minus margin ... degenerate guess plus margin
+    x_f = np.cbrt(3.0 * target / (8.0 * np.pi) * (H_PLANCK /
+                                                  (ELECTRON_MASS * C_LIGHT)) ** 3)
+    eta_deg = (np.sqrt(1.0 + x_f**2) - 1.0) / beta
+    lo = np.full_like(target, -300.0)
+    hi = eta_deg * 1.2 + 30.0
+    # ensure the bracket really contains the root
+    for _ in range(60):
+        bad = net_density(hi, temp) < target
+        if not bad.any():
+            break
+        hi = np.where(bad, hi * 2.0 + 60.0, hi)
+    else:
+        raise ConvergenceError("eta bracket expansion failed")
+
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        high = net_density(mid, temp) > target
+        hi = np.where(high, mid, hi)
+        lo = np.where(high, lo, mid)
+    return 0.5 * (lo + hi)
+
+
+def electron_state(rho_ye, temp, eta=None) -> ElectronState:
+    """Full electron/positron state at (rho*Ye, T)."""
+    rho_ye = np.atleast_1d(np.asarray(rho_ye, dtype=np.float64))
+    temp = np.broadcast_to(np.asarray(temp, dtype=np.float64), rho_ye.shape)
+    if eta is None:
+        eta = solve_eta(rho_ye, temp)
+    beta = BOLTZMANN * temp / ME_C2
+
+    n_ele, p_ele, u_ele = _species(eta, beta)
+    eta_pos = -eta - 2.0 / beta
+    n_pos = np.zeros_like(n_ele)
+    p_pos = np.zeros_like(n_ele)
+    u_pos = np.zeros_like(n_ele)
+    mask = eta_pos > _POSITRON_CUTOFF
+    if mask.any():
+        n_m, p_m, u_m = _species(eta_pos[mask], beta[mask])
+        n_pos[mask], p_pos[mask] = n_m, p_m
+        u_pos[mask] = u_m + 2.0 * ME_C2 * n_m  # pair rest-mass energy
+
+    pressure = p_ele + p_pos
+    energy = u_ele + u_pos
+    # s = (u + P - mu n)/T summed over species; mu_+ = -mu_- - 2 m c^2
+    kt = BOLTZMANN * temp
+    s_ele = (u_ele + p_ele - eta * kt * n_ele) / temp
+    s_pos = (u_pos + p_pos - eta_pos * kt * n_pos) / temp
+    return ElectronState(
+        eta=eta,
+        n_ele=n_ele,
+        n_pos=n_pos,
+        pressure=pressure,
+        energy_density=energy,
+        entropy_density=s_ele + s_pos,
+    )
+
+
+def cold_degenerate_pressure(rho_ye) -> np.ndarray:
+    """Analytic T=0 electron pressure (Chandrasekhar), for verification.
+
+    P = (pi m^4 c^5 / 3 h^3) f(x),
+    f(x) = x(2x^2-3)sqrt(x^2+1) + 3 asinh(x), x = p_F / m_e c.
+    """
+    rho_ye = np.asarray(rho_ye, dtype=np.float64)
+    n = rho_ye * AVOGADRO
+    lam = H_PLANCK / (ELECTRON_MASS * C_LIGHT)
+    x = np.cbrt(3.0 * n * lam**3 / (8.0 * np.pi))
+    a = np.pi * ELECTRON_MASS**4 * C_LIGHT**5 / (3.0 * H_PLANCK**3)
+    f = x * (2.0 * x**2 - 3.0) * np.sqrt(x**2 + 1.0) + 3.0 * np.arcsinh(x)
+    return a * f
+
+
+__all__ = [
+    "ElectronState",
+    "electron_state",
+    "solve_eta",
+    "net_density",
+    "cold_degenerate_pressure",
+    "C_N",
+]

@@ -1,0 +1,65 @@
+"""Gamma-law EOS — the FLASH default used by the Sedov test problem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.constants import AVOGADRO, BOLTZMANN
+from repro.util.errors import PhysicsError
+from repro.physics.eos.helmholtz import EosResult
+
+
+@dataclass
+class GammaLawEOS:
+    """P = (gamma - 1) rho eint, with an ideal-gas temperature."""
+
+    gamma: float = 1.4
+    abar: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 1.0:
+            raise PhysicsError("gamma must exceed 1")
+
+    def _temp(self, eint) -> np.ndarray:
+        return (self.gamma - 1.0) * self.abar / (AVOGADRO * BOLTZMANN) * \
+            np.asarray(eint)
+
+    def _result(self, dens, eint) -> EosResult:
+        dens = np.atleast_1d(np.asarray(dens, dtype=np.float64))
+        eint = np.broadcast_to(np.asarray(eint, dtype=np.float64), dens.shape)
+        pres = (self.gamma - 1.0) * dens * eint
+        g = np.full(dens.shape, self.gamma)
+        return EosResult(
+            dens=dens,
+            temp=self._temp(eint),
+            pres=pres,
+            eint=np.array(eint),
+            entr=np.zeros_like(dens),
+            cv=np.full(dens.shape,
+                       AVOGADRO * BOLTZMANN / ((self.gamma - 1.0) * self.abar)),
+            gamc=g,
+            game=g.copy(),
+            cs=np.sqrt(self.gamma * pres / dens),
+            eta=np.full(dens.shape, -np.inf),
+        )
+
+    def eos_de(self, dens, eint, abar=None, zbar=None, temp_guess=None) -> EosResult:
+        """Mode ``dens_ei`` (the hydro-facing call)."""
+        return self._result(dens, eint)
+
+    def eos_dt(self, dens, temp, abar=None, zbar=None) -> EosResult:
+        dens = np.atleast_1d(np.asarray(dens, dtype=np.float64))
+        temp = np.broadcast_to(np.asarray(temp, dtype=np.float64), dens.shape)
+        eint = AVOGADRO * BOLTZMANN * temp / ((self.gamma - 1.0) * self.abar)
+        return self._result(dens, eint)
+
+    def eos_dp(self, dens, pres, abar=None, zbar=None, temp_guess=None) -> EosResult:
+        dens = np.atleast_1d(np.asarray(dens, dtype=np.float64))
+        pres = np.broadcast_to(np.asarray(pres, dtype=np.float64), dens.shape)
+        eint = pres / ((self.gamma - 1.0) * dens)
+        return self._result(dens, eint)
+
+
+__all__ = ["GammaLawEOS"]

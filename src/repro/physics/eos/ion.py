@@ -1,0 +1,96 @@
+"""Ideal ion gas and composition bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.constants import AVOGADRO, BOLTZMANN, H_PLANCK, PROTON_MASS
+from repro.util.errors import PhysicsError
+
+
+@dataclass(frozen=True)
+class Composition:
+    """Mass fractions of a nuclear mixture -> mean molecular quantities."""
+
+    #: mapping isotope name -> (A, Z, mass fraction)
+    species: tuple[tuple[str, float, float, float], ...]
+
+    @classmethod
+    def from_fractions(cls, **x: float) -> "Composition":
+        """Build from mass fractions, e.g. ``from_fractions(c12=0.5, o16=0.5)``."""
+        table = {
+            "he4": (4.0, 2.0), "c12": (12.0, 6.0), "o16": (16.0, 8.0),
+            "ne20": (20.0, 10.0), "ne22": (22.0, 10.0), "mg24": (24.0, 12.0),
+            "si28": (28.0, 14.0), "ni56": (56.0, 28.0), "fe54": (54.0, 26.0),
+        }
+        total = sum(x.values())
+        if not np.isclose(total, 1.0, atol=1e-8):
+            raise PhysicsError(f"mass fractions sum to {total}, expected 1")
+        species = tuple(
+            (name, *table[name], frac) for name, frac in x.items()
+            if name in table
+        )
+        if len(species) != len(x):
+            unknown = set(x) - {s[0] for s in species}
+            raise PhysicsError(f"unknown isotopes {unknown}")
+        return cls(species)
+
+    @property
+    def abar(self) -> float:
+        """Mean atomic mass: 1 / sum(X_i / A_i)."""
+        return 1.0 / sum(x / a for _, a, _, x in self.species)
+
+    @property
+    def zbar(self) -> float:
+        """Mean charge: abar * sum(X_i Z_i / A_i)."""
+        return self.abar * sum(x * z / a for _, a, z, x in self.species)
+
+    @property
+    def ye(self) -> float:
+        """Electron fraction Z/A of the mixture."""
+        return self.zbar / self.abar
+
+
+#: canonical mixtures for the supernova problem
+CO_WD = Composition.from_fractions(c12=0.5, o16=0.5)
+#: hybrid C/O/Ne white dwarf of the Type Iax progenitor scenario
+HYBRID_CONE_WD = Composition.from_fractions(c12=0.30, o16=0.35, ne20=0.35)
+#: silicon-group intermediate ash
+SI_ASH = Composition.from_fractions(si28=1.0)
+#: iron-group NSE ash
+NSE_ASH = Composition.from_fractions(ni56=1.0)
+
+
+def ion_pressure(dens, temp, abar) -> np.ndarray:
+    """Ideal ion pressure P = rho N_A k T / abar [erg/cm^3]."""
+    return np.asarray(dens) * AVOGADRO * BOLTZMANN * np.asarray(temp) / abar
+
+
+def ion_energy(dens, temp, abar) -> np.ndarray:
+    """Ideal ion specific internal energy 3/2 kT N_A/abar [erg/g]."""
+    return 1.5 * AVOGADRO * BOLTZMANN * np.asarray(temp) / abar
+
+
+def ion_entropy(dens, temp, abar) -> np.ndarray:
+    """Sackur-Tetrode specific entropy of the ions [erg/g/K]."""
+    dens = np.asarray(dens, dtype=np.float64)
+    temp = np.asarray(temp, dtype=np.float64)
+    n = dens * AVOGADRO / abar
+    mass = abar * PROTON_MASS
+    lam = H_PLANCK / np.sqrt(2.0 * np.pi * mass * BOLTZMANN * temp)
+    arg = np.maximum(1.0 / (n * lam**3), 1e-300)
+    return AVOGADRO * BOLTZMANN / abar * (np.log(arg) + 2.5)
+
+
+__all__ = [
+    "Composition",
+    "CO_WD",
+    "HYBRID_CONE_WD",
+    "SI_ASH",
+    "NSE_ASH",
+    "ion_pressure",
+    "ion_energy",
+    "ion_entropy",
+]

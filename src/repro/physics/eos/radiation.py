@@ -1,0 +1,28 @@
+"""Photon gas: blackbody radiation thermodynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.constants import RADIATION_A
+
+
+def radiation_pressure(temp) -> np.ndarray:
+    """P_rad = a T^4 / 3 [erg/cm^3]."""
+    t = np.asarray(temp, dtype=np.float64)
+    return RADIATION_A * t**4 / 3.0
+
+
+def radiation_energy(dens, temp) -> np.ndarray:
+    """Specific radiation energy a T^4 / rho [erg/g]."""
+    t = np.asarray(temp, dtype=np.float64)
+    return RADIATION_A * t**4 / np.asarray(dens, dtype=np.float64)
+
+
+def radiation_entropy(dens, temp) -> np.ndarray:
+    """Specific radiation entropy (4/3) a T^3 / rho [erg/g/K]."""
+    t = np.asarray(temp, dtype=np.float64)
+    return 4.0 / 3.0 * RADIATION_A * t**3 / np.asarray(dens, dtype=np.float64)
+
+
+__all__ = ["radiation_pressure", "radiation_energy", "radiation_entropy"]

@@ -1,0 +1,6 @@
+"""The model flame: ADR progress variables with tabulated speeds."""
+
+from repro.physics.flame.speed import FlameSpeedTable, turbulent_enhancement
+from repro.physics.flame.adr import ADRFlame
+
+__all__ = ["FlameSpeedTable", "turbulent_enhancement", "ADRFlame"]

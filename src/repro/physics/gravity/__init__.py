@@ -1,0 +1,5 @@
+"""Self-gravity (monopole approximation)."""
+
+from repro.physics.gravity.monopole import MonopoleGravity
+
+__all__ = ["MonopoleGravity"]

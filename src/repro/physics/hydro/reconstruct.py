@@ -1,0 +1,68 @@
+"""Slope-limited piecewise-linear reconstruction (the "M" of MUSCL)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+def _shift(q: np.ndarray, axis: int, offset: int) -> np.ndarray:
+    """q shifted by ``offset`` along ``axis`` (edge-clamped view-copy)."""
+    out = np.empty_like(q)
+    src = [slice(None)] * q.ndim
+    dst = [slice(None)] * q.ndim
+    if offset > 0:
+        src[axis] = slice(None, -offset)
+        dst[axis] = slice(offset, None)
+        edge = [slice(None)] * q.ndim
+        edge[axis] = slice(0, offset)
+        out[tuple(edge)] = np.take(q, [0], axis=axis)
+    elif offset < 0:
+        src[axis] = slice(-offset, None)
+        dst[axis] = slice(None, offset)
+        edge = [slice(None)] * q.ndim
+        edge[axis] = slice(offset, None)
+        out[tuple(edge)] = np.take(q, [-1], axis=axis)
+    else:
+        return q.copy()
+    out[tuple(dst)] = q[tuple(src)]
+    return out
+
+
+def _minmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    keep = a * b > 0.0
+    return np.where(keep, np.where(np.abs(a) < np.abs(b), a, b), 0.0)
+
+
+def limited_slopes(q: np.ndarray, axis: int, limiter: str = "mc") -> np.ndarray:
+    """Per-cell limited slope of ``q`` along ``axis``.
+
+    Limiters: ``minmod`` (most dissipative), ``mc`` (monotonised central,
+    FLASH's usual choice), ``vanleer``.
+    """
+    dqf = _shift(q, axis, -1) - q  # q[i+1] - q[i]
+    dqb = q - _shift(q, axis, 1)  # q[i] - q[i-1]
+    if limiter == "minmod":
+        return _minmod(dqf, dqb)
+    if limiter == "mc":
+        centred = 0.5 * (dqf + dqb)
+        lim = _minmod(dqf, dqb)
+        return _minmod(centred, 2.0 * lim)
+    if limiter == "vanleer":
+        denom = dqf + dqb
+        with np.errstate(invalid="ignore", divide="ignore"):
+            s = np.where(dqf * dqb > 0.0, 2.0 * dqf * dqb / denom, 0.0)
+        return np.where(np.isfinite(s), s, 0.0)
+    raise ConfigurationError(f"unknown limiter {limiter!r}")
+
+
+def face_states(q: np.ndarray, axis: int, limiter: str = "mc"):
+    """Left/right extrapolations of ``q`` to its cell faces:
+    ``(q_minus, q_plus)`` where minus/plus are the low/high-face values of
+    *each cell* (not yet paired across the interface)."""
+    slope = limited_slopes(q, axis, limiter)
+    return q - 0.5 * slope, q + 0.5 * slope
+
+
+__all__ = ["limited_slopes", "face_states"]

@@ -1,0 +1,123 @@
+"""HLLC approximate Riemann solver (Toro, ch. 10) with passive scalars.
+
+States arrive as dicts of arrays giving the left/right primitive states at
+each interface; the normal direction is abstracted by passing the names of
+the normal and transverse velocity components.  A per-interface gamma (the
+larger of the two ``game`` values, a robust choice for general-EOS
+operation) closes the energy equation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.physics.hydro.state import SMALL_DENS, SMALL_PRES
+
+
+def _flux_from_state(prim, vn_name, gamma, species):
+    """Physical flux of one state through a face with normal velocity vn."""
+    rho = prim["dens"]
+    vn = prim[vn_name]
+    pres = prim["pres"]
+    eint = pres / ((gamma - 1.0) * rho)
+    ke = 0.5 * (prim["velx"] ** 2 + prim["vely"] ** 2 + prim["velz"] ** 2)
+    etot = rho * (eint + ke)
+    flux = {
+        "dens": rho * vn,
+        "momx": rho * vn * prim["velx"],
+        "momy": rho * vn * prim["vely"],
+        "momz": rho * vn * prim["velz"],
+        "ener": vn * (etot + pres),
+    }
+    mom_n = "mom" + vn_name[-1]
+    flux[mom_n] = flux[mom_n] + pres
+    for s in species:
+        flux[s] = rho * vn * prim[s]
+    return flux, etot
+
+
+def hllc_flux(left: dict, right: dict, axis: int,
+              species: tuple[str, ...] = ()) -> dict[str, np.ndarray]:
+    """HLLC flux through interfaces with the given left/right states.
+
+    ``axis`` picks the normal velocity (0 -> velx, 1 -> vely, 2 -> velz).
+    Returns conserved fluxes keyed like the conserved state.
+    """
+    vn_name = ("velx", "vely", "velz")[axis]
+    mom_n = "mom" + vn_name[-1]
+
+    rho_l = np.maximum(left["dens"], SMALL_DENS)
+    rho_r = np.maximum(right["dens"], SMALL_DENS)
+    p_l = np.maximum(left["pres"], SMALL_PRES)
+    p_r = np.maximum(right["pres"], SMALL_PRES)
+    u_l, u_r = left[vn_name], right[vn_name]
+    gamma = np.maximum(left["game"], right["game"])
+
+    c_l = np.sqrt(gamma * p_l / rho_l)
+    c_r = np.sqrt(gamma * p_r / rho_r)
+
+    # Davis wave-speed estimates
+    s_l = np.minimum(u_l - c_l, u_r - c_r)
+    s_r = np.maximum(u_l + c_l, u_r + c_r)
+    # contact speed
+    denom = rho_l * (s_l - u_l) - rho_r * (s_r - u_r)
+    s_star = (p_r - p_l + rho_l * u_l * (s_l - u_l)
+              - rho_r * u_r * (s_r - u_r)) / np.where(denom != 0.0, denom, 1e-300)
+
+    f_l, e_l = _flux_from_state(left, vn_name, gamma, species)
+    f_r, e_r = _flux_from_state(right, vn_name, gamma, species)
+
+    def star_flux(prim, f, etot, s_k, rho, u, p):
+        """F* = F_k + S_k (U* - U_k) for the HLLC star region."""
+        factor = rho * (s_k - u) / np.where(s_k - s_star != 0.0,
+                                            s_k - s_star, 1e-300)
+        out = {}
+        u_cons = {
+            "dens": rho,
+            "momx": rho * prim["velx"],
+            "momy": rho * prim["vely"],
+            "momz": rho * prim["velz"],
+            "ener": etot,
+        }
+        u_star = {
+            "dens": factor,
+            "momx": factor * prim["velx"],
+            "momy": factor * prim["vely"],
+            "momz": factor * prim["velz"],
+            "ener": factor * (etot / rho + (s_star - u)
+                              * (s_star + p / (rho * (s_k - u)))),
+        }
+        u_star[mom_n] = factor * s_star
+        for s in species:
+            u_cons[s] = rho * prim[s]
+            u_star[s] = factor * prim[s]
+        for key in u_cons:
+            out[key] = f[key] + s_k * (u_star[key] - u_cons[key])
+        return out
+
+    fl_star = star_flux(left, f_l, e_l, s_l, rho_l, u_l, p_l)
+    fr_star = star_flux(right, f_r, e_r, s_r, rho_r, u_r, p_r)
+
+    out = {}
+    for key in f_l:
+        out[key] = np.where(
+            s_l >= 0.0, f_l[key],
+            np.where(s_star >= 0.0, fl_star[key],
+                     np.where(s_r >= 0.0, fr_star[key], f_r[key])),
+        )
+    return out
+
+
+def max_wave_speed(prim: dict[str, np.ndarray], gamc: np.ndarray,
+                   ndim: int) -> np.ndarray:
+    """|v| + c_s per zone, for the CFL condition."""
+    cs = np.sqrt(gamc * prim["pres"] / prim["dens"])
+    speed = np.abs(prim["velx"])
+    if ndim > 1:
+        speed = np.maximum(speed, np.abs(prim["vely"]))
+    if ndim > 2:
+        speed = np.maximum(speed, np.abs(prim["velz"]))
+    return speed + cs
+
+
+__all__ = ["hllc_flux", "max_wave_speed"]

@@ -1,0 +1,16 @@
+"""Problem setups: Sod, Sedov, white dwarfs, the Type Iax supernova."""
+
+from repro.setups.sod import SodProblem, sod_exact
+from repro.setups.sedov import SedovSolution, sedov_setup
+from repro.setups.whitedwarf import WhiteDwarfModel, build_white_dwarf
+from repro.setups.supernova import supernova_setup
+
+__all__ = [
+    "SodProblem",
+    "sod_exact",
+    "SedovSolution",
+    "sedov_setup",
+    "WhiteDwarfModel",
+    "build_white_dwarf",
+    "supernova_setup",
+]

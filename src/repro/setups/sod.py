@@ -1,0 +1,136 @@
+"""The Sod shock tube: setup + exact Riemann solution (verification)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.mesh.grid import Grid
+from repro.physics.eos.apply import apply_eos
+
+
+@dataclass(frozen=True)
+class SodProblem:
+    """Classic Sod (1978) initial data on [0, 1]."""
+
+    gamma: float = 1.4
+    rho_l: float = 1.0
+    p_l: float = 1.0
+    u_l: float = 0.0
+    rho_r: float = 0.125
+    p_r: float = 0.1
+    u_r: float = 0.0
+    x0: float = 0.5
+
+    def initialize(self, grid: Grid, eos) -> None:
+        """Write the initial discontinuity onto all leaf blocks."""
+        for block in grid.leaf_blocks():
+            x, _, _ = grid.cell_centers(block)
+            left = np.broadcast_to(x < self.x0,
+                                   grid.interior(block, "dens").shape)
+            dens = np.where(left, self.rho_l, self.rho_r)
+            pres = np.where(left, self.p_l, self.p_r)
+            grid.interior(block, "dens")[:] = dens
+            grid.interior(block, "pres")[:] = pres
+            grid.interior(block, "velx")[:] = np.where(left, self.u_l, self.u_r)
+            eint = pres / ((self.gamma - 1.0) * dens)
+            grid.interior(block, "eint")[:] = eint
+            grid.interior(block, "ener")[:] = eint + 0.5 * np.where(
+                left, self.u_l, self.u_r) ** 2
+        apply_eos(grid, eos)
+
+
+def sod_exact(problem: SodProblem, x: np.ndarray, t: float):
+    """Exact gamma-law Riemann solution sampled at positions x, time t.
+
+    Returns (dens, velx, pres).  Standard exact solver (Toro ch. 4):
+    Newton/Brent on the star-region pressure, then self-similar sampling.
+    """
+    g = problem.gamma
+    rl, pl, ul = problem.rho_l, problem.p_l, problem.u_l
+    rr, pr, ur = problem.rho_r, problem.p_r, problem.u_r
+    cl = np.sqrt(g * pl / rl)
+    cr = np.sqrt(g * pr / rr)
+
+    def f_k(p, rk, pk, ck):
+        if p > pk:  # shock
+            a = 2.0 / ((g + 1.0) * rk)
+            b = (g - 1.0) / (g + 1.0) * pk
+            return (p - pk) * np.sqrt(a / (p + b))
+        # rarefaction
+        return 2.0 * ck / (g - 1.0) * ((p / pk) ** ((g - 1.0) / (2 * g)) - 1.0)
+
+    def f(p):
+        return f_k(p, rl, pl, cl) + f_k(p, rr, pr, cr) + (ur - ul)
+
+    p_star = brentq(f, 1e-12, 100.0 * max(pl, pr))
+    u_star = 0.5 * (ul + ur) + 0.5 * (f_k(p_star, rr, pr, cr)
+                                      - f_k(p_star, rl, pl, cl))
+
+    x = np.asarray(x, dtype=np.float64)
+    s = (x - problem.x0) / max(t, 1e-300)
+    dens = np.empty_like(s)
+    vel = np.empty_like(s)
+    pres = np.empty_like(s)
+
+    # left side
+    if p_star > pl:  # left shock
+        rho_star_l = rl * ((p_star / pl + (g - 1) / (g + 1))
+                           / ((g - 1) / (g + 1) * p_star / pl + 1.0))
+        s_l = ul - cl * np.sqrt((g + 1) / (2 * g) * p_star / pl
+                                + (g - 1) / (2 * g))
+        left_states = [(s < s_l, (rl, ul, pl)),
+                       ((s >= s_l) & (s < u_star), (rho_star_l, u_star, p_star))]
+        fan_l = None
+    else:  # left rarefaction
+        rho_star_l = rl * (p_star / pl) ** (1.0 / g)
+        c_star_l = cl * (p_star / pl) ** ((g - 1) / (2 * g))
+        head, tail = ul - cl, u_star - c_star_l
+        left_states = [(s < head, (rl, ul, pl)),
+                       ((s >= tail) & (s < u_star), (rho_star_l, u_star, p_star))]
+        fan_l = (head, tail)
+
+    # right side
+    if p_star > pr:  # right shock
+        rho_star_r = rr * ((p_star / pr + (g - 1) / (g + 1))
+                           / ((g - 1) / (g + 1) * p_star / pr + 1.0))
+        s_r = ur + cr * np.sqrt((g + 1) / (2 * g) * p_star / pr
+                                + (g - 1) / (2 * g))
+        right_states = [((s >= u_star) & (s < s_r), (rho_star_r, u_star, p_star)),
+                        (s >= s_r, (rr, ur, pr))]
+        fan_r = None
+    else:
+        rho_star_r = rr * (p_star / pr) ** (1.0 / g)
+        c_star_r = cr * (p_star / pr) ** ((g - 1) / (2 * g))
+        head, tail = ur + cr, u_star + c_star_r
+        right_states = [((s >= u_star) & (s < tail),
+                         (rho_star_r, u_star, p_star)),
+                        (s >= head, (rr, ur, pr))]
+        fan_r = (tail, head)
+
+    for mask, (d, u, p) in left_states + right_states:
+        dens[mask], vel[mask], pres[mask] = d, u, p
+
+    if fan_l is not None:
+        head, tail = fan_l
+        m = (s >= head) & (s < tail)
+        u_fan = 2.0 / (g + 1.0) * (cl + (g - 1.0) / 2.0 * ul + s[m])
+        c_fan = cl - (g - 1.0) / 2.0 * (u_fan - ul)
+        dens[m] = rl * (c_fan / cl) ** (2.0 / (g - 1.0))
+        vel[m] = u_fan
+        pres[m] = pl * (c_fan / cl) ** (2.0 * g / (g - 1.0))
+    if fan_r is not None:
+        tail, head = fan_r
+        m = (s >= tail) & (s < head)
+        u_fan = 2.0 / (g + 1.0) * (-cr + (g - 1.0) / 2.0 * ur + s[m])
+        c_fan = cr + (g - 1.0) / 2.0 * (u_fan - ur)
+        dens[m] = rr * (c_fan / cr) ** (2.0 / (g - 1.0))
+        vel[m] = u_fan
+        pres[m] = pr * (c_fan / cr) ** (2.0 * g / (g - 1.0))
+
+    return dens, vel, pres
+
+
+__all__ = ["SodProblem", "sod_exact"]

@@ -1,0 +1,147 @@
+"""The 2-d Type Iax supernova setup: pure deflagration of a hybrid WD.
+
+Builds the paper's science problem: a hydrostatic hybrid C/O/Ne white
+dwarf mapped onto the 2-d AMR mesh (interpreted as a slice through the
+star — see DESIGN.md for the substitution of FLASH's 2-d cylindrical
+geometry by Cartesian-slice + spherically averaged monopole gravity), an
+ambient fluff, monopole self-gravity, the Helmholtz EOS with a reactive
+fuel/ash composition, and a "match-head" ignition region for the ADR
+model flame slightly offset from the centre (the standard single-bubble
+deflagration ignition of the Iax literature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.grid import Grid, MeshSpec, VariableRegistry
+from repro.mesh.refine import refine_pass
+from repro.mesh.tree import AMRTree
+from repro.physics.eos import HYBRID_CONE_WD, NSE_ASH, SI_ASH, HelmholtzEOS
+from repro.physics.eos.apply import apply_eos, composition_from_species
+from repro.physics.flame.adr import ADRFlame
+from repro.physics.gravity.monopole import MonopoleGravity
+from repro.physics.hydro.unit import HydroUnit
+from repro.setups.whitedwarf import WhiteDwarfModel, build_white_dwarf
+
+#: progress variables: fl01 carbon burning, fl02 NSE relaxation
+SN_SPECIES = ("fl01", "fl02")
+
+
+@dataclass
+class SupernovaProblem:
+    """Everything needed to evolve the deflagration."""
+
+    grid: Grid
+    eos: HelmholtzEOS
+    hydro: HydroUnit
+    flame: ADRFlame
+    gravity: MonopoleGravity
+    model: WhiteDwarfModel
+
+
+def _composition(grid, stacked):
+    """Per-zone (abar, zbar): fuel -> Si ash by fl01, Si -> NSE by fl02."""
+    phi1 = stacked["fl01"]
+    phi2 = stacked["fl02"]
+    fuel, si, nse = HYBRID_CONE_WD, SI_ASH, NSE_ASH
+    inv_abar = ((1.0 - phi1) / fuel.abar + (phi1 - phi2) / si.abar
+                + phi2 / nse.abar)
+    z_over_a = ((1.0 - phi1) * fuel.ye + (phi1 - phi2) * si.ye + phi2 * nse.ye)
+    abar = 1.0 / np.maximum(inv_abar, 1e-30)
+    return abar, abar * z_over_a
+
+
+def supernova_setup(
+    *,
+    ndim: int = 2,
+    nblock: int = 4,
+    nxb: int = 16,
+    max_level: int = 3,
+    maxblocks: int = 2048,
+    central_density: float = 1.2e9,
+    core_temperature: float = 5.0e7,
+    fluff_density: float = 1.0e4,
+    fluff_temperature: float = 3.0e7,
+    ignition_offset: float = 5.0e7,
+    ignition_radius: float = 1.2e7,
+    domain_half_width: float = 2.5e8,
+    model: WhiteDwarfModel | None = None,
+    eos: HelmholtzEOS | None = None,
+    initial_refinement: bool = True,
+) -> SupernovaProblem:
+    """Build the supernova problem (the paper's "EOS" test workload).
+
+    ``ndim=2`` is the paper's configuration ("suites of 2-d simulations
+    that allow for a relatively inexpensive exploration"); ``ndim=3``
+    builds the full-star problem the paper says will come next
+    ("Eventually, however, we will run full 3-d simulations").
+    """
+    if ndim not in (2, 3):
+        raise ValueError("the supernova setup supports ndim = 2 or 3")
+    eos = eos or HelmholtzEOS()
+    model = model or build_white_dwarf(
+        central_density=central_density, temperature=core_temperature,
+        eos=eos, dens_floor=10.0 * fluff_density,
+    )
+
+    L = domain_half_width
+    tree = AMRTree(ndim=ndim, nblockx=nblock, nblocky=nblock,
+                   nblockz=nblock if ndim == 3 else 1,
+                   max_level=max_level,
+                   domain=((-L, L), (-L, L),
+                           (-L, L) if ndim == 3 else (0.0, 1.0)))
+    variables = VariableRegistry().extended(*SN_SPECIES)
+    spec = MeshSpec(ndim=ndim, nxb=nxb, nyb=nxb,
+                    nzb=nxb if ndim == 3 else 1, nguard=4,
+                    maxblocks=maxblocks)
+    grid = Grid(tree, spec, variables)
+
+    def paint(grid: Grid) -> None:
+        comp = model.composition
+        for block in grid.leaf_blocks():
+            x, y, z = grid.cell_centers(block)
+            r2 = x**2 + y**2 + (z**2 if ndim == 3 else 0.0)
+            r = np.broadcast_to(np.sqrt(r2),
+                                grid.interior(block, "dens").shape)
+            dens = np.maximum(model.interp_dens(r), fluff_density)
+            temp = np.where(dens > 2.0 * fluff_density,
+                            model.interp_temp(r), fluff_temperature)
+            # match-head: hot, fully burned ignition bubble offset on +y
+            rb2 = x**2 + (y - ignition_offset) ** 2 + (
+                z**2 if ndim == 3 else 0.0)
+            rb = np.broadcast_to(np.sqrt(rb2), dens.shape)
+            ignite = rb < ignition_radius
+            phi1 = np.where(ignite, 1.0, 0.0)
+            temp = np.where(ignite, np.maximum(temp, 3.0e9), temp)
+            grid.interior(block, "dens")[:] = dens
+            grid.interior(block, "temp")[:] = temp
+            grid.interior(block, "velx")[:] = 0.0
+            grid.interior(block, "vely")[:] = 0.0
+            grid.interior(block, "velz")[:] = 0.0
+            grid.interior(block, "fl01")[:] = phi1
+            grid.interior(block, "fl02")[:] = phi1 * np.where(
+                np.broadcast_to(dens, phi1.shape) > 1e7, 1.0, 0.0)
+        apply_eos(grid, eos, mode="dens_temp", composition=_composition,
+                  species=SN_SPECIES)
+
+    paint(grid)
+    if initial_refinement:
+        for _ in range(max_level):
+            n_ref, _ = refine_pass(grid, "dens", refine_cutoff=0.55,
+                                   derefine_cutoff=0.1)
+            paint(grid)
+            if n_ref == 0:
+                break
+
+    hydro = HydroUnit(eos, cfl=0.4, species=SN_SPECIES,
+                      composition=_composition)
+    flame = ADRFlame(x_carbon_fuel=0.30)
+    gravity = MonopoleGravity(center=(0.0, 0.0, 0.0))
+    return SupernovaProblem(grid=grid, eos=eos, hydro=hydro, flame=flame,
+                            gravity=gravity, model=model)
+
+
+__all__ = ["supernova_setup", "SupernovaProblem", "SN_SPECIES", "_composition"]

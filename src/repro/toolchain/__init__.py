@@ -1,0 +1,54 @@
+"""Compiler and runtime-allocator models.
+
+The paper's central finding — FLASH huge-pages only under the Fujitsu
+compiler — is a property of the *runtime*, not of code generation.  This
+subpackage models:
+
+* the four compilers the paper tried (:mod:`repro.toolchain.compiler`)
+  with their performance traits (the Arm compiler's 2.5x slowdown, the
+  Fujitsu finalizer bug that broke the PAPI Fortran wrapper) and their
+  allocator runtimes;
+* the runtime allocators (:mod:`repro.toolchain.allocator`): glibc malloc
+  with its mmap threshold, the libhugetlbfs ``LD_PRELOAD`` morecore hook,
+  and Fujitsu's XOS_MMM_L large-page library;
+* process environment handling (:mod:`repro.toolchain.env`):
+  ``LD_PRELOAD``, ``HUGETLB_MORECORE``, ``XOS_MMM_L_HPAGE_TYPE``;
+* executables and simulated processes (:mod:`repro.toolchain.executable`).
+"""
+
+from repro.toolchain.env import ProcessEnv
+from repro.toolchain.allocator import (
+    Allocation,
+    AllocatorModel,
+    GlibcMalloc,
+    FujitsuLargePage,
+    build_allocator,
+)
+from repro.toolchain.compiler import (
+    Compiler,
+    CompilerPerf,
+    GNU,
+    CRAY,
+    ARM,
+    FUJITSU,
+    COMPILERS,
+)
+from repro.toolchain.executable import Executable, Process
+
+__all__ = [
+    "ProcessEnv",
+    "Allocation",
+    "AllocatorModel",
+    "GlibcMalloc",
+    "FujitsuLargePage",
+    "build_allocator",
+    "Compiler",
+    "CompilerPerf",
+    "GNU",
+    "CRAY",
+    "ARM",
+    "FUJITSU",
+    "COMPILERS",
+    "Executable",
+    "Process",
+]

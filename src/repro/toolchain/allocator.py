@@ -1,0 +1,177 @@
+"""Runtime allocator models: where do Fortran ``ALLOCATE``s actually land?
+
+Three behaviours decide the paper's entire huge-page story:
+
+:class:`GlibcMalloc`
+    gfortran and the Cray runtime allocate through glibc malloc.  Requests
+    above ``mmap_threshold`` (128 KiB) are served by a **plain anonymous
+    mmap**.  On the 64 KiB-granule kernel such mappings only receive THP if
+    they contain a whole 512 MiB-aligned extent — which FLASH's arrays do
+    not — and the libhugetlbfs preload **only hooks the morecore (sbrk)
+    heap path**, not mmap.  Hence "try as we might ... all to no avail".
+
+:class:`GlibcMalloc` + ``HUGETLB_MORECORE``
+    the libhugetlbfs preload replaces the heap with hugetlbfs-backed
+    memory; requests *below* the mmap threshold benefit, large arrays do
+    not.
+
+:class:`FujitsuLargePage`
+    the Fujitsu runtime links its XOS_MMM_L large-page allocator, which
+    intercepts **large allocations on the mmap path** and backs them with
+    2 MiB hugetlbfs pages (``XOS_MMM_L_HPAGE_TYPE=hugetlbfs``, the default)
+    or THP-advised memory (``thp``) or nothing (``none``).  Compiling with
+    ``-Knolargepage`` removes the library — the paper's only way to turn
+    huge pages *off* with the Fujitsu compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util import KiB, MiB
+from repro.util.errors import AllocationError
+from repro.kernel.page import align_up
+from repro.kernel.vmm import AddressSpace, MapFlags, VMA
+from repro.toolchain.env import ProcessEnv
+
+
+@dataclass
+class Allocation:
+    """A live allocation: a VMA plus the payload offset within it."""
+
+    vma: VMA
+    offset: int
+    nbytes: int
+    name: str = ""
+
+    def translate(self, space: AddressSpace, offsets: np.ndarray):
+        """Map payload-relative byte offsets to (page base, page size)."""
+        return space.translate(self.vma, self.offset + np.asarray(offsets, np.int64))
+
+    def touch(self, space: AddressSpace, offsets: np.ndarray) -> None:
+        space.touch(self.vma, self.offset + np.asarray(offsets, np.int64))
+
+    def touch_all(self, space: AddressSpace) -> None:
+        space.touch_range(self.vma, self.offset, self.nbytes)
+
+
+class AllocatorModel:
+    """Base class: allocators turn byte requests into VMAs."""
+
+    name = "abstract"
+
+    def allocate(self, space: AddressSpace, nbytes: int, name: str = "") -> Allocation:
+        raise NotImplementedError
+
+    def free(self, space: AddressSpace, allocation: Allocation) -> None:
+        """Return memory; mmap-backed allocations are unmapped eagerly."""
+        if allocation.vma.name != "[heap]":
+            space.munmap(allocation.vma)
+        # heap sub-allocations are retained by the arena (glibc behaviour)
+
+
+@dataclass
+class GlibcMalloc(AllocatorModel):
+    """glibc malloc: brk heap below the threshold, anonymous mmap above.
+
+    ``morecore`` mirrors libhugetlbfs' ``HUGETLB_MORECORE``: ``None`` for a
+    normal heap, a huge-page size for a hugetlbfs-backed heap, or ``'thp'``
+    for an madvised heap.
+    """
+
+    mmap_threshold: int = 128 * KiB
+    morecore: str | int | None = None
+    #: glibc's bookkeeping header before the payload
+    header_bytes: int = 16
+    _heap_cursor: int = field(default=0, repr=False)
+
+    name = "glibc"
+
+    def _heap(self, space: AddressSpace) -> VMA:
+        morecore = self.morecore
+        if morecore is None:
+            return space.brk_heap()
+        if morecore == "thp":
+            heap = space.brk_heap()
+            if not heap.madv_hugepage:
+                space.madvise(heap, "MADV_HUGEPAGE")
+            return heap
+        size = (space.kernel.config.boot.default_hugepagesz
+                if morecore == "default" else int(morecore))
+        return space.brk_heap(hugetlb_size=size)
+
+    def allocate(self, space: AddressSpace, nbytes: int, name: str = "") -> Allocation:
+        if nbytes <= 0:
+            raise AllocationError("allocation size must be positive")
+        if nbytes + self.header_bytes < self.mmap_threshold:
+            heap = self._heap(space)
+            offset = self._heap_cursor + self.header_bytes
+            end = align_up(offset + nbytes, 16)
+            if end > heap.length:
+                raise AllocationError("simulated heap arena exhausted")
+            self._heap_cursor = end
+            return Allocation(vma=heap, offset=offset, nbytes=nbytes, name=name)
+        vma = space.mmap(nbytes + self.header_bytes,
+                         flags=MapFlags.ANONYMOUS, name=name or "malloc-mmap")
+        return Allocation(vma=vma, offset=self.header_bytes, nbytes=nbytes, name=name)
+
+
+@dataclass
+class FujitsuLargePage(AllocatorModel):
+    """The XOS_MMM_L large-page allocator linked by the Fujitsu runtime.
+
+    Large requests bypass glibc entirely: the library mmaps hugetlbfs
+    memory (drawing surplus pool pages on demand — the Fujitsu install
+    raises ``nr_overcommit_hugepages``, which is how *unmodified* Ookami
+    nodes huge-paged just as well as the modified ones) and suballocates
+    from it.  Small requests fall through to glibc.
+    """
+
+    hpage_type: str = "hugetlbfs"  # none | hugetlbfs | thp
+    large_threshold: int = 256 * KiB
+    huge_size: int | None = None  # default: kernel's default_hugepagesz
+    fallthrough: GlibcMalloc = field(default_factory=GlibcMalloc)
+
+    name = "fujitsu-xos-mmm-l"
+
+    def allocate(self, space: AddressSpace, nbytes: int, name: str = "") -> Allocation:
+        if nbytes <= 0:
+            raise AllocationError("allocation size must be positive")
+        if self.hpage_type == "none" or nbytes < self.large_threshold:
+            return self.fallthrough.allocate(space, nbytes, name)
+        if self.hpage_type == "thp":
+            # align and advise; still subject to the kernel's THP granule
+            vma = space.mmap(
+                nbytes,
+                flags=MapFlags.ANONYMOUS,
+                name=name or "xos-thp",
+                align=space.kernel.config.geometry.thp_page,
+            )
+            space.madvise(vma, "MADV_HUGEPAGE")
+            return Allocation(vma=vma, offset=0, nbytes=nbytes, name=name)
+        size = self.huge_size or space.kernel.config.boot.default_hugepagesz
+        try:
+            vma = space.mmap(nbytes, hugetlb_size=size, name=name or "xos-hugetlb")
+        except AllocationError:
+            # pool and overcommit exhausted: fall back to normal memory,
+            # as the library does rather than kill the job
+            return self.fallthrough.allocate(space, nbytes, name)
+        return Allocation(vma=vma, offset=0, nbytes=nbytes, name=name)
+
+
+def build_allocator(env: ProcessEnv, *, fujitsu_largepage: bool) -> AllocatorModel:
+    """Choose the allocator a process gets from its toolchain + environment."""
+    if fujitsu_largepage:
+        return FujitsuLargePage(hpage_type=env.xos_hpage_type)
+    return GlibcMalloc(morecore=env.hugetlb_morecore)
+
+
+__all__ = [
+    "Allocation",
+    "AllocatorModel",
+    "GlibcMalloc",
+    "FujitsuLargePage",
+    "build_allocator",
+]

@@ -1,0 +1,85 @@
+"""Process environment variables relevant to huge-page behaviour.
+
+The paper manipulates three mechanisms through the environment:
+
+* ``LD_PRELOAD=libhugetlbfs.so`` with ``HUGETLB_MORECORE`` — the
+  libhugetlbfs heap hook (set by ``hugectl --heap`` / ``--thp``);
+* ``HUGETLB_SHM`` — SysV shared-memory backing (``hugectl --shm``);
+* ``XOS_MMM_L_HPAGE_TYPE`` — the Fujitsu runtime's large-page mode, with
+  documented values ``none`` and ``hugetlbfs`` plus the ``thp`` value the
+  Fugaku co-design report mentions (accepted on FX700 too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util import MiB
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class ProcessEnv:
+    """A thin, typed view over a process's environment variables."""
+
+    variables: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, env: dict[str, str] | None) -> "ProcessEnv":
+        return cls(dict(env or {}))
+
+    def merged(self, extra: dict[str, str]) -> "ProcessEnv":
+        out = dict(self.variables)
+        out.update(extra)
+        return ProcessEnv(out)
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        return self.variables.get(key, default)
+
+    # --- libhugetlbfs ---------------------------------------------------------
+    @property
+    def libhugetlbfs_preloaded(self) -> bool:
+        preload = self.variables.get("LD_PRELOAD", "")
+        return "libhugetlbfs" in preload
+
+    @property
+    def hugetlb_morecore(self) -> str | int | None:
+        """``None`` (off), ``'thp'``, or a huge-page size in bytes.
+
+        Only honoured when libhugetlbfs is actually preloaded.
+        """
+        if not self.libhugetlbfs_preloaded:
+            return None
+        value = self.variables.get("HUGETLB_MORECORE")
+        if value is None:
+            return None
+        if value == "thp":
+            return "thp"
+        if value in ("yes", "y", "1", "true"):
+            return "default"
+        try:
+            return int(value)
+        except ValueError:
+            raise ConfigurationError(f"bad HUGETLB_MORECORE value {value!r}")
+
+    @property
+    def hugetlb_shm(self) -> bool:
+        return (
+            self.libhugetlbfs_preloaded
+            and self.variables.get("HUGETLB_SHM", "") in ("yes", "y", "1", "true")
+        )
+
+    # --- Fujitsu XOS_MMM_L ------------------------------------------------------
+    @property
+    def xos_hpage_type(self) -> str:
+        """Value of ``XOS_MMM_L_HPAGE_TYPE`` (default ``hugetlbfs``)."""
+        value = self.variables.get("XOS_MMM_L_HPAGE_TYPE", "hugetlbfs")
+        if value not in ("none", "hugetlbfs", "thp"):
+            raise ConfigurationError(
+                f"XOS_MMM_L_HPAGE_TYPE={value!r}: accepted values are "
+                "none, hugetlbfs, thp"
+            )
+        return value
+
+
+__all__ = ["ProcessEnv"]

@@ -1,0 +1,134 @@
+"""Executables and simulated processes.
+
+An :class:`Executable` binds a program name to the compiler that built it
+(and hence its allocator runtime).  ``launch`` creates a :class:`Process`
+on a simulated kernel with a given environment — the point where
+``LD_PRELOAD=libhugetlbfs.so``, ``hugectl`` wrappers, and
+``XOS_MMM_L_HPAGE_TYPE`` take effect.
+
+A :class:`Process` exposes the two allocation paths a Fortran program has:
+
+* :meth:`Process.allocate` — dynamic allocation (``ALLOCATE``), routed
+  through the toolchain's allocator model;
+* :meth:`Process.static_array` — static allocation (a saved array in the
+  data/BSS segment), which lives in the file-backed image mapping and can
+  therefore never receive transparent huge pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util import MiB
+from repro.kernel.vmm import AddressSpace, Kernel
+from repro.kernel.page import align_up
+from repro.toolchain.allocator import Allocation, AllocatorModel, build_allocator
+from repro.toolchain.compiler import Compiler
+from repro.toolchain.env import ProcessEnv
+
+
+@dataclass(frozen=True)
+class Executable:
+    """A compiled program."""
+
+    program: str
+    compiler: Compiler
+    flags: tuple[str, ...] = ()
+    largepage_runtime: bool = False
+    #: statically declared data (data/BSS segment size)
+    static_bytes: int = 8 * MiB
+
+    def launch(
+        self,
+        kernel: Kernel,
+        env: dict[str, str] | ProcessEnv | None = None,
+        *,
+        node_setup: bool = True,
+    ) -> "Process":
+        """Start a simulated process.
+
+        ``node_setup`` applies the toolchain's node-level runtime
+        prerequisites first (for Fujitsu: the surplus-pool overcommit its
+        installer configures).
+        """
+        if node_setup:
+            self.compiler.node_setup(kernel)
+        penv = env if isinstance(env, ProcessEnv) else ProcessEnv.from_dict(env)
+        return Process(kernel=kernel, executable=self, env=penv)
+
+
+class Process:
+    """A running instance of an executable on a simulated kernel."""
+
+    def __init__(self, kernel: Kernel, executable: Executable, env: ProcessEnv) -> None:
+        self.kernel = kernel
+        self.executable = executable
+        self.env = env
+        self.space: AddressSpace = kernel.new_address_space(executable.program)
+        self.allocator: AllocatorModel = build_allocator(
+            env, fujitsu_largepage=executable.largepage_runtime
+        )
+        self._image = self.space.map_image(executable.static_bytes,
+                                           name=executable.program)
+        self._static_cursor = 0
+        self.allocations: dict[str, Allocation] = {}
+
+    # --- allocation paths -------------------------------------------------------
+    def allocate(self, nbytes: int, name: str) -> Allocation:
+        """Dynamic allocation (Fortran ``ALLOCATE``)."""
+        allocation = self.allocator.allocate(self.space, nbytes, name)
+        self.allocations[name] = allocation
+        return allocation
+
+    def static_array(self, nbytes: int, name: str) -> Allocation:
+        """Static allocation in the executable's data/BSS segment."""
+        offset = align_up(self._static_cursor, 64)
+        if offset + nbytes > self._image.length:
+            # grow the modelled image (relinking with a bigger BSS)
+            raise MemoryError(
+                f"static segment too small for {name}: relink with "
+                f"static_bytes >= {offset + nbytes}"
+            )
+        self._static_cursor = offset + nbytes
+        allocation = Allocation(vma=self._image, offset=offset,
+                                nbytes=nbytes, name=name)
+        self.allocations[name] = allocation
+        return allocation
+
+    def free(self, name: str) -> None:
+        allocation = self.allocations.pop(name)
+        if allocation.vma is not self._image:
+            self.allocator.free(self.space, allocation)
+
+    # --- convenience ----------------------------------------------------------------
+    def first_touch(self, name: str, order: str = "sequential",
+                    stride: int | None = None) -> None:
+        """Fault in an allocation the way an initialisation loop would.
+
+        ``sequential`` touches pages front to back (contiguous loop);
+        ``strided`` touches with the given byte stride first, then fills —
+        modelling per-variable initialisation of a Fortran-order array.
+        """
+        allocation = self.allocations[name]
+        if order == "sequential":
+            allocation.touch_all(self.space)
+        elif order == "strided":
+            step = stride or (1 << 20)
+            probes = np.arange(0, allocation.nbytes, step, dtype=np.int64)
+            allocation.touch(self.space, probes)
+            allocation.touch_all(self.space)
+        else:
+            raise ValueError(f"unknown touch order {order!r}")
+
+    def uses_huge_pages(self) -> bool:
+        """The paper's /proc/meminfo criterion, scoped to this process."""
+        return any(a.vma.uses_huge_pages() for a in self.allocations.values())
+
+    def exit(self) -> None:
+        self.kernel.exit_process(self.space)
+        self.allocations.clear()
+
+
+__all__ = ["Executable", "Process"]

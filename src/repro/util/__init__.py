@@ -1,0 +1,53 @@
+"""Shared utilities: physical constants, memory-size constants, errors.
+
+Everything in :mod:`repro` uses CGS units for physics (FLASH convention)
+and bytes for memory quantities.
+"""
+
+from repro.util.constants import (
+    KiB,
+    MiB,
+    GiB,
+    AVOGADRO,
+    BOLTZMANN,
+    C_LIGHT,
+    ELECTRON_MASS,
+    G_NEWTON,
+    H_PLANCK,
+    M_SUN,
+    MEV_TO_ERG,
+    PROTON_MASS,
+    RADIATION_A,
+)
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    KernelError,
+    AllocationError,
+    MeshError,
+    PhysicsError,
+    ConvergenceError,
+)
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "AVOGADRO",
+    "BOLTZMANN",
+    "C_LIGHT",
+    "ELECTRON_MASS",
+    "G_NEWTON",
+    "H_PLANCK",
+    "M_SUN",
+    "MEV_TO_ERG",
+    "PROTON_MASS",
+    "RADIATION_A",
+    "ReproError",
+    "ConfigurationError",
+    "KernelError",
+    "AllocationError",
+    "MeshError",
+    "PhysicsError",
+    "ConvergenceError",
+]

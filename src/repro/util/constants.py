@@ -1,0 +1,44 @@
+"""Physical constants (CGS) and memory-size constants (bytes).
+
+The physics side of the library follows the FLASH convention of CGS
+units throughout: lengths in cm, masses in g, times in s, temperatures
+in K, energies in erg.
+"""
+
+# --- memory sizes -----------------------------------------------------------
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+# --- fundamental constants (CODATA-ish, CGS) --------------------------------
+C_LIGHT: float = 2.99792458e10  # speed of light [cm/s]
+G_NEWTON: float = 6.67430e-8  # gravitational constant [cm^3/g/s^2]
+H_PLANCK: float = 6.62607015e-27  # Planck constant [erg s]
+BOLTZMANN: float = 1.380649e-16  # Boltzmann constant [erg/K]
+AVOGADRO: float = 6.02214076e23  # Avogadro number [1/mol]
+ELECTRON_MASS: float = 9.1093837015e-28  # electron rest mass [g]
+PROTON_MASS: float = 1.67262192369e-24  # proton rest mass [g]
+AMU: float = 1.66053906660e-24  # atomic mass unit [g]
+
+# --- derived ----------------------------------------------------------------
+#: radiation constant a = 8 pi^5 k^4 / (15 h^3 c^3)  [erg/cm^3/K^4]
+RADIATION_A: float = 7.565723e-15
+#: electron rest-mass energy [erg]
+ME_C2: float = ELECTRON_MASS * C_LIGHT**2
+#: gas constant per mole [erg/mol/K]
+GAS_CONSTANT: float = AVOGADRO * BOLTZMANN
+
+# --- astronomy --------------------------------------------------------------
+M_SUN: float = 1.98892e33  # solar mass [g]
+R_SUN: float = 6.957e10  # solar radius [cm]
+
+# --- nuclear ----------------------------------------------------------------
+MEV_TO_ERG: float = 1.602176634e-6
+#: specific binding-energy release for 12C+12C -> ~Si-group ash [erg/g].
+#: Roughly 0.8 MeV per 12-amu nucleon pair burned; FLASH's paper models use
+#: a staged release summing to ~ 9e17 erg/g from C/O to NSE.
+Q_CARBON_BURN: float = 2.8e17
+#: additional release relaxing Si-group ash to NSE (iron group) [erg/g]
+Q_NSE_RELAX: float = 6.2e17
+
+__all__ = [n for n in dir() if n[0].isupper()]

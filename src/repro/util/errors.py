@@ -1,0 +1,29 @@
+"""Exception hierarchy for :mod:`repro`."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """A runtime parameter or machine configuration is invalid."""
+
+
+class KernelError(ReproError):
+    """The simulated kernel rejected an operation (EINVAL-style)."""
+
+
+class AllocationError(KernelError):
+    """An allocation could not be satisfied (ENOMEM-style)."""
+
+
+class MeshError(ReproError):
+    """The AMR mesh is in an inconsistent state."""
+
+
+class PhysicsError(ReproError):
+    """A physics module received unphysical input."""
+
+
+class ConvergenceError(PhysicsError):
+    """An iterative solver (EOS inversion, hydrostatic model) failed to converge."""

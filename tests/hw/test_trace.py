@@ -1,0 +1,106 @@
+"""Tests for page traces: canonicalisation, concatenation, interleaving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.trace import PageTrace, interleave
+
+P = 65536  # a page size for convenience
+
+
+def make(pages, size=P):
+    pages = np.asarray(pages, dtype=np.int64) * size
+    return PageTrace.from_accesses(pages, np.full(pages.shape, size, dtype=np.int64))
+
+
+class TestCanonicalisation:
+    def test_consecutive_duplicates_collapse(self):
+        t = make([1, 1, 1, 2, 2, 1])
+        assert t.n_events == 3
+        assert t.n_accesses == 6
+        assert list(t.weight) == [3, 2, 1]
+
+    def test_empty(self):
+        t = PageTrace.empty()
+        assert t.n_events == 0
+        assert t.n_accesses == 0
+        assert t.footprint_bytes() == 0
+
+    def test_non_consecutive_repeats_kept(self):
+        t = make([1, 2, 1, 2])
+        assert t.n_events == 4
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            PageTrace(np.zeros(2, np.int64), np.zeros(3, np.int64), np.zeros(2, np.int64))
+
+    @given(st.lists(st.integers(0, 5), max_size=50))
+    def test_access_count_preserved(self, pages):
+        t = make(pages)
+        assert t.n_accesses == len(pages)
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_no_consecutive_duplicates_remain(self, pages):
+        t = make(pages)
+        assert (np.diff(t.page) != 0).all()
+
+
+class TestConcat:
+    def test_concat_merges_seam(self):
+        a, b = make([1, 2]), make([2, 3])
+        c = a.concat(b)
+        assert c.n_events == 3
+        assert c.n_accesses == 4
+        assert list(c.weight) == [1, 2, 1]
+
+    def test_repeated(self):
+        t = make([1, 2, 3])
+        r = t.repeated(3)
+        assert r.n_accesses == 9
+        assert r.n_events == 9  # 3 != 1 so no seam merging
+
+    def test_repeated_single_page_collapses(self):
+        t = make([7])
+        r = t.repeated(5)
+        assert r.n_events == 1
+        assert r.n_accesses == 5
+
+    def test_repeated_requires_positive(self):
+        with pytest.raises(ValueError):
+            make([1]).repeated(0)
+
+
+class TestFootprint:
+    def test_unique_pages(self):
+        assert make([1, 2, 1, 3]).unique_pages() == 3
+
+    def test_footprint_bytes_uniform(self):
+        assert make([1, 2, 3]).footprint_bytes() == 3 * P
+
+    def test_footprint_bytes_mixed_sizes(self):
+        page = np.array([0, 2 * 1024 * 1024], dtype=np.int64)
+        size = np.array([2 * 1024 * 1024, 65536], dtype=np.int64)
+        t = PageTrace.from_accesses(page, size)
+        assert t.footprint_bytes() == 2 * 1024 * 1024 + 65536
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a, b = make([1, 2]), make([10, 20])
+        t = interleave([a, b])
+        assert list(t.page // P) == [1, 10, 2, 20]
+
+    def test_chunked(self):
+        a, b = make([1, 2, 3, 4]), make([10, 20])
+        t = interleave([a, b], chunk=2)
+        assert list(t.page // P) == [1, 2, 10, 20, 3, 4]
+
+    def test_uneven_lengths(self):
+        a, b = make([1]), make([10, 20, 30])
+        t = interleave([a, b])
+        assert t.n_accesses == 4
+
+    def test_empty_inputs(self):
+        assert interleave([]).n_events == 0
+        assert interleave([PageTrace.empty(), make([1])]).n_accesses == 1

@@ -1,0 +1,116 @@
+"""Unit and property tests for hugetlb pool accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util import MiB
+from repro.util.errors import AllocationError, KernelError
+from repro.kernel.hugetlbfs import HugePool
+
+
+def make_pool(n=16, overcommit=0):
+    return HugePool(page_size=2 * MiB, nr_hugepages=n, nr_overcommit=overcommit)
+
+
+class TestReserveFault:
+    def test_reserve_then_fault(self):
+        pool = make_pool()
+        pool.reserve(4)
+        assert pool.reserved == 4
+        assert pool.free == 16  # reserved pages still count as free
+        pool.fault(4)
+        assert pool.allocated == 4
+        assert pool.reserved == 0
+        assert pool.free == 12
+
+    def test_reserve_beyond_pool_raises(self):
+        pool = make_pool(4)
+        with pytest.raises(AllocationError):
+            pool.reserve(5)
+
+    def test_overcommit_creates_surplus(self):
+        pool = make_pool(4, overcommit=4)
+        pool.reserve(6)
+        assert pool.surplus == 2
+        assert pool.total == 6
+
+    def test_overcommit_ceiling(self):
+        pool = make_pool(4, overcommit=2)
+        with pytest.raises(AllocationError):
+            pool.reserve(8)
+
+    def test_release_returns_surplus(self):
+        pool = make_pool(0, overcommit=4)
+        pool.reserve(3)
+        pool.fault(3)
+        assert pool.surplus == 3
+        pool.release(3)
+        assert pool.surplus == 0
+        assert pool.total == 0
+
+    def test_unreserve(self):
+        pool = make_pool()
+        pool.reserve(8)
+        pool.unreserve(8)
+        assert pool.reserved == 0
+        assert pool.available_for_reservation == 16
+
+    def test_fault_more_than_reserved_raises(self):
+        pool = make_pool()
+        pool.reserve(2)
+        with pytest.raises(KernelError):
+            pool.fault(3)
+
+    def test_release_more_than_allocated_raises(self):
+        pool = make_pool()
+        with pytest.raises(KernelError):
+            pool.release(1)
+
+
+class TestPoolResize:
+    def test_grow(self):
+        pool = make_pool(4)
+        pool.set_pool_size(32)
+        assert pool.nr_hugepages == 32
+        assert pool.free == 32
+
+    def test_shrink_below_in_use_creates_surplus(self):
+        pool = make_pool(8)
+        pool.reserve(6)
+        pool.fault(6)
+        pool.set_pool_size(2)
+        assert pool.total >= 6  # in-use pages cannot vanish
+        assert pool.surplus == 4
+
+    def test_negative_rejected(self):
+        pool = make_pool()
+        with pytest.raises(KernelError):
+            pool.set_pool_size(-1)
+
+
+@settings(max_examples=200)
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["reserve", "fault", "release", "unreserve", "resize"]),
+              st.integers(min_value=0, max_value=8)),
+    max_size=30,
+))
+def test_pool_invariants_under_random_ops(ops):
+    """Whatever legal sequence of operations runs, accounting stays sane."""
+    pool = HugePool(page_size=2 * MiB, nr_hugepages=8, nr_overcommit=4)
+    for op, n in ops:
+        try:
+            if op == "reserve":
+                pool.reserve(n)
+            elif op == "fault":
+                pool.fault(min(n, pool.reserved))
+            elif op == "release":
+                pool.release(min(n, pool.allocated))
+            elif op == "unreserve":
+                pool.unreserve(min(n, pool.reserved))
+            elif op == "resize":
+                pool.set_pool_size(n)
+        except AllocationError:
+            pass  # legal refusal
+        pool.check_invariants()
+        assert pool.free >= 0
+        assert pool.total == pool.nr_hugepages + pool.surplus

@@ -1,0 +1,82 @@
+"""Tests for /proc/meminfo rendering — the paper's monitoring method."""
+
+import numpy as np
+
+from repro.util import GiB, KiB, MiB
+from repro.kernel.params import ookami_config
+from repro.kernel.meminfo import hugepages_in_use, meminfo, render_meminfo
+from repro.kernel.vmm import Kernel
+
+
+def test_idle_kernel_fields():
+    k = Kernel(ookami_config())
+    info = meminfo(k)
+    assert info["MemTotal"] == 32 * GiB // KiB
+    assert info["AnonHugePages"] == 0
+    assert info["HugePages_Total"] == 0
+    assert info["Hugepagesize"] == 2 * MiB // KiB
+    assert not hugepages_in_use(k)
+
+
+def test_anonhugepages_reflects_thp():
+    from repro.kernel.thp import THPMode
+
+    k = Kernel(ookami_config(thp_mode=THPMode.ALWAYS))
+    s = k.new_address_space()
+    vma = s.mmap(2 * GiB)
+    s.touch_range(vma, 0, vma.length)
+    info = meminfo(k)
+    assert info["AnonHugePages"] * KiB == vma.thp_bytes
+    assert info["AnonPages"] * KiB == vma.resident_bytes
+    assert hugepages_in_use(k)
+
+
+def test_hugetlb_fields_reflect_pool():
+    k = Kernel(ookami_config())
+    k.pool(2 * MiB).set_pool_size(100)
+    s = k.new_address_space()
+    vma = s.mmap(20 * MiB, hugetlb_size=2 * MiB)
+    s.touch_range(vma, 0, 10 * MiB)
+    info = meminfo(k)
+    assert info["HugePages_Total"] == 100
+    assert info["HugePages_Free"] == 95
+    assert info["HugePages_Rsvd"] == 5
+    assert info["Hugetlb"] == 100 * 2 * MiB // KiB
+    assert hugepages_in_use(k)
+
+
+def test_memfree_accounts_for_pool_carveout():
+    k = Kernel(ookami_config())
+    before = meminfo(k)["MemFree"]
+    k.pool(2 * MiB).set_pool_size(512)  # 1 GiB carved out
+    after = meminfo(k)["MemFree"]
+    assert before - after == 1 * GiB // KiB
+
+
+def test_render_format():
+    k = Kernel(ookami_config())
+    text = render_meminfo(k)
+    assert "AnonHugePages:" in text
+    assert "HugePages_Total:" in text
+    # counts carry no kB suffix; sizes do
+    for line in text.splitlines():
+        if line.startswith("HugePages_"):
+            assert not line.endswith("kB")
+        if line.startswith("Hugepagesize"):
+            assert line.endswith("kB")
+
+
+def test_monitoring_distinguishes_mechanisms():
+    """The paper watched both AnonHugePages (THP) and HugePages_* (hugetlbfs)."""
+    from repro.kernel.thp import THPMode
+
+    k = Kernel(ookami_config(thp_mode=THPMode.ALWAYS))
+    k.pool(2 * MiB).set_pool_size(50)
+    s = k.new_address_space()
+    v_thp = s.mmap(1 * GiB)
+    s.touch_range(v_thp, 0, v_thp.length)
+    v_huge = s.mmap(10 * MiB, hugetlb_size=2 * MiB)
+    s.touch_range(v_huge, 0, v_huge.length)
+    info = meminfo(k)
+    assert info["AnonHugePages"] * KiB == v_thp.thp_bytes
+    assert info["HugePages_Free"] == 45

@@ -1,0 +1,116 @@
+"""Unit and property tests for page geometry and alignment arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import KiB, MiB
+from repro.util.errors import ConfigurationError
+from repro.kernel.page import (
+    AARCH64_4K,
+    AARCH64_64K,
+    X86_64_4K,
+    PageGeometry,
+    align_down,
+    align_up,
+    is_aligned,
+    is_power_of_two,
+    pages_spanned,
+)
+
+POWERS = st.sampled_from([1 << n for n in range(0, 40)])
+ADDRS = st.integers(min_value=0, max_value=1 << 48)
+
+
+class TestAlignment:
+    def test_align_down_basic(self):
+        assert align_down(0x12345, 0x1000) == 0x12000
+
+    def test_align_up_basic(self):
+        assert align_up(0x12345, 0x1000) == 0x13000
+
+    def test_align_up_already_aligned(self):
+        assert align_up(0x12000, 0x1000) == 0x12000
+
+    def test_is_aligned(self):
+        assert is_aligned(2 * MiB, 2 * MiB)
+        assert not is_aligned(2 * MiB + 64 * KiB, 2 * MiB)
+
+    @given(addr=ADDRS, alignment=POWERS)
+    def test_align_down_properties(self, addr, alignment):
+        down = align_down(addr, alignment)
+        assert down <= addr
+        assert down % alignment == 0
+        assert addr - down < alignment
+
+    @given(addr=ADDRS, alignment=POWERS)
+    def test_align_up_properties(self, addr, alignment):
+        up = align_up(addr, alignment)
+        assert up >= addr
+        assert up % alignment == 0
+        assert up - addr < alignment
+
+    @given(addr=ADDRS, alignment=POWERS)
+    def test_round_trip_consistency(self, addr, alignment):
+        assert align_down(align_up(addr, alignment), alignment) == align_up(
+            addr, alignment
+        )
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64 * KiB)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3 * KiB)
+        assert not is_power_of_two(-4)
+
+
+class TestPagesSpanned:
+    def test_single_page(self):
+        assert pages_spanned(0, 1, 4096) == 1
+
+    def test_exact_page(self):
+        assert pages_spanned(0, 4096, 4096) == 1
+
+    def test_crossing_boundary(self):
+        assert pages_spanned(4095, 2, 4096) == 2
+
+    def test_zero_length(self):
+        assert pages_spanned(100, 0, 4096) == 0
+
+    @given(start=ADDRS, length=st.integers(min_value=1, max_value=1 << 30),
+           page=POWERS.filter(lambda p: p >= 4096))
+    def test_bounds(self, start, length, page):
+        n = pages_spanned(start, length, page)
+        # n pages must cover the range, n-1 must not
+        assert n * page >= length
+        assert (n - 1) * page < length + page  # loose lower bound
+        assert n <= length // page + 2
+
+
+class TestPageGeometry:
+    def test_ookami_geometry(self):
+        """The load-bearing fact: 64K granule -> 512 MiB THP, 2M/512M hugetlb."""
+        assert AARCH64_64K.base_page == 64 * KiB
+        assert AARCH64_64K.thp_page == 512 * MiB
+        assert AARCH64_64K.hugetlb_sizes == (2 * MiB, 512 * MiB)
+
+    def test_x86_geometry(self):
+        assert X86_64_4K.thp_page == 2 * MiB
+        assert X86_64_4K.hugetlb_sizes == (2 * MiB,)
+
+    def test_aarch64_4k_geometry(self):
+        assert AARCH64_4K.hugetlb_sizes == (64 * KiB, 2 * MiB)
+
+    def test_validate_huge_size_accepts(self):
+        assert AARCH64_64K.validate_huge_size(2 * MiB) == 2 * MiB
+
+    def test_validate_huge_size_rejects(self):
+        with pytest.raises(ConfigurationError):
+            AARCH64_64K.validate_huge_size(4 * KiB)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            PageGeometry(base_page=3000, pmd_page=2 * MiB)
+
+    def test_rejects_pmd_not_larger(self):
+        with pytest.raises(ConfigurationError):
+            PageGeometry(base_page=64 * KiB, pmd_page=64 * KiB)

@@ -1,0 +1,73 @@
+"""Tests for boot parameters and sysctl modelling."""
+
+import pytest
+
+from repro.util import MiB
+from repro.util.errors import ConfigurationError
+from repro.kernel.page import AARCH64_64K
+from repro.kernel.params import BootParams, KernelConfig, Sysctl, ookami_config
+from repro.kernel.thp import THPMode
+
+
+class TestBootParams:
+    def test_paper_cmdline(self):
+        """The exact boot line from the paper's section III."""
+        bp = BootParams.from_cmdline(
+            "hugepagesz=2M hugepagesz=512M default_hugepagesz=2M"
+        )
+        assert bp.hugepagesz == (2 * MiB, 512 * MiB)
+        assert bp.default_hugepagesz == 2 * MiB
+
+    def test_hugepages_binds_to_preceding_size(self):
+        bp = BootParams.from_cmdline(
+            "hugepagesz=2M hugepages=100 hugepagesz=512M hugepages=4"
+        )
+        assert bp.hugepages == {2 * MiB: 100, 512 * MiB: 4}
+
+    def test_hugepages_without_size_uses_smallest(self):
+        bp = BootParams.from_cmdline("hugepages=10")
+        assert bp.hugepages == {AARCH64_64K.hugetlb_sizes[0]: 10}
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BootParams.from_cmdline("hugepagesz=3M")
+
+    def test_validate_default_must_be_configured(self):
+        bp = BootParams(hugepagesz=(2 * MiB,), default_hugepagesz=512 * MiB)
+        with pytest.raises(ConfigurationError):
+            bp.validate(AARCH64_64K)
+
+    def test_irrelevant_tokens_ignored(self):
+        bp = BootParams.from_cmdline("quiet ro root=/dev/sda1 hugepagesz=512M")
+        assert 512 * MiB in bp.hugepagesz
+
+
+class TestSysctl:
+    def test_default_denies_full_pmu(self):
+        s = Sysctl()
+        assert not s.allows_full_pmu()
+
+    def test_fujitsu_setting_allows_user_pmu(self):
+        """kernel.perf_event_paranoid=1 from 98-fujitsucompilersettings.conf."""
+        s = Sysctl(perf_event_paranoid=1)
+        assert s.allows_pmu_access()
+
+    def test_privileged_always_allowed(self):
+        s = Sysctl(perf_event_paranoid=3)
+        assert s.allows_full_pmu(privileged=True)
+
+
+class TestKernelConfig:
+    def test_ookami_modified_node(self):
+        cfg = ookami_config(modified_node=True)
+        assert cfg.sysctl.perf_event_paranoid == 1
+        assert cfg.boot.default_hugepagesz == 2 * MiB
+        assert cfg.thp_mode is THPMode.MADVISE
+
+    def test_ookami_unmodified_node(self):
+        cfg = ookami_config(modified_node=False)
+        assert cfg.sysctl.perf_event_paranoid == 2
+
+    def test_os_reserved_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            KernelConfig(mem_total=1 * MiB, os_reserved=2 * MiB)

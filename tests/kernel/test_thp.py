@@ -1,0 +1,81 @@
+"""Tests for THP policy state and the sysfs `enabled` file model."""
+
+import pytest
+
+from repro.kernel.thp import KhugepagedConfig, THPMode, THPState
+
+
+class TestTHPMode:
+    def test_parse_bare_word(self):
+        assert THPMode.parse("always") is THPMode.ALWAYS
+
+    def test_parse_bracketed_sysfs(self):
+        assert THPMode.parse("always madvise [never]") is THPMode.NEVER
+
+    def test_sysfs_round_trip(self):
+        for mode in THPMode:
+            assert THPMode.parse(mode.sysfs()) is mode
+
+    def test_sysfs_format_matches_paper(self):
+        """The paper quotes '[always] madvise never' after `echo always`."""
+        assert THPMode.ALWAYS.sysfs() == "[always] madvise never"
+        assert THPMode.NEVER.sysfs() == "always madvise [never]"
+
+
+class TestFaultPolicy:
+    def test_always_allows_anonymous(self):
+        st = THPState(mode=THPMode.ALWAYS)
+        assert st.fault_allows_huge(anonymous=True, madv_hugepage=False,
+                                    madv_nohugepage=False)
+
+    def test_never_blocks_everything(self):
+        st = THPState(mode=THPMode.NEVER)
+        assert not st.fault_allows_huge(anonymous=True, madv_hugepage=True,
+                                        madv_nohugepage=False)
+
+    def test_madvise_requires_hint(self):
+        st = THPState(mode=THPMode.MADVISE)
+        assert not st.fault_allows_huge(anonymous=True, madv_hugepage=False,
+                                        madv_nohugepage=False)
+        assert st.fault_allows_huge(anonymous=True, madv_hugepage=True,
+                                    madv_nohugepage=False)
+
+    def test_file_backed_never_huge(self):
+        """THP only maps anonymous memory (heap/stack) — RedHat doc cited
+        by the paper, and why static arrays never huge-page."""
+        st = THPState(mode=THPMode.ALWAYS)
+        assert not st.fault_allows_huge(anonymous=False, madv_hugepage=True,
+                                        madv_nohugepage=False)
+
+    def test_nohugepage_wins(self):
+        st = THPState(mode=THPMode.ALWAYS)
+        assert not st.fault_allows_huge(anonymous=True, madv_hugepage=True,
+                                        madv_nohugepage=True)
+
+    def test_write_enabled_echo_always(self):
+        st = THPState(mode=THPMode.NEVER)
+        st.write_enabled("always")
+        assert st.mode is THPMode.ALWAYS
+        assert st.read_enabled() == "[always] madvise never"
+
+
+class TestCollapsePolicy:
+    def test_collapse_respects_max_ptes_none(self):
+        st = THPState(mode=THPMode.ALWAYS,
+                      khugepaged=KhugepagedConfig(max_ptes_none=10))
+        common = dict(anonymous=True, madv_hugepage=False, madv_nohugepage=False,
+                      ptes_per_extent=8192)
+        assert st.collapse_allows_huge(populated_ptes=8185, **common)
+        assert not st.collapse_allows_huge(populated_ptes=8181, **common)
+
+    def test_collapse_needs_some_population(self):
+        st = THPState(mode=THPMode.ALWAYS)
+        assert not st.collapse_allows_huge(
+            anonymous=True, madv_hugepage=False, madv_nohugepage=False,
+            populated_ptes=0, ptes_per_extent=8192)
+
+    def test_collapse_respects_mode(self):
+        st = THPState(mode=THPMode.NEVER)
+        assert not st.collapse_allows_huge(
+            anonymous=True, madv_hugepage=True, madv_nohugepage=False,
+            populated_ptes=8192, ptes_per_extent=8192)

@@ -1,0 +1,76 @@
+"""Tests for the hugeadm / hugectl tool models."""
+
+import pytest
+
+from repro.util import MiB
+from repro.util.errors import KernelError
+from repro.kernel.params import ookami_config
+from repro.kernel.thp import THPMode
+from repro.kernel.tools import Hugeadm, hugectl
+from repro.kernel.vmm import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(ookami_config())
+
+
+class TestHugeadm:
+    def test_pool_pages_min(self, kernel):
+        Hugeadm(kernel).pool_pages_min(128)
+        assert kernel.pool(2 * MiB).nr_hugepages == 128
+
+    def test_pool_pages_min_specific_size(self, kernel):
+        Hugeadm(kernel).pool_pages_min(2, page_size=512 * MiB)
+        assert kernel.pool(512 * MiB).nr_hugepages == 2
+
+    def test_pool_pages_max(self, kernel):
+        adm = Hugeadm(kernel)
+        adm.pool_pages_min(16)
+        adm.pool_pages_max(24)
+        assert kernel.pool(2 * MiB).nr_overcommit == 8
+
+    def test_pool_pages_max_below_min_rejected(self, kernel):
+        adm = Hugeadm(kernel)
+        adm.pool_pages_min(16)
+        with pytest.raises(KernelError):
+            adm.pool_pages_max(8)
+
+    def test_thp_toggles(self, kernel):
+        adm = Hugeadm(kernel)
+        adm.thp_never()
+        assert kernel.thp.mode is THPMode.NEVER
+        adm.thp_madvise()
+        assert kernel.thp.mode is THPMode.MADVISE
+        adm.thp_always()
+        assert kernel.thp.mode is THPMode.ALWAYS
+
+    def test_pool_list(self, kernel):
+        adm = Hugeadm(kernel)
+        adm.pool_pages_min(10)
+        rows = adm.pool_list()
+        sizes = {r["size"] for r in rows}
+        assert sizes == {2 * MiB, 512 * MiB}
+        row2m = next(r for r in rows if r["size"] == 2 * MiB)
+        assert row2m["minimum"] == 10
+
+
+class TestHugectl:
+    def test_heap_sets_morecore(self):
+        env = hugectl(heap=True)
+        assert env["HUGETLB_MORECORE"] == "yes"
+        assert env["LD_PRELOAD"] == "libhugetlbfs.so"
+
+    def test_shm_only_touches_shm(self):
+        env = hugectl(shm=True)
+        assert "HUGETLB_MORECORE" not in env
+        assert env["HUGETLB_SHM"] == "yes"
+
+    def test_thp_variant(self):
+        """hugectl --shm --thp ... — the paper's quoted invocation."""
+        env = hugectl(shm=True, thp=True)
+        assert env["HUGETLB_MORECORE"] == "thp"
+        assert env["HUGETLB_SHM"] == "yes"
+
+    def test_no_options_no_env(self):
+        assert hugectl() == {}

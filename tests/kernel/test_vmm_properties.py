@@ -1,0 +1,106 @@
+"""Property-based tests: VMM accounting stays consistent under any legal
+sequence of operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util import GiB, KiB, MiB
+from repro.util.errors import AllocationError
+from repro.kernel.params import ookami_config
+from repro.kernel.thp import THPMode
+from repro.kernel.vmm import Kernel
+
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["mmap", "touch", "munmap", "toggle_thp"]),
+        st.integers(0, 7),  # operand selector
+    ),
+    max_size=25,
+)
+
+
+def _expected_anon(kernel):
+    total = 0
+    for space in kernel.address_spaces:
+        for vma in space.vmas:
+            if vma.anonymous and not vma.is_hugetlb:
+                total += vma.resident_bytes
+    return total
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=OPS)
+def test_accounting_matches_vma_state(ops):
+    """kernel.anon_* always equals the sum over live VMAs, and mem_free
+    never goes negative, whatever sequence of operations runs."""
+    kernel = Kernel(ookami_config(thp_mode=THPMode.ALWAYS))
+    space = kernel.new_address_space()
+    vmas = []
+    sizes = [64 * KiB, 1 * MiB, 100 * MiB, 600 * MiB]
+    for op, sel in ops:
+        try:
+            if op == "mmap":
+                vmas.append(space.mmap(sizes[sel % len(sizes)]))
+            elif op == "touch" and vmas:
+                vma = vmas[sel % len(vmas)]
+                span = min(vma.length, (sel + 1) * 16 * MiB)
+                space.touch_range(vma, 0, span)
+            elif op == "munmap" and vmas:
+                vma = vmas.pop(sel % len(vmas))
+                space.munmap(vma)
+            elif op == "toggle_thp":
+                kernel.write_sysfs_thp_enabled(
+                    ["always", "madvise", "never"][sel % 3])
+        except AllocationError:
+            pass  # legal refusal under memory pressure
+        anon = kernel.anon_base_bytes + kernel.anon_thp_bytes
+        assert anon == _expected_anon(kernel)
+        assert kernel.mem_free >= 0
+        assert kernel.anon_thp_bytes % (512 * MiB) == 0  # whole THP units
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    length=st.integers(1, 4 * GiB),
+    n_touches=st.integers(1, 16),
+    seed=st.integers(0, 2**31),
+)
+def test_touch_translate_agree(length, n_touches, seed):
+    """After touching random offsets, translate() maps each of them to a
+    page that contains it, with a size the geometry actually offers."""
+    kernel = Kernel(ookami_config(thp_mode=THPMode.ALWAYS))
+    space = kernel.new_address_space()
+    vma = space.mmap(length)
+    rng = np.random.default_rng(seed)
+    offsets = rng.integers(0, vma.length, size=n_touches).astype(np.int64)
+    try:
+        space.touch(vma, offsets)
+    except AllocationError:
+        return  # 4 GiB of THP may not fit; fine
+    base, size = space.translate(vma, offsets)
+    va = vma.start + offsets
+    assert ((base <= va) & (va < base + size)).all()
+    geo = kernel.config.geometry
+    assert set(np.unique(size)) <= {geo.base_page, geo.thp_page}
+    assert (base % size == 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(pages=st.integers(1, 64), touched=st.integers(0, 64))
+def test_hugetlb_pool_round_trip(pages, touched):
+    """mmap + partial touch + munmap returns the pool to pristine state."""
+    kernel = Kernel(ookami_config())
+    pool = kernel.pool(2 * MiB)
+    pool.set_pool_size(64)
+    space = kernel.new_address_space()
+    vma = space.mmap(pages * 2 * MiB, hugetlb_size=2 * MiB)
+    span = min(touched, pages) * 2 * MiB
+    if span:
+        space.touch_range(vma, 0, span)
+    space.munmap(vma)
+    assert pool.allocated == 0
+    assert pool.reserved == 0
+    assert pool.free == 64
+    pool.check_invariants()

@@ -1,0 +1,110 @@
+"""Property-based mesh invariants under random refinement activity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh.block import BlockId
+from repro.mesh.grid import Grid, MeshSpec
+from repro.mesh.refine import derefine_block, refine_block
+from repro.mesh.tree import AMRTree
+
+
+def make_grid(max_level=3, maxblocks=512):
+    tree = AMRTree(ndim=2, nblockx=2, nblocky=2, max_level=max_level,
+                   domain=((0, 1), (0, 1), (0, 1)))
+    spec = MeshSpec(ndim=2, nxb=8, nyb=8, nzb=1, nguard=2,
+                    maxblocks=maxblocks)
+    return Grid(tree, spec)
+
+
+def leaf_volume(grid):
+    return sum(grid.cell_volume(b) * grid.spec.zones_per_block()
+               for b in grid.leaf_blocks())
+
+
+@settings(max_examples=40, deadline=None)
+@given(moves=st.lists(st.tuples(st.booleans(), st.integers(0, 10**6)),
+                      max_size=18))
+def test_refinement_invariants(moves):
+    """Any mix of refines/derefines keeps: full domain coverage, unique
+    slots, 2:1 balance, and exact mass conservation."""
+    grid = make_grid()
+    rng_vals = iter([sel for _, sel in moves])
+    for block in grid.leaf_blocks():
+        x, y, _ = grid.cell_centers(block)
+        grid.interior(block, "dens")[:] = 1.0 + x + 2 * y
+    mass0 = grid.total("dens", weight=None)
+
+    for refine, sel in moves:
+        leaves = grid.tree.leaves()
+        if refine:
+            candidates = [b for b in leaves if b.level < grid.tree.max_level]
+            if candidates:
+                refine_block(grid, candidates[sel % len(candidates)])
+        else:
+            parents = {b.parent for b in leaves if b.level > 0}
+            parents = sorted(parents)
+            if parents:
+                derefine_block(grid, parents[sel % len(parents)])
+
+        grid.tree.check_balance()
+        slots = [b.slot for b in grid.leaf_blocks()]
+        assert len(slots) == len(set(slots))
+        assert leaf_volume(grid) == pytest.approx(1.0, rel=1e-12)
+        assert grid.total("dens", weight=None) == pytest.approx(
+            mass0, rel=1e-11)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**31))
+def test_guardcell_idempotent_on_faces(seed):
+    """Filling guard cells twice gives identical interior and *face*
+    guard data (no feedback).  Corner guards at refinement jumps are
+    excluded: they are a documented approximation (guardcell.py) that the
+    dimensionally split solvers never read."""
+    from repro.mesh.guardcell import fill_guardcells
+
+    grid = make_grid(max_level=2)
+    refine_block(grid, BlockId(0, 1, 1))
+    rng = np.random.default_rng(seed)
+    for block in grid.leaf_blocks():
+        shape = grid.interior(block, "dens").shape
+        grid.interior(block, "dens")[:] = 1.0 + rng.random(shape)
+    fill_guardcells(grid)
+    snapshot = grid.unk.copy()
+    fill_guardcells(grid)
+
+    g = grid.spec.nguard
+    n = grid.spec.nxb
+    sx, sy, sz = grid.spec.interior_slices()
+    for block in grid.leaf_blocks():
+        a = grid.unk[..., block.slot]
+        b = snapshot[..., block.slot]
+        # interior
+        np.testing.assert_array_equal(a[:, sx, sy, sz], b[:, sx, sy, sz])
+        # x-face guards over interior y
+        np.testing.assert_array_equal(a[:, :g, sy, sz], b[:, :g, sy, sz])
+        np.testing.assert_array_equal(a[:, g + n:, sy, sz],
+                                      b[:, g + n:, sy, sz])
+        # y-face guards over interior x
+        np.testing.assert_array_equal(a[:, sx, :g, sz], b[:, sx, :g, sz])
+        np.testing.assert_array_equal(a[:, sx, g + n:, sz],
+                                      b[:, sx, g + n:, sz])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**31))
+def test_refine_then_derefine_bounded_loss(seed):
+    """refine -> derefine is restriction-of-prolongation: conservative and
+    close to the original (equal up to limiter flattening)."""
+    grid = make_grid(max_level=2)
+    rng = np.random.default_rng(seed)
+    block = grid.leaf_blocks()[0]
+    original = 1.0 + rng.random(grid.interior(block, "dens").shape)
+    grid.interior(block, "dens")[:] = original
+    bid = block.bid
+    refine_block(grid, bid)
+    assert derefine_block(grid, bid)
+    recovered = grid.interior(grid.blocks[bid], "dens")
+    np.testing.assert_allclose(recovered, original, rtol=1e-12)

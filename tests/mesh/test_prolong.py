@@ -1,0 +1,104 @@
+"""Property and unit tests for restriction/prolongation operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mesh.prolong import prolong, restrict, restrict_fluxes
+from repro.util.errors import MeshError
+
+
+class TestRestrict:
+    def test_average_2d(self):
+        fine = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        coarse = restrict(fine, (0, 1))
+        assert coarse.shape == (1, 2, 2, 1)
+        assert coarse[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_average_3d(self):
+        fine = np.ones((2, 4, 4, 4))
+        coarse = restrict(fine, (0, 1, 2))
+        assert coarse.shape == (2, 2, 2, 2)
+        assert np.allclose(coarse, 1.0)
+
+    def test_odd_extent_rejected(self):
+        with pytest.raises(MeshError):
+            restrict(np.ones((1, 3, 2, 1)), (0, 1))
+
+    def test_conservation(self):
+        rng = np.random.default_rng(1)
+        fine = rng.random((3, 8, 8, 1))
+        coarse = restrict(fine, (0, 1))
+        assert coarse.sum() * 4 == pytest.approx(fine.sum())
+
+
+class TestProlong:
+    def test_constant_exact(self):
+        coarse = np.full((2, 4, 4, 1), 3.5)
+        fine = prolong(coarse, (0, 1))
+        assert fine.shape == (2, 8, 8, 1)
+        assert np.allclose(fine, 3.5)
+
+    def test_conservative(self):
+        rng = np.random.default_rng(2)
+        coarse = rng.random((2, 6, 6, 1))
+        fine = prolong(coarse, (0, 1))
+        # each parent's 4 children average to the parent exactly
+        back = restrict(fine, (0, 1))
+        assert np.allclose(back, coarse)
+
+    def test_linear_reproduced_in_interior(self):
+        """A linear profile is reconstructed exactly away from the strip
+        edges (where slopes are one-sided-clamped)."""
+        x = np.arange(8, dtype=float)
+        coarse = np.tile(x.reshape(1, 8, 1, 1), (1, 1, 8, 1)).astype(float)
+        fine = prolong(coarse, (0, 1))
+        # interior fine cells: parent i has children at i*2, i*2+1 with
+        # values x_i -/+ 0.25
+        assert fine[0, 4, 0, 0] == pytest.approx(2.0 - 0.25)
+        assert fine[0, 5, 0, 0] == pytest.approx(2.0 + 0.25)
+
+    def test_monotone_near_jump(self):
+        """The limiter must not create new extrema at a discontinuity."""
+        coarse = np.zeros((1, 8, 1, 1))
+        coarse[0, 4:, 0, 0] = 1.0
+        fine = prolong(coarse, (0,))
+        assert fine.min() >= 0.0 - 1e-14
+        assert fine.max() <= 1.0 + 1e-14
+
+    def test_3d_shapes(self):
+        coarse = np.random.default_rng(3).random((2, 4, 4, 4))
+        fine = prolong(coarse, (0, 1, 2))
+        assert fine.shape == (2, 8, 8, 8)
+        assert np.allclose(restrict(fine, (0, 1, 2)), coarse)
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrays(np.float64, (1, 6, 4, 1),
+                  elements=st.floats(-1e6, 1e6, allow_nan=False)))
+    def test_round_trip_property(self, coarse):
+        fine = prolong(coarse, (0, 1))
+        assert np.allclose(restrict(fine, (0, 1)), coarse, rtol=1e-12, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrays(np.float64, (1, 6, 1, 1),
+                  elements=st.floats(0.0, 1e6, allow_nan=False)))
+    def test_positivity_preserved(self, coarse):
+        """minmod-limited prolongation of nonnegative data stays nonnegative
+        ... because each child deviates by at most half the cell jump."""
+        fine = prolong(coarse, (0,))
+        assert fine.min() >= -1e-9 * max(1.0, abs(coarse).max())
+
+
+class TestRestrictFluxes:
+    def test_face_average_2d(self):
+        flux = np.arange(8, dtype=float).reshape(1, 8, 1)
+        coarse = restrict_fluxes(flux, (0,))
+        assert coarse.shape == (1, 4, 1)
+        assert coarse[0, 0, 0] == pytest.approx(0.5)
+
+    def test_face_average_3d(self):
+        flux = np.ones((2, 4, 4))
+        coarse = restrict_fluxes(flux, (0, 1))
+        assert coarse.shape == (2, 2, 2)
+        assert np.allclose(coarse, 1.0)

@@ -1,0 +1,187 @@
+"""Tests for BlockId arithmetic and the AMR tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mesh.block import BlockId
+from repro.mesh.tree import AMRTree, morton_key
+from repro.util.errors import MeshError
+
+
+class TestBlockId:
+    def test_child_parent_roundtrip(self):
+        b = BlockId(2, 3, 1, 0)
+        for dx in (0, 1):
+            for dy in (0, 1):
+                assert b.child(dx, dy).parent == b
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            _ = BlockId(0, 0, 0).parent
+
+    def test_neighbor(self):
+        b = BlockId(1, 1, 1)
+        assert b.neighbor(0, 1) == BlockId(1, 2, 1)
+        assert b.neighbor(1, -1) == BlockId(1, 1, 0)
+
+    @given(level=st.integers(1, 6), ix=st.integers(0, 100),
+           iy=st.integers(0, 100), iz=st.integers(0, 100))
+    def test_parent_child_bijection(self, level, ix, iy, iz):
+        b = BlockId(level, ix, iy, iz)
+        p = b.parent
+        assert b in [p.child(dx, dy, dz)
+                     for dx in (0, 1) for dy in (0, 1) for dz in (0, 1)]
+
+
+class TestTreeBasics:
+    def test_base_grid(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=3)
+        assert tree.n_leaves == 6
+        assert all(b.level == 0 for b in tree.leaves())
+
+    def test_extent(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=1)
+        assert tree.extent(0) == (2, 1, 1)
+        assert tree.extent(2) == (8, 4, 4)
+
+    def test_child_offsets_2d(self):
+        tree = AMRTree(ndim=2)
+        assert len(tree.child_offsets()) == 4
+
+    def test_child_offsets_3d(self):
+        tree = AMRTree(ndim=3)
+        assert len(tree.child_offsets()) == 8
+
+    def test_bbox(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=2,
+                       domain=((0.0, 2.0), (0.0, 2.0), (0.0, 1.0)))
+        (x0, x1), (y0, y1), _ = tree.bbox(BlockId(0, 1, 0))
+        assert (x0, x1) == (1.0, 2.0)
+        assert (y0, y1) == (0.0, 1.0)
+        (x0, x1), _, _ = tree.bbox(BlockId(1, 3, 0))
+        assert (x0, x1) == (1.5, 2.0)
+
+    def test_refine_splits(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=2, max_level=3)
+        created = tree.refine(BlockId(0, 0, 0))
+        assert len(created) == 4
+        assert tree.n_leaves == 3 + 4
+        assert not tree.is_leaf(BlockId(0, 0, 0))
+
+    def test_refine_max_level(self):
+        tree = AMRTree(ndim=2, max_level=0)
+        with pytest.raises(MeshError):
+            tree.refine(BlockId(0, 0, 0))
+
+    def test_refine_non_leaf_rejected(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=2)
+        tree.refine(BlockId(0, 0, 0))
+        with pytest.raises(MeshError):
+            tree.split(BlockId(0, 0, 0))
+
+
+class TestNeighbors:
+    def test_same_level(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=2)
+        kind, nid = tree.face_neighbor(BlockId(0, 0, 0), 0, 1)
+        assert kind == "leaf" and nid == BlockId(0, 1, 0)
+
+    def test_boundary(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=2)
+        kind, nid = tree.face_neighbor(BlockId(0, 0, 0), 0, -1)
+        assert kind == "boundary"
+
+    def test_periodic_wrap(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=2,
+                       periodic=(True, False, False))
+        kind, nid = tree.face_neighbor(BlockId(0, 0, 0), 0, -1)
+        assert kind == "leaf" and nid == BlockId(0, 1, 0)
+
+    def test_finer_neighbor(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=1, max_level=2)
+        tree.refine(BlockId(0, 1, 0))
+        kind, kids = tree.face_neighbor(BlockId(0, 0, 0), 0, 1)
+        assert kind == "finer"
+        assert sorted(kids) == [BlockId(1, 2, 0), BlockId(1, 2, 1)]
+
+    def test_coarser_neighbor(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=1, max_level=2)
+        tree.refine(BlockId(0, 1, 0))
+        kind, nid = tree.face_neighbor(BlockId(1, 2, 0), 0, -1)
+        assert kind == "coarser" and nid == BlockId(0, 0, 0)
+
+    def test_finer_neighbor_3d(self):
+        tree = AMRTree(ndim=3, nblockx=2, nblocky=1, nblockz=1, max_level=2)
+        tree.refine(BlockId(0, 1, 0, 0))
+        kind, kids = tree.face_neighbor(BlockId(0, 0, 0, 0), 0, 1)
+        assert kind == "finer"
+        assert len(kids) == 4  # the four children touching the face
+
+
+class TestBalance:
+    def test_refine_cascades_for_balance(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=1, max_level=3)
+        tree.refine(BlockId(0, 1, 0))
+        # refining a level-1 child adjacent to the level-0 block must
+        # force the level-0 block to refine first
+        tree.refine(BlockId(1, 2, 0))
+        tree.check_balance()
+        assert not tree.is_leaf(BlockId(0, 0, 0))
+
+    def test_derefine_rules(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=1, max_level=3)
+        tree.refine(BlockId(0, 1, 0))
+        assert tree.can_derefine(BlockId(0, 1, 0))
+        tree.refine(BlockId(1, 2, 0))
+        # children of (0,1,0) are no longer all leaves
+        assert not tree.can_derefine(BlockId(0, 1, 0))
+
+    def test_derefine_blocked_by_fine_neighbor(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=1, max_level=3)
+        tree.refine(BlockId(0, 0, 0))
+        tree.refine(BlockId(0, 1, 0))
+        tree.refine(BlockId(1, 2, 0))  # level-2 leaves next to (0,1,0)'s kids
+        tree.check_balance()
+        assert not tree.can_derefine(BlockId(0, 0, 0))
+
+    def test_derefine_restores(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=1)
+        tree.refine(BlockId(0, 0, 0))
+        removed = tree.derefine(BlockId(0, 0, 0))
+        assert len(removed) == 4
+        assert tree.n_leaves == 2
+
+    def test_balance_invariant_random_refines(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=2, max_level=4)
+        import random
+
+        rng = random.Random(42)
+        for _ in range(25):
+            leaves = [b for b in tree.leaves() if b.level < tree.max_level]
+            if not leaves:
+                break
+            tree.refine(rng.choice(leaves))
+            tree.check_balance()
+
+
+class TestMorton:
+    def test_leaves_sorted_deterministically(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=2, max_level=3)
+        tree.refine(BlockId(0, 1, 1))
+        a = tree.leaves()
+        b = tree.leaves()
+        assert a == b
+
+    def test_morton_locality(self):
+        """Children of one parent are contiguous on the curve."""
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=2, max_level=3)
+        tree.refine(BlockId(0, 0, 0))
+        leaves = tree.leaves()
+        idx = [leaves.index(BlockId(1, dx, dy)) for dx in (0, 1) for dy in (0, 1)]
+        assert max(idx) - min(idx) == 3
+
+    @given(ix=st.integers(0, 31), iy=st.integers(0, 31), lvl=st.integers(0, 4))
+    def test_morton_key_injective_per_level(self, ix, iy, lvl):
+        k1 = morton_key(BlockId(lvl, ix, iy), 5)
+        k2 = morton_key(BlockId(lvl, ix + 1, iy), 5)
+        assert k1 != k2

@@ -1,0 +1,118 @@
+"""Tests for the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.block import BlockId
+from repro.mesh.grid import Grid, MeshSpec
+from repro.mesh.refine import refine_block
+from repro.mesh.tree import AMRTree
+from repro.mpisim.comm import (
+    CommCostModel,
+    DomainDecomposition,
+    SimComm,
+    scaling_model,
+)
+from repro.util.errors import ConfigurationError
+
+
+def make_grid(nblock=4, max_level=2):
+    tree = AMRTree(ndim=2, nblockx=nblock, nblocky=nblock,
+                   max_level=max_level, domain=((0, 1), (0, 1), (0, 1)))
+    spec = MeshSpec(ndim=2, nxb=8, nyb=8, nzb=1, nguard=2, maxblocks=256)
+    return Grid(tree, spec)
+
+
+class TestCostModel:
+    def test_p2p_latency_floor(self):
+        cost = CommCostModel()
+        assert cost.p2p_time(0) == pytest.approx(cost.latency_s)
+
+    def test_p2p_bandwidth_limit(self):
+        cost = CommCostModel()
+        t = cost.p2p_time(12_500_000_000)
+        assert t == pytest.approx(1.0 + cost.latency_s)
+
+    def test_allreduce_log_rounds(self):
+        cost = CommCostModel()
+        t2 = cost.allreduce_time(8, 2)
+        t16 = cost.allreduce_time(8, 16)
+        assert t16 == pytest.approx(4 * t2)
+
+    def test_allreduce_single_rank_free(self):
+        assert CommCostModel().allreduce_time(8, 1) == 0.0
+
+
+class TestDecomposition:
+    def test_all_blocks_assigned_once(self):
+        grid = make_grid()
+        dd = DomainDecomposition.split(grid, 4)
+        assigned = [b for blocks in dd.assignment.values() for b in blocks]
+        assert sorted(assigned) == sorted(grid.tree.leaves())
+
+    def test_balanced(self):
+        grid = make_grid()
+        dd = DomainDecomposition.split(grid, 4)
+        assert dd.load_imbalance() == pytest.approx(1.0)
+
+    def test_imbalance_with_refinement(self):
+        grid = make_grid()
+        refine_block(grid, BlockId(0, 0, 0))
+        dd = DomainDecomposition.split(grid, 4)
+        assert dd.load_imbalance() >= 1.0
+
+    def test_morton_contiguity_limits_halo(self):
+        """Morton-contiguous ranks talk to few others: off-rank faces are
+        a minority of all faces."""
+        grid = make_grid(nblock=8, max_level=0)
+        dd = DomainDecomposition.split(grid, 4)
+        face_bytes = 100
+        total_halo = sum(dd.halo_bytes(grid, r, face_bytes) for r in range(4))
+        all_faces = grid.tree.n_leaves * 4 * face_bytes
+        assert total_halo < 0.5 * all_faces
+
+    def test_rank_of(self):
+        grid = make_grid()
+        dd = DomainDecomposition.split(grid, 2)
+        bid = grid.tree.leaves()[0]
+        assert dd.rank_of(bid) == 0
+
+    def test_needs_positive_ranks(self):
+        with pytest.raises(ConfigurationError):
+            DomainDecomposition.split(make_grid(), 0)
+
+
+class TestSimComm:
+    def test_allreduce_min_exact(self):
+        comm = SimComm(4)
+        assert comm.allreduce_min([4.0, 2.0, 8.0, 3.0]) == 2.0
+        assert comm.elapsed_s > 0
+
+    def test_allreduce_sum_exact(self):
+        comm = SimComm(3)
+        assert comm.allreduce_sum([1.0, 2.0, 3.0]) == 6.0
+
+    def test_shape_checked(self):
+        comm = SimComm(4)
+        with pytest.raises(ConfigurationError):
+            comm.allreduce_min([1.0, 2.0])
+
+    def test_halo_exchange_accounts_bytes(self):
+        comm = SimComm(2)
+        comm.halo_exchange([1000, 2000])
+        assert comm.bytes_moved == 3000
+        assert comm.elapsed_s >= comm.cost.p2p_time(2000)
+
+
+class TestScalingModel:
+    def test_scales_reasonably_well(self):
+        """The porting narrative: time falls with rank count, with the
+        usual surface/volume efficiency tail."""
+        grid = make_grid(nblock=8, max_level=0)
+        times = scaling_model(grid, [1, 2, 4, 8, 16],
+                              seconds_per_block_step=1e-2,
+                              bytes_per_face=8 * 10 * 8 * 2)
+        ts = [times[p] for p in (1, 2, 4, 8, 16)]
+        assert all(a > b for a, b in zip(ts, ts[1:]))  # monotone speedup
+        eff16 = times[1] / (16 * times[16])
+        assert 0.5 < eff16 <= 1.02  # reasonable, not perfect

@@ -1,0 +1,103 @@
+"""Tests for the simulated PMU, event sets, and derived measures."""
+
+import pytest
+
+from repro.kernel.params import Sysctl
+from repro.papi.counters import CounterBank, EventSet, PmuPermissionError
+from repro.papi.events import Event, derive_measures
+from repro.util.errors import ReproError
+
+
+class TestCounterBank:
+    def test_advance_accumulates(self):
+        bank = CounterBank()
+        bank.advance(1.0, {Event.TOT_CYC: 1e9})
+        bank.advance(0.5, {Event.TOT_CYC: 5e8, Event.TLB_DM: 100})
+        assert bank.time_s == pytest.approx(1.5)
+        assert bank.totals[Event.TOT_CYC] == pytest.approx(1.5e9)
+        assert bank.totals[Event.TLB_DM] == 100
+
+    def test_time_monotonic(self):
+        bank = CounterBank()
+        with pytest.raises(ValueError):
+            bank.advance(-1.0)
+
+    def test_counters_monotonic(self):
+        bank = CounterBank()
+        with pytest.raises(ValueError):
+            bank.advance(1.0, {Event.TLB_DM: -5})
+
+    def test_permission_check(self):
+        bank = CounterBank(sysctl=Sysctl(perf_event_paranoid=3))
+        es = EventSet(bank=bank)
+        with pytest.raises(PmuPermissionError):
+            es.start()
+
+    def test_fujitsu_sysctl_allows(self):
+        bank = CounterBank(sysctl=Sysctl(perf_event_paranoid=1))
+        EventSet(bank=bank).start()  # no raise
+
+
+class TestEventSet:
+    def test_delta_semantics(self):
+        bank = CounterBank()
+        bank.advance(10.0, {Event.TOT_CYC: 1e10})  # before the region
+        es = EventSet(bank=bank)
+        es.start()
+        bank.advance(2.0, {Event.TOT_CYC: 3.6e9, Event.SVE_INST: 1e9})
+        es.stop()
+        counts = es.read()
+        assert counts[Event.TOT_CYC] == pytest.approx(3.6e9)
+        assert es.elapsed_s == pytest.approx(2.0)
+
+    def test_accumulation_across_intervals(self):
+        bank = CounterBank()
+        es = EventSet(bank=bank)
+        for _ in range(3):
+            es.start()
+            bank.advance(1.0, {Event.TLB_DM: 10})
+            es.stop()
+            bank.advance(1.0, {Event.TLB_DM: 999})  # outside the region
+        assert es.read()[Event.TLB_DM] == 30
+        assert es.elapsed_s == pytest.approx(3.0)
+        assert es.n_intervals == 3
+
+    def test_double_start_rejected(self):
+        es = EventSet(bank=CounterBank())
+        es.start()
+        with pytest.raises(ReproError):
+            es.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ReproError):
+            EventSet(bank=CounterBank()).stop()
+
+    def test_reset(self):
+        bank = CounterBank()
+        es = EventSet(bank=bank)
+        es.start()
+        bank.advance(1.0, {Event.TOT_CYC: 1e9})
+        es.stop()
+        es.reset()
+        assert es.read() == {}
+        assert es.elapsed_s == 0.0
+
+
+class TestDerivedMeasures:
+    def test_paper_measures(self):
+        counts = {
+            Event.TOT_CYC: 1.25e11,
+            Event.SVE_INST: 0.47 * 1.25e11,
+            Event.MEM_BYTES: 4.19e9 * 69.7,
+            Event.TLB_DM: 2.34e7 * 69.7,
+        }
+        m = derive_measures(counts, elapsed_s=69.7)
+        assert m["hardware_cycles"] == pytest.approx(1.25e11)
+        assert m["sve_per_cycle"] == pytest.approx(0.47)
+        assert m["mem_gbytes_per_s"] == pytest.approx(4.19)
+        assert m["dtlb_misses_per_s"] == pytest.approx(2.34e7)
+
+    def test_zero_time_degrades_gracefully(self):
+        m = derive_measures({}, elapsed_s=0.0)
+        assert m["mem_gbytes_per_s"] == 0.0
+        assert m["sve_per_cycle"] == 0.0

@@ -1,0 +1,167 @@
+"""Tests for the performance model: work records, traces, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.driver.simulation import Simulation
+from repro.mesh.grid import Grid, MeshSpec
+from repro.mesh.tree import AMRTree
+from repro.perfmodel.pipeline import PerformancePipeline
+from repro.perfmodel.workrecord import UnitInvocation, WorkLog
+from repro.physics.eos import GammaLawEOS
+from repro.physics.hydro.unit import HydroUnit
+from repro.setups.sod import SodProblem
+from repro.toolchain.compiler import ARM, FUJITSU, GNU
+
+
+@pytest.fixture(scope="module")
+def small_log():
+    """A tiny 2-d workload (gamma EOS, no flame/gravity)."""
+    tree = AMRTree(ndim=2, nblockx=2, nblocky=2, max_level=1,
+                   domain=((0, 1), (0, 1), (0, 1)))
+    spec = MeshSpec(ndim=2, nxb=8, nyb=8, nzb=1, nguard=4, maxblocks=32)
+    grid = Grid(tree, spec)
+    eos = GammaLawEOS(gamma=1.4)
+    SodProblem().initialize(grid, eos)
+    sim = Simulation(grid, HydroUnit(eos, cfl=0.5), nrefs=0)
+    log = WorkLog.attach(sim, helmholtz_eos=False)
+    sim.evolve(nend=4)
+    return log
+
+
+class TestWorkLog:
+    def test_steps_recorded(self, small_log):
+        assert small_log.n_steps == 4
+
+    def test_invocation_structure(self, small_log):
+        rec = small_log.steps[0]
+        units = [inv.unit for inv in rec.invocations]
+        # 2-d: guardcell + sweep + eos per axis
+        assert units == ["guardcell", "hydro_sweep", "eos_gamma"] * 2
+
+    def test_slots_in_morton_order(self, small_log):
+        rec = small_log.steps[0]
+        assert len(rec.slots) == 4
+        assert len(set(rec.slots)) == 4
+
+    def test_zone_totals(self, small_log):
+        per_step = 4 * 64  # blocks x zones
+        assert small_log.total_zone_updates("hydro_sweep") == 4 * 2 * per_step
+
+    def test_representative_step(self, small_log):
+        rec = small_log.representative_step()
+        assert rec in small_log.steps
+
+
+class TestPipeline:
+    def test_runs_and_reports(self, small_log):
+        report = PerformancePipeline(small_log, GNU).run()
+        assert set(report.units) == {"guardcell", "hydro_sweep", "eos_gamma"}
+        assert report.flash_timer_s > 0
+        assert not report.uses_huge_pages  # GNU on the stock node
+
+    def test_fujitsu_uses_huge_pages(self, small_log):
+        report = PerformancePipeline(small_log, FUJITSU).run()
+        assert report.uses_huge_pages
+        assert report.meminfo["HugePages_Total"] > 0
+
+    def test_knolargepage_disables(self, small_log):
+        report = PerformancePipeline(small_log, FUJITSU,
+                                     flags=("-Knolargepage",)).run()
+        assert not report.uses_huge_pages
+
+    def test_huge_pages_cut_dtlb_misses(self, small_log):
+        with_hp = PerformancePipeline(small_log, FUJITSU).run()
+        without = PerformancePipeline(small_log, FUJITSU,
+                                      flags=("-Knolargepage",)).run()
+        m_with = with_hp.region(("hydro_sweep", "guardcell"))
+        m_without = without.region(("hydro_sweep", "guardcell"))
+        assert m_with["dtlb_misses_per_s"] < m_without["dtlb_misses_per_s"]
+
+    def test_replication_scales_work_linearly(self, small_log):
+        r1 = PerformancePipeline(small_log, GNU, replication=1).run()
+        r4 = PerformancePipeline(small_log, GNU, replication=4).run()
+        t1 = r1.region("hydro_sweep")["hardware_cycles"]
+        t4 = r4.region("hydro_sweep")["hardware_cycles"]
+        assert t4 == pytest.approx(4 * t1, rel=0.15)
+
+    def test_replication_preserves_rates(self, small_log):
+        r1 = PerformancePipeline(small_log, GNU, replication=1).run()
+        r4 = PerformancePipeline(small_log, GNU, replication=4).run()
+        m1 = r1.region("hydro_sweep")
+        m4 = r4.region("hydro_sweep")
+        assert m4["mem_gbytes_per_s"] == pytest.approx(
+            m1["mem_gbytes_per_s"], rel=0.15)
+
+    def test_arm_slower_than_gnu(self, small_log):
+        t_gnu = PerformancePipeline(small_log, GNU).run().flash_timer_s
+        t_arm = PerformancePipeline(small_log, ARM).run().flash_timer_s
+        assert 1.8 < t_arm / t_gnu < 3.0
+
+    def test_counterbank_mirror(self, small_log):
+        from repro.papi.events import Event
+
+        report = PerformancePipeline(small_log, GNU).run()
+        bank = report.as_counterbank()
+        assert bank.time_s == pytest.approx(sum(report.seconds.values()))
+        assert bank.totals[Event.TLB_DM] == pytest.approx(
+            sum(u.tlb.l1_misses for u in report.units.values()))
+
+    def test_region_combines_units(self, small_log):
+        report = PerformancePipeline(small_log, GNU).run()
+        a = report.region("hydro_sweep")["hardware_cycles"]
+        b = report.region("guardcell")["hardware_cycles"]
+        ab = report.region(("hydro_sweep", "guardcell"))["hardware_cycles"]
+        assert ab == pytest.approx(a + b, rel=1e-12)
+
+    def test_deterministic(self, small_log):
+        m1 = PerformancePipeline(small_log, GNU, seed=7).run().region("hydro_sweep")
+        m2 = PerformancePipeline(small_log, GNU, seed=7).run().region("hydro_sweep")
+        assert m1 == m2
+
+
+class TestEosWorkload:
+    """Helmholtz-EOS specific behaviour needs eos invocations with
+    Newton iteration counts."""
+
+    @pytest.fixture(scope="class")
+    def eos_log(self):
+        spec = MeshSpec(ndim=2, nxb=8, nyb=8, nzb=1, nguard=4, maxblocks=32)
+        log = WorkLog(spec=spec, nvar=12)
+        from repro.perfmodel.workrecord import StepRecord
+
+        zones = 4 * 64
+        inv = (
+            UnitInvocation(unit="guardcell", zones=zones, axis=0),
+            UnitInvocation(unit="hydro_sweep", zones=zones, axis=0),
+            UnitInvocation(unit="eos", zones=zones,
+                           newton_iterations=6 * zones),
+        )
+        for n in range(3):
+            log.steps.append(StepRecord(n=n + 1, dt=1e-3,
+                                        slots=(0, 1, 2, 3),
+                                        levels=(0, 0, 0, 0),
+                                        invocations=inv))
+        return log
+
+    def test_eos_tlb_rate_dominates_without_hp(self, eos_log):
+        report = PerformancePipeline(eos_log, FUJITSU,
+                                     flags=("-Knolargepage",)).run()
+        eos_rate = report.region("eos")["dtlb_misses_per_s"]
+        hydro_rate = report.region("hydro_sweep")["dtlb_misses_per_s"]
+        assert eos_rate > 3 * hydro_rate
+
+    def test_eos_dtlb_collapse_with_hp(self, eos_log):
+        with_hp = PerformancePipeline(eos_log, FUJITSU).run().region("eos")
+        without = PerformancePipeline(eos_log, FUJITSU,
+                                      flags=("-Knolargepage",)).run().region("eos")
+        ratio = with_hp["dtlb_misses_per_s"] / without["dtlb_misses_per_s"]
+        assert ratio < 0.15  # the paper's 0.047, loosely bounded
+
+    def test_time_barely_improves(self, eos_log):
+        """The paper's punchline: misses collapse, time barely moves."""
+        with_hp = PerformancePipeline(eos_log, FUJITSU).run().region("eos")
+        without = PerformancePipeline(eos_log, FUJITSU,
+                                      flags=("-Knolargepage",)).run().region("eos")
+        ratio = with_hp["time_s"] / without["time_s"]
+        assert 0.85 < ratio < 1.0

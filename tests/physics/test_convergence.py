@@ -1,0 +1,108 @@
+"""Order-of-accuracy verification: smooth acoustic wave + planar Sedov."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import peak_location
+from repro.driver.simulation import Simulation
+from repro.mesh.grid import Grid, MeshSpec
+from repro.mesh.tree import AMRTree
+from repro.physics.eos import GammaLawEOS
+from repro.physics.eos.apply import apply_eos
+from repro.physics.hydro.unit import HydroUnit
+from repro.setups.sedov import SedovSolution, sedov_setup
+
+
+GAMMA = 1.4
+
+
+def acoustic_error(nxb: int, amp: float = 1e-4) -> float:
+    """L1 density error after one period of a right-going sound wave on a
+    periodic 1-d domain (exact solution: the wave returns unchanged)."""
+    tree = AMRTree(ndim=1, nblockx=4, max_level=0,
+                   periodic=(True, True, True),
+                   domain=((0, 1), (0, 1), (0, 1)))
+    spec = MeshSpec(ndim=1, nxb=nxb, nyb=1, nzb=1, nguard=4, maxblocks=8)
+    grid = Grid(tree, spec)
+    eos = GammaLawEOS(gamma=GAMMA)
+
+    rho0, p0 = 1.0, 1.0 / GAMMA  # c_s = 1
+    for block in grid.leaf_blocks():
+        x, _, _ = grid.cell_centers(block)
+        shape = grid.interior(block, "dens").shape
+        wave = amp * np.broadcast_to(np.sin(2 * np.pi * x), shape)
+        # right-going simple wave linearisation
+        dens = rho0 * (1.0 + wave)
+        velx = wave  # c_s = 1
+        pres = p0 + GAMMA * p0 * wave
+        grid.interior(block, "dens")[:] = dens
+        grid.interior(block, "velx")[:] = velx
+        grid.interior(block, "pres")[:] = pres
+        eint = pres / ((GAMMA - 1.0) * dens)
+        grid.interior(block, "eint")[:] = eint
+        grid.interior(block, "ener")[:] = eint + 0.5 * velx**2
+    apply_eos(grid, eos)
+    initial = {b.bid: grid.interior(b, "dens").copy()
+               for b in grid.leaf_blocks()}
+
+    hydro = HydroUnit(eos, cfl=0.6)
+    t, period = 0.0, 1.0  # domain length / sound speed
+    while t < period:
+        dt = min(hydro.timestep(grid), period - t)
+        hydro.step(grid, dt)
+        t += dt
+    err = 0.0
+    n = 0
+    for b in grid.leaf_blocks():
+        err += np.abs(grid.interior(b, "dens") - initial[b.bid]).sum()
+        n += grid.interior(b, "dens").size
+    return err / n / amp  # normalised by the wave amplitude
+
+
+class TestAcousticConvergence:
+    def test_second_order_on_smooth_flow(self):
+        """Halving dx must cut the smooth-flow error by ~4 (2nd order).
+
+        Limiter clipping at the wave extrema typically degrades the
+        measured rate slightly below 2; we require > 1.5."""
+        e_coarse = acoustic_error(16)
+        e_fine = acoustic_error(32)
+        rate = np.log2(e_coarse / e_fine)
+        assert e_fine < e_coarse
+        assert rate > 1.5, f"observed order {rate:.2f}"
+
+    def test_amplitude_linearity(self):
+        """In the linear regime the normalised error is amplitude-free."""
+        e1 = acoustic_error(16, amp=1e-4)
+        e2 = acoustic_error(16, amp=1e-5)
+        assert e1 == pytest.approx(e2, rel=0.1)
+
+
+class TestPlanarSedov:
+    def test_planar_blast_matches_j1_solution(self):
+        """1-d (planar, j=1) Sedov: shock position vs the closed-form
+        solution with alpha(1.4, j=1)."""
+        tree = AMRTree(ndim=1, nblockx=8, max_level=0,
+                       domain=((0, 1), (0, 1), (0, 1)))
+        spec = MeshSpec(ndim=1, nxb=32, nyb=1, nzb=1, nguard=4,
+                        maxblocks=16)
+        grid = Grid(tree, spec)
+        eos = GammaLawEOS(gamma=GAMMA)
+        # energy on the x=0 plane: the deposit's 1-d "volume" spans both
+        # sides of the plane but only half lies in-domain, so energy=1
+        # puts E=0.5 in-domain — a symmetric planar blast of E_total=1
+        sedov_setup(grid, eos, energy=1.0, rho0=1.0, p_ambient=1e-6,
+                    center=(0.0, 0.0, 0.0), deposit_radius=3.0 / 256)
+        from repro.mesh.guardcell import BC_REFLECT, BoundaryConditions
+
+        bc = BoundaryConditions(x=(BC_REFLECT, "outflow"))
+        sim = Simulation(grid, HydroUnit(eos, cfl=0.5, bc=bc), nrefs=0,
+                         dtinit=1e-6)
+        sim.evolve(tmax=0.08, nend=3000)
+
+        exact = SedovSolution(gamma=GAMMA, j=1, energy=1.0, rho0=1.0)
+        # the deposit is half of a symmetric planar blast of E=1
+        r_exact = float(exact.shock_radius(sim.t))
+        r_meas, compression = peak_location(grid, "dens")
+        assert r_meas == pytest.approx(r_exact, rel=0.12)
+        assert compression > 2.5  # approaching (g+1)/(g-1) = 6

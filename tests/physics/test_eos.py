@@ -1,0 +1,239 @@
+"""Tests for the electron EOS, assembled Helmholtz EOS, and gamma law."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.constants import AVOGADRO, BOLTZMANN, C_LIGHT
+from repro.util.errors import PhysicsError
+from repro.physics.eos import (
+    CO_WD,
+    HYBRID_CONE_WD,
+    NSE_ASH,
+    Composition,
+    GammaLawEOS,
+    HelmholtzEOS,
+)
+from repro.physics.eos.coulomb import coulomb_corrections, coupling_gamma
+from repro.physics.eos.electron import (
+    cold_degenerate_pressure,
+    electron_state,
+    solve_eta,
+)
+from repro.physics.eos.invert import invert_dens_eint, invert_dens_pres
+from repro.physics.eos.ion import ion_energy, ion_pressure
+
+
+@pytest.fixture(scope="module")
+def eos():
+    return HelmholtzEOS()
+
+
+class TestComposition:
+    def test_co_wd(self):
+        assert CO_WD.abar == pytest.approx(13.714285714, rel=1e-9)
+        assert CO_WD.ye == pytest.approx(0.5)
+
+    def test_hybrid(self):
+        assert HYBRID_CONE_WD.ye == pytest.approx(0.5)
+        assert 12.0 < HYBRID_CONE_WD.abar < 20.0
+
+    def test_nse_ash_ye(self):
+        assert NSE_ASH.ye == pytest.approx(0.5)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(PhysicsError):
+            Composition.from_fractions(c12=0.5, o16=0.2)
+
+    def test_unknown_isotope(self):
+        with pytest.raises(PhysicsError):
+            Composition.from_fractions(unobtainium=1.0)
+
+
+class TestElectronState:
+    def test_cold_degenerate_pressure_match(self):
+        rho_ye = np.array([1e5, 1e7, 1e9])
+        state = electron_state(rho_ye, 1e5)
+        np.testing.assert_allclose(state.pressure,
+                                   cold_degenerate_pressure(rho_ye), rtol=1e-5)
+
+    def test_nondegenerate_ideal_gas(self):
+        state = electron_state(np.array([1.0]), 1e7)
+        nkt = 1.0 * AVOGADRO * BOLTZMANN * 1e7
+        assert state.pressure[0] == pytest.approx(nkt, rel=1e-3)
+
+    def test_pair_plasma(self):
+        """At T ~ 5e9 K and low density, positrons nearly equal electrons."""
+        state = electron_state(np.array([10.0]), 5e9)
+        assert state.n_pos[0] / state.n_ele[0] > 0.99
+
+    def test_charge_neutrality(self):
+        rho_ye = np.array([1e2, 1e6, 1e9])
+        state = electron_state(rho_ye, 1e9)
+        np.testing.assert_allclose(state.n_ele - state.n_pos,
+                                   rho_ye * AVOGADRO, rtol=1e-9)
+
+    def test_eta_monotone_in_density(self):
+        eta = solve_eta(np.array([1e4, 1e6, 1e8]), 1e8)
+        assert eta[0] < eta[1] < eta[2]
+
+    def test_entropy_positive(self):
+        state = electron_state(np.array([1e2, 1e6]), 1e9)
+        assert (state.entropy_density > 0).all()
+
+
+class TestIonRadiation:
+    def test_ion_pressure_ideal(self):
+        p = ion_pressure(1e6, 1e8, abar=12.0)
+        assert p == pytest.approx(1e6 * AVOGADRO * BOLTZMANN * 1e8 / 12.0)
+
+    def test_ion_energy_three_halves(self):
+        e = ion_energy(1e6, 1e8, abar=12.0)
+        p = ion_pressure(1e6, 1e8, abar=12.0)
+        assert e == pytest.approx(1.5 * p / 1e6)
+
+    def test_coulomb_negative_when_coupled(self):
+        """WD interior: Gamma >> 1 -> binding (negative) corrections."""
+        g = coupling_gamma(1e9, 1e8, CO_WD.abar, CO_WD.zbar)
+        assert g > 10.0
+        p_c, e_c = coulomb_corrections(1e9, 1e8, CO_WD.abar, CO_WD.zbar)
+        assert p_c < 0 and e_c < 0
+
+    def test_coulomb_vanishes_when_weak(self):
+        p_c, e_c = coulomb_corrections(1e-3, 1e9, CO_WD.abar, CO_WD.zbar)
+        p_ideal = ion_pressure(1e-3, 1e9, CO_WD.abar)
+        assert abs(p_c) < 1e-2 * p_ideal
+
+
+class TestHelmholtz:
+    def test_wd_core_is_degeneracy_dominated(self, eos):
+        """At rho=2e9, T=1e8 the pressure is overwhelmingly electronic and
+        nearly temperature-independent."""
+        r_cold = eos.eos_dt(2e9, 1e7, CO_WD.abar, CO_WD.zbar)
+        r_warm = eos.eos_dt(2e9, 1e8, CO_WD.abar, CO_WD.zbar)
+        assert abs(r_warm.pres[0] / r_cold.pres[0] - 1.0) < 0.01
+        assert r_warm.pres[0] == pytest.approx(
+            cold_degenerate_pressure(1e9), rel=0.05)
+
+    def test_gamc_in_physical_range(self, eos):
+        dens = np.logspace(0, 9, 30)
+        r = eos.eos_dt(dens, 1e8, CO_WD.abar, CO_WD.zbar)
+        assert (r.gamc > 1.0).all()
+        assert (r.gamc < 2.7).all()
+
+    def test_relativistic_degenerate_gamma_four_thirds(self, eos):
+        r = eos.eos_dt(5e9, 1e7, CO_WD.abar, CO_WD.zbar)
+        assert r.gamc[0] == pytest.approx(4.0 / 3.0, abs=0.03)
+
+    def test_sound_speed_below_light_in_wd_regime(self, eos):
+        """Within the Newtonian code's validity domain (P << rho c^2 — all
+        of a white-dwarf interior) the sound speed stays subluminal."""
+        dens = np.logspace(1, 10, 40)
+        r = eos.eos_dt(dens, 1e9, CO_WD.abar, CO_WD.zbar)
+        assert (r.cs < C_LIGHT).all()
+
+    def test_pressure_monotone_in_density(self, eos):
+        dens = np.logspace(2, 9, 40)
+        r = eos.eos_dt(dens, 1e8, CO_WD.abar, CO_WD.zbar)
+        assert (np.diff(r.pres) > 0).all()
+
+    def test_energy_monotone_in_temperature(self, eos):
+        temps = np.logspace(6, 9.8, 30)
+        r = eos.eos_dt(np.full(30, 1e7), temps, CO_WD.abar, CO_WD.zbar)
+        assert (np.diff(r.eint) > 0).all()
+
+    def test_cv_consistent_with_energy_derivative(self, eos):
+        """cv from the splines must match a finite difference of eint."""
+        dens, t = 1e7, 2e8
+        h = t * 1e-4
+        e_hi = eos.eos_dt(dens, t + h, CO_WD.abar, CO_WD.zbar).eint[0]
+        e_lo = eos.eos_dt(dens, t - h, CO_WD.abar, CO_WD.zbar).eint[0]
+        cv = eos.eos_dt(dens, t, CO_WD.abar, CO_WD.zbar).cv[0]
+        assert cv == pytest.approx((e_hi - e_lo) / (2 * h), rel=2e-2)
+
+    def test_rejects_negative_density(self, eos):
+        with pytest.raises(PhysicsError):
+            eos.eos_dt(-1.0, 1e8, CO_WD.abar, CO_WD.zbar)
+
+    def test_eint_cv_fast_path_matches(self, eos):
+        dens = np.logspace(3, 9, 16)
+        temp = np.full(16, 3e8)
+        full = eos.eos_dt(dens, temp, CO_WD.abar, CO_WD.zbar)
+        e, cv = eos.eint_cv(dens, temp, CO_WD.abar, CO_WD.zbar)
+        np.testing.assert_allclose(e, full.eint, rtol=1e-12)
+        np.testing.assert_allclose(cv, full.cv, rtol=1e-12)
+
+
+class TestInversion:
+    def test_round_trip_dens_ei(self, eos):
+        dens = np.logspace(3, 9, 50)
+        temp = np.logspace(7, 9.3, 50)
+        r = eos.eos_dt(dens, temp, CO_WD.abar, CO_WD.zbar)
+        t2, iters = invert_dens_eint(eos, dens, r.eint, CO_WD.abar, CO_WD.zbar)
+        np.testing.assert_allclose(t2, temp, rtol=1e-6)
+        assert iters.max() < 60
+
+    def test_round_trip_with_guess_faster(self, eos):
+        dens = np.logspace(4, 9, 30)
+        temp = np.full(30, 5e8)
+        r = eos.eos_dt(dens, temp, CO_WD.abar, CO_WD.zbar)
+        _, it_cold = invert_dens_eint(eos, dens, r.eint, CO_WD.abar, CO_WD.zbar)
+        _, it_warm = invert_dens_eint(eos, dens, r.eint, CO_WD.abar,
+                                      CO_WD.zbar, temp_guess=temp * 1.01)
+        assert it_warm.sum() <= it_cold.sum()
+
+    def test_cold_energy_clamps_to_floor(self, eos):
+        """Degenerate matter colder than the table floor clamps, not crashes
+        (FLASH's eos does the same)."""
+        r = eos.eos_dt(1e9, eos.temp_min, CO_WD.abar, CO_WD.zbar)
+        t2, _ = invert_dens_eint(eos, np.array([1e9]), r.eint * 0.999999,
+                                 CO_WD.abar, CO_WD.zbar)
+        assert t2[0] == pytest.approx(eos.temp_min)
+
+    def test_round_trip_dens_pres(self, eos):
+        dens = np.logspace(3, 7, 20)
+        temp = np.full(20, 8e8)
+        r = eos.eos_dt(dens, temp, CO_WD.abar, CO_WD.zbar)
+        t2, _ = invert_dens_pres(eos, dens, r.pres, CO_WD.abar, CO_WD.zbar)
+        np.testing.assert_allclose(t2, temp, rtol=1e-5)
+
+    def test_eos_de_interface(self, eos):
+        r0 = eos.eos_dt(1e8, 3e8, CO_WD.abar, CO_WD.zbar)
+        r1 = eos.eos_de(1e8, r0.eint, CO_WD.abar, CO_WD.zbar)
+        assert r1.temp[0] == pytest.approx(3e8, rel=1e-6)
+        assert r1.pres[0] == pytest.approx(r0.pres[0], rel=1e-6)
+
+
+class TestGammaLaw:
+    def test_pressure_relation(self):
+        eos = GammaLawEOS(gamma=1.4)
+        r = eos.eos_de(np.array([2.0]), np.array([3.0]))
+        assert r.pres[0] == pytest.approx(0.4 * 2.0 * 3.0)
+        assert r.gamc[0] == 1.4
+
+    def test_sound_speed(self):
+        eos = GammaLawEOS(gamma=5.0 / 3.0)
+        r = eos.eos_de(np.array([1.0]), np.array([1.0]))
+        assert r.cs[0] == pytest.approx(np.sqrt(5.0 / 3.0 * r.pres[0]))
+
+    def test_dt_de_round_trip(self):
+        eos = GammaLawEOS(gamma=1.4)
+        r = eos.eos_dt(np.array([1.0]), np.array([1e4]))
+        r2 = eos.eos_de(np.array([1.0]), r.eint)
+        assert r2.temp[0] == pytest.approx(1e4)
+
+    def test_dp_mode(self):
+        eos = GammaLawEOS(gamma=1.4)
+        r = eos.eos_dp(np.array([2.0]), np.array([10.0]))
+        assert r.eint[0] == pytest.approx(10.0 / (0.4 * 2.0))
+
+    def test_invalid_gamma(self):
+        with pytest.raises(PhysicsError):
+            GammaLawEOS(gamma=1.0)
+
+    @given(dens=st.floats(1e-5, 1e5), eint=st.floats(1e-5, 1e15))
+    @settings(max_examples=50)
+    def test_game_equals_gamma(self, dens, eint):
+        eos = GammaLawEOS(gamma=1.4)
+        r = eos.eos_de(np.array([dens]), np.array([eint]))
+        assert r.game[0] == pytest.approx(1.4)

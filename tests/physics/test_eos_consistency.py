@@ -1,0 +1,80 @@
+"""Thermodynamic-consistency tests for the Helmholtz EOS derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.physics.eos import CO_WD, HYBRID_CONE_WD, HelmholtzEOS
+
+
+@pytest.fixture(scope="module")
+def eos():
+    return HelmholtzEOS()
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("dens,temp", [
+        (1e5, 1e8), (1e7, 3e8), (1e9, 1e8), (1e3, 2e9),
+    ])
+    def test_dpt_matches_finite_difference(self, eos, dens, temp):
+        h = 1e-4 * temp
+        p_hi = eos.eos_dt(dens, temp + h, CO_WD.abar, CO_WD.zbar).pres[0]
+        p_lo = eos.eos_dt(dens, temp - h, CO_WD.abar, CO_WD.zbar).pres[0]
+        dpt = eos.eos_dt(dens, temp, CO_WD.abar, CO_WD.zbar).dpt[0]
+        assert dpt == pytest.approx((p_hi - p_lo) / (2 * h), rel=3e-2)
+
+    @pytest.mark.parametrize("dens,temp", [
+        (1e5, 1e8), (1e7, 3e8), (1e9, 1e8),
+    ])
+    def test_dpd_matches_finite_difference(self, eos, dens, temp):
+        h = 1e-4 * dens
+        p_hi = eos.eos_dt(dens + h, temp, CO_WD.abar, CO_WD.zbar).pres[0]
+        p_lo = eos.eos_dt(dens - h, temp, CO_WD.abar, CO_WD.zbar).pres[0]
+        dpd = eos.eos_dt(dens, temp, CO_WD.abar, CO_WD.zbar).dpd[0]
+        assert dpd == pytest.approx((p_hi - p_lo) / (2 * h), rel=3e-2)
+
+    def test_gamma1_consistent_with_adiabat(self, eos):
+        """Gamma_1 = dlnP/dlnrho at constant entropy: compress a parcel
+        adiabatically (ds = 0 via cv, dpt relations) and compare."""
+        dens, temp = 1e7, 2e8
+        r0 = eos.eos_dt(dens, temp, CO_WD.abar, CO_WD.zbar)
+        # adiabatic temperature change for a small compression:
+        # dT/drho|_s = T dpt / (rho^2 cv)   (standard thermodynamics)
+        eps = 1e-4
+        d_rho = eps * dens
+        d_temp = float(r0.temp[0] * r0.dpt[0] / (dens**2 * r0.cv[0])) * d_rho
+        r1 = eos.eos_dt(dens + d_rho, temp + d_temp, CO_WD.abar, CO_WD.zbar)
+        gamma1_fd = (np.log(r1.pres[0] / r0.pres[0])
+                     / np.log((dens + d_rho) / dens))
+        assert gamma1_fd == pytest.approx(float(r0.gamc[0]), rel=2e-2)
+
+    def test_entropy_increases_with_temperature(self, eos):
+        temps = np.logspace(7.5, 9.5, 12)
+        r = eos.eos_dt(np.full(12, 1e6), temps, CO_WD.abar, CO_WD.zbar)
+        assert (np.diff(r.entr) > 0).all()
+
+    def test_entropy_decreases_with_density(self, eos):
+        dens = np.logspace(4, 8, 12)
+        r = eos.eos_dt(dens, np.full(12, 5e8), CO_WD.abar, CO_WD.zbar)
+        assert (np.diff(r.entr) < 0).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(lg_d=st.floats(2, 9), lg_t=st.floats(7, 9.3))
+    def test_state_well_formed_everywhere(self, eos, lg_d, lg_t):
+        r = eos.eos_dt(10.0**lg_d, 10.0**lg_t, HYBRID_CONE_WD.abar,
+                       HYBRID_CONE_WD.zbar)
+        assert np.isfinite(r.pres[0]) and r.pres[0] > 0
+        assert np.isfinite(r.eint[0]) and r.eint[0] > 0
+        assert np.isfinite(r.cs[0]) and r.cs[0] > 0
+        assert r.cv[0] > 0
+        assert 1.0 < r.gamc[0] < 2.7
+
+    def test_composition_dependence(self, eos):
+        """At fixed (rho, T) heavier ash has lower ion pressure (fewer
+        ions) — P(NSE ash) < P(fuel)."""
+        from repro.physics.eos import NSE_ASH
+
+        p_fuel = eos.eos_dt(1e7, 3e9, HYBRID_CONE_WD.abar,
+                            HYBRID_CONE_WD.zbar).pres[0]
+        p_ash = eos.eos_dt(1e7, 3e9, NSE_ASH.abar, NSE_ASH.zbar).pres[0]
+        assert p_ash < p_fuel

@@ -1,0 +1,71 @@
+"""Accuracy tests for the relativistic Fermi-Dirac integrals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.special import gamma as gamma_fn
+
+from repro.physics.eos.fermi import fermi_dirac, fermi_dirac_all, fermi_dirac_deta
+
+
+class TestLimits:
+    @pytest.mark.parametrize("k", [0.5, 1.5, 2.5])
+    def test_nondegenerate_limit(self, k):
+        """eta << 0, beta -> 0:  F_k -> e^eta Gamma(k+1)."""
+        eta = -25.0
+        got = float(fermi_dirac(k, eta, 1e-8))
+        want = np.exp(eta) * gamma_fn(k + 1)
+        assert got == pytest.approx(want, rel=1e-6)
+
+    @pytest.mark.parametrize("k", [0.5, 1.5, 2.5])
+    def test_degenerate_limit(self, k):
+        """eta >> 1, beta -> 0:  F_k -> eta^{k+1}/(k+1) (+ Sommerfeld)."""
+        eta = 2000.0
+        got = float(fermi_dirac(k, eta, 1e-12))
+        leading = eta ** (k + 1) / (k + 1)
+        sommerfeld = (np.pi**2 / 6.0) * k * eta ** (k - 1)
+        assert got == pytest.approx(leading + sommerfeld, rel=1e-6)
+
+    def test_relativistic_factor_monotone(self):
+        """F_k grows with beta (the sqrt factor only adds)."""
+        vals = [float(fermi_dirac(1.5, 5.0, b)) for b in (0.0, 0.5, 2.0, 20.0)]
+        assert vals == sorted(vals)
+
+    def test_beta_zero_exact(self):
+        got = float(fermi_dirac(0.5, 0.0, 0.0))
+        # F_{1/2}(0) = eta(3/2)*(1-2^{-1/2})*Gamma(3/2)*zeta(3/2) known value
+        assert got == pytest.approx(0.6780938951, rel=1e-8)
+
+
+class TestImplementation:
+    def test_all_consistent_with_single(self):
+        eta = np.array([-5.0, 0.0, 30.0, 500.0])
+        beta = np.array([1e-4, 0.1, 1.0, 5.0])
+        f12, f32, f52 = fermi_dirac_all(eta, beta)
+        np.testing.assert_allclose(f12, fermi_dirac(0.5, eta, beta), rtol=1e-14)
+        np.testing.assert_allclose(f52, fermi_dirac(2.5, eta, beta), rtol=1e-14)
+
+    def test_broadcasting(self):
+        f = fermi_dirac(1.5, np.zeros((3, 1)), np.array([0.1, 1.0]))
+        assert f.shape == (3, 2)
+
+    def test_scalar_input(self):
+        assert np.isscalar(float(fermi_dirac(1.5, 1.0, 1.0)))
+
+    def test_unsupported_k(self):
+        with pytest.raises(ValueError):
+            fermi_dirac(1.0, 0.0, 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(eta=st.floats(-30, 1e4), beta=st.floats(1e-8, 50))
+    def test_positive_and_monotone_in_eta(self, eta, beta):
+        lo, hi = fermi_dirac(1.5, np.array([eta, eta + 1.0]), beta)
+        assert 0.0 < lo < hi
+
+    def test_deta_matches_finite_difference_of_values(self):
+        eta, beta = 12.0, 0.3
+        d = float(fermi_dirac_deta(1.5, eta, beta))
+        h = 1e-4
+        fd = (float(fermi_dirac(1.5, eta + h, beta))
+              - float(fermi_dirac(1.5, eta - h, beta))) / (2 * h)
+        assert d == pytest.approx(fd, rel=1e-5)

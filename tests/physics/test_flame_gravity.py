@@ -1,0 +1,200 @@
+"""Tests for the ADR flame and monopole gravity units."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.block import BlockId
+from repro.mesh.grid import Grid, MeshSpec, VariableRegistry
+from repro.mesh.guardcell import BoundaryConditions, fill_guardcells
+from repro.mesh.tree import AMRTree
+from repro.physics.flame.adr import ADRFlame
+from repro.physics.flame.speed import (
+    FlameSpeedTable,
+    laminar_speed_fit,
+    turbulent_enhancement,
+)
+from repro.physics.gravity.monopole import MonopoleGravity
+from repro.util.constants import G_NEWTON, M_SUN
+from repro.util.errors import PhysicsError
+
+
+def flame_grid(nblockx=8, nxb=32, dens=2e9, phi_x=0.1):
+    L = 1e7
+    tree = AMRTree(ndim=1, nblockx=nblockx, max_level=0,
+                   domain=((0, L), (0, 1), (0, 1)))
+    variables = VariableRegistry().extended("fl01", "fl02")
+    spec = MeshSpec(ndim=1, nxb=nxb, nyb=1, nzb=1, nguard=4, maxblocks=16)
+    grid = Grid(tree, spec, variables)
+    for b in grid.leaf_blocks():
+        x, _, _ = grid.cell_centers(b)
+        grid.interior(b, "dens")[:] = dens
+        grid.interior(b, "fl01")[:] = np.where(x < phi_x * L, 1.0, 0.0)
+    return grid, L
+
+
+def front_position(grid):
+    xs, ps = [], []
+    for b in grid.leaf_blocks():
+        x, _, _ = grid.cell_centers(b)
+        xs += list(np.broadcast_to(x, grid.interior(b, "fl01").shape).ravel())
+        ps += list(grid.interior(b, "fl01").ravel())
+    xs, ps = np.array(xs), np.array(ps)
+    order = np.argsort(xs)
+    return np.interp(0.5, ps[order][::-1], xs[order][::-1])
+
+
+class TestFlameSpeed:
+    def test_fit_anchor(self):
+        assert laminar_speed_fit(2e9, 0.5) == pytest.approx(9.2e6)
+
+    def test_table_matches_fit(self):
+        table = FlameSpeedTable()
+        dens = np.array([1e7, 1e8, 2e9, 5e9])
+        got = table(dens, 0.3)
+        want = laminar_speed_fit(dens, 0.3)
+        np.testing.assert_allclose(got, want, rtol=5e-3)
+
+    def test_table_clamps_at_edges(self):
+        table = FlameSpeedTable()
+        assert table(1.0, 0.5) == table(10 ** table.lg_dens[0], 0.5)
+
+    def test_turbulent_enhancement_limits(self):
+        assert turbulent_enhancement(1e6, 0.0) == pytest.approx(1e6)
+        assert turbulent_enhancement(1e5, 1e7) == pytest.approx(1e7, rel=1e-3)
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(PhysicsError):
+            turbulent_enhancement(1e6, 1e6, coefficient=-1.0)
+
+
+class TestADRFlame:
+    def test_front_speed(self):
+        """The calibrated front must propagate at the tabulated speed."""
+        grid, L = flame_grid()
+        flame = ADRFlame(x_carbon_fuel=0.5, q_carbon=0.0, q_nse=0.0,
+                         turb_coefficient=0.0)
+        s_true = laminar_speed_fit(2e9, 0.5)
+        dx = L / (8 * 32)
+        dt = 0.1 * dx / s_true
+        for _ in range(600):
+            fill_guardcells(grid, BoundaryConditions())
+            flame.step(grid, dt)
+        x0 = front_position(grid)
+        for _ in range(600):
+            fill_guardcells(grid, BoundaryConditions())
+            flame.step(grid, dt)
+        s_meas = (front_position(grid) - x0) / (600 * dt)
+        assert s_meas == pytest.approx(s_true, rel=0.03)
+
+    def test_progress_bounded(self):
+        grid, L = flame_grid()
+        flame = ADRFlame(q_carbon=0.0, q_nse=0.0)
+        dt = 1e-4
+        for _ in range(50):
+            fill_guardcells(grid, BoundaryConditions())
+            flame.step(grid, dt)
+        for b in grid.leaf_blocks():
+            phi = grid.interior(b, "fl01")
+            assert (phi >= 0.0).all() and (phi <= 1.0).all()
+
+    def test_energy_release_positive(self):
+        grid, L = flame_grid()
+        flame = ADRFlame(x_carbon_fuel=0.5, turb_coefficient=0.0)
+        e0 = grid.total("eint")
+        for _ in range(50):
+            fill_guardcells(grid, BoundaryConditions())
+            flame.step(grid, 1e-4)
+        assert grid.total("eint") > e0
+
+    def test_quenches_below_density_cutoff(self):
+        grid, L = flame_grid(dens=1e4)  # below the 1e5 cutoff
+        flame = ADRFlame(q_carbon=0.0, q_nse=0.0)
+        x0 = front_position(grid)
+        for _ in range(100):
+            fill_guardcells(grid, BoundaryConditions())
+            flame.step(grid, 1e-3)
+        # diffusionless and reactionless: the front must not march
+        assert front_position(grid) == pytest.approx(x0, abs=L / 100)
+
+    def test_nse_follows_carbon_at_high_density(self):
+        """With a tiny relaxation time phi2 catches up to phi1 immediately;
+        it never runs ahead of the *maximum* progress (NSE ash cannot
+        un-burn, even where the diffusive phi1 field locally recedes)."""
+        grid, L = flame_grid()
+        flame = ADRFlame(q_carbon=0.0, q_nse=0.0, nse_timescale=1e-6)
+        for _ in range(30):
+            fill_guardcells(grid, BoundaryConditions())
+            flame.step(grid, 1e-4)
+        for b in grid.leaf_blocks():
+            phi1 = grid.interior(b, "fl01")
+            phi2 = grid.interior(b, "fl02")
+            assert (phi2 >= phi1 - 1e-6).all()
+            assert (phi2 <= 1.0).all()
+            burned = phi1 > 0.999
+            if burned.any():
+                assert (phi2[burned] > 0.999).all()
+
+    def test_rejects_bad_dt(self):
+        grid, _ = flame_grid()
+        with pytest.raises(PhysicsError):
+            ADRFlame().step(grid, 0.0)
+
+    def test_timestep_finite_when_burning(self):
+        grid, _ = flame_grid()
+        dt = ADRFlame().timestep(grid)
+        assert 0.0 < dt < np.inf
+
+
+class TestMonopoleGravity:
+    def _star_grid(self, ndim=2, rho_c=1e9, r_star=1e8):
+        L = 2e8
+        tree = AMRTree(ndim=ndim, nblockx=4, nblocky=4 if ndim > 1 else 1,
+                       max_level=0, domain=((-L, L), (-L, L), (-L, L)))
+        spec = MeshSpec(ndim=ndim, nxb=16, nyb=16 if ndim > 1 else 1,
+                        nzb=1, nguard=4, maxblocks=32)
+        grid = Grid(tree, spec)
+        for b in grid.leaf_blocks():
+            x, y, _ = grid.cell_centers(b)
+            r = np.sqrt(x**2 + (y**2 if ndim > 1 else 0.0))
+            r = np.broadcast_to(r, grid.interior(b, "dens").shape)
+            grid.interior(b, "dens")[:] = np.where(r < r_star, rho_c, 1.0)
+        return grid, rho_c, r_star
+
+    def test_enclosed_mass_of_uniform_sphere(self):
+        grid, rho_c, r_star = self._star_grid()
+        grav = MonopoleGravity()
+        grav.update_potential(grid)
+        m_expected = 4.0 / 3.0 * np.pi * r_star**3 * rho_c
+        assert grav.enclosed_mass(2.0 * r_star) == pytest.approx(
+            m_expected, rel=0.05)
+
+    def test_acceleration_inverse_square_outside(self):
+        grid, _, r_star = self._star_grid()
+        grav = MonopoleGravity()
+        grav.update_potential(grid)
+        g1 = grav.acceleration_magnitude(1.5 * r_star)
+        g2 = grav.acceleration_magnitude(1.9 * r_star)
+        assert g1 / g2 == pytest.approx((1.9 / 1.5) ** 2, rel=0.05)
+
+    def test_acceleration_linear_inside_uniform(self):
+        grid, _, r_star = self._star_grid()
+        grav = MonopoleGravity()
+        grav.update_potential(grid)
+        g1 = grav.acceleration_magnitude(0.25 * r_star)
+        g2 = grav.acceleration_magnitude(0.5 * r_star)
+        assert g2 / g1 == pytest.approx(2.0, rel=0.1)
+
+    def test_kick_points_inward(self):
+        grid, _, r_star = self._star_grid()
+        grav = MonopoleGravity()
+        grav.accelerate(grid, dt=1.0e-3)
+        for b in grid.leaf_blocks():
+            x, y, _ = grid.cell_centers(b)
+            vx = grid.interior(b, "velx")
+            mask = np.broadcast_to(x, vx.shape) > 1e7
+            assert (vx[mask] < 0).all()  # pulled toward the centre
+
+    def test_requires_update_before_query(self):
+        grav = MonopoleGravity()
+        with pytest.raises(RuntimeError):
+            grav.enclosed_mass(1.0)

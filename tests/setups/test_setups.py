@@ -1,0 +1,216 @@
+"""Tests for problem setups and their analytic verification solutions."""
+
+import numpy as np
+import pytest
+
+from repro.physics.eos import GammaLawEOS, HYBRID_CONE_WD, HelmholtzEOS
+from repro.setups.sedov import SedovSolution, sedov_setup
+from repro.setups.sod import SodProblem, sod_exact
+from repro.setups.supernova import supernova_setup
+from repro.setups.whitedwarf import build_white_dwarf
+from repro.util.constants import M_SUN
+from repro.util.errors import PhysicsError
+from repro.mesh.grid import Grid, MeshSpec
+from repro.mesh.tree import AMRTree
+
+
+class TestSodExact:
+    def test_star_region_values(self):
+        """Known star-state values of the classic Sod problem."""
+        prob = SodProblem()
+        x = np.array([0.6])  # inside the star region at t=0.2
+        d, u, p = sod_exact(prob, x, 0.2)
+        assert p[0] == pytest.approx(0.30313, rel=1e-4)
+        assert u[0] == pytest.approx(0.92745, rel=1e-4)
+        assert d[0] == pytest.approx(0.42632, rel=1e-4)
+
+    def test_untouched_states(self):
+        prob = SodProblem()
+        d, u, p = sod_exact(prob, np.array([0.05, 0.95]), 0.2)
+        assert d[0] == prob.rho_l and p[0] == prob.p_l
+        assert d[1] == prob.rho_r and p[1] == prob.p_r
+
+    def test_shock_position(self):
+        prob = SodProblem()
+        x = np.linspace(0.8, 0.9, 1000)
+        d, _, _ = sod_exact(prob, x, 0.2)
+        jump = x[np.argmax(np.abs(np.diff(d)))]
+        assert jump == pytest.approx(0.85, abs=0.005)
+
+    def test_rarefaction_smooth(self):
+        prob = SodProblem()
+        x = np.linspace(0.3, 0.45, 100)
+        d, _, _ = sod_exact(prob, x, 0.2)
+        assert (np.diff(d) < 0).all()  # monotonically falling through the fan
+
+
+class TestSedovSolution:
+    def test_alpha_literature_spherical(self):
+        """The classic alpha = 0.851 for gamma = 1.4, j = 3."""
+        s = SedovSolution(gamma=1.4, j=3)
+        assert s.alpha == pytest.approx(0.851, rel=1e-3)
+
+    def test_alpha_literature_gamma53(self):
+        s = SedovSolution(gamma=5.0 / 3.0, j=3)
+        assert s.alpha == pytest.approx(0.4936, rel=1e-3)
+
+    def test_xi0_taylor_value(self):
+        s = SedovSolution(gamma=1.4, j=3)
+        assert s.xi0 == pytest.approx(1.033, rel=1e-3)
+
+    def test_shock_radius_scaling(self):
+        s = SedovSolution(gamma=1.4, j=3, energy=1.0, rho0=1.0)
+        r1, r4 = s.shock_radius(1.0), s.shock_radius(4.0)
+        assert r4 / r1 == pytest.approx(4.0 ** 0.4, rel=1e-12)
+
+    def test_profile_shock_jump(self):
+        s = SedovSolution(gamma=1.4, j=3)
+        r2 = float(s.shock_radius(1.0))
+        d_in, _, _ = s.profile(np.array([r2 * 0.9999]), 1.0)
+        d_out, _, _ = s.profile(np.array([r2 * 1.2]), 1.0)
+        assert d_in[0] == pytest.approx(6.0, rel=0.01)  # (g+1)/(g-1)
+        assert d_out[0] == 1.0
+
+    def test_profile_center_evacuated(self):
+        s = SedovSolution(gamma=1.4, j=3)
+        d, _, _ = s.profile(np.array([1e-3]), 1.0)
+        assert d[0] < 0.05
+
+    def test_pressure_finite_at_center(self):
+        s = SedovSolution(gamma=1.4, j=3)
+        _, _, p0 = s.profile(np.array([1e-3]), 1.0)
+        _, _, p2 = s.profile(np.array([float(s.shock_radius(1.0)) * 0.999]), 1.0)
+        assert 0.0 < p0[0] < p2[0]
+
+    def test_bad_geometry(self):
+        with pytest.raises(PhysicsError):
+            SedovSolution(j=4)
+
+    def test_energy_integral_self_consistent(self):
+        """Integrating the profile energy must return the input E."""
+        s = SedovSolution(gamma=1.4, j=3, energy=7.0, rho0=2.0)
+        t = 3.0
+        r2 = float(s.shock_radius(t))
+        r = np.linspace(1e-4 * r2, r2 * 0.99999, 20000)
+        d, v, p = s.profile(r, t)
+        integrand = (0.5 * d * v**2 + p / 0.4) * 4.0 * np.pi * r**2
+        e = np.trapezoid(integrand, r)
+        assert e == pytest.approx(7.0, rel=0.01)
+
+
+class TestSedovSetup:
+    def test_energy_deposited(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=2, max_level=1,
+                       domain=((0, 1), (0, 1), (0, 1)))
+        spec = MeshSpec(ndim=2, nxb=16, nyb=16, nzb=1, nguard=4, maxblocks=64)
+        grid = Grid(tree, spec)
+        eos = GammaLawEOS(gamma=1.4)
+        sedov_setup(grid, eos, energy=1.0, rho0=1.0, p_ambient=1e-9)
+        total = grid.total("ener")
+        assert total == pytest.approx(1.0, rel=0.35)  # zone-quantised deposit
+
+    def test_ambient_state(self):
+        tree = AMRTree(ndim=2, nblockx=2, nblocky=2, max_level=1,
+                       domain=((0, 1), (0, 1), (0, 1)))
+        spec = MeshSpec(ndim=2, nxb=16, nyb=16, nzb=1, nguard=4, maxblocks=64)
+        grid = Grid(tree, spec)
+        sedov_setup(grid, GammaLawEOS(1.4), center=(0.5, 0.5, 0.0))
+        corner = grid.leaf_blocks()[0]
+        assert grid.interior(corner, "dens")[0, 0, 0] == 1.0
+        assert grid.interior(corner, "pres")[0, 0, 0] == pytest.approx(1e-5)
+
+
+@pytest.fixture(scope="module")
+def wd_model():
+    return build_white_dwarf(central_density=1.2e9, temperature=5e7,
+                             dens_floor=1e5, dr=4e6)
+
+
+class TestWhiteDwarf:
+    def test_mass_near_chandrasekhar(self, wd_model):
+        """rho_c = 1.2e9 C/O/Ne WD: M ~ 1.3-1.4 Msun."""
+        assert 1.25 < wd_model.total_mass / M_SUN < 1.42
+
+    def test_radius_thousands_of_km(self, wd_model):
+        assert 1.0e8 < wd_model.surface_radius < 4.0e8
+
+    def test_density_monotone(self, wd_model):
+        # the very first step sits at r=0 where dP/dr = 0 exactly
+        assert (np.diff(wd_model.dens) <= 0).all()
+        assert (np.diff(wd_model.dens[1:]) < 0).all()
+
+    def test_hydrostatic_residual_small(self, wd_model):
+        assert wd_model.hydrostatic_residual() < 0.2
+
+    def test_mass_grows_monotonically(self, wd_model):
+        assert (np.diff(wd_model.mass) > 0).all()
+
+    def test_higher_central_density_more_massive(self, wd_model):
+        heavier = build_white_dwarf(central_density=3e9, temperature=5e7,
+                                    dens_floor=1e5, dr=4e6)
+        assert heavier.total_mass > wd_model.total_mass
+
+    def test_floor_validation(self):
+        with pytest.raises(PhysicsError):
+            build_white_dwarf(central_density=1e3, dens_floor=1e4)
+
+
+class TestSupernovaSetup:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return supernova_setup(nblock=2, nxb=16, max_level=1, maxblocks=256,
+                               initial_refinement=False)
+
+    def test_central_density_mapped(self, problem):
+        grid = problem.grid
+        best = 0.0
+        for b in grid.leaf_blocks():
+            best = max(best, float(grid.interior(b, "dens").max()))
+        assert best == pytest.approx(1.2e9, rel=0.3)
+
+    def test_ignition_bubble_burned_and_hot(self, problem):
+        grid = problem.grid
+        hot = 0.0
+        burned = 0.0
+        for b in grid.leaf_blocks():
+            hot = max(hot, float(grid.interior(b, "temp").max()))
+            burned = max(burned, float(grid.interior(b, "fl01").max()))
+        assert hot >= 3.0e9
+        assert burned == pytest.approx(1.0)
+
+    def test_pressure_positive_everywhere(self, problem):
+        for b in problem.grid.leaf_blocks():
+            assert (problem.grid.interior(b, "pres") > 0).all()
+
+    def test_uses_helmholtz_eos(self, problem):
+        assert isinstance(problem.eos, HelmholtzEOS)
+
+    def test_3d_variant_builds_and_steps(self):
+        """The paper's stated next step: 'full 3-d simulations of
+        supernovae'.  The setup must build and advance in 3-d."""
+        from repro.driver.simulation import Simulation
+
+        prob = supernova_setup(ndim=3, nblock=2, nxb=8, max_level=1,
+                               maxblocks=64, initial_refinement=False)
+        assert prob.grid.spec.ndim == 3
+        sim = Simulation(prob.grid, prob.hydro, flame=prob.flame,
+                         gravity=prob.gravity, nrefs=0)
+        info = sim.step()
+        assert info.dt > 0
+        for b in prob.grid.leaf_blocks():
+            assert (prob.grid.interior(b, "dens") > 0).all()
+
+    def test_invalid_ndim_rejected(self):
+        with pytest.raises(ValueError):
+            supernova_setup(ndim=1)
+
+    def test_composition_callable(self, problem):
+        from repro.setups.supernova import _composition
+
+        stacked = {"fl01": np.array([0.0, 1.0, 1.0]),
+                   "fl02": np.array([0.0, 0.0, 1.0])}
+        abar, zbar = _composition(problem.grid, stacked)
+        assert abar[0] == pytest.approx(HYBRID_CONE_WD.abar)
+        assert abar[1] == pytest.approx(28.0)  # silicon ash
+        assert abar[2] == pytest.approx(56.0)  # NSE ash
+        assert (zbar / abar == pytest.approx(0.5, rel=1e-6))

@@ -1,0 +1,129 @@
+"""Tests for the allocator models — the mechanisms behind the mystery."""
+
+import numpy as np
+import pytest
+
+from repro.util import GiB, KiB, MiB
+from repro.util.errors import AllocationError
+from repro.kernel.params import ookami_config
+from repro.kernel.vmm import Kernel
+from repro.toolchain.allocator import FujitsuLargePage, GlibcMalloc
+from repro.toolchain.env import ProcessEnv
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(ookami_config())
+
+
+@pytest.fixture
+def space(kernel):
+    return kernel.new_address_space()
+
+
+class TestGlibc:
+    def test_small_goes_to_heap(self, space):
+        alloc = GlibcMalloc().allocate(space, 4 * KiB, "small")
+        assert alloc.vma.name == "[heap]"
+
+    def test_large_goes_to_mmap(self, space):
+        alloc = GlibcMalloc().allocate(space, 100 * MiB, "unk")
+        assert alloc.vma.name != "[heap]"
+        assert not alloc.vma.is_hugetlb
+
+    def test_threshold_boundary(self, space):
+        glibc = GlibcMalloc(mmap_threshold=128 * KiB)
+        below = glibc.allocate(space, 64 * KiB, "below")
+        above = glibc.allocate(space, 128 * KiB, "above")
+        assert below.vma.name == "[heap]"
+        assert above.vma.name != "[heap]"
+
+    def test_header_offset(self, space):
+        alloc = GlibcMalloc().allocate(space, 1 * MiB, "x")
+        assert alloc.offset == 16
+
+    def test_heap_suballocations_disjoint(self, space):
+        glibc = GlibcMalloc()
+        a = glibc.allocate(space, 1 * KiB, "a")
+        b = glibc.allocate(space, 1 * KiB, "b")
+        assert a.vma is b.vma
+        assert a.offset + a.nbytes <= b.offset
+
+    def test_zero_size_rejected(self, space):
+        with pytest.raises(AllocationError):
+            GlibcMalloc().allocate(space, 0, "zero")
+
+    def test_morecore_hugetlb_heap(self, kernel, space):
+        """HUGETLB_MORECORE backs the *heap* with hugetlbfs pages..."""
+        kernel.pool(2 * MiB).set_pool_size(256)
+        glibc = GlibcMalloc(morecore=2 * MiB)
+        alloc = glibc.allocate(space, 4 * KiB, "small")
+        alloc.touch_all(space)
+        assert alloc.vma.is_hugetlb
+        assert kernel.pool(2 * MiB).allocated > 0
+
+    def test_morecore_does_not_affect_mmap_path(self, kernel, space):
+        """...but large allocations still bypass it — the paper's failed
+        LD_PRELOAD attempts, mechanised."""
+        kernel.pool(2 * MiB).set_pool_size(256)
+        glibc = GlibcMalloc(morecore=2 * MiB)
+        alloc = glibc.allocate(space, 100 * MiB, "unk")
+        alloc.touch_all(space)
+        assert not alloc.vma.is_hugetlb
+        assert alloc.vma.thp_bytes == 0  # 100 MB < 512 MiB THP granule
+
+    def test_morecore_thp_advises_heap(self, space):
+        glibc = GlibcMalloc(morecore="thp")
+        alloc = glibc.allocate(space, 4 * KiB, "small")
+        assert alloc.vma.madv_hugepage
+
+    def test_free_unmaps_mmap(self, kernel, space):
+        glibc = GlibcMalloc()
+        alloc = glibc.allocate(space, 10 * MiB, "tmp")
+        alloc.touch_all(space)
+        glibc.free(space, alloc)
+        assert kernel.anon_base_bytes < 10 * MiB  # released (heap may remain)
+
+
+class TestFujitsu:
+    def test_large_allocation_hugetlb(self, kernel, space):
+        kernel.pool(2 * MiB).nr_overcommit = 10000
+        xos = FujitsuLargePage()
+        alloc = xos.allocate(space, 100 * MiB, "unk")
+        alloc.touch_all(space)
+        assert alloc.vma.is_hugetlb
+        assert alloc.vma.hugetlb_size == 2 * MiB
+        assert alloc.vma.uses_huge_pages()
+
+    def test_small_falls_through_to_glibc(self, space):
+        xos = FujitsuLargePage()
+        alloc = xos.allocate(space, 4 * KiB, "small")
+        assert not alloc.vma.is_hugetlb
+
+    def test_hpage_type_none_disables(self, space):
+        xos = FujitsuLargePage(hpage_type="none")
+        alloc = xos.allocate(space, 100 * MiB, "unk")
+        assert not alloc.vma.is_hugetlb
+
+    def test_hpage_type_thp_advises(self, space):
+        xos = FujitsuLargePage(hpage_type="thp")
+        alloc = xos.allocate(space, 100 * MiB, "unk")
+        assert alloc.vma.madv_hugepage
+        assert not alloc.vma.is_hugetlb
+
+    def test_pool_exhaustion_falls_back(self, kernel, space):
+        # no pool, no overcommit: the library degrades to normal pages
+        xos = FujitsuLargePage()
+        alloc = xos.allocate(space, 100 * MiB, "unk")
+        alloc.touch_all(space)
+        assert not alloc.vma.is_hugetlb
+
+    def test_surplus_pages_show_in_meminfo(self, kernel, space):
+        """Unmodified nodes: pages appear as surplus, not a static pool."""
+        kernel.pool(2 * MiB).nr_overcommit = 10000
+        xos = FujitsuLargePage()
+        alloc = xos.allocate(space, 64 * MiB, "unk")
+        alloc.touch_all(space)
+        pool = kernel.pool(2 * MiB)
+        assert pool.surplus == 32
+        assert pool.nr_hugepages == 0

@@ -1,0 +1,69 @@
+"""Tests for process-environment parsing."""
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.toolchain.env import ProcessEnv
+
+
+class TestLibhugetlbfs:
+    def test_no_preload_no_morecore(self):
+        env = ProcessEnv.from_dict({"HUGETLB_MORECORE": "yes"})
+        assert env.hugetlb_morecore is None  # preload missing -> inert
+
+    def test_preload_with_yes(self):
+        env = ProcessEnv.from_dict(
+            {"LD_PRELOAD": "libhugetlbfs.so", "HUGETLB_MORECORE": "yes"}
+        )
+        assert env.hugetlb_morecore == "default"
+
+    def test_preload_with_thp(self):
+        env = ProcessEnv.from_dict(
+            {"LD_PRELOAD": "libhugetlbfs.so", "HUGETLB_MORECORE": "thp"}
+        )
+        assert env.hugetlb_morecore == "thp"
+
+    def test_preload_with_size(self):
+        env = ProcessEnv.from_dict(
+            {"LD_PRELOAD": "libhugetlbfs.so", "HUGETLB_MORECORE": str(2 << 20)}
+        )
+        assert env.hugetlb_morecore == 2 << 20
+
+    def test_bad_value_rejected(self):
+        env = ProcessEnv.from_dict(
+            {"LD_PRELOAD": "libhugetlbfs.so", "HUGETLB_MORECORE": "banana"}
+        )
+        with pytest.raises(ConfigurationError):
+            _ = env.hugetlb_morecore
+
+    def test_shm_flag(self):
+        env = ProcessEnv.from_dict(
+            {"LD_PRELOAD": "libhugetlbfs.so", "HUGETLB_SHM": "yes"}
+        )
+        assert env.hugetlb_shm
+
+    def test_preload_among_others(self):
+        env = ProcessEnv.from_dict({"LD_PRELOAD": "libfoo.so libhugetlbfs.so"})
+        assert env.libhugetlbfs_preloaded
+
+
+class TestXOS:
+    def test_default_is_hugetlbfs(self):
+        assert ProcessEnv().xos_hpage_type == "hugetlbfs"
+
+    def test_documented_values(self):
+        for value in ("none", "hugetlbfs", "thp"):
+            env = ProcessEnv.from_dict({"XOS_MMM_L_HPAGE_TYPE": value})
+            assert env.xos_hpage_type == value
+
+    def test_bad_value_rejected(self):
+        env = ProcessEnv.from_dict({"XOS_MMM_L_HPAGE_TYPE": "huge"})
+        with pytest.raises(ConfigurationError):
+            _ = env.xos_hpage_type
+
+
+def test_merged_does_not_mutate():
+    a = ProcessEnv.from_dict({"A": "1"})
+    b = a.merged({"B": "2"})
+    assert a.get("B") is None
+    assert b.get("A") == "1" and b.get("B") == "2"

@@ -1,0 +1,148 @@
+"""Tests for compilers, executables, and the huge-page usage matrix.
+
+The matrix tests replicate the paper's section IV findings verbatim:
+GNU/Cray FLASH never huge-pages (whatever hugectl/LD_PRELOAD variations
+are tried), Fujitsu FLASH huge-pages naturally, -Knolargepage turns it
+off, and the toy static/dynamic programs behave as reported.
+"""
+
+import pytest
+
+from repro.util import GiB, MiB
+from repro.util.errors import ConfigurationError
+from repro.kernel.meminfo import hugepages_in_use, meminfo
+from repro.kernel.params import ookami_config
+from repro.kernel.tools import Hugeadm, hugectl
+from repro.kernel.vmm import Kernel
+from repro.toolchain.compiler import ARM, COMPILERS, CRAY, FUJITSU, GNU
+
+
+UNK_BYTES = 96 * MiB  # a realistic FLASH unk for 2-d runs
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(ookami_config())
+
+
+def run_flash_like(kernel, compiler, flags=(), env=None):
+    """Allocate and first-touch FLASH's main containers under a toolchain."""
+    exe = compiler.compile("flash4", flags=flags)
+    proc = exe.launch(kernel, env=env)
+    proc.allocate(UNK_BYTES, "unk")
+    proc.allocate(UNK_BYTES // 8, "facevar")
+    # PARAMESH initialises variable-by-variable: strided first touch
+    proc.first_touch("unk", order="strided", stride=2 * MiB)
+    proc.first_touch("facevar", order="strided", stride=2 * MiB)
+    return proc
+
+
+class TestCompilerFlags:
+    def test_knolargepage_only_fujitsu(self):
+        with pytest.raises(ConfigurationError):
+            GNU.compile("flash4", flags=("-Knolargepage",))
+
+    def test_knolargepage_disables_runtime(self):
+        exe = FUJITSU.compile("flash4", flags=("-Knolargepage",))
+        assert not exe.largepage_runtime
+
+    def test_fujitsu_default_has_runtime(self):
+        assert FUJITSU.compile("flash4").largepage_runtime
+
+    def test_registry(self):
+        assert set(COMPILERS) == {"gnu", "cray", "arm", "fujitsu"}
+
+    def test_fujitsu_finalizers_broken(self):
+        """Section II: the PAPI OOP wrapper failed under Fujitsu 4.5."""
+        assert not FUJITSU.finalizers_work
+        assert GNU.finalizers_work and CRAY.finalizers_work
+
+
+class TestHugePageMatrix:
+    @pytest.mark.parametrize("compiler", [GNU, CRAY], ids=lambda c: c.name)
+    def test_gnu_cray_flash_no_huge_pages(self, kernel, compiler):
+        proc = run_flash_like(kernel, compiler)
+        assert not proc.uses_huge_pages()
+        assert not hugepages_in_use(kernel)
+
+    @pytest.mark.parametrize("compiler", [GNU, CRAY], ids=lambda c: c.name)
+    def test_hugectl_variants_do_not_help(self, kernel, compiler):
+        """'We tried many variations ... all to no avail.'"""
+        Hugeadm(kernel).pool_pages_min(4096)  # modified node, big pool
+        for env in (
+            hugectl(heap=True),
+            hugectl(shm=True),
+            hugectl(shm=True, thp=True),
+            {"LD_PRELOAD": "libhugetlbfs.so"},
+        ):
+            proc = run_flash_like(kernel, compiler, env=env)
+            assert not proc.uses_huge_pages(), f"env={env}"
+            proc.exit()
+
+    def test_fujitsu_flash_uses_huge_pages_naturally(self, kernel):
+        proc = run_flash_like(kernel, FUJITSU)
+        assert proc.uses_huge_pages()
+        info = meminfo(kernel)
+        assert info["HugePages_Total"] > 0
+        assert info["HugePages_Free"] < info["HugePages_Total"]
+
+    def test_fujitsu_knolargepage_disables(self, kernel):
+        proc = run_flash_like(kernel, FUJITSU, flags=("-Knolargepage",))
+        assert not proc.uses_huge_pages()
+
+    def test_fujitsu_xos_none_disables(self, kernel):
+        proc = run_flash_like(kernel, FUJITSU,
+                              env={"XOS_MMM_L_HPAGE_TYPE": "none"})
+        assert not proc.uses_huge_pages()
+
+    def test_fujitsu_works_on_unmodified_node(self):
+        """The paper's closing observation: unmodified nodes behaved the
+        same, because the Fujitsu runtime brings its own surplus pages."""
+        kernel = Kernel(ookami_config(modified_node=False))
+        proc = run_flash_like(kernel, FUJITSU)
+        assert proc.uses_huge_pages()
+        assert kernel.pool(2 * MiB).surplus > 0
+
+
+class TestToyPrograms:
+    """Section IV's two Fortran test programs, summing over a big 2-d array."""
+
+    ARRAY = 2 * GiB  # big enough to contain 512 MiB THP extents
+
+    @pytest.mark.parametrize("compiler", [GNU, CRAY, FUJITSU],
+                             ids=lambda c: c.name)
+    def test_dynamic_allocation_gets_huge_pages(self, kernel, compiler):
+        # the toy experiments ran on the modified nodes with THP enabled
+        Hugeadm(kernel).thp_always()
+        exe = compiler.compile("toy_dynamic")
+        proc = exe.launch(kernel)
+        proc.allocate(self.ARRAY, "array")
+        proc.first_touch("array", order="sequential")
+        assert proc.uses_huge_pages()
+
+    @pytest.mark.parametrize("compiler", [GNU, CRAY, FUJITSU],
+                             ids=lambda c: c.name)
+    def test_static_allocation_gets_none(self, kernel, compiler):
+        exe = compiler.compile("toy_static")
+        exe = type(exe)(**{**exe.__dict__, "static_bytes": self.ARRAY + MiB})
+        proc = exe.launch(kernel)
+        proc.static_array(self.ARRAY, "array")
+        proc.first_touch("array", order="sequential")
+        assert not proc.uses_huge_pages()
+
+
+class TestProcessLifecycle:
+    def test_exit_cleans_up(self, kernel):
+        proc = run_flash_like(kernel, FUJITSU)
+        proc.exit()
+        assert kernel.anon_base_bytes == 0
+        assert kernel.pool(2 * MiB).allocated == 0
+
+    def test_free_by_name(self, kernel):
+        proc = run_flash_like(kernel, GNU)
+        before = kernel.anon_base_bytes
+        proc.free("unk")
+        assert kernel.anon_base_bytes < before
+
+    def test_arm_perf_trait(self):
+        assert ARM.perf.scalar_multiplier == pytest.approx(2.5)

@@ -1,0 +1,54 @@
+"""Sanity tests for physical constants and the error hierarchy."""
+
+import pytest
+
+from repro.util import constants as c
+from repro.util.errors import (
+    AllocationError,
+    ConfigurationError,
+    ConvergenceError,
+    KernelError,
+    MeshError,
+    PhysicsError,
+    ReproError,
+)
+
+
+class TestConstants:
+    def test_memory_sizes(self):
+        assert c.KiB == 1024
+        assert c.MiB == 1024**2
+        assert c.GiB == 1024**3
+
+    def test_radiation_constant_consistent(self):
+        """a = 8 pi^5 k^4 / (15 h^3 c^3) — derived, so cross-check it."""
+        import math
+
+        a = (8 * math.pi**5 * c.BOLTZMANN**4
+             / (15 * c.H_PLANCK**3 * c.C_LIGHT**3))
+        assert c.RADIATION_A == pytest.approx(a, rel=1e-5)
+
+    def test_electron_rest_energy(self):
+        # 511 keV in erg
+        assert c.ME_C2 == pytest.approx(8.187e-7, rel=1e-3)
+
+    def test_gas_constant(self):
+        assert c.GAS_CONSTANT == pytest.approx(8.314e7, rel=1e-3)
+
+    def test_nuclear_energetics_scale(self):
+        """C/O -> NSE releases ~1e18 erg/g in total (the canonical value)."""
+        total = c.Q_CARBON_BURN + c.Q_NSE_RELAX
+        assert 5e17 < total < 2e18
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(AllocationError, KernelError)
+        assert issubclass(KernelError, ReproError)
+        assert issubclass(ConvergenceError, PhysicsError)
+        assert issubclass(MeshError, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise AllocationError("boom")
