@@ -15,11 +15,24 @@ import numpy as np
 from repro.mesh.block import BlockId
 from repro.mesh.grid import Grid, MeshSpec, VariableRegistry
 from repro.mesh.tree import AMRTree
+from repro.util import artifacts
+from repro.util.errors import ArtifactError
+
+#: embedded checkpoint format version
+_CHECKPOINT_VERSION = 1
+#: arrays every valid checkpoint must carry
+_CHECKPOINT_KEYS = ("bids", "data", "variables", "spec", "tree_meta",
+                    "domain", "periodic", "scalars")
 
 
 def write_checkpoint(grid: Grid, path: str | Path, *, time: float = 0.0,
                      n_step: int = 0) -> Path:
-    """Write all leaf-block data and mesh metadata."""
+    """Write all leaf-block data and mesh metadata.
+
+    The file is written atomically (temp file + rename) with a SHA-256
+    sidecar, so an interrupted write can never leave a truncated
+    checkpoint under the final name.
+    """
     path = Path(path)
     leaves = grid.tree.leaves()
     bids = np.array([(b.level, b.ix, b.iy, b.iz) for b in leaves],
@@ -27,18 +40,22 @@ def write_checkpoint(grid: Grid, path: str | Path, *, time: float = 0.0,
     sx, sy, sz = grid.spec.interior_slices()
     slots = [grid.blocks[b].slot for b in leaves]
     data = grid.unk[:, sx, sy, sz, :][..., slots]
-    np.savez_compressed(
+    artifacts.save_npz(
         path,
-        bids=bids,
-        data=data,
-        variables=np.array(grid.variables.names),
-        spec=np.array([grid.spec.ndim, grid.spec.nxb, grid.spec.nyb,
-                       grid.spec.nzb, grid.spec.nguard, grid.spec.maxblocks]),
-        tree_meta=np.array([grid.tree.nblockx, grid.tree.nblocky,
-                            grid.tree.nblockz, grid.tree.max_level]),
-        domain=np.array(grid.tree.domain, dtype=np.float64),
-        periodic=np.array(grid.tree.periodic),
-        scalars=np.array([time, float(n_step)]),
+        {
+            "bids": bids,
+            "data": data,
+            "variables": np.array(grid.variables.names),
+            "spec": np.array([grid.spec.ndim, grid.spec.nxb, grid.spec.nyb,
+                              grid.spec.nzb, grid.spec.nguard,
+                              grid.spec.maxblocks]),
+            "tree_meta": np.array([grid.tree.nblockx, grid.tree.nblocky,
+                                   grid.tree.nblockz, grid.tree.max_level]),
+            "domain": np.array(grid.tree.domain, dtype=np.float64),
+            "periodic": np.array(grid.tree.periodic),
+            "scalars": np.array([time, float(n_step)]),
+        },
+        version=_CHECKPOINT_VERSION,
     )
     return path
 
@@ -62,35 +79,51 @@ def restart_simulation(path: str | Path, hydro, **sim_kwargs):
 
 
 def read_checkpoint(path: str | Path) -> tuple[Grid, float, int]:
-    """Reconstruct a Grid (tree + data) from a checkpoint."""
-    with np.load(path) as f:
-        ndim, nxb, nyb, nzb, nguard, maxblocks = (int(v) for v in f["spec"])
-        nbx, nby, nbz, max_level = (int(v) for v in f["tree_meta"])
-        domain = tuple(tuple(row) for row in f["domain"])
-        periodic = tuple(bool(v) for v in f["periodic"])
-        tree = AMRTree(ndim=ndim, nblockx=nbx, nblocky=nby, nblockz=nbz,
-                       max_level=max_level, domain=domain, periodic=periodic)
-        bids = [BlockId(int(l), int(x), int(y), int(z)) for l, x, y, z in f["bids"]]
-        # rebuild topology: split ancestors until every stored bid is a leaf
-        for bid in sorted(bids):
-            path_ids = []
-            b = bid
-            while b.level > 0:
-                path_ids.append(b)
-                b = b.parent
-            for anc in reversed([p.parent for p in path_ids]):
-                if tree.is_leaf(anc):
-                    tree.split(anc)
-        spec = MeshSpec(ndim=ndim, nxb=nxb, nyb=nyb, nzb=nzb, nguard=nguard,
-                        maxblocks=maxblocks)
-        variables = VariableRegistry(tuple(str(v) for v in f["variables"]))
-        grid = Grid(tree, spec, variables)
-        sx, sy, sz = grid.spec.interior_slices()
-        data = f["data"]
-        for i, bid in enumerate(bids):
-            block = grid.blocks[bid]
-            grid.unk[:, sx, sy, sz, block.slot] = data[..., i]
-        time, n_step = f["scalars"]
+    """Reconstruct a Grid (tree + data) from a checkpoint.
+
+    A checkpoint has no builder — it is the product of a simulation run —
+    so unlike the EOS-table and worklog caches it cannot be silently
+    regenerated.  A truncated, corrupt, or schema-incomplete file raises
+    :class:`~repro.util.errors.ArtifactError` with the failed check in
+    the message instead of a bare ``zipfile.BadZipFile``.  Checkpoints
+    written before the embedded version field are still accepted.
+    """
+    path = Path(path)
+    try:
+        f = artifacts.load_npz(path, required_keys=_CHECKPOINT_KEYS,
+                               version=_CHECKPOINT_VERSION,
+                               allow_missing_version=True)
+    except ArtifactError as exc:
+        raise ArtifactError(
+            f"checkpoint {path} is unreadable and checkpoints cannot be "
+            f"rebuilt: {exc}") from exc
+    ndim, nxb, nyb, nzb, nguard, maxblocks = (int(v) for v in f["spec"])
+    nbx, nby, nbz, max_level = (int(v) for v in f["tree_meta"])
+    domain = tuple(tuple(row) for row in f["domain"])
+    periodic = tuple(bool(v) for v in f["periodic"])
+    tree = AMRTree(ndim=ndim, nblockx=nbx, nblocky=nby, nblockz=nbz,
+                   max_level=max_level, domain=domain, periodic=periodic)
+    bids = [BlockId(int(l), int(x), int(y), int(z)) for l, x, y, z in f["bids"]]
+    # rebuild topology: split ancestors until every stored bid is a leaf
+    for bid in sorted(bids):
+        path_ids = []
+        b = bid
+        while b.level > 0:
+            path_ids.append(b)
+            b = b.parent
+        for anc in reversed([p.parent for p in path_ids]):
+            if tree.is_leaf(anc):
+                tree.split(anc)
+    spec = MeshSpec(ndim=ndim, nxb=nxb, nyb=nyb, nzb=nzb, nguard=nguard,
+                    maxblocks=maxblocks)
+    variables = VariableRegistry(tuple(str(v) for v in f["variables"]))
+    grid = Grid(tree, spec, variables)
+    sx, sy, sz = grid.spec.interior_slices()
+    data = f["data"]
+    for i, bid in enumerate(bids):
+        block = grid.blocks[bid]
+        grid.unk[:, sx, sy, sz, block.slot] = data[..., i]
+    time, n_step = f["scalars"]
     return grid, float(time), int(n_step)
 
 

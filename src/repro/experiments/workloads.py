@@ -15,7 +15,6 @@ reused.  ``quick=True`` variants (fewer steps) serve tests and CI.
 from __future__ import annotations
 
 import os
-import pickle
 from pathlib import Path
 
 from repro.driver.simulation import Simulation
@@ -27,8 +26,10 @@ from repro.physics.eos import GammaLawEOS
 from repro.physics.hydro.unit import HydroUnit
 from repro.setups.sedov import sedov_setup
 from repro.setups.supernova import supernova_setup
+from repro.util import artifacts
 
-#: bump to invalidate cached work logs after model changes
+#: bump to invalidate cached work logs after model changes (embedded in
+#: the artifact envelope, not the filename)
 _CACHE_VERSION = 4
 
 
@@ -40,14 +41,22 @@ def _cache_dir() -> Path:
 
 
 def _cached(name: str, builder):
-    path = _cache_dir() / f"{name}_v{_CACHE_VERSION}.pkl"
-    if path.exists():
-        with open(path, "rb") as f:
-            return pickle.load(f)
-    log = builder()
-    with open(path, "wb") as f:
-        pickle.dump(log, f)
-    return log
+    """Load a pickled WorkLog cache, rebuilding on any corruption.
+
+    A truncated/garbage pickle (interrupted benchmark run) or a stale
+    class layout (``AttributeError`` from an old cache after a refactor)
+    is quarantined and the workload rerun — never fatal.  Writes are
+    atomic, so an interrupted run cannot poison later ones.
+    """
+    path = _cache_dir() / f"{name}.pkl"
+    return artifacts.load_or_rebuild(
+        path,
+        loader=lambda p: artifacts.load_pickle(p, version=_CACHE_VERSION),
+        builder=builder,
+        saver=lambda log, p: artifacts.save_pickle(p, log,
+                                                   version=_CACHE_VERSION),
+        description=f"worklog cache '{name}'",
+    )
 
 
 def eos_problem_worklog(*, steps: int = 50, quick: bool = False,

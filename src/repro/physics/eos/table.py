@@ -24,7 +24,8 @@ import numpy as np
 from scipy.interpolate import RectBivariateSpline
 
 from repro.physics.eos import electron
-from repro.util.errors import PhysicsError
+from repro.util import artifacts
+from repro.util.errors import ArtifactError, PhysicsError
 
 #: default table extents (log10)
 LG_RHOYE_RANGE = (-4.0, 11.0)
@@ -32,22 +33,28 @@ LG_TEMP_RANGE = (4.0, 10.5)
 DEFAULT_N_RHOYE = 181
 DEFAULT_N_TEMP = 101
 
+#: embedded artifact version (was a ``_v3`` filename suffix)
 _TABLE_VERSION = 3
+#: arrays every valid table artifact must carry
+_TABLE_KEYS = ("lg_rhoye", "lg_temp", "lg_pres", "lg_ener", "entr", "eta")
 
 
 def _cache_path() -> Path:
     pkg_data = Path(__file__).resolve().parent / "data"
+    shipped = pkg_data / "electron_table.npz"
+    if shipped.exists():
+        return shipped
     try:
         pkg_data.mkdir(exist_ok=True)
         probe = pkg_data / ".writable"
         probe.touch()
         probe.unlink()
-        return pkg_data / f"electron_table_v{_TABLE_VERSION}.npz"
+        return shipped
     except OSError:
         cache = Path(os.environ.get("XDG_CACHE_HOME",
                                     Path.home() / ".cache")) / "repro"
         cache.mkdir(parents=True, exist_ok=True)
-        return cache / f"electron_table_v{_TABLE_VERSION}.npz"
+        return cache / "electron_table.npz"
 
 
 @dataclass
@@ -96,26 +103,35 @@ class ElectronTable:
     @classmethod
     def load(cls, path: Path | None = None, build_if_missing: bool = True,
              **build_kwargs) -> "ElectronTable":
-        """Load the cached table, building (and caching) it if absent."""
-        path = path or _cache_path()
-        if path.exists():
-            data = np.load(path)
-            return cls(**{k: data[k] for k in
-                          ("lg_rhoye", "lg_temp", "lg_pres", "lg_ener",
-                           "entr", "eta")})
-        if not build_if_missing:
-            raise PhysicsError(f"electron table not found at {path}")
-        table = cls.build(**build_kwargs)
-        table.save(path)
-        return table
+        """Load the cached table, building (and caching) it if absent.
+
+        A corrupt, truncated, stale-version, or schema-incomplete cache
+        file is never fatal: it is quarantined as ``*.corrupt`` and the
+        table is rebuilt from the Fermi-Dirac integrals and re-cached.
+        """
+        path = Path(path) if path is not None else _cache_path()
+
+        def _load(p: Path) -> "ElectronTable":
+            data = artifacts.load_npz(p, required_keys=_TABLE_KEYS,
+                                      version=_TABLE_VERSION)
+            return cls(**{k: data[k] for k in _TABLE_KEYS})
+
+        builder = (lambda: cls.build(**build_kwargs)) if build_if_missing \
+            else None
+        try:
+            return artifacts.load_or_rebuild(
+                path, loader=_load, builder=builder,
+                saver=lambda table, p: table.save(p),
+                description="electron EOS table")
+        except ArtifactError as exc:
+            raise PhysicsError(f"electron table unusable at {path}: "
+                               f"{exc}") from exc
 
     def save(self, path: Path | None = None) -> Path:
-        path = path or _cache_path()
-        np.savez_compressed(
-            path, lg_rhoye=self.lg_rhoye, lg_temp=self.lg_temp,
-            lg_pres=self.lg_pres, lg_ener=self.lg_ener, entr=self.entr,
-            eta=self.eta,
-        )
+        path = Path(path) if path is not None else _cache_path()
+        artifacts.save_npz(
+            path, {k: getattr(self, k) for k in _TABLE_KEYS},
+            version=_TABLE_VERSION)
         return path
 
     # --- evaluation ------------------------------------------------------------

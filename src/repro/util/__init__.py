@@ -24,6 +24,7 @@ from repro.util.errors import (
     ConfigurationError,
     KernelError,
     AllocationError,
+    ArtifactError,
     MeshError,
     PhysicsError,
     ConvergenceError,
@@ -47,6 +48,7 @@ __all__ = [
     "ConfigurationError",
     "KernelError",
     "AllocationError",
+    "ArtifactError",
     "MeshError",
     "PhysicsError",
     "ConvergenceError",

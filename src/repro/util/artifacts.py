@@ -1,0 +1,351 @@
+"""Corruption-safe artifact store.
+
+Every cached artifact in :mod:`repro` — the tabulated electron EOS, the
+pickled experiment work logs, simulation checkpoints — goes through this
+module.  The design goal is that *no* on-disk corruption is ever fatal
+when the artifact can be regenerated, and that corruption of an artifact
+that cannot be regenerated (a checkpoint) produces a clear
+:class:`~repro.util.errors.ArtifactError` instead of a raw
+``zipfile.BadZipFile``/``EOFError`` from deep inside numpy or pickle.
+
+Guarantees:
+
+* **Atomic writes** — artifacts are written to a ``*.tmp`` file in the
+  destination directory, fsynced, then moved into place with
+  :func:`os.replace`, so a crash or ``kill -9`` mid-write can never leave
+  a half-written file under the final name.
+* **Integrity validation on read** — ``.npz`` artifacts must pass the
+  zip magic/end-of-central-directory check, carry the expected embedded
+  version (the :data:`VERSION_KEY` array), contain every required key,
+  and match their sidecar SHA-256 checksum when one is present.  Pickle
+  artifacts are wrapped in a small versioned envelope and every
+  unpickling failure mode (truncation, garbage, stale class layouts) is
+  translated into :class:`ArtifactError`.
+* **Load-or-rebuild** — :func:`load_or_rebuild` quarantines any invalid
+  artifact (renames it ``*.corrupt``), logs a warning, and calls the
+  builder to regenerate and re-save it.  Without a builder the
+  :class:`ArtifactError` propagates with the validation failure attached.
+
+Versioning is carried *inside* the artifact (``version=`` argument),
+replacing the older convention of ``_v3``/``_v4`` filename suffixes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import pickle
+import tempfile
+import zipfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.util.errors import ArtifactError
+
+logger = logging.getLogger(__name__)
+
+#: name of the embedded version array inside ``.npz`` artifacts
+VERSION_KEY = "__artifact_version__"
+#: suffix appended (to the full filename) for the checksum sidecar
+CHECKSUM_SUFFIX = ".sha256"
+#: suffix appended to quarantined (corrupt) artifacts
+QUARANTINE_SUFFIX = ".corrupt"
+
+#: the exception types a hostile pickle byte-stream can raise on load
+_PICKLE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,  # stale class layout / renamed class
+    ImportError,  # module moved since the pickle was written
+    IndexError,  # truncated opcode stream
+    ValueError,
+    TypeError,
+    MemoryError,  # absurd length prefix in a corrupted frame
+    OSError,
+)
+
+
+# --- low-level helpers -------------------------------------------------------
+
+def checksum_path(path: str | Path) -> Path:
+    """The sidecar checksum file for *path* (``foo.npz.sha256``)."""
+    path = Path(path)
+    return path.with_name(path.name + CHECKSUM_SUFFIX)
+
+
+def file_sha256(path: str | Path) -> str:
+    """Streaming SHA-256 of a file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry so a rename survives power loss (best effort
+    — not all filesystems/platforms allow opening a directory)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_write(path: str | Path) -> Iterator[Path]:
+    """Yield a temporary path in *path*'s directory; on clean exit the temp
+    file is fsynced and atomically renamed onto *path*.
+
+    Readers either see the old complete file or the new complete file —
+    never a partial write.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmpname = tempfile.mkstemp(dir=path.parent,
+                                   prefix=path.name + ".", suffix=".tmp")
+    os.close(fd)
+    tmp = Path(tmpname)
+    try:
+        yield tmp
+        # mkstemp creates 0600 files; restore normal umask-based permissions
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp, 0o666 & ~umask)
+        with open(tmp, "rb") as f:
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def write_checksum(path: str | Path) -> Path:
+    """Write (atomically) the SHA-256 sidecar for an existing artifact."""
+    path = Path(path)
+    sidecar = checksum_path(path)
+    line = f"{file_sha256(path)}  {path.name}\n"
+    with atomic_write(sidecar) as tmp:
+        tmp.write_text(line)
+    return sidecar
+
+
+def verify_checksum(path: str | Path) -> bool | None:
+    """Check *path* against its sidecar.
+
+    Returns ``True`` on match, ``False`` on mismatch (or unreadable
+    sidecar), ``None`` when no sidecar exists (legacy or user-supplied
+    artifacts are not required to carry one).
+    """
+    path = Path(path)
+    sidecar = checksum_path(path)
+    if not sidecar.exists():
+        return None
+    try:
+        expected = sidecar.read_text().split()[0].strip().lower()
+    except (OSError, IndexError):
+        return False
+    if len(expected) != 64:
+        return False
+    return file_sha256(path) == expected
+
+
+def quarantine(path: str | Path) -> Path:
+    """Move a corrupt artifact (and its sidecar) aside as ``*.corrupt``.
+
+    An earlier quarantined file under the same name is overwritten — only
+    the most recent corpse is kept for post-mortems.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + QUARANTINE_SUFFIX)
+    try:
+        os.replace(path, target)
+    except OSError:
+        # cannot rename (permissions, already gone) — best-effort delete so
+        # the rebuild's save is not blocked by the corrupt file
+        path.unlink(missing_ok=True)
+    sidecar = checksum_path(path)
+    try:
+        os.replace(sidecar, target.with_name(target.name + CHECKSUM_SUFFIX))
+    except OSError:
+        sidecar.unlink(missing_ok=True)
+    return target
+
+
+# --- npz artifacts -----------------------------------------------------------
+
+def save_npz(path: str | Path, arrays: dict[str, np.ndarray], *,
+             version: int | None = None) -> Path:
+    """Atomically write a ``.npz`` artifact plus its checksum sidecar.
+
+    *version* (when given) is embedded as the :data:`VERSION_KEY` array so
+    readers can reject stale formats without parsing filenames.
+    """
+    path = Path(path)
+    payload = dict(arrays)
+    if version is not None:
+        payload[VERSION_KEY] = np.array(int(version))
+    with atomic_write(path) as tmp:
+        # pass a file object: np.savez would append ".npz" to a bare path
+        with open(tmp, "wb") as f:
+            np.savez_compressed(f, **payload)
+    write_checksum(path)
+    return path
+
+
+def load_npz(path: str | Path, *, required_keys: Iterable[str] = (),
+             version: int | None = None,
+             allow_missing_version: bool = False) -> dict[str, np.ndarray]:
+    """Validate and load a ``.npz`` artifact into a dict of arrays.
+
+    Raises :class:`ArtifactError` describing the first failed check:
+    missing file, failed zip magic/EOCD check, checksum mismatch,
+    version mismatch, missing required keys, or an undecodable payload.
+    ``allow_missing_version`` accepts legacy artifacts that predate the
+    embedded version field (still rejecting a *wrong* version).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"artifact not found: {path}")
+    if not zipfile.is_zipfile(path):
+        raise ArtifactError(
+            f"artifact {path} is not a valid zip/npz (truncated or corrupt)")
+    if verify_checksum(path) is False:
+        raise ArtifactError(f"artifact {path} fails its SHA-256 sidecar check")
+    try:
+        with np.load(path, allow_pickle=False) as f:
+            data = {k: f[k] for k in f.files}
+    except (zipfile.BadZipFile, KeyError, ValueError, EOFError, OSError) as exc:
+        raise ArtifactError(f"artifact {path} is undecodable: {exc}") from exc
+    if version is not None:
+        stored = data.pop(VERSION_KEY, None)
+        if stored is None:
+            if not allow_missing_version:
+                raise ArtifactError(
+                    f"artifact {path} carries no version field "
+                    f"(expected version {version})")
+        elif int(stored) != int(version):
+            raise ArtifactError(
+                f"artifact {path} has version {int(stored)}, "
+                f"expected {version}")
+    else:
+        data.pop(VERSION_KEY, None)
+    missing = [k for k in required_keys if k not in data]
+    if missing:
+        raise ArtifactError(
+            f"artifact {path} is schema-incomplete: missing {missing}")
+    return data
+
+
+# --- pickle artifacts --------------------------------------------------------
+
+_PICKLE_FORMAT = "repro-artifact-v1"
+
+
+def save_pickle(path: str | Path, obj: Any, *, version: int | None = None) -> Path:
+    """Atomically pickle *obj* inside a versioned envelope, with sidecar."""
+    path = Path(path)
+    envelope = {"format": _PICKLE_FORMAT, "version": version, "payload": obj}
+    with atomic_write(path) as tmp:
+        with open(tmp, "wb") as f:
+            pickle.dump(envelope, f, protocol=pickle.HIGHEST_PROTOCOL)
+    write_checksum(path)
+    return path
+
+
+def load_pickle(path: str | Path, *, version: int | None = None) -> Any:
+    """Validate and unpickle an artifact written by :func:`save_pickle`.
+
+    Every way a truncated, zeroed, or stale pickle can blow up —
+    ``EOFError``, ``UnpicklingError``, ``AttributeError`` from a class
+    that no longer exists, garbage length prefixes — is mapped to
+    :class:`ArtifactError` so callers have exactly one failure mode.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"artifact not found: {path}")
+    if verify_checksum(path) is False:
+        raise ArtifactError(f"artifact {path} fails its SHA-256 sidecar check")
+    try:
+        with open(path, "rb") as f:
+            envelope = pickle.load(f)
+    except _PICKLE_ERRORS as exc:
+        raise ArtifactError(
+            f"artifact {path} is not a readable pickle: {exc!r}") from exc
+    if not (isinstance(envelope, dict)
+            and envelope.get("format") == _PICKLE_FORMAT
+            and "payload" in envelope):
+        raise ArtifactError(
+            f"artifact {path} is not a {_PICKLE_FORMAT} envelope")
+    if version is not None and envelope.get("version") != version:
+        raise ArtifactError(
+            f"artifact {path} has version {envelope.get('version')}, "
+            f"expected {version}")
+    return envelope["payload"]
+
+
+# --- the load-or-rebuild protocol -------------------------------------------
+
+def load_or_rebuild(path: str | Path, *,
+                    loader: Callable[[Path], Any],
+                    builder: Callable[[], Any] | None = None,
+                    saver: Callable[[Any, Path], Any] | None = None,
+                    description: str = "artifact") -> Any:
+    """Load an artifact, regenerating it when absent or invalid.
+
+    ``loader(path)`` must raise :class:`ArtifactError` for any invalid
+    artifact (the :func:`load_npz`/:func:`load_pickle` helpers do).  When
+    it does and a *builder* exists, the bad file is quarantined as
+    ``*.corrupt``, a warning is logged, and ``builder()`` regenerates the
+    object, which ``saver(obj, path)`` re-caches.  A failing *saver* is
+    downgraded to a warning — an unwritable cache slows the next run down
+    but never breaks this one.  Without a builder the error propagates.
+    """
+    path = Path(path)
+    if path.exists():
+        try:
+            return loader(path)
+        except ArtifactError as exc:
+            if builder is None:
+                raise
+            quarantined = quarantine(path)
+            logger.warning(
+                "%s at %s failed validation (%s); quarantined to %s and "
+                "rebuilding", description, path, exc, quarantined)
+    elif builder is None:
+        raise ArtifactError(f"{description} not found at {path}")
+    obj = builder()
+    if saver is not None:
+        try:
+            saver(obj, path)
+        except OSError as exc:
+            logger.warning("could not re-cache %s at %s: %s",
+                           description, path, exc)
+    return obj
+
+
+__all__ = [
+    "VERSION_KEY",
+    "CHECKSUM_SUFFIX",
+    "QUARANTINE_SUFFIX",
+    "atomic_write",
+    "checksum_path",
+    "file_sha256",
+    "write_checksum",
+    "verify_checksum",
+    "quarantine",
+    "save_npz",
+    "load_npz",
+    "save_pickle",
+    "load_pickle",
+    "load_or_rebuild",
+]

@@ -21,6 +21,15 @@ class MeshError(ReproError):
     """The AMR mesh is in an inconsistent state."""
 
 
+class ArtifactError(ReproError):
+    """A cached/persisted artifact is missing, corrupt, or stale.
+
+    Raised by :mod:`repro.util.artifacts` when an on-disk artifact fails
+    integrity validation (bad zip magic, checksum mismatch, wrong
+    version, incomplete schema) and no builder is available to
+    regenerate it."""
+
+
 class PhysicsError(ReproError):
     """A physics module received unphysical input."""
 

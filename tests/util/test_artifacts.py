@@ -1,0 +1,484 @@
+"""Fault-injection suite for the corruption-safe artifact store.
+
+Covers the store primitives (atomic write, checksum sidecars, quarantine,
+npz/pickle validation) and all three migrated call sites: the electron
+EOS table cache rebuilds transparently, a truncated checkpoint raises a
+clear ``ArtifactError`` (checkpoints have no builder), and a corrupt
+worklog pickle rebuilds.
+"""
+
+import logging
+import pickle
+import sys
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.util import artifacts
+from repro.util.errors import ArtifactError, PhysicsError, ReproError
+
+
+def _sample_arrays():
+    return {"alpha": np.arange(12.0).reshape(3, 4), "beta": np.ones(5)}
+
+
+def _save_sample(path, version=1):
+    return artifacts.save_npz(path, _sample_arrays(), version=version)
+
+
+# --- corruption injectors ----------------------------------------------------
+
+def truncate_at(path, offset):
+    data = path.read_bytes()
+    path.write_bytes(data[:offset])
+
+
+def zero_file(path):
+    path.write_bytes(b"\x00" * path.stat().st_size)
+
+
+# --- primitives --------------------------------------------------------------
+
+class TestAtomicWrite:
+    def test_writes_and_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "a.bin"
+        with artifacts.atomic_write(target) as tmp:
+            tmp.write_bytes(b"payload")
+        assert target.read_bytes() == b"payload"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failure_leaves_previous_content(self, tmp_path):
+        target = tmp_path / "a.bin"
+        target.write_bytes(b"old")
+        with pytest.raises(RuntimeError):
+            with artifacts.atomic_write(target) as tmp:
+                tmp.write_bytes(b"half-writ")
+                raise RuntimeError("simulated crash")
+        assert target.read_bytes() == b"old"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "er" / "a.bin"
+        with artifacts.atomic_write(target) as tmp:
+            tmp.write_bytes(b"x")
+        assert target.exists()
+
+
+class TestChecksum:
+    def test_roundtrip(self, tmp_path):
+        p = tmp_path / "f.dat"
+        p.write_bytes(b"hello")
+        artifacts.write_checksum(p)
+        assert artifacts.verify_checksum(p) is True
+
+    def test_mismatch_detected(self, tmp_path):
+        p = tmp_path / "f.dat"
+        p.write_bytes(b"hello")
+        artifacts.write_checksum(p)
+        p.write_bytes(b"tampered")
+        assert artifacts.verify_checksum(p) is False
+
+    def test_missing_sidecar_is_none(self, tmp_path):
+        p = tmp_path / "f.dat"
+        p.write_bytes(b"hello")
+        assert artifacts.verify_checksum(p) is None
+
+    def test_garbage_sidecar_is_false(self, tmp_path):
+        p = tmp_path / "f.dat"
+        p.write_bytes(b"hello")
+        artifacts.checksum_path(p).write_text("not a checksum")
+        assert artifacts.verify_checksum(p) is False
+
+
+class TestQuarantine:
+    def test_moves_file_and_sidecar(self, tmp_path):
+        p = _save_sample(tmp_path / "t.npz")
+        q = artifacts.quarantine(p)
+        assert not p.exists()
+        assert q.name == "t.npz.corrupt"
+        assert q.exists()
+        assert not artifacts.checksum_path(p).exists()
+
+    def test_overwrites_older_quarantine(self, tmp_path):
+        p = tmp_path / "t.npz"
+        for _ in range(2):
+            _save_sample(p)
+            q = artifacts.quarantine(p)
+        assert q.exists()
+        assert not p.exists()
+
+
+# --- npz validation ----------------------------------------------------------
+
+class TestNpzStore:
+    def test_roundtrip_with_version(self, tmp_path):
+        p = _save_sample(tmp_path / "t.npz", version=7)
+        data = artifacts.load_npz(p, required_keys=("alpha", "beta"),
+                                  version=7)
+        np.testing.assert_array_equal(data["alpha"],
+                                      _sample_arrays()["alpha"])
+        # the version key is internal, not part of the payload
+        assert artifacts.VERSION_KEY not in data
+
+    def test_is_real_zipfile(self, tmp_path):
+        p = _save_sample(tmp_path / "t.npz")
+        assert zipfile.is_zipfile(p)
+
+    @pytest.mark.parametrize("frac", [0.05, 0.3, 0.6, 0.95])
+    def test_truncation_rejected(self, tmp_path, frac):
+        p = _save_sample(tmp_path / "t.npz")
+        truncate_at(p, int(p.stat().st_size * frac))
+        with pytest.raises(ArtifactError):
+            artifacts.load_npz(p, required_keys=("alpha",), version=1)
+
+    def test_random_offset_truncations_rejected(self, tmp_path):
+        rng = np.random.default_rng(20260805)
+        p = tmp_path / "t.npz"
+        size = _save_sample(p).stat().st_size
+        for offset in rng.integers(1, size - 1, size=8):
+            _save_sample(p)
+            truncate_at(p, int(offset))
+            with pytest.raises(ArtifactError):
+                artifacts.load_npz(p, required_keys=("alpha",), version=1)
+
+    def test_zeroed_file_rejected(self, tmp_path):
+        p = _save_sample(tmp_path / "t.npz")
+        zero_file(p)
+        with pytest.raises(ArtifactError):
+            artifacts.load_npz(p, version=1)
+
+    def test_missing_key_rejected(self, tmp_path):
+        p = artifacts.save_npz(tmp_path / "t.npz", {"alpha": np.ones(3)},
+                               version=1)
+        with pytest.raises(ArtifactError, match="beta"):
+            artifacts.load_npz(p, required_keys=("alpha", "beta"), version=1)
+
+    def test_version_flip_rejected(self, tmp_path):
+        p = _save_sample(tmp_path / "t.npz", version=1)
+        with pytest.raises(ArtifactError, match="version"):
+            artifacts.load_npz(p, version=2)
+
+    def test_missing_version_rejected_unless_allowed(self, tmp_path):
+        p = tmp_path / "t.npz"
+        with open(p, "wb") as f:
+            np.savez_compressed(f, **_sample_arrays())
+        with pytest.raises(ArtifactError, match="version"):
+            artifacts.load_npz(p, version=1)
+        data = artifacts.load_npz(p, version=1, allow_missing_version=True)
+        assert "alpha" in data
+
+    def test_checksum_tamper_rejected(self, tmp_path):
+        # valid zip content but different from what the sidecar recorded
+        p = _save_sample(tmp_path / "t.npz", version=1)
+        sidecar = artifacts.checksum_path(p).read_text()
+        artifacts.save_npz(p, {"alpha": np.zeros(2)}, version=1)
+        artifacts.checksum_path(p).write_text(sidecar)
+        with pytest.raises(ArtifactError, match="SHA-256"):
+            artifacts.load_npz(p, version=1)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not found"):
+            artifacts.load_npz(tmp_path / "absent.npz")
+
+
+# --- pickle validation -------------------------------------------------------
+
+class _Ghost:
+    """Pickled, then deleted from the module to simulate a stale cache
+    whose class layout no longer exists (AttributeError on load)."""
+
+
+class TestPickleStore:
+    def test_roundtrip(self, tmp_path):
+        p = artifacts.save_pickle(tmp_path / "w.pkl", {"x": [1, 2, 3]},
+                                  version=4)
+        assert artifacts.load_pickle(p, version=4) == {"x": [1, 2, 3]}
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "w.pkl"
+        p.write_bytes(b"")
+        with pytest.raises(ArtifactError):
+            artifacts.load_pickle(p)
+
+    def test_garbage_rejected(self, tmp_path):
+        p = tmp_path / "w.pkl"
+        p.write_bytes(b"\x00\xff\x13garbage not pickle")
+        with pytest.raises(ArtifactError):
+            artifacts.load_pickle(p)
+
+    def test_truncation_rejected(self, tmp_path):
+        p = artifacts.save_pickle(tmp_path / "w.pkl",
+                                  {"big": list(range(1000))}, version=1)
+        truncate_at(p, p.stat().st_size // 2)
+        with pytest.raises(ArtifactError):
+            artifacts.load_pickle(p, version=1)
+
+    def test_stale_class_layout_rejected(self, tmp_path, monkeypatch):
+        p = artifacts.save_pickle(tmp_path / "w.pkl", _Ghost(), version=1)
+        monkeypatch.delattr(sys.modules[__name__], "_Ghost")
+        with pytest.raises(ArtifactError):
+            artifacts.load_pickle(p, version=1)
+
+    def test_bare_pickle_without_envelope_rejected(self, tmp_path):
+        # a legacy cache written by plain pickle.dump
+        p = tmp_path / "w.pkl"
+        with open(p, "wb") as f:
+            pickle.dump({"x": 1}, f)
+        with pytest.raises(ArtifactError, match="envelope"):
+            artifacts.load_pickle(p)
+
+    def test_version_flip_rejected(self, tmp_path):
+        p = artifacts.save_pickle(tmp_path / "w.pkl", 42, version=4)
+        with pytest.raises(ArtifactError, match="version"):
+            artifacts.load_pickle(p, version=5)
+
+
+# --- load_or_rebuild protocol ------------------------------------------------
+
+class TestLoadOrRebuild:
+    def _store(self, path, calls):
+        def builder():
+            calls.append("build")
+            return {"alpha": np.full(4, len(calls), dtype=float)}
+
+        return dict(
+            loader=lambda p: artifacts.load_npz(p, required_keys=("alpha",),
+                                                version=1),
+            builder=builder,
+            saver=lambda obj, p: artifacts.save_npz(p, obj, version=1),
+            description="test artifact",
+        )
+
+    def test_builds_when_missing_then_hits_cache(self, tmp_path):
+        p, calls = tmp_path / "t.npz", []
+        store = self._store(p, calls)
+        artifacts.load_or_rebuild(p, **store)
+        artifacts.load_or_rebuild(p, **store)
+        assert calls == ["build"]
+
+    @pytest.mark.parametrize("corrupt", [
+        lambda p: truncate_at(p, 10),
+        zero_file,
+        lambda p: p.write_bytes(b"PK\x03\x04 but then nonsense"),
+    ])
+    def test_corruption_quarantines_rebuilds_recaches(self, tmp_path, caplog,
+                                                      corrupt):
+        p, calls = tmp_path / "t.npz", []
+        store = self._store(p, calls)
+        artifacts.load_or_rebuild(p, **store)
+        corrupt(p)
+        with caplog.at_level(logging.WARNING, logger="repro.util.artifacts"):
+            out = artifacts.load_or_rebuild(p, **store)
+        assert calls == ["build", "build"]
+        assert any("quarantined" in r.message for r in caplog.records)
+        assert p.with_name("t.npz.corrupt").exists()
+        np.testing.assert_array_equal(out["alpha"], np.full(4, 2.0))
+        # the rebuilt cache is valid: a third load does not rebuild
+        artifacts.load_or_rebuild(p, **store)
+        assert calls == ["build", "build"]
+
+    def test_no_builder_raises(self, tmp_path):
+        p = _save_sample(tmp_path / "t.npz")
+        truncate_at(p, 10)
+        with pytest.raises(ArtifactError):
+            artifacts.load_or_rebuild(
+                p, loader=lambda q: artifacts.load_npz(q, version=1),
+                description="unrebuildable")
+        # without a builder the file is NOT quarantined — post-mortem intact
+        assert p.exists()
+
+    def test_unwritable_cache_is_nonfatal(self, tmp_path, caplog):
+        p, calls = tmp_path / "t.npz", []
+        store = self._store(p, calls)
+
+        def failing_saver(obj, path):
+            raise OSError("read-only cache")
+
+        store["saver"] = failing_saver
+        with caplog.at_level(logging.WARNING, logger="repro.util.artifacts"):
+            out = artifacts.load_or_rebuild(p, **store)
+        assert calls == ["build"]
+        np.testing.assert_array_equal(out["alpha"], np.full(4, 1.0))
+        assert any("could not re-cache" in r.message for r in caplog.records)
+
+
+# --- site 1: the electron EOS table ------------------------------------------
+
+TINY = dict(n_rhoye=8, n_temp=6)
+
+
+class TestElectronTableSite:
+    def test_corrupt_cache_rebuilds_transparently(self, tmp_path, caplog):
+        from repro.physics.eos.table import ElectronTable
+
+        p = tmp_path / "electron_table.npz"
+        ElectronTable.build(**TINY).save(p)
+        truncate_at(p, 100)
+        with caplog.at_level(logging.WARNING):
+            table = ElectronTable.load(p, **TINY)
+        out = table.evaluate(1.0e6, 1.0e8)
+        assert np.isfinite(out["pres"]).all()
+        assert p.with_name(p.name + ".corrupt").exists()
+        assert zipfile.is_zipfile(p)  # rebuilt and re-cached
+
+    def test_second_load_hits_fresh_cache(self, tmp_path, monkeypatch):
+        from repro.physics.eos import table as table_mod
+
+        p = tmp_path / "electron_table.npz"
+        table_mod.ElectronTable.build(**TINY).save(p)
+        zero_file(p)
+        builds = []
+        real_build = table_mod.ElectronTable.build.__func__
+
+        @classmethod
+        def counting_build(cls, **kw):
+            builds.append(1)
+            return real_build(cls, **kw)
+
+        monkeypatch.setattr(table_mod.ElectronTable, "build", counting_build)
+        table_mod.ElectronTable.load(p, **TINY)
+        table_mod.ElectronTable.load(p, **TINY)
+        assert len(builds) == 1
+
+    def test_dropped_key_rebuilds(self, tmp_path):
+        from repro.physics.eos import table as table_mod
+
+        p = tmp_path / "electron_table.npz"
+        table_mod.ElectronTable.build(**TINY).save(p)
+        data = artifacts.load_npz(p, version=table_mod._TABLE_VERSION)
+        del data["eta"]
+        artifacts.save_npz(p, data, version=table_mod._TABLE_VERSION)
+        table = table_mod.ElectronTable.load(p, **TINY)
+        assert table.eta.shape == (TINY["n_rhoye"], TINY["n_temp"])
+
+    def test_stale_version_rebuilds(self, tmp_path):
+        from repro.physics.eos import table as table_mod
+
+        p = tmp_path / "electron_table.npz"
+        t = table_mod.ElectronTable.build(**TINY)
+        artifacts.save_npz(
+            p, {k: getattr(t, k) for k in table_mod._TABLE_KEYS},
+            version=table_mod._TABLE_VERSION + 1)
+        table = table_mod.ElectronTable.load(p, **TINY)
+        assert np.isfinite(table.evaluate(1e6, 1e8)["pres"]).all()
+
+    def test_missing_without_builder_raises_physics_error(self, tmp_path):
+        from repro.physics.eos.table import ElectronTable
+
+        with pytest.raises(PhysicsError):
+            ElectronTable.load(tmp_path / "nope.npz", build_if_missing=False)
+
+    def test_shipped_table_is_valid(self):
+        from repro.physics.eos import table as table_mod
+
+        shipped = (table_mod.Path(table_mod.__file__).resolve().parent
+                   / "data" / "electron_table.npz")
+        assert zipfile.is_zipfile(shipped)
+        assert artifacts.verify_checksum(shipped) is True
+        artifacts.load_npz(shipped, required_keys=table_mod._TABLE_KEYS,
+                           version=table_mod._TABLE_VERSION)
+
+
+# --- site 2: checkpoints (no builder -> clear error) -------------------------
+
+def _small_grid():
+    from repro.mesh.grid import Grid, MeshSpec
+    from repro.mesh.tree import AMRTree
+
+    tree = AMRTree(ndim=1, nblockx=2, max_level=1, domain=((0.0, 1.0),))
+    spec = MeshSpec(ndim=1, nxb=8, nyb=1, nzb=1, nguard=2, maxblocks=16)
+    grid = Grid(tree, spec)
+    grid.unk[:] = 1.0
+    return grid
+
+
+class TestCheckpointSite:
+    def test_roundtrip_still_works(self, tmp_path):
+        from repro.driver.io import read_checkpoint, write_checkpoint
+
+        p = write_checkpoint(_small_grid(), tmp_path / "chk.npz", time=2.5,
+                             n_step=7)
+        grid2, t, n = read_checkpoint(p)
+        assert (t, n) == (2.5, 7)
+        assert artifacts.verify_checksum(p) is True
+
+    @pytest.mark.parametrize("corrupt", [lambda p: truncate_at(p, 64),
+                                         zero_file])
+    def test_corrupt_checkpoint_raises_clear_error(self, tmp_path, corrupt):
+        from repro.driver.io import read_checkpoint, write_checkpoint
+
+        p = write_checkpoint(_small_grid(), tmp_path / "chk.npz")
+        corrupt(p)
+        with pytest.raises(ArtifactError, match="checkpoint"):
+            read_checkpoint(p)
+        assert issubclass(ArtifactError, ReproError)
+
+    def test_missing_checkpoint_raises_clear_error(self, tmp_path):
+        from repro.driver.io import read_checkpoint
+
+        with pytest.raises(ArtifactError, match="checkpoint"):
+            read_checkpoint(tmp_path / "never_written.npz")
+
+    def test_legacy_checkpoint_without_version_reads(self, tmp_path):
+        from repro.driver.io import read_checkpoint, write_checkpoint
+
+        p = write_checkpoint(_small_grid(), tmp_path / "chk.npz", time=1.0)
+        # strip the embedded version field, as a pre-store checkpoint
+        data = artifacts.load_npz(p)
+        legacy = tmp_path / "legacy.npz"
+        with open(legacy, "wb") as f:
+            np.savez_compressed(f, **data)
+        _, t, _ = read_checkpoint(legacy)
+        assert t == 1.0
+
+
+# --- site 3: the worklog pickle cache ----------------------------------------
+
+class TestWorklogCacheSite:
+    def _cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        from repro.experiments import workloads
+        return workloads
+
+    def test_build_then_cache_hit(self, tmp_path, monkeypatch):
+        workloads = self._cached(tmp_path, monkeypatch)
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return {"steps": 5}
+
+        assert workloads._cached("unit_probe", builder) == {"steps": 5}
+        assert workloads._cached("unit_probe", builder) == {"steps": 5}
+        assert len(calls) == 1
+
+    @pytest.mark.parametrize("corruptor", [
+        lambda p: p.write_bytes(b""),                      # interrupted write
+        lambda p: truncate_at(p, 4),                       # partial flush
+        lambda p: p.write_bytes(b"\x00" * 64),             # zeroed
+        lambda p: p.write_bytes(pickle.dumps(["no envelope"])),  # legacy
+    ])
+    def test_corrupt_cache_rebuilds(self, tmp_path, monkeypatch, corruptor):
+        workloads = self._cached(tmp_path, monkeypatch)
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return {"n": len(calls)}
+
+        workloads._cached("unit_probe", builder)
+        path = workloads._cache_dir() / "unit_probe.pkl"
+        corruptor(path)
+        assert workloads._cached("unit_probe", builder) == {"n": 2}
+        assert path.with_name(path.name + ".corrupt").exists()
+        # rebuilt cache is clean: no third build
+        assert workloads._cached("unit_probe", builder) == {"n": 2}
+        assert len(calls) == 2
+
+    def test_stale_version_rebuilds(self, tmp_path, monkeypatch):
+        workloads = self._cached(tmp_path, monkeypatch)
+        path = workloads._cache_dir() / "unit_probe.pkl"
+        artifacts.save_pickle(path, {"n": 0},
+                              version=workloads._CACHE_VERSION - 1)
+        assert workloads._cached("unit_probe", lambda: {"n": 1}) == {"n": 1}
