@@ -1,0 +1,21 @@
+"""Reproducible replay benchmarks for the performance pipeline.
+
+``python -m repro.bench`` replays the paper's two workloads — the EOS
+problem and the 3-d Hydro problem — through
+:class:`~repro.perfmodel.pipeline.PerformancePipeline` at several mesh
+replication scales, with and without huge pages, under both replay
+engines (the vectorized ``fast`` path and the ``scalar`` reference
+oracle).  For each problem it writes one ``BENCH_<problem>.json``
+document recording wall time, replay rate, counter totals, DTLB misses,
+the exact fast-vs-scalar equivalence verdict, and the fast-path speedup,
+plus enough environment metadata to interpret the numbers later.
+
+``--compare`` turns the run into a regression gate against a previously
+committed baseline document (see :mod:`repro.bench.compare`).
+"""
+
+from repro.bench.cli import SCHEMA, main, run_problem_bench
+from repro.bench.compare import compare_bench, load_baseline
+
+__all__ = ["SCHEMA", "main", "run_problem_bench", "compare_bench",
+           "load_baseline"]

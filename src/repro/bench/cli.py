@@ -1,0 +1,198 @@
+"""The ``python -m repro.bench`` command-line interface.
+
+Runs the EOS and 3-d Hydro workloads through the performance pipeline at
+several replication scales, with and without huge pages, under the fast
+and scalar replay engines, and writes one ``BENCH_<problem>.json``
+document per problem.  With ``--compare`` the emitted documents are
+gated against a committed baseline (speedup regression, counter drift,
+and — under ``--strict-wall`` — wall-clock regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.compare import compare_bench, load_baseline
+from repro.experiments.workloads import (eos_problem_worklog,
+                                         hydro_problem_worklog)
+from repro.perfmodel.pipeline import PerformancePipeline, resolve_engine
+from repro.toolchain.compiler import FUJITSU
+
+#: document format version; bump on incompatible layout changes
+SCHEMA = "repro.bench/1"
+
+PROBLEMS = ("eos", "hydro")
+_WORKLOGS = {"eos": eos_problem_worklog, "hydro": hydro_problem_worklog}
+#: mesh replication scales exercised per problem; quick mode skips
+#: replication 1, where the engine-independent pipeline overhead
+#: (compile/allocate/first-touch) dominates the wall clock
+_SCALES = {"full": (1, 2, 4), "quick": (2, 4)}
+#: with huge pages (Fujitsu default) and without (-Knolargepage)
+_FLAG_VARIANTS = ((), ("-Knolargepage",))
+
+
+def _environment() -> dict[str, object]:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "default_engine": resolve_engine(),
+    }
+
+
+def _run_once(log, flags: tuple[str, ...], replication: int,
+              engine: str) -> dict[str, object]:
+    """One pipeline replay; returns wall time plus the model's outputs."""
+    t0 = time.perf_counter()
+    report = PerformancePipeline(log, FUJITSU, flags=flags,
+                                 replication=replication,
+                                 engine=engine).run()
+    wall = time.perf_counter() - t0
+    bank = report.as_counterbank()
+    counters = {event.value: total for event, total in bank.totals.items()}
+    l1 = sum(t.tlb.l1_misses for t in report.units.values())
+    l2 = sum(t.tlb.l2_misses for t in report.units.values())
+    return {
+        "wall_s": wall,
+        "steps_per_s": report.n_steps / wall if wall > 0 else None,
+        "counters": counters,
+        "dtlb": {"l1_misses": l1, "l2_misses": l2},
+        "huge_pages": report.uses_huge_pages,
+        "flash_timer_s": report.flash_timer_s,
+    }
+
+
+def run_problem_bench(problem: str, *, quick: bool = False,
+                      engines: tuple[str, ...] = ("fast", "scalar"),
+                      ) -> dict[str, object]:
+    """Benchmark one problem; returns the ``BENCH_<problem>`` document."""
+    log = _WORKLOGS[problem](quick=quick)
+    scales = _SCALES["quick" if quick else "full"]
+    runs: list[dict[str, object]] = []
+    wall_totals = {engine: 0.0 for engine in engines}
+    all_equal = True
+    for replication in scales:
+        for flags in _FLAG_VARIANTS:
+            entry: dict[str, object] = {
+                "problem": problem,
+                "replication": replication,
+                "flags": list(flags),
+                "engines": {},
+            }
+            results = {engine: _run_once(log, flags, replication, engine)
+                       for engine in engines}
+            for engine, res in results.items():
+                wall_totals[engine] += res["wall_s"]
+                entry["engines"][engine] = {
+                    "wall_s": res["wall_s"],
+                    "steps_per_s": res["steps_per_s"],
+                }
+            # counters/dtlb are engine-independent by contract; record
+            # them once and record whether the contract actually held
+            first = results[engines[0]]
+            entry["counters"] = first["counters"]
+            entry["dtlb"] = first["dtlb"]
+            entry["huge_pages"] = first["huge_pages"]
+            if len(engines) > 1:
+                equal = all(res["counters"] == first["counters"]
+                            and res["dtlb"] == first["dtlb"]
+                            for res in results.values())
+                entry["counters_equal"] = equal
+                all_equal &= equal
+                if results["scalar"]["wall_s"] > 0:
+                    entry["speedup"] = (results["scalar"]["wall_s"]
+                                        / results["fast"]["wall_s"])
+            runs.append(entry)
+
+    summary: dict[str, object] = {"n_runs": len(runs)}
+    if len(engines) > 1:
+        summary["all_counters_equal"] = all_equal
+        if wall_totals.get("fast", 0.0) > 0:
+            summary["speedup"] = (wall_totals["scalar"]
+                                  / wall_totals["fast"])
+            per_run = [r["speedup"] for r in runs if "speedup" in r]
+            summary["min_speedup"] = min(per_run)
+            summary["max_speedup"] = max(per_run)
+    return {
+        "schema": SCHEMA,
+        "name": problem,
+        "quick": quick,
+        "engines": list(engines),
+        "environment": _environment(),
+        "runs": runs,
+        "summary": summary,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Replay the paper's workloads and emit "
+                    "BENCH_<problem>.json benchmark documents.")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads and fewer scales (CI smoke)")
+    parser.add_argument("--out", type=Path, default=Path("."),
+                        help="directory for BENCH_*.json (default: cwd)")
+    parser.add_argument("--problems", nargs="+", choices=PROBLEMS,
+                        default=list(PROBLEMS),
+                        help="which workloads to run (default: all)")
+    parser.add_argument("--engine", choices=("both", "fast", "scalar"),
+                        default="both",
+                        help="replay engine(s); 'both' also checks the "
+                             "fast-vs-scalar equivalence contract and "
+                             "reports the speedup")
+    parser.add_argument("--compare", type=Path, default=None, metavar="PATH",
+                        help="baseline BENCH_*.json file or a directory of "
+                             "them; exit non-zero on regression")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="allowed relative regression for --compare "
+                             "(default: 0.2 = 20%%)")
+    parser.add_argument("--strict-wall", action="store_true",
+                        help="with --compare, also gate absolute wall "
+                             "time (off by default: wall clocks are "
+                             "machine-dependent, speedup ratios are not)")
+    args = parser.parse_args(argv)
+
+    engines = ("fast", "scalar") if args.engine == "both" else (args.engine,)
+    args.out.mkdir(parents=True, exist_ok=True)
+    failures: list[str] = []
+    for problem in args.problems:
+        doc = run_problem_bench(problem, quick=args.quick, engines=engines)
+        path = args.out / f"BENCH_{problem}.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        summary = doc["summary"]
+        line = f"{path}: {summary['n_runs']} runs"
+        if "speedup" in summary:
+            line += (f", fast-path speedup {summary['speedup']:.2f}x "
+                     f"(min {summary['min_speedup']:.2f}x), counters "
+                     + ("identical" if summary["all_counters_equal"]
+                        else "DIFFER"))
+        print(line)
+        if summary.get("all_counters_equal") is False:
+            failures.append(f"{problem}: fast and scalar engines disagree")
+        if args.compare is not None:
+            baseline = load_baseline(args.compare, problem)
+            if baseline is None:
+                failures.append(
+                    f"{problem}: no baseline found under {args.compare}")
+            else:
+                failures.extend(
+                    compare_bench(doc, baseline,
+                                  threshold=args.threshold,
+                                  strict_wall=args.strict_wall))
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Regression gating between a fresh bench run and a committed baseline.
+
+The gate is deliberately ratio-first: counter totals and DTLB misses are
+deterministic model outputs, so any drift is a real behaviour change and
+fails immediately; the fast-path *speedup* is a ratio of two walls on
+the same machine, so it transfers across hosts and is gated against the
+baseline with a relative threshold; absolute wall time does not transfer
+across hosts and is only gated under ``--strict-wall``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+#: relative tolerance for "deterministic" quantities — generous enough
+#: for cross-platform float summation order, tight enough that any model
+#: change trips it
+_COUNTER_RTOL = 1e-9
+
+
+def load_baseline(path: Path, problem: str) -> dict | None:
+    """Load the baseline document for ``problem`` from a file or a
+    directory containing ``BENCH_<problem>.json``."""
+    if path.is_dir():
+        path = path / f"BENCH_{problem}.json"
+    if not path.is_file():
+        return None
+    doc = json.loads(path.read_text())
+    if doc.get("name") != problem:
+        return None
+    return doc
+
+
+def _run_key(run: dict) -> tuple:
+    return (run.get("problem"), run.get("replication"),
+            tuple(run.get("flags", ())))
+
+
+def _drifted(current: float, baseline: float) -> bool:
+    return not math.isclose(current, baseline, rel_tol=_COUNTER_RTOL,
+                            abs_tol=0.0)
+
+
+def compare_bench(current: dict, baseline: dict, *, threshold: float = 0.2,
+                  strict_wall: bool = False) -> list[str]:
+    """Return a list of human-readable regression descriptions (empty =
+    the run passes the gate)."""
+    failures: list[str] = []
+    name = current.get("name", "?")
+    if baseline.get("schema") != current.get("schema"):
+        failures.append(
+            f"{name}: schema mismatch ({baseline.get('schema')!r} vs "
+            f"{current.get('schema')!r}) — regenerate the baseline")
+        return failures
+
+    base_runs = {_run_key(r): r for r in baseline.get("runs", ())}
+    for run in current.get("runs", ()):
+        base = base_runs.get(_run_key(run))
+        if base is None:
+            continue  # new configuration: nothing to regress against
+        label = (f"{name} r{run['replication']} "
+                 f"{'+'.join(run['flags']) or 'default'}")
+        for counter, value in run.get("counters", {}).items():
+            if counter not in base.get("counters", {}):
+                continue
+            if _drifted(value, base["counters"][counter]):
+                failures.append(
+                    f"{label}: counter {counter} drifted "
+                    f"{base['counters'][counter]!r} -> {value!r}")
+        for level, value in run.get("dtlb", {}).items():
+            if level in base.get("dtlb", {}) and value != base["dtlb"][level]:
+                failures.append(
+                    f"{label}: dtlb {level} changed "
+                    f"{base['dtlb'][level]} -> {value}")
+        if strict_wall:
+            for engine, res in run.get("engines", {}).items():
+                bres = base.get("engines", {}).get(engine)
+                if bres and res["wall_s"] > bres["wall_s"] * (1 + threshold):
+                    failures.append(
+                        f"{label}: {engine} wall {res['wall_s']:.3f}s vs "
+                        f"baseline {bres['wall_s']:.3f}s "
+                        f"(> +{threshold:.0%})")
+
+    cur_speed = current.get("summary", {}).get("speedup")
+    base_speed = baseline.get("summary", {}).get("speedup")
+    if cur_speed is not None and base_speed is not None:
+        if cur_speed < base_speed * (1 - threshold):
+            failures.append(
+                f"{name}: fast-path speedup regressed "
+                f"{base_speed:.2f}x -> {cur_speed:.2f}x "
+                f"(> -{threshold:.0%})")
+    return failures
+
+
+__all__ = ["compare_bench", "load_baseline"]

@@ -30,6 +30,10 @@ DEFAULTS: dict[str, object] = {
     "smlrho": 1.0e-12,
     "smallp": 1.0e-12,
     "eosModeInit": "dens_temp",
+    #: performance-replay engine: "fast" (vectorized batch kernels) or
+    #: "scalar" (the reference per-access loops); both produce identical
+    #: counter totals.  Overridable per run via REPRO_PERF_ENGINE.
+    "perf_engine": "fast",
     "xl_boundary_type": "outflow",
     "xr_boundary_type": "outflow",
     "yl_boundary_type": "outflow",

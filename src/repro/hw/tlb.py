@@ -13,6 +13,34 @@ event loop only pays for accesses that can change TLB state.
 
 ``PAPI_TLB_DM`` on the A64FX (and in the paper's tables) counts **L1 DTLB
 misses**; the full page-walk cost applies only when the L2 TLB also misses.
+
+Two engines implement the same model:
+
+* :class:`TLBSimulator` — the scalar reference oracle: an explicit
+  per-access event loop over ``OrderedDict`` LRU sets.  Trivially
+  auditable against the hardware description, and the ground truth every
+  fast-path result is property-tested against.
+* :func:`simulate_two_level` / :func:`lru_miss_mask` — the vectorized
+  batch kernel.  LRU is a stack algorithm, so an access hits an
+  ``assoc``-way set iff fewer than ``assoc`` distinct pages of that set
+  were touched since the previous access to the same page (its *stack
+  distance*).  The kernel computes every stack distance offline from the
+  previous-occurrence array alone::
+
+      distance[i] = (i - prev[i] - 1) - #{r <= i : prev[r] > prev[i]}
+
+  (each position in ``(prev[i], i)`` whose page recurs by time ``i``
+  pairs off with exactly one later position ``r`` whose ``prev[r]``
+  lands inside the interval, so subtracting those pairs from the
+  interval length leaves the distinct-page count).  The second term is a
+  per-element *inversion count* of ``prev``, which
+  :func:`_inversion_counts` evaluates with one global argsort plus a
+  top-down radix descent of cumulative sums — no per-access Python, no
+  per-level sorting.  Multi-set levels with enough parallelism instead
+  replay all sets simultaneously, one vectorized LRU round per column
+  (:func:`_lru_rounds`).  The L2 level replays only the L1-miss
+  substream, exactly as the scalar loop does.  Both engines produce
+  bit-identical miss counts (see ``tests/perfmodel/test_fast_path.py``).
 """
 
 from __future__ import annotations
@@ -159,4 +187,449 @@ class TLBSimulator:
         return self.run(step_trace)
 
 
-__all__ = ["TLBSimulator", "TLBStats"]
+# --- vectorized batch engine ---------------------------------------------------------
+
+
+#: segments whose distinct-page working set fits this many matrix rows go
+#: through the per-page occurrence-count strategy
+_MATRIX_MAX_PAGES = 64
+#: chunk matrix segments so positions fit int16 counters (mod-2^16 counts
+#: detect any in-interval change exactly when intervals are shorter)
+_MATRIX_CHUNK = 65535
+#: use the set-parallel rounds replay when the longest per-set substream
+#: is at least this many times shorter than the whole stream
+_ROUNDS_PARALLELISM = 24
+
+
+def _inversion_counts(a: np.ndarray) -> np.ndarray:
+    """Per-element inversion counts: ``out[i] = #{r < i : a[r] > a[i]}``.
+
+    Vectorized top-down mergesort.  One global stable argsort orders the
+    (padded) array; a radix descent then re-splits each sorted parent
+    block into its two child halves using only cumulative sums, gathers,
+    and scatters.  While an element moves back into its right half it
+    simultaneously learns how many left-half elements exceed it, and
+    summing that over all levels counts every inverted pair exactly once
+    (at the level where the pair's positions part ways).  No per-level
+    sort, no searchsorted: O(log n) passes of O(n) cheap vector ops.
+    """
+    n = int(a.size)
+    out = np.zeros(n, dtype=np.int64)
+    if n <= 1:
+        return out
+    levels = (n - 1).bit_length()
+    size = 1 << levels
+    dtype = np.int32 if size < 2**31 else np.int64
+    padded = np.empty(size, dtype=dtype)
+    padded[:n] = a
+    # pads occupy the top index suffix: they can never sit in the *left*
+    # half of a block whose right half holds a real element, so the
+    # sentinel value is never counted against a real query
+    padded[n:] = np.iinfo(dtype).max
+    order = np.argsort(padded, kind="stable").astype(dtype)
+    slots = np.arange(size, dtype=dtype)
+    # pad contributions land in out_full[n:] and are simply discarded
+    out_full = np.zeros(size, dtype=np.int64)
+    spare = np.empty(size, dtype=dtype)
+    # stop the descent at small blocks and count their remaining (intra-
+    # block) inversions with one direct broadcast pass: fewer sequential
+    # levels, and the tail blocks fit comfortably in cache
+    tail = min(levels, 5)
+    for level in range(levels, tail, -1):
+        half = dtype(1 << (level - 1))
+        mask = dtype((1 << level) - 1)
+        right = (order & half) != 0
+        ex = np.cumsum(right, dtype=dtype)
+        ex -= right  # exclusive prefix of right-half membership
+        block_start = slots & ~mask
+        pref_right = ex - ex[block_start]
+        sel = np.flatnonzero(right)
+        # count of left-half elements greater than a right-half element ==
+        # half minus its tie-stable rank among left elements, where that
+        # rank is (position within block) - (right elements before it)
+        out_full[order[sel]] += half - (sel & np.int64(mask)) + pref_right[sel]
+        new_slot = np.where(right, block_start + half + pref_right,
+                            slots - pref_right)
+        spare[new_slot] = order
+        order, spare = spare, order
+    # intra-block finish: order is value-sorted within blocks of 2^tail;
+    # an inversion (earlier index, larger value) inside a block is a pair
+    # with larger value AND smaller original index.  Pads (value sentinel,
+    # index >= n) never have a smaller index than a real element.
+    blk = 1 << tail
+    vals = padded[order].reshape(-1, blk)
+    idxs = order.reshape(-1, blk)
+    pair = (vals[:, :, None] > vals[:, None, :]) \
+        & (idxs[:, :, None] < idxs[:, None, :])
+    out_full[order] += pair.sum(axis=1).ravel()
+    out[:] = out_full[:n]
+    return out
+
+
+def _matrix_miss(row: np.ndarray, prev: np.ndarray, need: np.ndarray,
+                 seg_lens: np.ndarray, assoc: int
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Stack distances for segments with small page working sets.
+
+    ``row`` maps each access to a dense per-segment page id (< matrix row
+    budget), ``prev`` to its previous same-entry position (bucket-local,
+    ``-1`` when cold), and ``need`` marks the accesses whose distance must
+    actually be evaluated.  Per matrix row the cumulative occurrence
+    count ``C[q, t]`` makes "page q touched inside ``(prev[i], i)``" a
+    single inequality ``C[q, i-1] != C[q, prev[i]]``, so each query's
+    distinct-page count is one small column reduction.  Segments are
+    chunked so positions fit int16 counters: counts wrap mod 2^16, but a
+    within-interval change is still detected exactly because no page can
+    recur 65536 times inside an interval shorter than that.
+
+    Returns ``(query_positions, query_miss)`` in bucket-local positions.
+    """
+    bounds = np.concatenate(([0], np.cumsum(seg_lens)))
+    chunks = []
+    lo_seg = 0
+    acc = 0
+    for k, ln in enumerate(seg_lens.tolist()):
+        if acc and acc + ln > _MATRIX_CHUNK:
+            chunks.append((int(bounds[lo_seg]), int(bounds[k])))
+            lo_seg, acc = k, 0
+        acc += ln
+    chunks.append((int(bounds[lo_seg]), int(bounds[-1])))
+    qpos_all: list[np.ndarray] = []
+    qmiss_all: list[np.ndarray] = []
+    for lo, hi in chunks:
+        q = np.flatnonzero(need[lo:hi])
+        if q.size == 0:
+            continue
+        length = hi - lo
+        rows = int(row[lo:hi].max()) + 1
+        dtype = np.int16 if length <= _MATRIX_CHUNK else np.int32
+        counts = np.zeros((rows, length), dtype=dtype)
+        counts[row[lo:hi], np.arange(length)] = 1
+        np.cumsum(counts, axis=1, out=counts)
+        cols_i = counts[:, q - 1]
+        cols_j = counts[:, prev[lo + q] - lo]
+        distance = (cols_i != cols_j).sum(axis=0)
+        qpos_all.append(lo + q)
+        qmiss_all.append(distance >= assoc)
+    if not qpos_all:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+    return np.concatenate(qpos_all), np.concatenate(qmiss_all)
+
+
+def _lru_rounds(keys: np.ndarray, group: np.ndarray, n_groups: int,
+                occ: np.ndarray, assoc: int) -> np.ndarray:
+    """Exact LRU miss mask via set-parallel replay.
+
+    ``group`` assigns each access a dense LRU-set id and ``occ`` its
+    occurrence index within that set.  All sets advance together, one
+    access per set per round, so the Python loop runs ``max(occ) + 1``
+    times over small (n_live_sets, assoc) state matrices instead of once
+    per access.  ``keys`` must be non-negative entry ids (−1 is the
+    empty-way sentinel).
+    """
+    n = int(keys.size)
+    col_order = np.argsort(occ, kind="stable")
+    col_starts = np.concatenate((
+        [0], np.cumsum(np.bincount(occ, minlength=int(occ.max()) + 1))))
+    pg_cols = keys[col_order]
+    row_cols = group[col_order]
+    ways = np.full((n_groups, assoc), -1, dtype=np.int64)
+    lane = np.arange(assoc)
+    miss = np.empty(n, dtype=bool)
+    for col in range(col_starts.size - 1):
+        lo, hi = col_starts[col], col_starts[col + 1]
+        rows = row_cols[lo:hi]
+        pg = pg_cols[lo:hi]
+        w = ways[rows]
+        hit = w == pg[:, None]
+        is_hit = hit.any(axis=1)
+        pos = np.where(is_hit, hit.argmax(axis=1), assoc - 1)
+        shifted = np.empty_like(w)
+        shifted[:, 1:] = w[:, :-1]
+        shifted[:, 0] = pg
+        ways[rows] = np.where(lane[None, :] <= pos[:, None], shifted, w)
+        miss[col_order[lo:hi]] = ~is_hit
+    return miss
+
+
+def lru_miss_mask(pages: np.ndarray, vpn: np.ndarray, n_sets: int,
+                  assoc: int, streams: np.ndarray | None = None) -> np.ndarray:
+    """Exact per-access miss mask for one set-associative LRU level.
+
+    ``pages`` are the entry keys (page base addresses), ``vpn`` the
+    virtual page numbers whose low bits select the set.  ``streams``
+    optionally tags each access with an independent-simulator id: accesses
+    from different streams never share TLB state (the batch form of
+    running several fresh :class:`TLBSimulator` instances in one call).
+    Returns a boolean array (``True`` = miss) bit-identical to replaying
+    the stream(s) through an ``OrderedDict``-per-set LRU of ``assoc``
+    entries.
+    """
+    return _lru_core(pages, vpn, n_sets, assoc, streams, steady=False)
+
+
+def _lru_core(pages: np.ndarray, vpn: np.ndarray, n_sets: int, assoc: int,
+              streams: np.ndarray | None, steady: bool):
+    """Kernel behind :func:`lru_miss_mask`.
+
+    With ``steady=True`` the input is treated as *one period* of a stream
+    replayed twice back to back (cold warm-up pass + measure pass), and
+    the return value is the pair ``(first_pass_miss, second_pass_miss)``
+    — both over single-period positions.  An access whose previous
+    occurrence falls inside the same pass spans the identical access
+    subsequence in either pass, so its stack distance — and verdict — is
+    simply reused; only each entry's *first* measure-pass access (whose
+    interval wraps around the period seam) is evaluated anew, via a tiny
+    per-segment 2-D dominance count: the entries *not* touched inside the
+    wrapped interval ``(last_e, first_e + period)`` are exactly those
+    with ``last < last_e`` and ``first > first_e``.
+    """
+    n = int(pages.size)
+    if n == 0:
+        empty = np.zeros(0, dtype=bool)
+        return (empty, empty.copy()) if steady else empty
+    if n_sets > 1 or streams is not None:
+        # group accesses by (stream, set); stable keeps time order within
+        # each set, so the (prev, i) intervals below stay inside one
+        # contiguous same-set segment
+        sets = (vpn % n_sets) if n_sets > 1 else np.zeros(n, dtype=np.int64)
+        if streams is not None:
+            sets = sets + streams.astype(np.int64) * n_sets
+        if bool((sets[1:] >= sets[:-1]).all()):
+            # already grouped (the common batched-call layout: one stream
+            # after another) — no permutation needed
+            order = None
+            p = pages
+            s = sets
+        else:
+            order = np.argsort(sets, kind="stable")
+            p = pages[order]
+            s = sets[order]
+        # sort by (set, page, time) — one combined-key argsort when the
+        # keys pack into 62 bits, which they always do for page base
+        # addresses; lexsort costs two full sorts
+        shift = int(p.max()).bit_length()
+        if (int(s[-1]) + 1) << shift <= 2**62:
+            o2 = np.argsort((s << shift) | p, kind="stable")
+        else:  # pragma: no cover - pathological key widths
+            o2 = np.lexsort((p, s))
+        same_set = s[o2][1:] == s[o2][:-1]
+        new_seg = np.empty(n, dtype=bool)
+        new_seg[0] = True
+        new_seg[1:] = s[1:] != s[:-1]
+        seg_id = np.cumsum(new_seg) - 1
+        nseg = int(seg_id[-1]) + 1
+    else:
+        order = None
+        p = pages
+        o2 = np.argsort(p, kind="stable")
+        same_set = True
+        seg_id = np.zeros(n, dtype=np.int64)
+        nseg = 1
+    # previous occurrence and dense entry id of each (set, page) pair —
+    # the same page base can land in different sets when accessed with
+    # different page sizes, and the scalar LRU keeps those independent
+    ps = p[o2]
+    same = np.empty(n, dtype=bool)
+    same[0] = False
+    same[1:] = (ps[1:] == ps[:-1]) & same_set
+    prev = np.empty(n, dtype=np.int64)
+    prev[o2] = np.where(same, np.concatenate(([0], o2[:-1])), -1)
+    ent = np.empty(n, dtype=np.int64)
+    ent[o2] = np.cumsum(~same) - 1
+    idx = np.arange(n, dtype=np.int64)
+
+    miss = np.ones(n, dtype=bool)  # cold accesses (prev < 0) miss
+    warm = prev >= 0
+    # fewer than `assoc` accesses since the previous occurrence cannot
+    # have evicted the entry: guaranteed hit, no evaluation needed
+    need = warm & (idx - prev - 1 >= assoc)
+    # segment bookkeeping: lengths and per-segment working-set size
+    # (entries are numbered in (set, page) order, which visits segments
+    # in grouped order)
+    seg_lens = np.bincount(seg_id, minlength=nseg)
+    u_seg = np.bincount(seg_id[~warm], minlength=nseg)
+    if need.any():
+        # a working set no larger than the associativity can never evict:
+        # every warm access in such a segment is a guaranteed hit (this
+        # disposes of most L2 sets outright)
+        need &= (u_seg > assoc)[seg_id]
+    miss[warm & ~need] = False
+    if need.any():
+        row = ent - np.concatenate(([0], np.cumsum(u_seg)[:-1]))[seg_id]
+
+        active = u_seg > assoc
+        is_matrix = active & (u_seg <= _MATRIX_MAX_PAGES)
+        is_rest = active & ~is_matrix
+        rest = np.flatnonzero(is_rest)
+        use_rounds = (rest.size > 1
+                      and int(seg_lens[rest].max()) * _ROUNDS_PARALLELISM
+                      <= int(seg_lens[rest].sum()))
+
+        for strategy, seg_sel in (("matrix", is_matrix),
+                                  ("rest", is_rest)):
+            bucket = seg_sel[seg_id]
+            if strategy == "rest" and rest.size == 0:
+                continue
+            if not (need & bucket).any():
+                continue
+            sel = np.flatnonzero(bucket)
+            loc = np.empty(n, dtype=np.int64)
+            loc[sel] = np.arange(sel.size)
+            prev_b = prev[sel]
+            prev_loc = np.where(prev_b >= 0, loc[prev_b], -1)
+            if strategy == "matrix":
+                qpos, qmiss = _matrix_miss(row[sel], prev_loc, need[sel],
+                                           seg_lens[seg_sel], assoc)
+                miss[sel[qpos]] = qmiss
+            elif use_rounds:
+                lens = seg_lens[seg_sel]
+                starts = np.concatenate(([0], np.cumsum(lens)[:-1]))
+                group = np.repeat(np.arange(lens.size), lens)
+                occ = np.arange(sel.size) - np.repeat(starts, lens)
+                miss[sel] = _lru_rounds(ent[sel], group, lens.size, occ,
+                                        assoc)
+            else:
+                # general case: stack distance from the prev array alone.
+                # Of the i - prev[i] - 1 positions between an access and
+                # its previous occurrence, those whose page recurs by
+                # time i pair off 1:1 with the positions r <= i whose own
+                # prev[r] lands inside the interval; the remainder are
+                # distinct pages ahead in the LRU stack.  Cold accesses
+                # neither query nor ever satisfy prev[r] > prev[i], so
+                # the inversion count runs on the warm subsequence only.
+                warm_b = np.flatnonzero(prev_loc >= 0)
+                inv = _inversion_counts(prev_loc[warm_b])
+                distance = warm_b - prev_loc[warm_b] - 1 - inv
+                miss[sel[warm_b]] = distance >= assoc
+    if not steady:
+        if order is None:
+            return miss
+        out = np.empty(n, dtype=bool)
+        out[order] = miss
+        return out
+    # second-pass mask: reuse every in-pass verdict; re-evaluate each
+    # entry's seam-wrapping first access from per-entry (first, last)
+    # occurrence positions.  Entry groups are contiguous in o2 with time
+    # order preserved, so group boundaries give first/last directly.
+    starts = np.flatnonzero(~same)
+    first_e = o2[starts]
+    last_e = o2[np.concatenate((starts[1:], [n])) - 1]
+    seg_e = seg_id[first_e]
+    # order entries by (segment, last); with a per-segment ascending
+    # offset on the values, cross-segment pairs are never inverted and
+    # one inversion count yields the dominance count per entry
+    eorder = np.argsort(seg_e * n + last_e)
+    dom = _inversion_counts(seg_e[eorder] * np.int64(n) + first_e[eorder])
+    # distinct other entries touched inside the wrapped interval
+    wrapped = (u_seg[seg_e[eorder]] - 1 - dom) >= assoc
+    miss2 = miss.copy()
+    miss2[first_e[eorder]] = wrapped
+    if order is None:
+        return miss, miss2
+    out = np.empty(n, dtype=bool)
+    out[order] = miss
+    out2 = np.empty(n, dtype=bool)
+    out2[order] = miss2
+    return out, out2
+
+
+def simulate_two_level(
+        pages: np.ndarray, sizes: np.ndarray, geometry: TLBGeometry,
+        streams: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Batch-simulate the two-level TLB over one access stream.
+
+    Returns ``(l1_miss, l2_miss)`` boolean masks over the stream.  The L2
+    level sees only the L1-miss substream — probed (and updated) exactly
+    when the scalar loop would, so the masks match :class:`TLBSimulator`
+    access for access.
+    """
+    pages = np.asarray(pages, dtype=np.int64)
+    vpn = pages // np.asarray(sizes, dtype=np.int64)
+    l1_miss = lru_miss_mask(pages, vpn, geometry.l1.n_sets, geometry.l1.assoc,
+                            streams)
+    l2_miss = np.zeros(pages.size, dtype=bool)
+    pos = np.flatnonzero(l1_miss)
+    if pos.size:
+        l2_miss[pos] = lru_miss_mask(
+            pages[pos], vpn[pos], geometry.l2.n_sets, geometry.l2.assoc,
+            None if streams is None else streams[pos])
+    return l1_miss, l2_miss
+
+
+def run_segments(geometry: TLBGeometry, traces: list[PageTrace],
+                 streams: list[int] | None = None) -> list[TLBStats]:
+    """Replay ``traces`` back to back through one (initially cold) TLB and
+    return per-trace stats — the batch equivalent of consecutive
+    :meth:`TLBSimulator.run` calls on a shared simulator.
+
+    Warm-up passes are expressed by listing a trace more than once and
+    reading only the later segment's stats.  ``streams`` optionally gives
+    each trace a simulator id; traces with different ids replay through
+    independent (fresh) TLBs, still in one batch call.
+    """
+    if not traces:
+        return []
+    lengths = np.array([t.n_events for t in traces], dtype=np.int64)
+    if int(lengths.sum()) == 0:
+        return [TLBStats() for _ in traces]
+    pages = np.concatenate([t.page for t in traces])
+    sizes = np.concatenate([t.size for t in traces])
+    seg = np.repeat(np.arange(lengths.size), lengths)
+    stream_arr = None
+    if streams is not None:
+        stream_arr = np.repeat(np.asarray(streams, dtype=np.int64), lengths)
+    # NOTE: no seam re-deduplication — a repeat across a segment boundary
+    # is a real (always-hitting) access in the scalar replay too
+    l1_miss, l2_miss = simulate_two_level(pages, sizes, geometry, stream_arr)
+    l1_counts = np.bincount(seg[l1_miss], minlength=lengths.size)
+    l2_counts = np.bincount(seg[l2_miss], minlength=lengths.size)
+    return [TLBStats(accesses=t.n_accesses,
+                     l1_misses=int(l1_counts[i]),
+                     l2_misses=int(l2_counts[i]))
+            for i, t in enumerate(traces)]
+
+
+def run_steady_segments(geometry: TLBGeometry, traces: list[PageTrace],
+                        streams: list[int] | None = None) -> list[TLBStats]:
+    """Steady-state per-trace stats, processing each period only once.
+
+    Equivalent to replaying every stream's whole trace sequence *twice*
+    through an initially cold TLB — one warm-up pass, one measure pass,
+    exactly :meth:`TLBSimulator.run_steady_state` with ``warmup=1`` —
+    and reporting the measure pass, but the L1 kernel runs on a single
+    copy of the events (see :func:`_lru_core`).  The L2 level replays the
+    L1-miss substreams of both passes back to back, since the warm-up
+    pass's misses warm the L2 just as they do in the scalar replay.
+    """
+    if not traces:
+        return []
+    lengths = np.array([t.n_events for t in traces], dtype=np.int64)
+    if int(lengths.sum()) == 0:
+        return [TLBStats(accesses=t.n_accesses) for t in traces]
+    pages = np.concatenate([t.page for t in traces])
+    sizes = np.concatenate([t.size for t in traces])
+    seg = np.repeat(np.arange(lengths.size), lengths)
+    stream_arr = None
+    if streams is not None:
+        stream_arr = np.repeat(np.asarray(streams, dtype=np.int64), lengths)
+    vpn = pages // np.asarray(sizes, dtype=np.int64)
+    g1, g2 = geometry.l1, geometry.l2
+    m1, m2 = _lru_core(pages, vpn, g1.n_sets, g1.assoc, stream_arr,
+                       steady=True)
+    p1 = np.flatnonzero(m1)
+    p2 = np.flatnonzero(m2)
+    pos = np.concatenate((p1, p2))
+    l2_miss = lru_miss_mask(pages[pos], vpn[pos], g2.n_sets, g2.assoc,
+                            None if stream_arr is None else stream_arr[pos])
+    l2_second = l2_miss[p1.size:]
+    l1_counts = np.bincount(seg[p2], minlength=lengths.size)
+    l2_counts = np.bincount(seg[p2[l2_second]], minlength=lengths.size)
+    return [TLBStats(accesses=t.n_accesses,
+                     l1_misses=int(l1_counts[i]),
+                     l2_misses=int(l2_counts[i]))
+            for i, t in enumerate(traces)]
+
+
+__all__ = ["TLBSimulator", "TLBStats", "lru_miss_mask", "simulate_two_level",
+           "run_segments", "run_steady_segments"]

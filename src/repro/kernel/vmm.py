@@ -394,6 +394,15 @@ class AddressSpace:
             size = np.full(va.shape, vma.hugetlb_size, dtype=np.int64)
             base = va & ~(vma.hugetlb_size - 1)
             return base, size
+        # homogeneous VMAs (no THP extents, or all-THP) skip the
+        # per-access extent gather — the common case for the batched
+        # whole-mesh translate calls of the fast replay engine
+        n_thp = int(vma._ext_thp.sum())
+        if n_thp == 0 or n_thp == vma._ext_thp.size:
+            psize = geo.thp_page if n_thp else geo.base_page
+            size = np.full(va.shape, psize, dtype=np.int64)
+            base = va & np.int64(~(psize - 1))
+            return base, size
         ext_idx = (va >> vma._ext_shift) - (vma.start >> vma._ext_shift)
         is_thp = vma._ext_thp[ext_idx]
         size = np.where(is_thp, geo.thp_page, geo.base_page).astype(np.int64)

@@ -9,6 +9,7 @@ regions behave correctly by construction.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.papi.events import Event, derive_measures
@@ -37,12 +38,20 @@ class CounterBank:
 
     def advance(self, seconds: float, increments: dict[Event, float] | None = None) -> None:
         """Advance the clock and the counters by one executed chunk."""
+        if not math.isfinite(seconds):
+            # NaN slips past a bare `< 0` check and would silently poison
+            # every later snapshot/delta; reject it at the source.
+            raise ValueError(f"time increment must be finite, got {seconds!r}")
         if seconds < 0:
             raise ValueError("time cannot go backwards")
-        self.time_s += seconds
         for event, value in (increments or {}).items():
+            if not math.isfinite(value):
+                raise ValueError(
+                    f"counter {event} increment must be finite, got {value!r}")
             if value < 0:
                 raise ValueError(f"counter {event} cannot decrease")
+        self.time_s += seconds
+        for event, value in (increments or {}).items():
             self.totals[event] += value
 
     def snapshot(self) -> tuple[float, dict[Event, float]]:

@@ -1,0 +1,144 @@
+"""Vectorized trace synthesis: the fast engine's batch TraceBuilder.
+
+The scalar :class:`~repro.perfmodel.patterns.TraceBuilder` walks every
+(copy, block) pair in Python and issues one tiny ``translate`` call per
+panel, neighbour, scratch probe, and table gather — tens of thousands of
+calls per invocation at paper scale.  This builder produces the *same*
+trace arrays, element for element, from a handful of whole-mesh array
+operations and one ``translate`` call per allocation:
+
+* panel offsets are affine in the virtual block slot (``slot *
+  block_bytes + probe``), so all blocks' panels are one broadcast;
+* guard-cell neighbour probes come from the same panels shifted one
+  block left/right within each replication copy, masked at the ends;
+* scratch probes are identical for every block and translated once;
+* table-gather offsets still consume the deterministic RNG in exactly
+  the scalar order (one ``random()`` plus one ``normal`` draw per
+  table-reading block — the draws are cheap; the per-call ``translate``
+  was not), then post-process and translate as one batch.
+
+Because the emitted access sequence is identical, every downstream
+product — :class:`~repro.hw.trace.PageTrace`, TLB miss counts, counter
+totals — is bit-identical to the scalar engine's
+(``tests/perfmodel/test_fast_path.py`` holds both builders to that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.trace import PageTrace
+from repro.perfmodel.patterns import PROBE_STEP, TraceBuilder
+from repro.perfmodel.workrecord import StepRecord, UnitInvocation
+
+
+class FastTraceBuilder(TraceBuilder):
+    """Batch-kernel TraceBuilder emitting bit-identical stream traces.
+
+    ``fine_unit_trace`` is inherited: it already operates on whole-block
+    zone arrays and is a rounding error next to the stream pass.
+    """
+
+    def invocation_stream_trace(self, rec: StepRecord,
+                                inv: UnitInvocation) -> PageTrace:
+        slots = np.asarray(rec.slots, dtype=np.int64)
+        nb = int(slots.size)
+        if nb == 0 or self.replication <= 0:
+            return PageTrace.empty()
+        bb = self.layout.block_bytes
+        copies = np.arange(self.replication, dtype=np.int64)
+        vslots = (slots[None, :] + copies[:, None] * self.log.maxblocks)
+        n_blocks = vslots.size
+        probe = np.arange(0, bb, PROBE_STEP, dtype=np.int64)
+        panel_w = probe.size
+        panel_off = vslots.reshape(-1, 1) * bb + probe[None, :]
+
+        per_block_tables = 0
+        table = None
+        if inv.unit == "eos":
+            per_block_tables, table = 8, self.eos_table
+        elif inv.unit == "flame":
+            per_block_tables, table = 4, self.flame_table
+        use_scratch = inv.unit in ("hydro_sweep", "eos", "eos_gamma")
+
+        # consume the RNG exactly as the scalar builder does: one center
+        # plus one clustered-normal draw per table-reading block, in
+        # (copy, block) order
+        table_off = None
+        if table is not None:
+            draws = np.empty((n_blocks, per_block_tables))
+            for i in range(n_blocks):
+                center = self._rng.random()
+                draws[i] = self._rng.normal(center, 0.08, per_block_tables)
+            raw = np.abs(draws) % 1.0
+            table_off = (raw * (table.nbytes - 8)).astype(np.int64)
+
+        unk_p, unk_s = self._translate(self.unk, panel_off.ravel())
+
+        if inv.unit == "guardcell":
+            return self._guardcell_trace(vslots, unk_p, unk_s, probe, bb)
+
+        width = panel_w
+        scratch_probes = []
+        if use_scratch:
+            for s in self.scratch:
+                pr = np.arange(0, s.nbytes, PROBE_STEP, dtype=np.int64)[:2]
+                scratch_probes.append((s, pr))
+                width += pr.size
+        width += per_block_tables
+
+        pages = np.empty((n_blocks, width), dtype=np.int64)
+        sizes = np.empty((n_blocks, width), dtype=np.int64)
+        pages[:, :panel_w] = unk_p.reshape(n_blocks, panel_w)
+        sizes[:, :panel_w] = unk_s.reshape(n_blocks, panel_w)
+        col = panel_w
+        for s, pr in scratch_probes:
+            sp, ss = self._translate(s, pr)
+            pages[:, col:col + pr.size] = sp[None, :]
+            sizes[:, col:col + pr.size] = ss[None, :]
+            col += pr.size
+        if table is not None:
+            tp, ts = self._translate(table, table_off.ravel())
+            pages[:, col:] = tp.reshape(n_blocks, per_block_tables)
+            sizes[:, col:] = ts.reshape(n_blocks, per_block_tables)
+        return PageTrace.from_accesses(pages.ravel(), sizes.ravel())
+
+    def _guardcell_trace(self, vslots: np.ndarray, unk_p: np.ndarray,
+                         unk_s: np.ndarray, probe: np.ndarray,
+                         bb: int) -> PageTrace:
+        """Panel walk plus masked left/right neighbour probes."""
+        n_copies, nb = vslots.shape
+        n_blocks = vslots.size
+        panel_w = probe.size
+        probe2 = probe[:2]
+        w2 = probe2.size
+        left = np.zeros_like(vslots)
+        right = np.zeros_like(vslots)
+        left[:, 1:] = vslots[:, :-1]
+        right[:, :-1] = vslots[:, 1:]
+        lp, ls = self._translate(
+            self.unk, (left.reshape(-1, 1) * bb + probe2[None, :]).ravel())
+        rp, rs = self._translate(
+            self.unk, (right.reshape(-1, 1) * bb + probe2[None, :]).ravel())
+        width = panel_w + 2 * w2
+        pages = np.empty((n_blocks, width), dtype=np.int64)
+        sizes = np.empty((n_blocks, width), dtype=np.int64)
+        pages[:, :panel_w] = unk_p.reshape(n_blocks, panel_w)
+        sizes[:, :panel_w] = unk_s.reshape(n_blocks, panel_w)
+        pages[:, panel_w:panel_w + w2] = lp.reshape(n_blocks, w2)
+        sizes[:, panel_w:panel_w + w2] = ls.reshape(n_blocks, w2)
+        pages[:, panel_w + w2:] = rp.reshape(n_blocks, w2)
+        sizes[:, panel_w + w2:] = rs.reshape(n_blocks, w2)
+        # end blocks of each copy have no left/right Morton neighbour
+        has_left = np.zeros((n_copies, nb), dtype=bool)
+        has_right = np.zeros((n_copies, nb), dtype=bool)
+        has_left[:, 1:] = True
+        has_right[:, :-1] = True
+        keep = np.ones((n_blocks, width), dtype=bool)
+        keep[:, panel_w:panel_w + w2] = has_left.reshape(-1, 1)
+        keep[:, panel_w + w2:] = has_right.reshape(-1, 1)
+        kr = keep.ravel()
+        return PageTrace.from_accesses(pages.ravel()[kr], sizes.ravel()[kr])
+
+
+__all__ = ["FastTraceBuilder"]

@@ -12,24 +12,45 @@ whole-run FLASH timer.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.driver.config import DEFAULTS
 from repro.hw import calibration as cal
 from repro.hw.a64fx import A64FX, MachineSpec
 from repro.hw.cache import CacheModel
 from repro.hw.cpu import CycleModel, WorkCounts
-from repro.hw.tlb import TLBSimulator, TLBStats
+from repro.hw.tlb import TLBSimulator, TLBStats, run_steady_segments
 from repro.kernel.meminfo import hugepages_in_use, meminfo
 from repro.kernel.params import ookami_config
 from repro.kernel.vmm import Kernel
 from repro.mesh.layout import UnkLayout
 from repro.papi.counters import CounterBank
 from repro.papi.events import Event, derive_measures
+from repro.perfmodel.fastpath import FastTraceBuilder
 from repro.perfmodel.patterns import TraceBuilder
 from repro.perfmodel.workrecord import UnitInvocation, WorkLog
 from repro.toolchain.compiler import Compiler
+
+#: units that get a fine (zone-resolution) TLB pass
+_FINE_UNITS = ("eos", "eos_gamma", "hydro_sweep", "flame")
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Pick the replay engine: explicit argument beats the
+    ``REPRO_PERF_ENGINE`` environment variable beats the ``perf_engine``
+    runtime-parameter default.  Both engines produce bit-identical
+    counter totals (the fast engine is property-tested against the
+    scalar oracle); ``scalar`` exists as the auditable reference."""
+    value = (engine
+             or os.environ.get("REPRO_PERF_ENGINE")
+             or str(DEFAULTS.get("perf_engine", "fast")))
+    if value not in ("fast", "scalar"):
+        raise ValueError(
+            f"unknown perf engine {value!r} (expected 'fast' or 'scalar')")
+    return value
 
 #: map invocation unit -> (work model, vectorisation key)
 _UNIT_MODELS = {
@@ -107,6 +128,7 @@ class PerformancePipeline:
         replication: int = 1,
         fine_sample_blocks: int = 4,
         seed: int = 1234,
+        engine: str | None = None,
     ) -> None:
         self.log = log
         self.compiler = compiler
@@ -117,6 +139,7 @@ class PerformancePipeline:
         self.replication = replication
         self.fine_sample_blocks = fine_sample_blocks
         self.seed = seed
+        self.engine = resolve_engine(engine)
 
     # --- setup: the allocation story -------------------------------------------------
     def _launch_and_allocate(self):
@@ -175,7 +198,8 @@ class PerformancePipeline:
     def run(self) -> PerfReport:
         proc, layout, unk, scratch, eos_table, flame_table, flux_scratch = \
             self._launch_and_allocate()
-        builder = TraceBuilder(
+        builder_cls = FastTraceBuilder if self.engine == "fast" else TraceBuilder
+        builder = builder_cls(
             space=proc.space, layout=layout, unk=unk, scratch=scratch,
             eos_table=eos_table, flame_table=flame_table, log=self.log,
             flux_scratch=flux_scratch,
@@ -184,25 +208,38 @@ class PerformancePipeline:
         )
         rep = self.log.representative_step()
 
-        # --- TLB: stream pass (capacity behaviour), warmed then measured
-        stream_sim = TLBSimulator(self.machine.tlb)
+        # --- TLB: stream pass (capacity behaviour), warmed then measured,
+        # and fine passes (inner-loop behaviour), per invocation
         stream_traces = [builder.invocation_stream_trace(rep, inv)
                          for inv in rep.invocations]
-        for t in stream_traces:
-            stream_sim.run(t)  # warm pass
-        stream_stats = [stream_sim.run(t) for t in stream_traces]
-
-        # --- TLB: fine passes (inner-loop behaviour), per invocation
-        fine_stats: list[TLBStats] = []
-        for inv in rep.invocations:
-            if inv.unit in ("eos", "eos_gamma", "hydro_sweep", "flame"):
+        fine_traces: list[tuple[int, "PageTrace", float]] = []
+        for i, inv in enumerate(rep.invocations):
+            if inv.unit in _FINE_UNITS:
                 trace, scale = builder.fine_unit_trace(rep, inv)
+                fine_traces.append((i, trace, scale))
+
+        if self.engine == "fast":
+            # batch steady-state kernel: one shared TLB for the whole
+            # stream sequence, one fresh TLB per fine invocation
+            stream_stats = run_steady_segments(
+                self.machine.tlb, stream_traces,
+                streams=[0] * len(stream_traces))
+            fine_res = run_steady_segments(
+                self.machine.tlb, [t for _, t, _ in fine_traces],
+                streams=list(range(len(fine_traces))))
+            fine_stats = [TLBStats() for _ in rep.invocations]
+            for (i, _, scale), stats in zip(fine_traces, fine_res):
+                fine_stats[i] = stats.scaled(scale)
+        else:
+            stream_sim = TLBSimulator(self.machine.tlb)
+            for t in stream_traces:
+                stream_sim.run(t)  # warm pass
+            stream_stats = [stream_sim.run(t) for t in stream_traces]
+            fine_stats = [TLBStats() for _ in rep.invocations]
+            for i, trace, scale in fine_traces:
                 sim = TLBSimulator(self.machine.tlb)
                 sim.run(trace)  # warm
-                stats = sim.run(trace).scaled(scale)
-            else:
-                stats = TLBStats()
-            fine_stats.append(stats)
+                fine_stats[i] = sim.run(trace).scaled(scale)
 
         # --- accumulate per unit over the whole run, scaling the
         # representative step's misses by each unit's total zone count
@@ -246,4 +283,5 @@ class PerformancePipeline:
         return report
 
 
-__all__ = ["PerformancePipeline", "PerfReport", "UnitTotals"]
+__all__ = ["PerformancePipeline", "PerfReport", "UnitTotals",
+           "resolve_engine"]

@@ -1,0 +1,112 @@
+"""Tests for the repro.bench CLI and its regression gate."""
+
+import json
+
+import pytest
+
+import repro.bench.cli as cli
+from repro.bench import SCHEMA, compare_bench, load_baseline, main
+
+
+def _doc(speedup=4.0, cyc=100.0, l1=50, wall=1.0):
+    run = {
+        "problem": "eos", "replication": 2, "flags": [],
+        "engines": {"fast": {"wall_s": wall, "steps_per_s": 8 / wall},
+                    "scalar": {"wall_s": wall * speedup,
+                               "steps_per_s": 8 / (wall * speedup)}},
+        "counters": {"PAPI_TOT_CYC": cyc},
+        "dtlb": {"l1_misses": l1, "l2_misses": 5},
+        "counters_equal": True,
+        "speedup": speedup,
+    }
+    return {"schema": SCHEMA, "name": "eos", "quick": True,
+            "engines": ["fast", "scalar"], "environment": {},
+            "runs": [run],
+            "summary": {"n_runs": 1, "all_counters_equal": True,
+                        "speedup": speedup, "min_speedup": speedup,
+                        "max_speedup": speedup}}
+
+
+class TestCompare:
+    def test_identical_docs_pass(self):
+        assert compare_bench(_doc(), _doc()) == []
+
+    def test_speedup_regression_fails(self):
+        failures = compare_bench(_doc(speedup=2.0), _doc(speedup=4.0),
+                                 threshold=0.2)
+        assert any("speedup regressed" in f for f in failures)
+
+    def test_speedup_within_threshold_passes(self):
+        assert compare_bench(_doc(speedup=3.5), _doc(speedup=4.0),
+                             threshold=0.2) == []
+
+    def test_counter_drift_fails(self):
+        failures = compare_bench(_doc(cyc=101.0), _doc(cyc=100.0))
+        assert any("PAPI_TOT_CYC drifted" in f for f in failures)
+
+    def test_dtlb_drift_fails(self):
+        failures = compare_bench(_doc(l1=51), _doc(l1=50))
+        assert any("dtlb l1_misses" in f for f in failures)
+
+    def test_wall_regression_only_under_strict(self):
+        slow, base = _doc(wall=2.0), _doc(wall=1.0)
+        assert compare_bench(slow, base) == []
+        failures = compare_bench(slow, base, strict_wall=True)
+        assert any("wall" in f for f in failures)
+
+    def test_schema_mismatch_fails(self):
+        other = _doc()
+        other["schema"] = "repro.bench/0"
+        failures = compare_bench(_doc(), other)
+        assert any("schema mismatch" in f for f in failures)
+
+    def test_new_configuration_ignored(self):
+        cur = _doc()
+        cur["runs"][0]["replication"] = 8  # not in the baseline
+        assert compare_bench(cur, _doc()) == []
+
+
+class TestLoadBaseline:
+    def test_from_directory(self, tmp_path):
+        (tmp_path / "BENCH_eos.json").write_text(json.dumps(_doc()))
+        assert load_baseline(tmp_path, "eos")["name"] == "eos"
+        assert load_baseline(tmp_path, "hydro") is None
+
+    def test_from_file_checks_name(self, tmp_path):
+        path = tmp_path / "BENCH_eos.json"
+        path.write_text(json.dumps(_doc()))
+        assert load_baseline(path, "eos") is not None
+        assert load_baseline(path, "hydro") is None
+
+
+class TestCliSmoke:
+    @pytest.fixture(autouse=True)
+    def tiny_scales(self, monkeypatch):
+        monkeypatch.setitem(cli._SCALES, "quick", (1,))
+
+    def test_emits_valid_document(self, tmp_path):
+        rc = main(["--quick", "--out", str(tmp_path),
+                   "--problems", "eos", "--engine", "fast"])
+        assert rc == 0
+        doc = json.loads((tmp_path / "BENCH_eos.json").read_text())
+        assert doc["schema"] == SCHEMA
+        assert doc["runs"] and doc["summary"]["n_runs"] == len(doc["runs"])
+        for run in doc["runs"]:
+            assert run["engines"]["fast"]["wall_s"] > 0
+            assert run["counters"]["PAPI_TOT_CYC"] > 0
+            assert run["dtlb"]["l1_misses"] >= 0
+
+    def test_compare_against_self_passes(self, tmp_path):
+        rc = main(["--quick", "--out", str(tmp_path),
+                   "--problems", "eos", "--engine", "fast"])
+        assert rc == 0
+        rc = main(["--quick", "--out", str(tmp_path / "second"),
+                   "--problems", "eos", "--engine", "fast",
+                   "--compare", str(tmp_path)])
+        assert rc == 0
+
+    def test_missing_baseline_fails(self, tmp_path):
+        rc = main(["--quick", "--out", str(tmp_path),
+                   "--problems", "eos", "--engine", "fast",
+                   "--compare", str(tmp_path / "nowhere")])
+        assert rc == 1

@@ -27,6 +27,31 @@ class TestCounterBank:
         with pytest.raises(ValueError):
             bank.advance(1.0, {Event.TLB_DM: -5})
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_nonfinite_time_rejected(self, bad):
+        bank = CounterBank()
+        with pytest.raises(ValueError, match="finite"):
+            bank.advance(bad)
+        assert bank.time_s == 0.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_nonfinite_increment_rejected(self, bad):
+        bank = CounterBank()
+        with pytest.raises(ValueError, match="finite"):
+            bank.advance(1.0, {Event.TLB_DM: bad})
+        # a rejected advance must not half-apply
+        assert bank.time_s == 0.0
+        assert bank.totals[Event.TLB_DM] == 0.0
+
+    def test_bad_increment_leaves_bank_untouched(self):
+        bank = CounterBank()
+        with pytest.raises(ValueError):
+            bank.advance(1.0, {Event.TOT_CYC: 10.0, Event.TLB_DM: -5})
+        assert bank.time_s == 0.0
+        assert bank.totals[Event.TOT_CYC] == 0.0
+
     def test_permission_check(self):
         bank = CounterBank(sysctl=Sysctl(perf_event_paranoid=3))
         es = EventSet(bank=bank)
