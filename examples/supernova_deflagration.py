@@ -29,9 +29,8 @@ def main(steps: int = 15) -> None:
     print(f"  mesh: {prob.grid.tree.n_leaves} leaf blocks "
           f"({prob.grid.tree.n_leaves * prob.grid.spec.zones_per_block()} zones)")
 
-    sim = Simulation(prob.grid, prob.hydro, flame=prob.flame,
-                     gravity=prob.gravity, nrefs=4,
-                     refine_var="dens", refine_cutoff=0.75,
+    sim = Simulation(prob.grid, prob.hydro, prob.flame, prob.gravity,
+                     nrefs=4, refine_var="dens", refine_cutoff=0.75,
                      derefine_cutoff=0.05)
 
     e0 = prob.grid.total("eint")

@@ -27,6 +27,16 @@ The most common entry points are re-exported here::
 __version__ = "1.0.0"
 
 from repro.analysis import line_profile, peak_location, radial_profile
+from repro.core import (
+    ParameterSpec,
+    UnitSpec,
+    WorkKind,
+    WorkloadSpec,
+    load_all,
+    parameter_registry,
+    unit_registry,
+)
+from repro.driver.config import RuntimeParameters
 from repro.driver.io import read_checkpoint, restart_simulation, write_checkpoint
 from repro.driver.simulation import Simulation
 from repro.kernel.params import ookami_config
@@ -46,6 +56,14 @@ from repro.toolchain.compiler import ARM, COMPILERS, CRAY, FUJITSU, GNU
 
 __all__ = [
     "__version__",
+    "ParameterSpec",
+    "UnitSpec",
+    "WorkKind",
+    "WorkloadSpec",
+    "load_all",
+    "parameter_registry",
+    "unit_registry",
+    "RuntimeParameters",
     "Simulation",
     "write_checkpoint",
     "read_checkpoint",

@@ -21,16 +21,13 @@ from pathlib import Path
 import numpy as np
 
 from repro.bench.compare import compare_bench, load_baseline
-from repro.experiments.workloads import (eos_problem_worklog,
-                                         hydro_problem_worklog)
+from repro.core import unit_registry
 from repro.perfmodel.pipeline import PerformancePipeline, resolve_engine
 from repro.toolchain.compiler import FUJITSU
 
 #: document format version; bump on incompatible layout changes
 SCHEMA = "repro.bench/1"
 
-PROBLEMS = ("eos", "hydro")
-_WORKLOGS = {"eos": eos_problem_worklog, "hydro": hydro_problem_worklog}
 #: mesh replication scales exercised per problem; quick mode skips
 #: replication 1, where the engine-independent pipeline overhead
 #: (compile/allocate/first-touch) dominates the wall clock
@@ -75,7 +72,7 @@ def run_problem_bench(problem: str, *, quick: bool = False,
                       engines: tuple[str, ...] = ("fast", "scalar"),
                       ) -> dict[str, object]:
     """Benchmark one problem; returns the ``BENCH_<problem>`` document."""
-    log = _WORKLOGS[problem](quick=quick)
+    log = unit_registry.workload(problem).builder(quick=quick)
     scales = _SCALES["quick" if quick else "full"]
     runs: list[dict[str, object]] = []
     wall_totals = {engine: 0.0 for engine in engines}
@@ -142,9 +139,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="smaller workloads and fewer scales (CI smoke)")
     parser.add_argument("--out", type=Path, default=Path("."),
                         help="directory for BENCH_*.json (default: cwd)")
-    parser.add_argument("--problems", nargs="+", choices=PROBLEMS,
-                        default=list(PROBLEMS),
-                        help="which workloads to run (default: all)")
+    # workloads come from the registry: gated ones (those with committed
+    # baselines) by default, every registered one selectable
+    all_problems = tuple(w.name for w in unit_registry.workloads())
+    gated = [w.name for w in unit_registry.gated_workloads()]
+    parser.add_argument("--problems", nargs="+", choices=all_problems,
+                        default=gated,
+                        help="which registered workloads to run (default: "
+                             "the baseline-gated ones: " + " ".join(gated)
+                             + ")")
     parser.add_argument("--engine", choices=("both", "fast", "scalar"),
                         default="both",
                         help="replay engine(s); 'both' also checks the "

@@ -1,9 +1,15 @@
-"""flash.par-style runtime parameters.
+"""flash.par-style runtime parameters, as a view over the registry.
 
 FLASH reads a plain ``name = value`` parameter file; this replica parses
 the same format (comments with ``#``, booleans as ``.true.``/``.false.``,
-strings quoted) on top of a defaults dictionary, with type checking
-against the default's type.
+Fortran ``1.0d0`` reals, strings quoted) against the declarations every
+unit registered in :data:`repro.core.parameter_registry`.  Both ``get``
+and ``set`` are strict: an unregistered name raises
+:class:`~repro.util.errors.ConfigurationError` with a did-you-mean
+suggestion, and values are typed and validated by the owning unit's
+:class:`~repro.core.ParameterSpec`.  :meth:`RuntimeParameters.to_par`
+serialises back to the same grammar, round-tripping every registered
+type.
 """
 
 from __future__ import annotations
@@ -11,70 +17,80 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core import ParameterSpec, parameter_registry
+from repro.core.registry import _DefaultsView
 from repro.util.errors import ConfigurationError
 
-#: defaults shared by the example applications (subset of FLASH's)
-DEFAULTS: dict[str, object] = {
-    "basenm": "repro_",
-    "restart": False,
-    "nend": 100,
-    "tmax": 1.0e99,
-    "dtinit": 1.0e-10,
-    "dtmax": 1.0e99,
-    "cfl": 0.4,
-    "lrefine_max": 4,
-    "nrefs": 4,
-    "refine_var_1": "dens",
-    "refine_cutoff_1": 0.8,
-    "derefine_cutoff_1": 0.2,
-    "smlrho": 1.0e-12,
-    "smallp": 1.0e-12,
-    "eosModeInit": "dens_temp",
-    #: performance-replay engine: "fast" (vectorized batch kernels) or
-    #: "scalar" (the reference per-access loops); both produce identical
-    #: counter totals.  Overridable per run via REPRO_PERF_ENGINE.
-    "perf_engine": "fast",
-    "xl_boundary_type": "outflow",
-    "xr_boundary_type": "outflow",
-    "yl_boundary_type": "outflow",
-    "yr_boundary_type": "outflow",
-    "zl_boundary_type": "outflow",
-    "zr_boundary_type": "outflow",
-}
+#: defaults of every registered parameter (kept under the seed's name;
+#: a live read-only view — units own the declarations now)
+DEFAULTS = _DefaultsView(parameter_registry)
 
 
-def _parse_value(text: str, like: object):
+def _parse_value(text: str, spec: ParameterSpec):
+    """Parse flash.par literal ``text`` as the spec's declared type."""
     text = text.strip()
-    if isinstance(like, bool):
+    if spec.type is bool:
         low = text.lower()
         if low in (".true.", "true", "t", "1"):
             return True
         if low in (".false.", "false", "f", "0"):
             return False
-        raise ConfigurationError(f"bad boolean {text!r}")
-    if isinstance(like, int) and not isinstance(like, bool):
+        raise ConfigurationError(f"bad boolean {text!r} for {spec.name!r}")
+    if spec.type is int:
         try:
             return int(text)
         except ValueError as exc:
-            raise ConfigurationError(f"bad integer {text!r}") from exc
-    if isinstance(like, float):
+            raise ConfigurationError(
+                f"bad integer {text!r} for {spec.name!r}") from exc
+    if spec.type is float:
         try:
             return float(text.replace("d", "e").replace("D", "E"))
         except ValueError as exc:
-            raise ConfigurationError(f"bad real {text!r}") from exc
+            raise ConfigurationError(
+                f"bad real {text!r} for {spec.name!r}") from exc
     return text.strip("\"'")
+
+
+def _format_value(value) -> str:
+    """The inverse of :func:`_parse_value` (Fortran-flavoured literals)."""
+    if isinstance(value, bool):
+        return ".true." if value else ".false."
+    if isinstance(value, float):
+        # repr is the shortest round-tripping literal; Fortran spells the
+        # exponent with 'd', which _parse_value maps back to 'e'
+        return repr(value).replace("e", "d").replace("E", "D")
+    if isinstance(value, int):
+        return str(value)
+    return f'"{value}"'
+
+
+def _coerce(value, spec: ParameterSpec):
+    """Type-check a non-string value against the declaration (ints are
+    promoted to declared floats, matching Fortran literal semantics)."""
+    if spec.type is float and isinstance(value, int) \
+            and not isinstance(value, bool):
+        return float(value)
+    if not isinstance(value, spec.type) or (
+            isinstance(value, bool) and spec.type is not bool):
+        raise ConfigurationError(
+            f"runtime parameter {spec.name!r} expects "
+            f"{spec.type.__name__}, got {type(value).__name__} "
+            f"({value!r})")
+    return value
 
 
 @dataclass
 class RuntimeParameters:
     """Typed key-value runtime parameters with flash.par parsing."""
 
-    values: dict[str, object] = field(default_factory=lambda: dict(DEFAULTS))
+    values: dict[str, object] = field(
+        default_factory=lambda: parameter_registry.defaults())
 
     @classmethod
     def from_par(cls, text: str,
                  defaults: dict[str, object] | None = None) -> "RuntimeParameters":
-        params = cls(dict(defaults if defaults is not None else DEFAULTS))
+        params = cls(dict(defaults) if defaults is not None
+                     else parameter_registry.defaults())
         for lineno, raw in enumerate(text.splitlines(), 1):
             line = raw.split("#", 1)[0].strip()
             if not line:
@@ -90,25 +106,42 @@ class RuntimeParameters:
         return cls.from_par(Path(path).read_text(), **kw)
 
     def get(self, name: str):
-        try:
-            return self.values[name]
-        except KeyError:
-            raise ConfigurationError(f"unknown runtime parameter {name!r}") from None
+        spec = parameter_registry.spec(name)  # raises with a suggestion
+        return self.values.get(name, spec.default)
 
     def set(self, name: str, value) -> None:
-        if name in self.values and isinstance(value, str):
-            value = _parse_value(value, self.values[name])
+        spec = parameter_registry.spec(name)  # raises with a suggestion
+        if isinstance(value, str) and spec.type is not str:
+            value = _parse_value(value, spec)
         elif isinstance(value, str):
-            # unknown parameter: keep as best-effort typed literal
-            for caster in (int, float):
-                try:
-                    value = caster(value)
-                    break
-                except ValueError:
-                    continue
-            else:
-                value = value.strip().strip("\"'")
+            value = value.strip().strip("\"'")
+        else:
+            value = _coerce(value, spec)
+        spec.validate(value)
         self.values[name] = value
+
+    def to_par(self) -> str:
+        """Serialise to flash.par text, grouped by owning unit.
+
+        ``RuntimeParameters.from_par(p.to_par()) == p`` for every
+        registered parameter type (strings must not embed quotes, ``#``,
+        or surrounding whitespace — the flash.par grammar cannot express
+        those).
+        """
+        lines: list[str] = []
+        for unit, specs in sorted(parameter_registry.by_unit().items()):
+            if not specs:
+                continue
+            lines.append(f"# {unit}")
+            for spec in specs:
+                value = self.values.get(spec.name, spec.default)
+                lines.append(f"{spec.name} = {_format_value(value)}")
+            lines.append("")
+        return "\n".join(lines)
+
+    def unit_of(self, name: str) -> str:
+        """The unit that declared a parameter."""
+        return parameter_registry.owner(name)
 
     def __contains__(self, name: str) -> bool:
         return name in self.values

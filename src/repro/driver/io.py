@@ -60,7 +60,7 @@ def write_checkpoint(grid: Grid, path: str | Path, *, time: float = 0.0,
     return path
 
 
-def restart_simulation(path: str | Path, hydro, **sim_kwargs):
+def restart_simulation(path: str | Path, *units, **sim_kwargs):
     """Rebuild a :class:`~repro.driver.simulation.Simulation` from a
     checkpoint, resuming bit-identically.
 
@@ -71,10 +71,11 @@ def restart_simulation(path: str | Path, hydro, **sim_kwargs):
     from repro.driver.simulation import Simulation
 
     grid, time, n_step = read_checkpoint(path)
-    sim = Simulation(grid, hydro, **sim_kwargs)
+    sim = Simulation(grid, *units, **sim_kwargs)
     sim.t = time
     sim.n_step = n_step
-    hydro._parity = n_step
+    if sim.hydro is not None:
+        sim.hydro._parity = n_step
     return sim
 
 

@@ -1,26 +1,31 @@
 """The evolution driver (FLASH's ``Driver_evolveFlash``).
 
-Glues the units together per step — timestep negotiation, hydro sweeps,
-flame diffusion-reaction, gravity kick, periodic remeshing — under
-FLASH-style timers, and (optionally) under PAPI-style instrumentation via
-a caller-provided hook.
+A *generic* scheduler: the driver composes whatever units it is given —
+it holds no named physics slots.  Each unit instance is mapped to its
+registered :class:`~repro.core.UnitSpec` (the unit's declarations) and
+the step loop simply runs every scheduled spec's hook in declared phase
+order under FLASH-style timers: timestep negotiation first (the min over
+all declared timestep contributors), then the advance hooks (hydro,
+gravity, flame, ... in their declared phases), then any cadence-gated
+hooks such as the mesh refinement pass.  New units join the loop by
+registering a spec — the driver never changes.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import StepContribution, UnitSpec, load_all, unit_registry
 from repro.mesh.grid import Grid
-from repro.mesh.guardcell import fill_guardcells
-from repro.mesh.refine import refine_pass
+from repro.mesh.guardcell import BoundaryConditions
+from repro.mesh.unit import RefinementPolicy
 from repro.papi.counters import CounterBank
 from repro.papi.timers import Timers
-from repro.util.errors import PhysicsError
+from repro.util.errors import ConfigurationError, PhysicsError
 
 
 @dataclass
@@ -36,15 +41,21 @@ class StepInfo:
 
 
 class Simulation:
-    """Evolution loop over a grid plus physics units."""
+    """Evolution loop over a grid plus any registered units.
+
+    ``units`` are unit instances (e.g. a
+    :class:`~repro.physics.hydro.unit.HydroUnit`, an
+    :class:`~repro.physics.flame.adr.ADRFlame`, a
+    :class:`~repro.physics.gravity.monopole.MonopoleGravity`, a
+    :class:`~repro.mesh.unit.RefinementPolicy`); each must belong to a
+    registered spec.  A refinement policy is synthesised from the
+    ``nrefs``/``refine_*`` keywords unless one is passed explicitly.
+    """
 
     def __init__(
         self,
         grid: Grid,
-        hydro,
-        *,
-        flame=None,
-        gravity=None,
+        *units,
         nrefs: int = 4,
         refine_var: str = "dens",
         refine_cutoff: float = 0.8,
@@ -53,14 +64,8 @@ class Simulation:
         dtinit: float | None = None,
         bank: CounterBank | None = None,
     ) -> None:
+        load_all()
         self.grid = grid
-        self.hydro = hydro
-        self.flame = flame
-        self.gravity = gravity
-        self.nrefs = nrefs
-        self.refine_var = refine_var
-        self.refine_cutoff = refine_cutoff
-        self.derefine_cutoff = derefine_cutoff
         self.dtmax = dtmax
         self.dtinit = dtinit
         self.t = 0.0
@@ -68,14 +73,125 @@ class Simulation:
         self.bank = bank or CounterBank()
         self.timers = Timers(self.bank)
         self.history: list[StepInfo] = []
-        #: per-step observers, e.g. the performance pipeline
-        self.step_hooks: list[Callable[["Simulation", StepInfo], None]] = []
+        #: per-step observers, e.g. the performance pipeline's work log
+        self.step_hooks: list = []
+
+        instances = list(units)
+        if not any(isinstance(u, RefinementPolicy) for u in instances):
+            instances.append(RefinementPolicy(
+                nrefs=nrefs, refine_var=refine_var,
+                refine_cutoff=refine_cutoff,
+                derefine_cutoff=derefine_cutoff))
+        ordered: list[tuple[int, int, UnitSpec, object]] = []
+        self._by_name: dict[str, object] = {}
+        for index, unit in enumerate(instances):
+            spec = unit_registry.spec_for(unit)
+            if spec is None:
+                known = ", ".join(s.name for s in unit_registry.units()
+                                  if s.implements)
+                raise ConfigurationError(
+                    f"{type(unit).__name__!r} instance is not a registered "
+                    f"unit (registered units: {known})")
+            if spec.name in self._by_name:
+                raise ConfigurationError(
+                    f"two instances of unit {spec.name!r} passed to the "
+                    f"driver")
+            self._by_name[spec.name] = unit
+            ordered.append((spec.phase, index, spec, unit))
+        ordered.sort(key=lambda entry: entry[:2])
+        self._scheduled: list[tuple[UnitSpec, object]] = [
+            (spec, unit) for _, _, spec, unit in ordered]
+
+        bc_units = [u for s, u in self._scheduled if s.provides_bc]
+        #: grid boundary conditions, supplied by the declaring unit
+        self.bc: BoundaryConditions = (bc_units[0].bc if bc_units
+                                       else BoundaryConditions())
+
+    @classmethod
+    def from_params(cls, grid: Grid, *units, params) -> "Simulation":
+        """Build a driver from flash.par runtime parameters — the
+        declarative path: every keyword comes from the registry."""
+        return cls(
+            grid, *units,
+            nrefs=params.get("nrefs"),
+            refine_var=params.get("refine_var_1"),
+            refine_cutoff=params.get("refine_cutoff_1"),
+            derefine_cutoff=params.get("derefine_cutoff_1"),
+            dtmax=params.get("dtmax"),
+            dtinit=params.get("dtinit"),
+        )
+
+    # --- unit access ---------------------------------------------------------------
+    def unit(self, name: str):
+        """The instance of a registered unit, or None if not composed in."""
+        return self._by_name.get(name)
+
+    def scheduled_units(self) -> tuple[tuple[UnitSpec, object], ...]:
+        """(spec, instance) pairs in scheduler (phase) order."""
+        return tuple(self._scheduled)
+
+    @property
+    def unit_names(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec, _ in self._scheduled)
+
+    # the common units, as derived views (no constructor slots)
+    @property
+    def hydro(self):
+        return self.unit("hydro")
+
+    @property
+    def flame(self):
+        return self.unit("flame")
+
+    @property
+    def gravity(self):
+        return self.unit("gravity")
+
+    # refinement policy passthroughs (the policy is just another unit)
+    @property
+    def refinement(self) -> RefinementPolicy:
+        return self.unit("mesh")
+
+    @property
+    def nrefs(self) -> int:
+        return self.refinement.nrefs
+
+    @nrefs.setter
+    def nrefs(self, value: int) -> None:
+        self.refinement.nrefs = value
+
+    @property
+    def refine_var(self) -> str:
+        return self.refinement.refine_var
+
+    @refine_var.setter
+    def refine_var(self, value: str) -> None:
+        self.refinement.refine_var = value
+
+    @property
+    def refine_cutoff(self) -> float:
+        return self.refinement.refine_cutoff
+
+    @refine_cutoff.setter
+    def refine_cutoff(self, value: float) -> None:
+        self.refinement.refine_cutoff = value
+
+    @property
+    def derefine_cutoff(self) -> float:
+        return self.refinement.derefine_cutoff
+
+    @derefine_cutoff.setter
+    def derefine_cutoff(self, value: float) -> None:
+        self.refinement.derefine_cutoff = value
 
     # --- timestep ----------------------------------------------------------------
     def compute_dt(self) -> float:
-        dt = self.hydro.timestep(self.grid)
-        if self.flame is not None:
-            dt = min(dt, self.flame.timestep(self.grid))
+        """Min over every unit that declares a timestep contributor."""
+        dts = [spec.timestep(self, unit) for spec, unit in self._scheduled
+               if spec.timestep is not None]
+        if not dts:
+            raise PhysicsError("no composed unit provides a timestep")
+        dt = min(dts)
         if self.n_step == 0 and self.dtinit is not None:
             dt = min(dt, self.dtinit)
         return min(dt, self.dtmax)
@@ -103,26 +219,18 @@ class Simulation:
             if dt <= 0.0 or not np.isfinite(dt):
                 raise PhysicsError(f"bad timestep {dt}")
 
-            with self._timed("hydro"):
-                self.hydro.step(self.grid, dt)
-
-            if self.gravity is not None:
-                with self._timed("gravity"):
-                    self.gravity.accelerate(self.grid, dt)
-
-            if self.flame is not None:
-                with self._timed("flame"):
-                    fill_guardcells(self.grid, self.hydro.bc)
-                    self.flame.step(self.grid, dt)
-
             n_ref = n_deref = 0
-            if self.nrefs > 0 and (self.n_step + 1) % self.nrefs == 0:
-                with self._timed("remesh"):
-                    n_ref, n_deref = refine_pass(
-                        self.grid, self.refine_var,
-                        refine_cutoff=self.refine_cutoff,
-                        derefine_cutoff=self.derefine_cutoff,
-                    )
+            for spec, unit in self._scheduled:
+                if spec.step is None:
+                    continue
+                if spec.should_run is not None and not spec.should_run(self,
+                                                                       unit):
+                    continue
+                with self._timed(spec.timer or spec.name):
+                    contrib = spec.step(self, unit, dt)
+                if isinstance(contrib, StepContribution):
+                    n_ref += contrib.n_refined
+                    n_deref += contrib.n_derefined
 
         self.t += dt
         self.n_step += 1

@@ -1,0 +1,26 @@
+"""The Driver unit's declarations (FLASH's ``Driver`` Config file).
+
+The driver owns the run-control parameters every simulation reads; it
+has no step hook of its own because it *is* the scheduler
+(:class:`~repro.driver.simulation.Simulation`).
+"""
+
+from __future__ import annotations
+
+from repro.core import ParameterSpec, UnitSpec, unit_registry
+
+DRIVER_UNIT = unit_registry.register(UnitSpec(
+    name="driver",
+    description="run control: evolution loop, timestep limits, naming",
+    phase=0,
+    parameters=(
+        ParameterSpec("basenm", "repro_", doc="output file base name"),
+        ParameterSpec("restart", False, doc="restart from a checkpoint"),
+        ParameterSpec("nend", 100, doc="maximum number of steps"),
+        ParameterSpec("tmax", 1.0e99, doc="maximum simulation time"),
+        ParameterSpec("dtinit", 1.0e-10, doc="initial timestep cap"),
+        ParameterSpec("dtmax", 1.0e99, doc="largest allowed timestep"),
+    ),
+))
+
+__all__ = ["DRIVER_UNIT"]

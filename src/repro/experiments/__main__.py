@@ -2,9 +2,14 @@
 
 Usage::
 
+    python -m repro.experiments list
     python -m repro.experiments all [--quick]
     python -m repro.experiments table1 | table2 | figure1 | compilers |
-                                 toys | matrix
+                                 toys | matrix | porting
+
+Targets come from the experiment registry
+(:mod:`repro.experiments.registry`); ``list`` prints every registered
+experiment, workload, and unit with a one-line description.
 """
 
 from __future__ import annotations
@@ -12,70 +17,44 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.experiments.registry import experiment, experiments
+
+
+def _render_list() -> str:
+    """Everything the registries know, one line per entry."""
+    from repro.core import unit_registry
+
+    lines = ["experiments (python -m repro.experiments <name>):"]
+    for spec in experiments():
+        lines.append(f"  {spec.name:<12}{spec.description}")
+    lines.append("")
+    lines.append("workloads (python -m repro.bench --problems <name>):")
+    for wl in unit_registry.workloads():
+        tag = " [baseline-gated]" if wl.gate else ""
+        lines.append(f"  {wl.name:<12}{wl.description}{tag}")
+    lines.append("")
+    lines.append("units:")
+    for unit in unit_registry.units():
+        lines.append(f"  {unit.name:<12}{unit.description}")
+    return "\n".join(lines)
+
 
 def main(argv: list[str] | None = None) -> int:
+    choices = ["list"] + [spec.name for spec in experiments()]
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("what", choices=["all", "table1", "table2", "figure1",
-                                         "compilers", "toys", "matrix",
-                                         "porting"])
+    parser.add_argument("what", choices=choices)
     parser.add_argument("--quick", action="store_true",
                         help="few steps / small replication (for smoke runs)")
     args = parser.parse_args(argv)
 
-    from repro.experiments.compilers import compiler_comparison
-    from repro.experiments.figure1 import figure1_data, render_figure1
-    from repro.experiments.report import full_report
-    from repro.experiments.tables import render_table, run_table
-    from repro.experiments.testprograms import (
-        hugepage_usage_matrix,
-        render_outcomes,
-        static_vs_dynamic,
-    )
-    from repro.experiments.workloads import (
-        eos_problem_worklog,
-        hydro_problem_worklog,
-    )
-
-    if args.what == "all":
-        print(full_report(quick=args.quick))
+    if args.what == "list":
+        print(_render_list())
         return 0
-    if args.what == "table1":
-        log = eos_problem_worklog(quick=args.quick)
-        print(render_table(run_table("eos", log, quick=args.quick)))
-        return 0
-    if args.what == "table2":
-        log = hydro_problem_worklog(quick=args.quick)
-        print(render_table(run_table("hydro", log, quick=args.quick)))
-        return 0
-    if args.what == "figure1":
-        t1 = run_table("eos", eos_problem_worklog(quick=args.quick),
-                       quick=args.quick)
-        t2 = run_table("hydro", hydro_problem_worklog(quick=args.quick),
-                       quick=args.quick)
-        print(render_figure1(figure1_data(t1, t2)))
-        return 0
-    if args.what == "compilers":
-        log = eos_problem_worklog(quick=args.quick)
-        print(compiler_comparison(log).render())
-        return 0
-    if args.what == "toys":
-        print(render_outcomes(static_vs_dynamic("gnu") + static_vs_dynamic("cray"),
-                              "STATIC VS DYNAMIC TOY PROGRAMS"))
-        return 0
-    if args.what == "matrix":
-        print(render_outcomes(hugepage_usage_matrix(),
-                              "HUGE-PAGE USAGE MATRIX"))
-        return 0
-    if args.what == "porting":
-        from repro.experiments.porting import porting_study
-
-        log = eos_problem_worklog(quick=args.quick)
-        print(porting_study(log).render())
-        return 0
-    return 1
+    print(experiment(args.what).run(quick=args.quick))
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,130 @@
+"""The experiment registry: every ``python -m repro.experiments`` target.
+
+Each paper artefact (a table, a figure, a study) is declared as an
+:class:`ExperimentSpec` whose runner returns the rendered text; the CLI
+dispatches from this registry instead of an if-chain, so a new
+experiment is one ``register`` call away from ``python -m
+repro.experiments <name>`` and from the ``list`` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.registry import _suggest
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: a name, a one-liner, and its runner."""
+
+    name: str
+    description: str
+    #: ``run(quick=...) -> str`` — the rendered artefact
+    run: Callable[..., str]
+
+
+_EXPERIMENTS: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    if spec.name in _EXPERIMENTS:
+        raise ConfigurationError(f"experiment {spec.name!r} registered twice")
+    _EXPERIMENTS[spec.name] = spec
+    return spec
+
+
+def experiments() -> tuple[ExperimentSpec, ...]:
+    """Every registered experiment, in registration order."""
+    return tuple(_EXPERIMENTS.values())
+
+
+def experiment(name: str) -> ExperimentSpec:
+    try:
+        return _EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}"
+            + _suggest(name, _EXPERIMENTS)) from None
+
+
+# --- the paper's artefacts ---------------------------------------------------
+# runners import lazily so `list` stays fast and dependency-light
+
+def _run_all(*, quick: bool = False) -> str:
+    from repro.experiments.report import full_report
+    return full_report(quick=quick)
+
+
+def _run_table(problem: str, *, quick: bool = False) -> str:
+    from repro.core import unit_registry
+    from repro.experiments.tables import render_table, run_table
+    log = unit_registry.workload(problem).builder(quick=quick)
+    return render_table(run_table(problem, log, quick=quick))
+
+
+def _run_figure1(*, quick: bool = False) -> str:
+    from repro.core import unit_registry
+    from repro.experiments.figure1 import figure1_data, render_figure1
+    from repro.experiments.tables import run_table
+    results = [
+        run_table(problem,
+                  unit_registry.workload(problem).builder(quick=quick),
+                  quick=quick)
+        for problem in ("eos", "hydro")]
+    return render_figure1(figure1_data(*results))
+
+
+def _run_compilers(*, quick: bool = False) -> str:
+    from repro.core import unit_registry
+    from repro.experiments.compilers import compiler_comparison
+    log = unit_registry.workload("eos").builder(quick=quick)
+    return compiler_comparison(log).render()
+
+
+def _run_toys(*, quick: bool = False) -> str:
+    from repro.experiments.testprograms import render_outcomes, static_vs_dynamic
+    return render_outcomes(static_vs_dynamic("gnu") + static_vs_dynamic("cray"),
+                           "STATIC VS DYNAMIC TOY PROGRAMS")
+
+
+def _run_matrix(*, quick: bool = False) -> str:
+    from repro.experiments.testprograms import (hugepage_usage_matrix,
+                                                render_outcomes)
+    return render_outcomes(hugepage_usage_matrix(), "HUGE-PAGE USAGE MATRIX")
+
+
+def _run_porting(*, quick: bool = False) -> str:
+    from repro.core import unit_registry
+    from repro.experiments.porting import porting_study
+    log = unit_registry.workload("eos").builder(quick=quick)
+    return porting_study(log).render()
+
+
+register(ExperimentSpec(
+    "all", "every table, figure, and study in one report", _run_all))
+register(ExperimentSpec(
+    "table1", "Table I: EOS problem, with/without huge pages",
+    lambda *, quick=False: _run_table("eos", quick=quick)))
+register(ExperimentSpec(
+    "table2", "Table II: 3-d Hydro problem, with/without huge pages",
+    lambda *, quick=False: _run_table("hydro", quick=quick)))
+register(ExperimentSpec(
+    "figure1", "Figure 1: normalised with/without-HP measures",
+    _run_figure1))
+register(ExperimentSpec(
+    "compilers", "huge-page behaviour across the Ookami toolchains",
+    _run_compilers))
+register(ExperimentSpec(
+    "toys", "static vs dynamic linking toy-program study", _run_toys))
+register(ExperimentSpec(
+    "matrix", "huge-page usage matrix across allocators and kernels",
+    _run_matrix))
+register(ExperimentSpec(
+    "porting", "porting study: replaying the workload on other nodes",
+    _run_porting))
+
+
+__all__ = ["ExperimentSpec", "register", "experiments", "experiment"]

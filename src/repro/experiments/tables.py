@@ -25,20 +25,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core import WorkloadSpec, unit_registry
 from repro.experiments.measures import MEASURE_LABELS, PAPER_TABLE1, PAPER_TABLE2
 from repro.perfmodel.pipeline import PerformancePipeline, PerfReport
 from repro.perfmodel.workrecord import WorkLog
 from repro.toolchain.compiler import FUJITSU
+from repro.util.errors import ConfigurationError
 
-#: instrumented units per problem ("we instrumented the code to record the
-#: performance of the routines of interest")
-REGION_UNITS = {
-    "eos": ("eos",),
-    "hydro": ("hydro_sweep", "guardcell"),
-}
+#: the paper's published measures, by the workload's declared table tag
+_PAPER_TABLES = {"table1": PAPER_TABLE1, "table2": PAPER_TABLE2}
 
-#: paper step counts (for the per-step extrapolation note)
-PAPER_STEPS = {"eos": 50, "hydro": 200}
+
+def _workload(problem: str) -> WorkloadSpec:
+    """The registered workload for a paper table (instrumented region and
+    step count both come from its declaration, not from tables here)."""
+    spec = unit_registry.workload(problem)
+    if spec.paper_table is None or spec.paper_steps is None:
+        raise ConfigurationError(
+            f"workload {problem!r} does not reproduce a paper table")
+    return spec
 
 
 @dataclass
@@ -60,7 +65,7 @@ class TableResult:
 
 def _measure(report: PerfReport, problem: str, steps_scale: float,
              flash_anchor: float) -> dict[str, float]:
-    m = report.region(REGION_UNITS[problem])
+    m = report.region(_workload(problem).region_kinds)
     out = {k: v * (steps_scale if k in ("hardware_cycles", "time_s") else 1.0)
            for k, v in m.items()}
     region_share = flash_anchor
@@ -72,9 +77,10 @@ def run_table(problem: str, log: WorkLog, *,
               replication: int | None = None,
               quick: bool = False) -> TableResult:
     """Reproduce Table I (problem="eos") or Table II (problem="hydro")."""
-    paper = PAPER_TABLE1 if problem == "eos" else PAPER_TABLE2
+    spec = _workload(problem)
+    paper = _PAPER_TABLES[spec.paper_table]
     # per-step extrapolation: the recorded steps stand in for the paper's
-    steps_scale = PAPER_STEPS[problem] / max(log.n_steps, 1)
+    steps_scale = spec.paper_steps / max(log.n_steps, 1)
 
     # region share of the whole run (the work-mix anchor)
     flash_anchor = paper["without"]["time_s"] / paper["without"]["flash_timer_s"]
@@ -125,5 +131,4 @@ def render_table(result: TableResult) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["run_table", "render_table", "TableResult", "REGION_UNITS",
-           "PAPER_STEPS"]
+__all__ = ["run_table", "render_table", "TableResult"]

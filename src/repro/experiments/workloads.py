@@ -17,6 +17,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from repro.core import WorkloadSpec, unit_registry
 from repro.driver.simulation import Simulation
 from repro.mesh.grid import Grid, MeshSpec
 from repro.mesh.refine import refine_pass
@@ -25,6 +26,7 @@ from repro.perfmodel.workrecord import WorkLog
 from repro.physics.eos import GammaLawEOS
 from repro.physics.hydro.unit import HydroUnit
 from repro.setups.sedov import sedov_setup
+from repro.setups.sod import SodProblem
 from repro.setups.supernova import supernova_setup
 from repro.util import artifacts
 
@@ -67,9 +69,8 @@ def eos_problem_worklog(*, steps: int = 50, quick: bool = False,
 
     def build() -> WorkLog:
         prob = supernova_setup(nblock=3, nxb=16, max_level=2, maxblocks=512)
-        sim = Simulation(prob.grid, prob.hydro, flame=prob.flame,
-                         gravity=prob.gravity, nrefs=4,
-                         refine_var="dens", refine_cutoff=0.75,
+        sim = Simulation(prob.grid, prob.hydro, prob.flame, prob.gravity,
+                         nrefs=4, refine_var="dens", refine_cutoff=0.75,
                          derefine_cutoff=0.05)
         log = WorkLog.attach(sim, helmholtz_eos=True)
         sim.evolve(nend=steps)
@@ -113,4 +114,67 @@ def hydro_problem_worklog(*, steps: int = 20, quick: bool = False,
     return _cached(f"hydro_problem_{steps}", build)
 
 
-__all__ = ["eos_problem_worklog", "hydro_problem_worklog"]
+def sod_problem_worklog(*, steps: int = 40, quick: bool = False,
+                        use_cache: bool = True) -> WorkLog:
+    """Run the 1-d Sod shock tube and record its work.
+
+    Not one of the paper's instrumented problems — it exists to exercise
+    the registry path for workloads beyond the paper's two (a new setup
+    lights up in ``repro.experiments list`` and ``repro.bench
+    --problems`` by registering a spec, with no harness edits)."""
+    if quick:
+        steps = min(steps, 5)
+
+    def build() -> WorkLog:
+        tree = AMRTree(ndim=1, nblockx=2, max_level=2,
+                       domain=((0, 1), (0, 1), (0, 1)))
+        spec = MeshSpec(ndim=1, nxb=16, nyb=1, nzb=1, nguard=4, maxblocks=64)
+        grid = Grid(tree, spec)
+        eos = GammaLawEOS(gamma=1.4)
+        SodProblem().initialize(grid, eos)
+        sim = Simulation(grid, HydroUnit(eos, cfl=0.6), nrefs=4,
+                         refine_var="pres", refine_cutoff=0.6,
+                         derefine_cutoff=0.1)
+        log = WorkLog.attach(sim, helmholtz_eos=False)
+        sim.evolve(nend=steps)
+        return log
+
+    if not use_cache:
+        return build()
+    return _cached(f"sod_problem_{steps}", build)
+
+
+# --- workload declarations ---------------------------------------------------
+# the two instrumented problems of the paper (regression-gated by the
+# committed bench baselines) plus the sod demonstration workload
+unit_registry.register_workload(WorkloadSpec(
+    name="eos",
+    description="2-d Type Iax supernova deflagration, EOS routines "
+                "instrumented (paper Table I)",
+    builder=eos_problem_worklog,
+    region_kinds=("eos",),
+    paper_steps=50,
+    paper_table="table1",
+    gate=True,
+))
+unit_registry.register_workload(WorkloadSpec(
+    name="hydro",
+    description="3-d Sedov explosion, hydrodynamics routines "
+                "instrumented (paper Table II)",
+    builder=hydro_problem_worklog,
+    region_kinds=("hydro_sweep", "guardcell"),
+    paper_steps=200,
+    paper_table="table2",
+    gate=True,
+))
+unit_registry.register_workload(WorkloadSpec(
+    name="sod",
+    description="1-d Sod shock tube, hydrodynamics routines instrumented "
+                "(not in the paper; registry demonstration)",
+    builder=sod_problem_worklog,
+    region_kinds=("hydro_sweep", "guardcell"),
+))
+
+
+__all__ = ["eos_problem_worklog", "hydro_problem_worklog",
+           "sod_problem_worklog"]

@@ -1,0 +1,78 @@
+"""The Grid unit's declarations: refinement policy + guard-cell work.
+
+PARAMESH's runtime parameters (refinement cadence, criteria, boundary
+types) live here, together with :class:`RefinementPolicy` — the
+schedulable object the generic driver runs in the ``remesh`` phase —
+and the ``guardcell`` work kind the performance model prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import (
+    COARSE,
+    ParameterSpec,
+    StepContribution,
+    UnitSpec,
+    WorkKind,
+    unit_registry,
+)
+from repro.hw import calibration as cal
+from repro.mesh.grid import Grid
+from repro.mesh.refine import refine_pass
+
+#: the six flash.par boundary-type parameters
+_BOUNDARY_PARAMS = tuple(
+    ParameterSpec(f"{side}_boundary_type", "outflow",
+                  doc=f"{side} domain boundary condition")
+    for side in ("xl", "xr", "yl", "yr", "zl", "zr"))
+
+
+@dataclass
+class RefinementPolicy:
+    """When and how the mesh refines (FLASH's ``nrefs`` cadence)."""
+
+    nrefs: int = 4
+    refine_var: str = "dens"
+    refine_cutoff: float = 0.8
+    derefine_cutoff: float = 0.2
+
+    def due(self, n_step: int) -> bool:
+        """Remesh runs every ``nrefs`` steps (counting the current one)."""
+        return self.nrefs > 0 and (n_step + 1) % self.nrefs == 0
+
+    def remesh(self, grid: Grid) -> tuple[int, int]:
+        return refine_pass(grid, self.refine_var,
+                           refine_cutoff=self.refine_cutoff,
+                           derefine_cutoff=self.derefine_cutoff)
+
+
+def _step(sim, unit: RefinementPolicy, dt: float) -> StepContribution:
+    n_ref, n_deref = unit.remesh(sim.grid)
+    return StepContribution(n_refined=n_ref, n_derefined=n_deref)
+
+
+MESH_UNIT = unit_registry.register(UnitSpec(
+    name="mesh",
+    description="block-structured AMR grid: refinement and guard cells",
+    phase=40,
+    timer="remesh",
+    implements=(RefinementPolicy,),
+    step=_step,
+    should_run=lambda sim, unit: unit.due(sim.n_step),
+    parameters=(
+        ParameterSpec("lrefine_max", 4, doc="maximum refinement level"),
+        ParameterSpec("nrefs", 4, doc="steps between refinement passes"),
+        ParameterSpec("refine_var_1", "dens", doc="refinement variable"),
+        ParameterSpec("refine_cutoff_1", 0.8,
+                      doc="Löhner indicator above which blocks refine"),
+        ParameterSpec("derefine_cutoff_1", 0.2,
+                      doc="Löhner indicator below which blocks coalesce"),
+    ) + _BOUNDARY_PARAMS,
+    work_kinds=(
+        WorkKind("guardcell", cal.GUARDCELL, "mesh", COARSE),
+    ),
+))
+
+__all__ = ["RefinementPolicy", "MESH_UNIT"]

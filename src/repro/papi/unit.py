@@ -1,0 +1,28 @@
+"""The PAPI instrumentation unit's declarations.
+
+Instrumentation is not scheduled — units bracket their own regions with
+:class:`~repro.papi.instrument.PapiInstrumentation` — but the unit owns
+the runtime parameter selecting the paper's region-wrapping style
+(Fortran-OOP wrapper, hard-coded calls, or the auto fallback the
+authors ended up with under Fujitsu 4.5).
+"""
+
+from __future__ import annotations
+
+from repro.core import ParameterSpec, UnitSpec, unit_registry
+from repro.papi.instrument import PapiInstrumentation
+
+PAPI_UNIT = unit_registry.register(UnitSpec(
+    name="papi",
+    description="PAPI-style region instrumentation and counters",
+    phase=90,
+    implements=(PapiInstrumentation,),
+    parameters=(
+        ParameterSpec("papi_style", "auto",
+                      doc="region wrapping: Fortran-OOP object, hard-coded "
+                          "begin/end, or OOP-with-fallback",
+                      choices=("auto", "oop", "hardcoded")),
+    ),
+))
+
+__all__ = ["PAPI_UNIT"]

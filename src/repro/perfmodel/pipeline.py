@@ -17,7 +17,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.driver.config import DEFAULTS
+from repro.core import load_all, parameter_registry, unit_registry
 from repro.hw import calibration as cal
 from repro.hw.a64fx import A64FX, MachineSpec
 from repro.hw.cache import CacheModel
@@ -33,34 +33,32 @@ from repro.perfmodel.fastpath import FastTraceBuilder
 from repro.perfmodel.patterns import TraceBuilder
 from repro.perfmodel.workrecord import UnitInvocation, WorkLog
 from repro.toolchain.compiler import Compiler
-
-#: units that get a fine (zone-resolution) TLB pass
-_FINE_UNITS = ("eos", "eos_gamma", "hydro_sweep", "flame")
+from repro.util.errors import ConfigurationError
 
 
-def resolve_engine(engine: str | None = None) -> str:
-    """Pick the replay engine: explicit argument beats the
-    ``REPRO_PERF_ENGINE`` environment variable beats the ``perf_engine``
-    runtime-parameter default.  Both engines produce bit-identical
-    counter totals (the fast engine is property-tested against the
-    scalar oracle); ``scalar`` exists as the auditable reference."""
+def resolve_engine(engine: str | None = None, params=None) -> str:
+    """Pick the replay engine.  Precedence, highest first:
+
+    1. an explicit ``PerformancePipeline(engine=...)`` argument,
+    2. the ``REPRO_PERF_ENGINE`` environment variable,
+    3. the ``perf_engine`` runtime parameter (a par file via ``params``,
+       else the perfmodel unit's registered default).
+
+    Both engines produce bit-identical counter totals (the fast engine is
+    property-tested against the scalar oracle); ``scalar`` exists as the
+    auditable reference.  An invalid name at any level raises
+    :class:`~repro.util.errors.ConfigurationError`."""
+    load_all()
+    spec = parameter_registry.spec("perf_engine")
     value = (engine
              or os.environ.get("REPRO_PERF_ENGINE")
-             or str(DEFAULTS.get("perf_engine", "fast")))
-    if value not in ("fast", "scalar"):
-        raise ValueError(
-            f"unknown perf engine {value!r} (expected 'fast' or 'scalar')")
+             or (params.get("perf_engine") if params is not None else None)
+             or str(spec.default))
+    if value not in spec.choices:
+        expected = " or ".join(repr(c) for c in spec.choices)
+        raise ConfigurationError(
+            f"unknown perf engine {value!r} (expected {expected})")
     return value
-
-#: map invocation unit -> (work model, vectorisation key)
-_UNIT_MODELS = {
-    "hydro_sweep": (cal.HYDRO_SWEEP, "hydro"),
-    "eos": (cal.EOS_CALL, "eos"),
-    "eos_gamma": (cal.EOS_GAMMA_CALL, "eos"),
-    "guardcell": (cal.GUARDCELL, "mesh"),
-    "flame": (cal.FLAME_STEP, "flame"),
-    "gravity": (cal.GRAVITY_STEP, "gravity"),
-}
 
 
 @dataclass
@@ -129,7 +127,14 @@ class PerformancePipeline:
         fine_sample_blocks: int = 4,
         seed: int = 1234,
         engine: str | None = None,
+        params=None,
     ) -> None:
+        load_all()
+        #: invocation kind -> (work model, vectorisation key) and the set
+        #: of kinds that get a fine (zone-resolution) TLB pass — both
+        #: derived from the unit declarations, not hard-coded here
+        self._models = unit_registry.work_models()
+        self._fine_kinds = unit_registry.fine_work_kinds()
         self.log = log
         self.compiler = compiler
         self.flags = flags
@@ -139,7 +144,7 @@ class PerformancePipeline:
         self.replication = replication
         self.fine_sample_blocks = fine_sample_blocks
         self.seed = seed
-        self.engine = resolve_engine(engine)
+        self.engine = resolve_engine(engine, params=params)
 
     # --- setup: the allocation story -------------------------------------------------
     def _launch_and_allocate(self):
@@ -170,7 +175,7 @@ class PerformancePipeline:
 
     # --- work pricing ------------------------------------------------------------------
     def _invocation_work(self, inv: UnitInvocation) -> WorkCounts:
-        model, vf_key = _UNIT_MODELS[inv.unit]
+        model, vf_key = self._models[inv.unit]
         zones = inv.zones * self.replication
         flops = model.flops_per_zone * zones
         if inv.unit == "eos":
@@ -214,7 +219,7 @@ class PerformancePipeline:
                          for inv in rep.invocations]
         fine_traces: list[tuple[int, "PageTrace", float]] = []
         for i, inv in enumerate(rep.invocations):
-            if inv.unit in _FINE_UNITS:
+            if inv.unit in self._fine_kinds:
                 trace, scale = builder.fine_unit_trace(rep, inv)
                 fine_traces.append((i, trace, scale))
 

@@ -1,0 +1,29 @@
+"""The performance-replay unit's declarations.
+
+The replay owns the ``perf_engine`` runtime parameter; the selection
+precedence (explicit ``PerformancePipeline(engine=...)`` argument, then
+the ``REPRO_PERF_ENGINE`` environment variable, then the par-file /
+registry default) is implemented by
+:func:`repro.perfmodel.pipeline.resolve_engine`.
+"""
+
+from __future__ import annotations
+
+from repro.core import ParameterSpec, UnitSpec, unit_registry
+
+#: the valid replay engines (also the ``perf_engine`` choices)
+ENGINES = ("fast", "scalar")
+
+PERFMODEL_UNIT = unit_registry.register(UnitSpec(
+    name="perfmodel",
+    description="TLB/cycle replay of recorded work on the simulated node",
+    phase=95,
+    parameters=(
+        ParameterSpec("perf_engine", "fast",
+                      doc="replay engine: vectorized batch kernels or the "
+                          "scalar reference oracle (identical counters)",
+                      choices=ENGINES),
+    ),
+))
+
+__all__ = ["ENGINES", "PERFMODEL_UNIT"]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core import RecordContext
 from repro.driver.simulation import Simulation, StepInfo
 from repro.mesh.grid import MeshSpec
 
@@ -72,7 +73,7 @@ class WorkLog:
         state = {"eos_iters": 0, "eos_calls": 0}
 
         def hook(sim: Simulation, info: StepInfo) -> None:
-            eos_work = sim.hydro.work.eos
+            eos_work = sim.unit("hydro").work.eos
             d_iters = eos_work.newton_iterations - state["eos_iters"]
             d_calls = eos_work.calls - state["eos_calls"]
             state["eos_iters"] = eos_work.newton_iterations
@@ -85,28 +86,24 @@ class WorkLog:
 
     def record_step(self, sim: Simulation, info: StepInfo, eos_calls: int,
                     eos_iters: int, *, helmholtz_eos: bool) -> None:
+        """Snapshot one step by asking every composed unit's registered
+        recorder, in scheduler (phase) order — the iteration order of the
+        replayed memory traces therefore follows the unit declarations."""
         grid = sim.grid
         blocks = grid.leaf_blocks()
         slots = tuple(b.slot for b in blocks)
         levels = tuple(b.level for b in blocks)
-        zones = len(blocks) * self.zones_per_block
-        ndim = grid.spec.ndim
-
+        ctx = RecordContext(
+            zones=len(blocks) * self.zones_per_block,
+            ndim=grid.spec.ndim,
+            eos_calls=eos_calls,
+            eos_iters=eos_iters,
+            helmholtz_eos=helmholtz_eos,
+        )
         inv: list[UnitInvocation] = []
-        for axis in range(ndim):
-            inv.append(UnitInvocation(unit="guardcell", zones=zones, axis=axis))
-            inv.append(UnitInvocation(unit="hydro_sweep", zones=zones, axis=axis))
-            per_call_iters = eos_iters // max(eos_calls, 1)
-            inv.append(UnitInvocation(
-                unit="eos" if helmholtz_eos else "eos_gamma",
-                zones=zones,
-                newton_iterations=per_call_iters if helmholtz_eos else 0,
-            ))
-        if sim.gravity is not None:
-            inv.append(UnitInvocation(unit="gravity", zones=zones))
-        if sim.flame is not None:
-            inv.append(UnitInvocation(unit="guardcell", zones=zones))
-            inv.append(UnitInvocation(unit="flame", zones=zones))
+        for spec, unit in sim.scheduled_units():
+            if spec.record is not None:
+                inv.extend(spec.record(sim, unit, ctx))
 
         self.steps.append(StepRecord(
             n=info.n, dt=info.dt, slots=slots, levels=levels,

@@ -1,0 +1,45 @@
+"""The Eos unit's declarations.
+
+Two registered units mirror FLASH's EOS implementations: ``eos`` (the
+tabulated Helmholtz free-energy EOS — the expensive one the paper
+instrumented) and ``eos_gamma`` (the analytic gamma-law EOS the Sedov
+problem uses).  Neither is scheduled by the driver — EOS calls happen
+inside the hydro update — but both declare the runtime parameters and
+the work kinds the performance model prices, including the ``fine``
+trace granularity that reproduces the paper's Helmholtz-table DTLB
+thrashing.
+"""
+
+from __future__ import annotations
+
+from repro.core import FINE, ParameterSpec, UnitSpec, WorkKind, unit_registry
+from repro.hw import calibration as cal
+from repro.physics.eos.gamma import GammaLawEOS
+from repro.physics.eos.helmholtz import HelmholtzEOS
+
+EOS_UNIT = unit_registry.register(UnitSpec(
+    name="eos",
+    description="tabulated Helmholtz EOS (electrons/positrons, ions, "
+                "radiation, Coulomb)",
+    phase=15,
+    implements=(HelmholtzEOS,),
+    parameters=(
+        ParameterSpec("eosModeInit", "dens_temp",
+                      doc="EOS mode applied to the initial state"),
+    ),
+    work_kinds=(
+        WorkKind("eos", cal.EOS_CALL, "eos", FINE, region="eos"),
+    ),
+))
+
+EOS_GAMMA_UNIT = unit_registry.register(UnitSpec(
+    name="eos_gamma",
+    description="analytic gamma-law EOS",
+    phase=16,
+    implements=(GammaLawEOS,),
+    work_kinds=(
+        WorkKind("eos_gamma", cal.EOS_GAMMA_CALL, "eos", FINE, region="eos"),
+    ),
+))
+
+__all__ = ["EOS_UNIT", "EOS_GAMMA_UNIT"]

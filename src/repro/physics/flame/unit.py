@@ -1,0 +1,48 @@
+"""The Flame unit's declarations.
+
+The ADR model flame is scheduled after gravity; its step refills guard
+cells first (progress variables advect as mass scalars, so the hydro
+sweep leaves the guard layers stale) exactly as the seed driver did.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    FINE,
+    RecordContext,
+    UnitSpec,
+    WorkKind,
+    unit_registry,
+)
+from repro.hw import calibration as cal
+from repro.mesh.guardcell import fill_guardcells
+from repro.perfmodel.workrecord import UnitInvocation
+from repro.physics.flame.adr import ADRFlame
+
+
+def _step(sim, unit: ADRFlame, dt: float) -> None:
+    fill_guardcells(sim.grid, sim.bc)
+    unit.step(sim.grid, dt)
+
+
+def _record(sim, unit: ADRFlame, ctx: RecordContext) -> list[UnitInvocation]:
+    return [UnitInvocation(unit="guardcell", zones=ctx.zones),
+            UnitInvocation(unit="flame", zones=ctx.zones)]
+
+
+FLAME_UNIT = unit_registry.register(UnitSpec(
+    name="flame",
+    description="advection-diffusion-reaction model flame (two progress "
+                "variables: C burning, NSE relaxation)",
+    phase=30,
+    timer="flame",
+    implements=(ADRFlame,),
+    step=_step,
+    timestep=lambda sim, unit: unit.timestep(sim.grid),
+    record=_record,
+    work_kinds=(
+        WorkKind("flame", cal.FLAME_STEP, "flame", FINE, region="flame"),
+    ),
+))
+
+__all__ = ["FLAME_UNIT"]

@@ -1,0 +1,39 @@
+"""The Gravity unit's declarations.
+
+Monopole self-gravity applies a kick after the hydro update; its work is
+a coarse (panel-granularity) streaming pass — no table gathers, so no
+fine TLB trace.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    COARSE,
+    RecordContext,
+    UnitSpec,
+    WorkKind,
+    unit_registry,
+)
+from repro.hw import calibration as cal
+from repro.perfmodel.workrecord import UnitInvocation
+from repro.physics.gravity.monopole import MonopoleGravity
+
+
+def _record(sim, unit, ctx: RecordContext) -> list[UnitInvocation]:
+    return [UnitInvocation(unit="gravity", zones=ctx.zones)]
+
+
+GRAVITY_UNIT = unit_registry.register(UnitSpec(
+    name="gravity",
+    description="spherically averaged monopole self-gravity",
+    phase=20,
+    timer="gravity",
+    implements=(MonopoleGravity,),
+    step=lambda sim, unit, dt: unit.accelerate(sim.grid, dt),
+    record=_record,
+    work_kinds=(
+        WorkKind("gravity", cal.GRAVITY_STEP, "gravity", COARSE),
+    ),
+))
+
+__all__ = ["GRAVITY_UNIT"]

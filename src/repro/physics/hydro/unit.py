@@ -12,8 +12,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import (
+    FINE,
+    ParameterSpec,
+    RecordContext,
+    UnitSpec,
+    WorkKind,
+    unit_registry,
+)
+from repro.hw import calibration as cal
 from repro.mesh.grid import Grid
 from repro.mesh.guardcell import BoundaryConditions, fill_guardcells
+from repro.perfmodel.workrecord import UnitInvocation
 from repro.physics.eos.apply import EosWork, apply_eos
 from repro.physics.hydro.riemann import max_wave_speed
 from repro.physics.hydro.sweep import sweep_blocks
@@ -106,4 +116,44 @@ class HydroUnit:
         return step_work
 
 
-__all__ = ["HydroUnit", "HydroWork"]
+def _record(sim, unit: HydroUnit, ctx: RecordContext) -> list[UnitInvocation]:
+    """Per directional sweep: a guard-cell fill, the sweep itself, and the
+    mesh-wide EOS re-application (Helmholtz or gamma-law, per the hydro
+    unit's attached EOS) with its recorded Newton iteration density."""
+    out: list[UnitInvocation] = []
+    for axis in range(ctx.ndim):
+        out.append(UnitInvocation(unit="guardcell", zones=ctx.zones, axis=axis))
+        out.append(UnitInvocation(unit="hydro_sweep", zones=ctx.zones,
+                                  axis=axis))
+        per_call_iters = ctx.eos_iters // max(ctx.eos_calls, 1)
+        out.append(UnitInvocation(
+            unit="eos" if ctx.helmholtz_eos else "eos_gamma",
+            zones=ctx.zones,
+            newton_iterations=per_call_iters if ctx.helmholtz_eos else 0,
+        ))
+    return out
+
+
+HYDRO_UNIT = unit_registry.register(UnitSpec(
+    name="hydro",
+    description="directionally split compressible hydrodynamics (MUSCL "
+                "reconstruction, HLLC fluxes, flux conservation at jumps)",
+    phase=10,
+    timer="hydro",
+    implements=(HydroUnit,),
+    step=lambda sim, unit, dt: unit.step(sim.grid, dt),
+    timestep=lambda sim, unit: unit.timestep(sim.grid),
+    record=_record,
+    provides_bc=True,
+    parameters=(
+        ParameterSpec("cfl", 0.4, doc="CFL stability factor"),
+        ParameterSpec("smlrho", 1.0e-12, doc="density floor"),
+        ParameterSpec("smallp", 1.0e-12, doc="pressure floor"),
+    ),
+    work_kinds=(
+        WorkKind("hydro_sweep", cal.HYDRO_SWEEP, "hydro", FINE,
+                 region="hydro"),
+    ),
+))
+
+__all__ = ["HydroUnit", "HydroWork", "HYDRO_UNIT"]

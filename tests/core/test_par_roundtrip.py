@@ -1,0 +1,75 @@
+"""Property test: ``from_par(to_par(p)) == p`` across all registered types.
+
+The flash.par grammar spells booleans ``.true.``/``.false.``, reals with
+Fortran ``d`` exponents, and strings quoted; the serialiser must invert
+the parser for every registered parameter, whatever value it holds.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import load_all, parameter_registry
+from repro.driver.config import RuntimeParameters
+
+load_all()
+
+#: characters the flash.par grammar can carry inside a quoted string
+#: (no quotes/comment markers/newlines; no surrounding whitespace)
+_STR_ALPHABET = string.ascii_letters + string.digits + "_-./+:"
+
+
+def _value_strategy(spec):
+    """A strategy for values the spec accepts (typed, in-choices)."""
+    if spec.choices:
+        return st.sampled_from(spec.choices)
+    if spec.type is bool:
+        return st.booleans()
+    if spec.type is int:
+        return st.integers(min_value=-10**12, max_value=10**12)
+    if spec.type is float:
+        return st.floats(allow_nan=False, allow_infinity=False)
+    return st.text(alphabet=_STR_ALPHABET, max_size=24)
+
+
+@st.composite
+def _parameter_sets(draw):
+    """A RuntimeParameters with every registered value redrawn."""
+    params = RuntimeParameters()
+    for name in parameter_registry.names():
+        spec = parameter_registry.spec(name)
+        params.set(name, draw(_value_strategy(spec)))
+    return params
+
+
+class TestParRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(_parameter_sets())
+    def test_round_trips_every_registered_parameter(self, params):
+        assert RuntimeParameters.from_par(params.to_par()) == params
+
+    def test_fortran_literal_forms(self):
+        # the grammar the paper's flash.par files actually use
+        p = RuntimeParameters.from_par(
+            "tmax = 1.0d99\nrestart = .true.\nbasenm = \"run_\"\nnend = 7")
+        text = p.to_par()
+        q = RuntimeParameters.from_par(text)
+        assert q.get("tmax") == 1.0e99
+        assert q.get("restart") is True
+        assert q.get("basenm") == "run_"
+        assert q.get("nend") == 7
+
+    @pytest.mark.parametrize("value", [0.0, -0.0, 1.0e99, 1.0e-10, -3.25,
+                                       1.0000000000000002])
+    def test_float_round_trip(self, value):
+        p = RuntimeParameters()
+        p.set("tmax", value)
+        assert RuntimeParameters.from_par(p.to_par()).get("tmax") == value
+
+    def test_to_par_groups_by_unit(self):
+        text = RuntimeParameters().to_par()
+        assert "# hydro" in text
+        assert "# perfmodel" in text
+        assert "cfl = 0.4" in text

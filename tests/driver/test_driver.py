@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.driver.config import DEFAULTS, RuntimeParameters
+from repro.driver.config import RuntimeParameters
 from repro.driver.io import read_checkpoint, write_checkpoint
 from repro.driver.simulation import Simulation
 from repro.mesh.block import BlockId
@@ -43,13 +43,44 @@ class TestRuntimeParameters:
         with pytest.raises(ConfigurationError):
             RuntimeParameters.from_par("nend = banana")
 
-    def test_unknown_parameter_kept(self):
-        p = RuntimeParameters.from_par("my_custom_knob = 3")
-        assert p.get("my_custom_knob") == 3
+    def test_unknown_parameter_rejected(self):
+        # unknown names are declaration errors, not silently-kept knobs
+        with pytest.raises(ConfigurationError, match="my_custom_knob"):
+            RuntimeParameters.from_par("my_custom_knob = 3")
+
+    def test_unknown_set_suggests_nearest(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'cfl'"):
+            RuntimeParameters().set("cfi", 0.5)
 
     def test_unknown_get_raises(self):
         with pytest.raises(ConfigurationError):
             RuntimeParameters().get("nope")
+
+    def test_unknown_get_suggests_nearest(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'nend'"):
+            RuntimeParameters().get("nends")
+
+    def test_choices_enforced(self):
+        with pytest.raises(ConfigurationError, match="perf_engine"):
+            RuntimeParameters().set("perf_engine", "warp")
+
+    def test_set_type_checked(self):
+        with pytest.raises(ConfigurationError, match="expects int"):
+            RuntimeParameters().set("nend", 1.5)
+
+    def test_to_par_round_trips(self):
+        p = RuntimeParameters()
+        p.set("cfl", 0.8)
+        p.set("restart", True)
+        p.set("basenm", "sedov_")
+        p.set("nend", 42)
+        assert RuntimeParameters.from_par(p.to_par()) == p
+
+    def test_unit_of(self):
+        p = RuntimeParameters()
+        assert p.unit_of("cfl") == "hydro"
+        assert p.unit_of("perf_engine") == "perfmodel"
+        assert p.unit_of("nend") == "driver"
 
     def test_malformed_line(self):
         with pytest.raises(ConfigurationError):

@@ -67,3 +67,29 @@ class TestCLI:
 
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+    def test_list_command(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        # experiments, workloads, and units all enumerate with descriptions
+        for name in ("table1", "figure1", "porting"):
+            assert name in out
+        for name in ("eos", "hydro", "sod"):
+            assert name in out
+        assert "[baseline-gated]" in out
+        assert "hydrodynamics" in out
+        assert "TLB" in out
+
+    def test_experiment_registry_dispatch(self):
+        from repro.experiments.registry import experiment, experiments
+        from repro.util.errors import ConfigurationError
+
+        names = [spec.name for spec in experiments()]
+        assert names[0] == "all"
+        assert {"table1", "table2", "figure1", "compilers", "toys",
+                "matrix", "porting"} <= set(names)
+        assert all(spec.description for spec in experiments())
+        with pytest.raises(ConfigurationError, match="did you mean 'table"):
+            experiment("table")

@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 import repro.hw.tlb as tlb_mod
+from repro.driver.config import RuntimeParameters
 from repro.driver.simulation import Simulation
 from repro.hw.a64fx import A64FX, TLBGeometry, TLBLevelSpec
 from repro.hw.tlb import (TLBSimulator, lru_miss_mask, run_segments,
@@ -28,6 +29,7 @@ from repro.perfmodel.patterns import TraceBuilder
 from repro.perfmodel.pipeline import PerformancePipeline, resolve_engine
 from repro.perfmodel.workrecord import UnitInvocation, WorkLog
 from repro.physics.eos import GammaLawEOS
+from repro.util.errors import ConfigurationError
 from repro.physics.hydro.unit import HydroUnit
 from repro.setups.sod import SodProblem
 from repro.toolchain.compiler import FUJITSU, GNU
@@ -240,9 +242,35 @@ class TestEngineSelection:
         assert resolve_engine("fast") == "fast"
 
     def test_unknown_engine_rejected(self):
-        with pytest.raises(ValueError, match="unknown perf engine"):
+        with pytest.raises(ConfigurationError, match="unknown perf engine"):
             resolve_engine("simd")
+
+    def test_unknown_env_engine_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_ENGINE", "warp")
+        with pytest.raises(ConfigurationError, match="unknown perf engine"):
+            resolve_engine()
+
+    def test_params_beat_registry_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF_ENGINE", raising=False)
+        params = RuntimeParameters.from_par("perf_engine = scalar")
+        assert resolve_engine(params=params) == "scalar"
+
+    def test_env_var_beats_params(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_ENGINE", "fast")
+        params = RuntimeParameters.from_par("perf_engine = scalar")
+        assert resolve_engine(params=params) == "fast"
+
+    def test_argument_beats_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_ENGINE", "scalar")
+        params = RuntimeParameters.from_par("perf_engine = scalar")
+        assert resolve_engine("fast", params=params) == "fast"
 
     def test_pipeline_accepts_engine(self, small_log):
         pipe = PerformancePipeline(small_log, GNU, engine="scalar")
+        assert pipe.engine == "scalar"
+
+    def test_pipeline_accepts_params(self, small_log, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF_ENGINE", raising=False)
+        params = RuntimeParameters.from_par("perf_engine = scalar")
+        pipe = PerformancePipeline(small_log, GNU, params=params)
         assert pipe.engine == "scalar"

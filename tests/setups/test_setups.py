@@ -193,8 +193,8 @@ class TestSupernovaSetup:
         prob = supernova_setup(ndim=3, nblock=2, nxb=8, max_level=1,
                                maxblocks=64, initial_refinement=False)
         assert prob.grid.spec.ndim == 3
-        sim = Simulation(prob.grid, prob.hydro, flame=prob.flame,
-                         gravity=prob.gravity, nrefs=0)
+        sim = Simulation(prob.grid, prob.hydro, prob.flame, prob.gravity,
+                         nrefs=0)
         info = sim.step()
         assert info.dt > 0
         for b in prob.grid.leaf_blocks():
