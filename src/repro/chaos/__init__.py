@@ -1,0 +1,14 @@
+"""Deterministic fault injection for the run supervisor.
+
+The chaos unit is a registered :class:`~repro.core.UnitSpec` like any
+physics unit: composed into a :class:`~repro.driver.simulation.Simulation`
+it injects scheduled faults — NaN zones, corrupted guard cells, bad
+timesteps, mid-step exceptions, counter flips, hugetlb pool drains,
+signals — that the supervisor must survive.  The schedule is a pure
+function of the step number and the configured seed, so a soak run is
+exactly reproducible.
+"""
+
+from repro.chaos.injector import FAULT_KINDS, ChaosUnit, Injection
+
+__all__ = ["ChaosUnit", "Injection", "FAULT_KINDS"]

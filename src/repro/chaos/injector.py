@@ -1,0 +1,185 @@
+"""The fault injector: scheduled, deterministic, supervisor-recoverable.
+
+Each fault kind exercises one of the supervisor's recovery paths:
+
+``nan``
+    poisons one interior density zone → the post-step state guard trips,
+    the step rolls back, and the retry (no re-injection) succeeds;
+``guardcell``
+    corrupts a guard-layer zone → self-heals when the next sweep refills
+    guard cells, proving the guards don't false-positive on guard zones;
+``bad_dt``
+    the unit's timestep contributor returns ``-1.0`` → the supervisor's
+    pre-step dt validation trips and retries from the last good dt;
+``raise``
+    raises :class:`~repro.util.errors.PhysicsError` mid-step → rollback;
+``counter_flip``
+    writes NaN into a PAPI counter total → the counter guard trips;
+``pool_drain``
+    reserves every remaining hugetlb page (static + overcommit) → later
+    ``MAP_HUGETLB`` requests degrade to base pages, counted by the
+    kernel's :class:`~repro.kernel.vmm.DegradationLog`;
+``signal``
+    delivers SIGTERM to the running process → the supervisor finishes
+    the in-flight step, writes a final checkpoint, and stops cleanly.
+
+A fault fires **once** per scheduled step (the ``fired`` set): when the
+supervisor rolls a poisoned step back and retries it, the injection does
+not repeat — faults model transient corruption, and re-injecting on
+retry would turn every recoverable fault into an unrecoverable one.
+The unit deliberately registers no ``save_state``, so a rollback never
+resets ``fired``.
+"""
+
+from __future__ import annotations
+
+import math
+import signal as signal_module
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError, PhysicsError
+
+#: every fault kind the injector knows, in default schedule order
+FAULT_KINDS = ("nan", "guardcell", "bad_dt", "raise", "counter_flip",
+               "pool_drain", "signal")
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One fault as it was actually delivered."""
+
+    step: int
+    kind: str
+    detail: str
+
+
+class ChaosUnit:
+    """Scheduled fault injection, composed like any physics unit.
+
+    Faults fire on steps ``start, start + every, start + 2*every, ...``,
+    cycling through ``faults`` in order; ``seed`` feeds a private RNG
+    used to pick injection targets (which block, which counter), so two
+    runs with the same configuration inject identically.
+    """
+
+    def __init__(self, *, faults: tuple[str, ...] = FAULT_KINDS,
+                 start: int = 2, every: int = 3, seed: int = 0,
+                 kernel=None, raise_signal: int = signal_module.SIGTERM,
+                 enabled: bool = True) -> None:
+        unknown = set(faults) - set(FAULT_KINDS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown chaos fault kind(s): {sorted(unknown)} "
+                f"(known: {', '.join(FAULT_KINDS)})")
+        if start < 1 or every < 1:
+            raise ConfigurationError("chaos start/every must be >= 1")
+        self.faults = tuple(faults)
+        self.start = start
+        self.every = every
+        self.rng = np.random.default_rng(seed)
+        #: optional simulated kernel (pool_drain target)
+        self.kernel = kernel
+        self.raise_signal = raise_signal
+        self.enabled = enabled
+        #: steps whose fault already fired — survives step rollback, so a
+        #: retried step is not poisoned again
+        self.fired: set[int] = set()
+        self.injections: list[Injection] = []
+
+    @classmethod
+    def from_params(cls, params, **overrides) -> "ChaosUnit":
+        kwargs = dict(
+            enabled=params.get("chaos_enable"),
+            seed=params.get("chaos_seed"),
+            start=params.get("chaos_start"),
+            every=params.get("chaos_every"),
+            faults=tuple(f.strip() for f in
+                         params.get("chaos_faults").split(",") if f.strip()),
+        )
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    # --- schedule -----------------------------------------------------------
+    def fault_for(self, n: int) -> str | None:
+        """The fault scheduled for step ``n`` (None: step is clean)."""
+        if not self.enabled or not self.faults or n < self.start:
+            return None
+        if (n - self.start) % self.every:
+            return None
+        return self.faults[((n - self.start) // self.every)
+                           % len(self.faults)]
+
+    def _log(self, n: int, kind: str, detail: str) -> None:
+        self.injections.append(Injection(step=n, kind=kind, detail=detail))
+
+    # --- hooks (wired up by repro.chaos.unit) ----------------------------------
+    def timestep(self, sim) -> float:
+        """Timestep contributor: the ``bad_dt`` fault's delivery point."""
+        n = sim.n_step + 1
+        if self.fault_for(n) == "bad_dt" and n not in self.fired:
+            self.fired.add(n)
+            self._log(n, "bad_dt", "timestep contributor returned -1.0")
+            return -1.0
+        return math.inf
+
+    def step(self, sim, dt: float) -> None:
+        """Deliver the scheduled fault for the step now being taken."""
+        n = sim.n_step + 1
+        kind = self.fault_for(n)
+        if kind is None or kind == "bad_dt" or n in self.fired:
+            return
+        self.fired.add(n)
+        getattr(self, f"_inject_{kind}")(sim, n)
+
+    # --- the faults ---------------------------------------------------------
+    def _pick_block(self, sim):
+        blocks = sim.grid.leaf_blocks()
+        return blocks[int(self.rng.integers(len(blocks)))]
+
+    def _inject_nan(self, sim, n: int) -> None:
+        block = self._pick_block(sim)
+        sim.grid.interior(block, "dens")[0, 0, 0] = np.nan
+        self._log(n, "nan", f"dens[0,0,0] of block {block.bid} <- NaN")
+
+    def _inject_guardcell(self, sim, n: int) -> None:
+        block = self._pick_block(sim)
+        # zone (0,0,0) of the padded array is a guard zone (nguard > 0)
+        iv = sim.grid.var("dens")
+        sim.grid.unk[iv, 0, 0, 0, block.slot] = np.nan
+        self._log(n, "guardcell",
+                  f"guard zone of block {block.bid} <- NaN (self-heals on "
+                  f"the next guard-cell fill)")
+
+    def _inject_raise(self, sim, n: int) -> None:
+        self._log(n, "raise", "PhysicsError raised from the step hook")
+        raise PhysicsError(f"chaos: injected unit failure at step {n}")
+
+    def _inject_counter_flip(self, sim, n: int) -> None:
+        events = sorted(sim.bank.totals, key=lambda e: e.name)
+        event = events[int(self.rng.integers(len(events)))]
+        sim.bank.totals[event] = float("nan")
+        self._log(n, "counter_flip", f"counter {event.name} <- NaN")
+
+    def _inject_pool_drain(self, sim, n: int) -> None:
+        if self.kernel is None:
+            self._log(n, "pool_drain", "skipped: no kernel attached")
+            return
+        drained = []
+        for size, pool in sorted(self.kernel.pools.items()):
+            pages = pool.available_for_reservation
+            if pages > 0:
+                pool.reserve(pages)
+                drained.append(f"{pages} x {size} B")
+        self._log(n, "pool_drain",
+                  "reserved " + (", ".join(drained) if drained
+                                 else "nothing (already empty)"))
+
+    def _inject_signal(self, sim, n: int) -> None:
+        name = signal_module.Signals(self.raise_signal).name
+        self._log(n, "signal", f"{name} delivered to self")
+        signal_module.raise_signal(self.raise_signal)
+
+
+__all__ = ["ChaosUnit", "Injection", "FAULT_KINDS"]

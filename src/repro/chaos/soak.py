@@ -1,0 +1,244 @@
+"""The chaos soak: a supervised run under scheduled fault injection.
+
+Registered as the ``soak`` experiment (``python -m repro.experiments
+soak``) and runnable directly (``python -m repro.chaos.soak``) as the
+subprocess target of the signal-handling test.  One Sod shock tube
+evolves under the :class:`~repro.driver.supervisor.RunSupervisor` while
+the :class:`~repro.chaos.injector.ChaosUnit` cycles through its fault
+kinds; a delivered signal ends the run with a final checkpoint, from
+which the soak resumes — like a re-submitted cluster job — until the
+step budget is done.  Everything lands in ``RUN_REPORT.json``.
+
+Environment knobs (all optional; the CI chaos-soak job sets them):
+
+``REPRO_SOAK_STEPS``   total steps to evolve (default 24)
+``REPRO_SOAK_SEED``    chaos schedule/target seed (default 42)
+``REPRO_SOAK_FAULTS``  comma-separated fault kinds; ``none`` disables
+                       injection entirely (default: every kind)
+``REPRO_SOAK_OUT``     directory for checkpoints + RUN_REPORT.json
+                       (default: no files written)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.chaos.injector import FAULT_KINDS, ChaosUnit
+from repro.driver.io import restart_simulation
+from repro.driver.simulation import Simulation
+from repro.driver.supervisor import RunReport, RunSupervisor
+from repro.kernel.params import ookami_config
+from repro.kernel.vmm import Kernel
+from repro.mesh.grid import Grid, MeshSpec
+from repro.mesh.tree import AMRTree
+from repro.physics.eos import GammaLawEOS
+from repro.physics.hydro.unit import HydroUnit
+from repro.setups.sod import SodProblem
+from repro.toolchain.allocator import FujitsuLargePage
+from repro.util import artifacts
+
+#: the soak workload's driver keywords (shared by fresh build and resume)
+_SIM_KWARGS = dict(nrefs=4, refine_var="pres", refine_cutoff=0.6,
+                   derefine_cutoff=0.1, rng_seed=7)
+
+
+def _units(chaos: ChaosUnit | None) -> list:
+    eos = GammaLawEOS(gamma=1.4)
+    units: list = [HydroUnit(eos, cfl=0.6)]
+    if chaos is not None:
+        units.append(chaos)
+    return units
+
+
+def build_sim(chaos: ChaosUnit | None = None) -> Simulation:
+    """The soak workload: the 1-d Sod shock tube (cheap, deterministic)."""
+    tree = AMRTree(ndim=1, nblockx=2, max_level=2,
+                   domain=((0, 1), (0, 1), (0, 1)))
+    spec = MeshSpec(ndim=1, nxb=16, nyb=1, nzb=1, nguard=4, maxblocks=64)
+    grid = Grid(tree, spec)
+    eos = GammaLawEOS(gamma=1.4)
+    SodProblem().initialize(grid, eos)
+    units = _units(chaos)
+    return Simulation(grid, *units, **_SIM_KWARGS)
+
+
+def _supervisor(sim: Simulation, out_dir, kernel) -> RunSupervisor:
+    return RunSupervisor(sim, checkpoint_dir=out_dir, basenm="soak_",
+                         checkpoint_interval_step=4, checkpoint_keep=3,
+                         dtmin=1.0e-12, retry_factor=0.5, max_retries=4,
+                         kernel=kernel)
+
+
+def run_soak(*, steps: int = 24, seed: int = 42,
+             faults: tuple[str, ...] | None = None,
+             out_dir: str | Path | None = None,
+             quiet: bool = True) -> dict:
+    """Run the soak; returns the JSON-ready result payload.
+
+    ``faults=()`` runs the supervisor with no injection at all (the
+    control case the continuity tests compare against).
+    """
+    kernel = Kernel(ookami_config())
+    # a modest static pool (128 MiB of 2 MiB pages): enough that the
+    # pool_drain fault has something to drain and the post-run probe gets
+    # huge pages when chaos leaves the pool alone
+    kernel.pool().set_pool_size(64)
+    faults = FAULT_KINDS if faults is None else tuple(faults)
+    chaos = (ChaosUnit(faults=faults, start=2, every=3, seed=seed,
+                       kernel=kernel) if faults else None)
+    sim = build_sim(chaos)
+    # the soak always checkpoints (the signal fault's recovery IS the
+    # resume-from-checkpoint path); without an out_dir they go to a
+    # scratch directory that dies with the run
+    scratch = None
+    if out_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-soak-")
+        chk_dir = Path(scratch.name)
+    else:
+        out_dir = Path(out_dir)
+        chk_dir = out_dir
+
+    reports: list[RunReport] = []
+    resumes = 0
+    while True:
+        report = _supervisor(sim, chk_dir, kernel).run(nend=steps,
+                                                       quiet=quiet)
+        reports.append(report)
+        injected_signal = (chaos is not None and
+                           any(i.kind == "signal" and i.step > sim.n_step - 2
+                               for i in chaos.injections))
+        if (report.interrupted and report.final_checkpoint
+                and sim.n_step < steps and injected_signal):
+            # the chaos signal fault ended the run cleanly: resume from
+            # the final checkpoint, exactly like a re-submitted job (an
+            # *external* signal instead ends the soak with the resumable
+            # checkpoint in hand)
+            sim = restart_simulation(report.final_checkpoint,
+                                     *_units(chaos), **_SIM_KWARGS)
+            resumes += 1
+            continue
+        break
+
+    # prove the pool_drain degradation path end to end: a large-page
+    # allocation on the (possibly drained) kernel must never fail — it
+    # degrades to base pages and the kernel counts the downgrade
+    space = kernel.new_address_space("soak-probe")
+    FujitsuLargePage().allocate(space, 8 << 20, "soak-probe")
+
+    injections = list(chaos.injections) if chaos else []
+    payload = {
+        "workload": "sod",
+        "steps_requested": steps,
+        "steps_completed": sim.n_step,
+        "t_final": sim.t,
+        "seed": seed,
+        "faults_scheduled": list(faults),
+        "faults_exercised": sorted({i.kind for i in injections}),
+        "injections": [asdict(i) for i in injections],
+        "resumes": resumes,
+        "runs": [asdict(r) for r in reports],
+        "degradations": {
+            "counts": dict(kernel.degradations.counts),
+            "details": dict(kernel.degradations.details),
+        },
+    }
+    if out_dir is not None:
+        path = out_dir / "RUN_REPORT.json"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        with artifacts.atomic_write(path) as tmp:
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                           + "\n")
+        payload["report_path"] = str(path)
+    if scratch is not None:
+        scratch.cleanup()
+    return payload
+
+
+def render_soak(payload: dict) -> str:
+    """Human-readable soak summary (the experiment's rendered artefact)."""
+    lines = ["CHAOS SOAK", "=" * 54]
+    lines.append(f"workload          {payload['workload']}  "
+                 f"(seed {payload['seed']})")
+    lines.append(f"steps             {payload['steps_completed']}"
+                 f"/{payload['steps_requested']}"
+                 f"  (t_final {payload['t_final']:.6e})")
+    lines.append(f"resumes           {payload['resumes']}")
+    total_trips = sum(r["guard_trips"] for r in payload["runs"])
+    total_retried = sum(len(r["retries"]) for r in payload["runs"])
+    total_chk = sum(len(r["checkpoints"]) for r in payload["runs"])
+    lines.append(f"guard trips       {total_trips}"
+                 f"  (retried steps: {total_retried})")
+    lines.append(f"checkpoints       {total_chk} rotated"
+                 + (f", report {payload['report_path']}"
+                    if "report_path" in payload else ""))
+    lines.append("injections:")
+    if payload["injections"]:
+        for inj in payload["injections"]:
+            lines.append(f"  step {inj['step']:4d}  {inj['kind']:<13}"
+                         f" {inj['detail']}")
+    else:
+        lines.append("  (none — chaos disabled)")
+    lines.append("degradations:")
+    counts = payload["degradations"]["counts"]
+    if counts:
+        for kind in sorted(counts):
+            lines.append(f"  {kind:<28} x{counts[kind]}")
+    else:
+        lines.append("  (none)")
+    failed = [r for r in payload["runs"] if r["failure"]]
+    interrupted = payload["runs"] and payload["runs"][-1]["interrupted"]
+    if failed:
+        outcome = "FAILED (retry budget exhausted)"
+    elif interrupted:
+        outcome = (f"interrupted by {interrupted} "
+                   f"(resumable checkpoint written)")
+    elif payload["steps_completed"] < payload["steps_requested"]:
+        outcome = "FAILED (stopped short)"
+    else:
+        outcome = "survived every injected fault"
+    lines.append("outcome           " + outcome)
+    return "\n".join(lines)
+
+
+def _env_faults() -> tuple[str, ...] | None:
+    raw = os.environ.get("REPRO_SOAK_FAULTS")
+    if raw is None:
+        return None
+    if raw.strip().lower() in ("", "none"):
+        return ()
+    return tuple(f.strip() for f in raw.split(",") if f.strip())
+
+
+def soak_experiment(*, quick: bool = False) -> str:
+    """The ``soak`` experiment runner (env-configured, see module doc)."""
+    steps = int(os.environ.get("REPRO_SOAK_STEPS", "12" if quick else "24"))
+    seed = int(os.environ.get("REPRO_SOAK_SEED", "42"))
+    out = os.environ.get("REPRO_SOAK_OUT")
+    payload = run_soak(steps=steps, seed=seed, faults=_env_faults(),
+                       out_dir=out)
+    return render_soak(payload)
+
+
+def main() -> int:
+    """Entry point for ``python -m repro.chaos.soak`` (subprocess target
+    of the signal-handling test: step lines go to stdout so the parent
+    knows when the run is mid-flight, and the exit code reports the
+    outcome)."""
+    steps = int(os.environ.get("REPRO_SOAK_STEPS", "500"))
+    seed = int(os.environ.get("REPRO_SOAK_SEED", "42"))
+    out = os.environ.get("REPRO_SOAK_OUT")
+    faults = _env_faults()
+    payload = run_soak(steps=steps, seed=seed,
+                       faults=() if faults is None else faults,
+                       out_dir=out, quiet=False)
+    print(render_soak(payload), flush=True)
+    failed = any(r["failure"] for r in payload["runs"])
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""The chaos unit's declarations.
+
+Fault injection is just another registered unit: phase 5 puts its step
+hook *before* hydro (phase 10), so injected corruption flows through the
+whole physics step and is caught by the supervisor's post-step guards —
+exactly the order in which real corruption (a cosmic-ray bit flip, a
+truncated MPI message) would meet FLASH's own sanity checks.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.injector import FAULT_KINDS, ChaosUnit
+from repro.core import ParameterSpec, UnitSpec, unit_registry
+
+CHAOS_UNIT = unit_registry.register(UnitSpec(
+    name="chaos",
+    description="deterministic scheduled fault injection (NaN zones, bad "
+                "timesteps, counter flips, pool drains, signals) for "
+                "resilience soak testing",
+    phase=5,
+    timer="chaos",
+    implements=(ChaosUnit,),
+    step=lambda sim, unit, dt: unit.step(sim, dt),
+    timestep=lambda sim, unit: unit.timestep(sim),
+    parameters=(
+        ParameterSpec("chaos_enable", False,
+                      doc="master switch for fault injection"),
+        ParameterSpec("chaos_seed", 42,
+                      doc="RNG seed for injection-target choices"),
+        ParameterSpec("chaos_start", 2,
+                      doc="first step a fault fires on",
+                      validator=lambda v: v >= 1),
+        ParameterSpec("chaos_every", 3,
+                      doc="steps between scheduled faults",
+                      validator=lambda v: v >= 1),
+        ParameterSpec("chaos_faults", ",".join(FAULT_KINDS),
+                      doc="comma-separated fault kinds, cycled in order"),
+    ),
+))
+
+__all__ = ["CHAOS_UNIT"]

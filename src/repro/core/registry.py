@@ -37,6 +37,7 @@ UNIT_MODULES = (
     "repro.physics.gravity.unit",
     "repro.papi.unit",
     "repro.perfmodel.unit",
+    "repro.chaos.unit",
 )
 
 #: modules that register workload declarations (need the full stack)

@@ -121,6 +121,13 @@ class UnitSpec:
     record: Callable | None = None
     #: this unit's instance supplies the grid boundary conditions
     provides_bc: bool = False
+    #: evolving-state snapshot for checkpoint/rollback:
+    #: ``save_state(sim, unit) -> dict[str, float]`` (flat, numeric);
+    #: the supervisor's step rollback and the checkpoint writer both use
+    #: it, so a unit that declares one resumes bit-identically
+    save_state: Callable | None = None
+    #: inverse of ``save_state``: ``restore_state(sim, unit, state)``
+    restore_state: Callable | None = None
 
 
 @dataclass(frozen=True)

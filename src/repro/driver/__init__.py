@@ -1,8 +1,12 @@
-"""Simulation driver: runtime parameters, timestep control, evolution."""
+"""Simulation driver: runtime parameters, timestep control, evolution,
+and the resilient run supervisor."""
 
 from repro.driver.config import RuntimeParameters
 from repro.driver.simulation import Simulation, StepInfo
-from repro.driver.io import write_checkpoint, read_checkpoint
+from repro.driver.io import (read_checkpoint, restart_simulation,
+                             write_checkpoint)
+from repro.driver.supervisor import (RunReport, RunSupervisor, StepFailure,
+                                     step_guards)
 
 __all__ = [
     "RuntimeParameters",
@@ -10,4 +14,9 @@ __all__ = [
     "StepInfo",
     "write_checkpoint",
     "read_checkpoint",
+    "restart_simulation",
+    "RunSupervisor",
+    "RunReport",
+    "StepFailure",
+    "step_guards",
 ]

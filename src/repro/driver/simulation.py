@@ -63,6 +63,7 @@ class Simulation:
         dtmax: float = 1.0e99,
         dtinit: float | None = None,
         bank: CounterBank | None = None,
+        rng_seed: int | None = None,
     ) -> None:
         load_all()
         self.grid = grid
@@ -70,6 +71,10 @@ class Simulation:
         self.dtinit = dtinit
         self.t = 0.0
         self.n_step = 0
+        #: optional driver RNG (seeded, checkpointed): units that need
+        #: randomness draw from it so a resumed run replays identically
+        self.rng = (np.random.default_rng(rng_seed)
+                    if rng_seed is not None and rng_seed >= 0 else None)
         self.bank = bank or CounterBank()
         self.timers = Timers(self.bank)
         self.history: list[StepInfo] = []
@@ -119,6 +124,7 @@ class Simulation:
             derefine_cutoff=params.get("derefine_cutoff_1"),
             dtmax=params.get("dtmax"),
             dtinit=params.get("dtinit"),
+            rng_seed=params.get("dr_rng_seed"),
         )
 
     # --- unit access ---------------------------------------------------------------

@@ -20,6 +20,36 @@ DRIVER_UNIT = unit_registry.register(UnitSpec(
         ParameterSpec("tmax", 1.0e99, doc="maximum simulation time"),
         ParameterSpec("dtinit", 1.0e-10, doc="initial timestep cap"),
         ParameterSpec("dtmax", 1.0e99, doc="largest allowed timestep"),
+        # --- resilience (FLASH's dr_* / checkpoint cadence parameters) ---
+        ParameterSpec("dr_dtmin", 1.0e-12,
+                      doc="smallest timestep the dt-retry schedule may "
+                          "reach before a step failure is fatal",
+                      validator=lambda v: v > 0.0),
+        ParameterSpec("dr_dt_retry_factor", 0.5,
+                      doc="timestep reduction factor per retry after a "
+                          "guard trip",
+                      validator=lambda v: 0.0 < v < 1.0),
+        ParameterSpec("dr_max_retries", 4,
+                      doc="retries of one step (at reduced dt) before "
+                          "raising StepFailure",
+                      validator=lambda v: v >= 0),
+        ParameterSpec("dr_rng_seed", -1,
+                      doc="driver RNG seed (-1: no driver RNG); the RNG "
+                          "state is checkpointed for bit-identical resume"),
+        ParameterSpec("checkpoint_interval_step", 0,
+                      doc="auto-checkpoint every N steps (0: disabled)",
+                      validator=lambda v: v >= 0),
+        ParameterSpec("wall_clock_checkpoint", 0.0,
+                      doc="auto-checkpoint every T wall-clock seconds "
+                          "(0: disabled)",
+                      validator=lambda v: v >= 0.0),
+        ParameterSpec("checkpoint_keep", 3,
+                      doc="rotation depth: how many auto-checkpoints are "
+                          "kept on disk",
+                      validator=lambda v: v >= 1),
+        ParameterSpec("output_directory", ".",
+                      doc="directory auto-checkpoints and run reports "
+                          "are written to"),
     ),
 ))
 

@@ -103,6 +103,11 @@ def _run_porting(*, quick: bool = False) -> str:
     return porting_study(log).render()
 
 
+def _run_soak(*, quick: bool = False) -> str:
+    from repro.chaos.soak import soak_experiment
+    return soak_experiment(quick=quick)
+
+
 register(ExperimentSpec(
     "all", "every table, figure, and study in one report", _run_all))
 register(ExperimentSpec(
@@ -125,6 +130,10 @@ register(ExperimentSpec(
 register(ExperimentSpec(
     "porting", "porting study: replaying the workload on other nodes",
     _run_porting))
+register(ExperimentSpec(
+    "soak", "chaos soak: supervised run under scheduled fault injection "
+            "(env: REPRO_SOAK_STEPS/SEED/FAULTS/OUT)",
+    _run_soak))
 
 
 __all__ = ["ExperimentSpec", "register", "experiments", "experiment"]

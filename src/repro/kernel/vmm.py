@@ -49,6 +49,26 @@ class MapFlags(enum.Flag):
 
 
 @dataclass
+class DegradationLog:
+    """Counted graceful degradations (the run survived, but worse).
+
+    The kernel records every time it silently served a request with a
+    lesser resource — e.g. a ``MAP_HUGETLB`` mapping degraded to base
+    pages because the pool was exhausted — so the run report can surface
+    what a production job would only whisper into dmesg.
+    """
+
+    counts: dict[str, int] = field(default_factory=dict)
+    #: first-seen human-readable detail per kind
+    details: dict[str, str] = field(default_factory=dict)
+
+    def record(self, kind: str, detail: str = "") -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if detail and kind not in self.details:
+            self.details[kind] = detail
+
+
+@dataclass
 class VMA:
     """One virtual memory area.
 
@@ -160,19 +180,43 @@ class AddressSpace:
         *,
         flags: MapFlags = MapFlags.ANONYMOUS,
         hugetlb_size: int | None = None,
+        hugetlb_fallback: bool = False,
         name: str = "",
         align: int | None = None,
     ) -> VMA:
-        """Create a new mapping; hugetlb mappings reserve pool pages up front."""
+        """Create a new mapping; hugetlb mappings reserve pool pages up front.
+
+        An exhausted pool (static pages and overcommit headroom both spent)
+        raises an ENOMEM-style :class:`~repro.util.errors.AllocationError`
+        naming the request and the pool state — unless ``hugetlb_fallback``
+        is set, in which case the mapping degrades to base pages and the
+        kernel's :class:`DegradationLog` counts the downgrade.
+        """
         geo = self.kernel.config.geometry
         if length <= 0:
             raise KernelError("mmap length must be positive")
         if hugetlb_size is not None:
             geo.validate_huge_size(hugetlb_size)
+            pool = self.kernel.pool(hugetlb_size)
+            pages = align_up(length, hugetlb_size) // hugetlb_size
+            try:
+                pool.reserve(pages)
+            except AllocationError as exc:
+                if not hugetlb_fallback:
+                    raise AllocationError(
+                        f"mmap(MAP_HUGETLB) of {length} B "
+                        f"({name or 'anonymous'}) failed with ENOMEM: "
+                        f"{exc}") from exc
+                self.kernel.degradations.record(
+                    "hugetlb_base_page_fallback",
+                    f"{name or 'anonymous'} ({length} B): {exc}")
+                hugetlb_size = None
+        if hugetlb_size is not None:
             flags |= MapFlags.HUGETLB
             length = align_up(length, hugetlb_size)
             align = max(align or 0, hugetlb_size)
         else:
+            flags &= ~MapFlags.HUGETLB
             length = align_up(length, geo.base_page)
         align = max(align or 0, geo.base_page)
 
@@ -181,9 +225,6 @@ class AddressSpace:
         vma = VMA(start=start, length=length, flags=flags, name=name,
                   hugetlb_size=hugetlb_size)
         vma._init_backing(geo.base_page, geo.thp_page)
-        if hugetlb_size is not None:
-            pool = self.kernel.pool(hugetlb_size)
-            pool.reserve(length // hugetlb_size)
         self.vmas.append(vma)
         if flags & MapFlags.POPULATE:
             self.touch_range(vma, 0, length)
@@ -440,6 +481,8 @@ class Kernel:
         self.anon_thp_bytes = 0
         self.file_bytes = 0
         self.address_spaces: list[AddressSpace] = []
+        #: counted graceful degradations (surfaced in run reports)
+        self.degradations = DegradationLog()
 
     # --- pools -------------------------------------------------------------------
     def pool(self, size: int | None = None) -> HugePool:
@@ -504,4 +547,4 @@ class Kernel:
         return self.thp.read_enabled()
 
 
-__all__ = ["Kernel", "AddressSpace", "VMA", "MapFlags"]
+__all__ = ["Kernel", "AddressSpace", "VMA", "MapFlags", "DegradationLog"]

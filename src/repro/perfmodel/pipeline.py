@@ -81,6 +81,13 @@ class PerfReport:
     machine: MachineSpec
     compiler: str
     n_steps: int
+    #: replay engine that actually produced the totals ("" for reports
+    #: built by legacy callers) — differs from the requested engine when
+    #: the pipeline degraded to the scalar oracle
+    engine: str = ""
+    #: kernel degradation counts at report time (hugetlb base-page
+    #: fallbacks, perf-engine fallbacks, ...), kind -> count
+    degradations: dict[str, int] = field(default_factory=dict)
 
     def region(self, unit_names: tuple[str, ...] | str) -> dict[str, float]:
         """The paper's five measures for an instrumented region."""
@@ -128,6 +135,7 @@ class PerformancePipeline:
         seed: int = 1234,
         engine: str | None = None,
         params=None,
+        fault_injector=None,
     ) -> None:
         load_all()
         #: invocation kind -> (work model, vectorisation key) and the set
@@ -145,6 +153,10 @@ class PerformancePipeline:
         self.fine_sample_blocks = fine_sample_blocks
         self.seed = seed
         self.engine = resolve_engine(engine, params=params)
+        #: test/chaos seam: ``fault_injector(engine_name)`` is called once
+        #: per engine attempt; raising from it aborts that attempt exactly
+        #: like an internal replay failure would
+        self.fault_injector = fault_injector
 
     # --- setup: the allocation story -------------------------------------------------
     def _launch_and_allocate(self):
@@ -201,9 +213,44 @@ class PerformancePipeline:
 
     # --- the run ---------------------------------------------------------------------------
     def run(self) -> PerfReport:
+        """Replay with the resolved engine, degrading gracefully.
+
+        A failure inside the fast replay engine (an internal consistency
+        check, a kernel divergence, an injected fault) does not kill the
+        measurement: the first attempt's process is torn down, the
+        degradation is counted on the kernel, and the run repeats with
+        the scalar oracle — the auditable reference the fast engine is
+        property-tested against.  A scalar failure propagates.
+        """
+        try:
+            return self._run_with_engine(self.engine)
+        except ConfigurationError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — any replay failure degrades
+            if self.engine == "scalar":
+                raise
+            self.kernel.degradations.record(
+                "perf_engine_scalar_fallback",
+                f"{self.engine!r} engine failed: {type(exc).__name__}: {exc}")
+            return self._run_with_engine("scalar")
+
+    def _run_with_engine(self, engine: str) -> PerfReport:
         proc, layout, unk, scratch, eos_table, flame_table, flux_scratch = \
             self._launch_and_allocate()
-        builder_cls = FastTraceBuilder if self.engine == "fast" else TraceBuilder
+        try:
+            return self._replay(engine, proc, layout, unk, scratch,
+                                eos_table, flame_table, flux_scratch)
+        finally:
+            # release the process either way: a failed fast attempt must
+            # not leave its allocations (or hugetlb reservations) charged
+            # against the scalar re-run
+            proc.exit()
+
+    def _replay(self, engine, proc, layout, unk, scratch, eos_table,
+                flame_table, flux_scratch) -> PerfReport:
+        if self.fault_injector is not None:
+            self.fault_injector(engine)
+        builder_cls = FastTraceBuilder if engine == "fast" else TraceBuilder
         builder = builder_cls(
             space=proc.space, layout=layout, unk=unk, scratch=scratch,
             eos_table=eos_table, flame_table=flame_table, log=self.log,
@@ -223,7 +270,7 @@ class PerformancePipeline:
                 trace, scale = builder.fine_unit_trace(rep, inv)
                 fine_traces.append((i, trace, scale))
 
-        if self.engine == "fast":
+        if engine == "fast":
             # batch steady-state kernel: one shared TLB for the whole
             # stream sequence, one fresh TLB per fine invocation
             stream_stats = run_steady_segments(
@@ -274,7 +321,7 @@ class PerformancePipeline:
             seconds[unit] = model.seconds(model.cycles(totals.work, totals.tlb))
         flash_timer = sum(seconds.values()) * (1.0 + cal.DRIVER_OVERHEAD_FRACTION)
 
-        report = PerfReport(
+        return PerfReport(
             units=units,
             seconds=seconds,
             flash_timer_s=flash_timer,
@@ -283,9 +330,9 @@ class PerformancePipeline:
             machine=self.machine,
             compiler=self.compiler.name,
             n_steps=self.log.n_steps,
+            engine=engine,
+            degradations=dict(self.kernel.degradations.counts),
         )
-        proc.exit()
-        return report
 
 
 __all__ = ["PerformancePipeline", "PerfReport", "UnitTotals",

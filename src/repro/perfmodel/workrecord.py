@@ -70,7 +70,13 @@ class WorkLog:
         """Create a log and hook it onto the simulation's step events."""
         grid = sim.grid
         log = cls(spec=grid.spec, nvar=len(grid.variables))
-        state = {"eos_iters": 0, "eos_calls": 0}
+        # baseline the deltas at the unit's *current* cumulative counters:
+        # attaching to a restarted simulation (whose restored work counters
+        # are non-zero) must not fold the pre-restart work into the first
+        # recorded step
+        eos_work = sim.unit("hydro").work.eos
+        state = {"eos_iters": eos_work.newton_iterations,
+                 "eos_calls": eos_work.calls}
 
         def hook(sim: Simulation, info: StepInfo) -> None:
             eos_work = sim.unit("hydro").work.eos

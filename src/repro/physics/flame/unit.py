@@ -30,6 +30,16 @@ def _record(sim, unit: ADRFlame, ctx: RecordContext) -> list[UnitInvocation]:
             UnitInvocation(unit="flame", zones=ctx.zones)]
 
 
+def _save_state(sim, unit: ADRFlame) -> dict[str, float]:
+    return {"zones": unit.work.zones,
+            "table_lookups": unit.work.table_lookups}
+
+
+def _restore_state(sim, unit: ADRFlame, state: dict[str, float]) -> None:
+    unit.work.zones = int(state["zones"])
+    unit.work.table_lookups = int(state["table_lookups"])
+
+
 FLAME_UNIT = unit_registry.register(UnitSpec(
     name="flame",
     description="advection-diffusion-reaction model flame (two progress "
@@ -40,6 +50,8 @@ FLAME_UNIT = unit_registry.register(UnitSpec(
     step=_step,
     timestep=lambda sim, unit: unit.timestep(sim.grid),
     record=_record,
+    save_state=_save_state,
+    restore_state=_restore_state,
     work_kinds=(
         WorkKind("flame", cal.FLAME_STEP, "flame", FINE, region="flame"),
     ),

@@ -134,6 +134,28 @@ def _record(sim, unit: HydroUnit, ctx: RecordContext) -> list[UnitInvocation]:
     return out
 
 
+def _save_state(sim, unit: HydroUnit) -> dict[str, float]:
+    """Everything a checkpoint (or a step rollback) must capture to make
+    a resumed run's recorded work continue bit-identically."""
+    return {
+        "parity": unit._parity,
+        "zone_sweeps": unit.work.zone_sweeps,
+        "guardcell_fills": unit.work.guardcell_fills,
+        "eos_zones": unit.work.eos.zones,
+        "eos_newton_iterations": unit.work.eos.newton_iterations,
+        "eos_calls": unit.work.eos.calls,
+    }
+
+
+def _restore_state(sim, unit: HydroUnit, state: dict[str, float]) -> None:
+    unit._parity = int(state["parity"])
+    unit.work.zone_sweeps = int(state["zone_sweeps"])
+    unit.work.guardcell_fills = int(state["guardcell_fills"])
+    unit.work.eos.zones = int(state["eos_zones"])
+    unit.work.eos.newton_iterations = int(state["eos_newton_iterations"])
+    unit.work.eos.calls = int(state["eos_calls"])
+
+
 HYDRO_UNIT = unit_registry.register(UnitSpec(
     name="hydro",
     description="directionally split compressible hydrodynamics (MUSCL "
@@ -145,6 +167,8 @@ HYDRO_UNIT = unit_registry.register(UnitSpec(
     timestep=lambda sim, unit: unit.timestep(sim.grid),
     record=_record,
     provides_bc=True,
+    save_state=_save_state,
+    restore_state=_restore_state,
     parameters=(
         ParameterSpec("cfl", 0.4, doc="CFL stability factor"),
         ParameterSpec("smlrho", 1.0e-12, doc="density floor"),

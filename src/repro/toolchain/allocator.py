@@ -152,12 +152,11 @@ class FujitsuLargePage(AllocatorModel):
             space.madvise(vma, "MADV_HUGEPAGE")
             return Allocation(vma=vma, offset=0, nbytes=nbytes, name=name)
         size = self.huge_size or space.kernel.config.boot.default_hugepagesz
-        try:
-            vma = space.mmap(nbytes, hugetlb_size=size, name=name or "xos-hugetlb")
-        except AllocationError:
-            # pool and overcommit exhausted: fall back to normal memory,
-            # as the library does rather than kill the job
-            return self.fallthrough.allocate(space, nbytes, name)
+        # pool and overcommit exhausted: fall back to normal memory rather
+        # than kill the job, as the library does; the kernel counts the
+        # downgrade in its degradation log
+        vma = space.mmap(nbytes, hugetlb_size=size, hugetlb_fallback=True,
+                         name=name or "xos-hugetlb")
         return Allocation(vma=vma, offset=0, nbytes=nbytes, name=name)
 
 

@@ -1,0 +1,121 @@
+"""Tests for the chaos unit: schedule, registry wiring, and the soak."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import FAULT_KINDS, ChaosUnit
+from repro.chaos.soak import build_sim, run_soak
+from repro.core import unit_registry
+from repro.driver.config import RuntimeParameters
+from repro.driver.supervisor import RunSupervisor
+from repro.util.errors import ConfigurationError
+
+
+class TestSchedule:
+    def test_fault_for_is_deterministic_and_cycles(self):
+        chaos = ChaosUnit(start=2, every=3)
+        expected = {2 + 3 * i: FAULT_KINDS[i % len(FAULT_KINDS)]
+                    for i in range(10)}
+        for n in range(1, 32):
+            assert chaos.fault_for(n) == expected.get(n)
+
+    def test_disabled_unit_schedules_nothing(self):
+        chaos = ChaosUnit(enabled=False)
+        assert all(chaos.fault_for(n) is None for n in range(1, 50))
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown chaos fault"):
+            ChaosUnit(faults=("nan", "gremlins"))
+
+    def test_bad_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosUnit(start=0)
+        with pytest.raises(ConfigurationError):
+            ChaosUnit(every=0)
+
+    def test_same_seed_same_targets(self):
+        a = ChaosUnit(seed=9)
+        b = ChaosUnit(seed=9)
+        assert a.rng.integers(1000) == b.rng.integers(1000)
+
+
+class TestRegistryWiring:
+    def test_chaos_unit_is_registered(self):
+        spec = unit_registry.unit("chaos")
+        assert spec.implements == (ChaosUnit,)
+        assert spec.timestep is not None and spec.step is not None
+        # chaos deliberately has no save_state: `fired` must survive the
+        # supervisor's rollback so a retried step is not re-poisoned
+        assert spec.save_state is None
+
+    def test_from_params_reads_the_registered_parameters(self):
+        params = RuntimeParameters()
+        params.set("chaos_enable", True)
+        params.set("chaos_seed", 5)
+        params.set("chaos_start", 4)
+        params.set("chaos_every", 2)
+        params.set("chaos_faults", "nan,raise")
+        chaos = ChaosUnit.from_params(params)
+        assert chaos.enabled and chaos.start == 4 and chaos.every == 2
+        assert chaos.faults == ("nan", "raise")
+        assert chaos.fault_for(4) == "nan"
+        assert chaos.fault_for(6) == "raise"
+
+    def test_chaos_parameters_validated(self):
+        params = RuntimeParameters()
+        with pytest.raises(ConfigurationError):
+            params.set("chaos_start", 0)
+        with pytest.raises(ConfigurationError):
+            params.set("chaos_every", -1)
+
+    def test_scheduler_delivers_the_fault(self):
+        """Composed into a Simulation, the registry routes step/timestep
+        hooks to the chaos unit without any driver special-casing."""
+        chaos = ChaosUnit(faults=("bad_dt",), start=1, every=1000)
+        sim = build_sim(chaos)
+        assert sim.compute_dt() == -1.0
+        assert [i.kind for i in chaos.injections] == ["bad_dt"]
+
+
+class TestSoak:
+    def test_soak_survives_every_fault_kind(self):
+        """The acceptance run: every fault class is either recovered
+        in-run or leaves a resumable checkpoint the soak restarts from."""
+        payload = run_soak(steps=24, seed=42)
+        assert payload["steps_completed"] == 24
+        assert payload["faults_exercised"] == sorted(FAULT_KINDS)
+        assert not any(r["failure"] for r in payload["runs"])
+        # the signal fault forced exactly one resume-from-checkpoint
+        assert payload["resumes"] == 1
+        assert len(payload["runs"]) == 2
+        # pool_drain forced the post-run probe onto base pages
+        assert payload["degradations"]["counts"][
+            "hugetlb_base_page_fallback"] >= 1
+        # recoverable faults were retried, not fatal
+        assert sum(r["guard_trips"] for r in payload["runs"]) >= 3
+
+    def test_soak_without_chaos_is_clean(self):
+        payload = run_soak(steps=8, faults=())
+        assert payload["injections"] == []
+        assert payload["resumes"] == 0
+        assert payload["steps_completed"] == 8
+        assert sum(r["guard_trips"] for r in payload["runs"]) == 0
+        # with the pool untouched, the probe gets real huge pages
+        assert payload["degradations"]["counts"] == {}
+
+    def test_chaos_off_run_matches_unsupervised_run(self):
+        """The chaos-disabled soak workload is bit-identical to the same
+        simulation evolved without a supervisor: supervision and a
+        disabled injector change nothing."""
+        ref = build_sim(None)
+        ref.evolve(nend=8)
+        sim = build_sim(ChaosUnit(enabled=False))
+        RunSupervisor(sim, handle_signals=False).run(nend=8)
+        assert sim.t == ref.t
+        np.testing.assert_array_equal(sim.grid.unk, ref.grid.unk)
+
+    def test_report_written_to_out_dir(self, tmp_path):
+        payload = run_soak(steps=6, faults=("nan",), out_dir=tmp_path)
+        assert (tmp_path / "RUN_REPORT.json").exists()
+        assert payload["report_path"] == str(tmp_path / "RUN_REPORT.json")
+        assert list(tmp_path.glob("soak_chk_*.npz"))

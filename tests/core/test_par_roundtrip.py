@@ -22,16 +22,29 @@ _STR_ALPHABET = string.ascii_letters + string.digits + "_-./+:"
 
 
 def _value_strategy(spec):
-    """A strategy for values the spec accepts (typed, in-choices)."""
+    """A strategy for values the spec accepts (typed, in-choices, and
+    passing the spec's validator)."""
     if spec.choices:
-        return st.sampled_from(spec.choices)
-    if spec.type is bool:
-        return st.booleans()
-    if spec.type is int:
-        return st.integers(min_value=-10**12, max_value=10**12)
+        base = st.sampled_from(spec.choices)
+    elif spec.type is bool:
+        base = st.booleans()
+    elif spec.type is int:
+        base = st.integers(min_value=-10**12, max_value=10**12)
+    elif spec.type is float:
+        base = st.floats(allow_nan=False, allow_infinity=False)
+    else:
+        base = st.text(alphabet=_STR_ALPHABET, max_size=24)
+    if spec.validator is None:
+        return base
+    # bias validated numerics toward the ranges the resilience knobs
+    # accept (positive, inside (0, 1)) so the filter stays cheap
     if spec.type is float:
-        return st.floats(allow_nan=False, allow_infinity=False)
-    return st.text(alphabet=_STR_ALPHABET, max_size=24)
+        base = st.one_of(base, st.floats(min_value=0.0, max_value=1.0,
+                                         exclude_min=True, exclude_max=True,
+                                         allow_nan=False))
+    elif spec.type is int:
+        base = st.one_of(base, st.integers(min_value=1, max_value=10**6))
+    return base.filter(lambda v: spec.validator(v) is not False)
 
 
 @st.composite

@@ -1,0 +1,85 @@
+"""Graceful shutdown: a SIGTERM'd run must finish its in-flight step,
+write a final checkpoint, and exit cleanly — the cluster-preemption
+contract the supervisor exists for."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.driver.io import read_checkpoint, restart_simulation
+from repro.physics.eos import GammaLawEOS
+from repro.physics.hydro.unit import HydroUnit
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _spawn_soak(out_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_SOAK_STEPS"] = "5000"   # far more than we let it run
+    env["REPRO_SOAK_FAULTS"] = "none"  # the signal comes from *us*
+    env["REPRO_SOAK_OUT"] = str(out_dir)
+    # -u: unbuffered stdout, so the parent sees step lines through the pipe
+    return subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.chaos.soak"],
+        env=env, cwd=REPO, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+
+
+def _wait_for_steps(proc, deadline=60.0):
+    """Block until the child reports it is mid-run (a step line)."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        line = proc.stdout.readline()
+        if not line:
+            pytest.fail("soak subprocess exited before stepping:\n"
+                        + (proc.stdout.read() or ""))
+        if line.lstrip().startswith("step ") and "dt=" in line:
+            return line
+    pytest.fail("soak subprocess produced no step line in time")
+
+
+class TestSigtermShutdown:
+    def test_sigterm_yields_clean_exit_and_valid_checkpoint(self, tmp_path):
+        proc = _spawn_soak(tmp_path)
+        try:
+            _wait_for_steps(proc)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # clean exit: the handler converted the signal into a normal
+        # end-of-run, not a KeyboardInterrupt traceback or a 143
+        assert proc.returncode == 0, out
+        assert "Traceback" not in out
+
+        report = json.loads((tmp_path / "RUN_REPORT.json").read_text())
+        last = report["runs"][-1]
+        assert last["interrupted"] == "SIGTERM"
+        assert last["failure"] is None
+        final = last["final_checkpoint"]
+        assert final is not None
+
+        # the final checkpoint is complete, verified, and resumable
+        grid, t, n_step = read_checkpoint(final)
+        assert n_step == last["steps_completed"] > 0
+        resumed = restart_simulation(
+            final, HydroUnit(GammaLawEOS(gamma=1.4), cfl=0.6),
+            nrefs=4, refine_var="pres", refine_cutoff=0.6,
+            derefine_cutoff=0.1)
+        resumed.evolve(nend=resumed.n_step + 2)
+        assert resumed.n_step == n_step + 2
+
+        # an externally delivered signal must NOT auto-resume: that would
+        # fight the scheduler that asked us to stop
+        assert report["resumes"] == 0
+        assert report["steps_completed"] < report["steps_requested"]

@@ -280,3 +280,46 @@ class TestProcessLifecycle:
         assert kernel.anon_thp_bytes == 0
         assert kernel.pool(2 * MiB).allocated == 0
         assert kernel.pool(2 * MiB).reserved == 0
+
+
+class TestHugetlbDegradation:
+    """ENOMEM semantics and the counted base-page fallback (the kernel
+    side of the supervisor's graceful-degradation contract)."""
+
+    def test_enomem_message_names_the_mapping(self, space):
+        with pytest.raises(AllocationError, match="ENOMEM") as exc_info:
+            space.mmap(2 * MiB, hugetlb_size=2 * MiB, name="flash-unk")
+        assert "flash-unk" in str(exc_info.value)
+
+    def test_fallback_degrades_to_base_pages(self, kernel, space):
+        """An exhausted pool with ``hugetlb_fallback=True`` yields a
+        working base-page VMA and one counted degradation."""
+        vma = space.mmap(2 * MiB, hugetlb_size=2 * MiB,
+                         hugetlb_fallback=True, name="flash-unk")
+        assert not vma.flags & MapFlags.HUGETLB
+        assert vma.hugetlb_size is None
+        assert kernel.degradations.counts == {
+            "hugetlb_base_page_fallback": 1}
+        assert "flash-unk" in kernel.degradations.details[
+            "hugetlb_base_page_fallback"]
+        # the fallback VMA faults real base pages
+        space.touch_range(vma, 0, vma.length)
+        assert kernel.anon_base_bytes == vma.length
+
+    def test_fallback_unused_when_pool_has_pages(self, kernel, space):
+        kernel.pool(2 * MiB).set_pool_size(8)
+        vma = space.mmap(2 * MiB, hugetlb_size=2 * MiB,
+                         hugetlb_fallback=True)
+        assert vma.flags & MapFlags.HUGETLB
+        assert kernel.pool(2 * MiB).reserved == 1
+        assert kernel.degradations.counts == {}
+
+    def test_failed_hugetlb_mmap_leaves_no_vma(self, kernel, space):
+        """The refused mapping must not leak address space or pool
+        reservations (the reserve-before-create ordering)."""
+        with pytest.raises(AllocationError):
+            space.mmap(2 * MiB, hugetlb_size=2 * MiB)
+        assert space.vmas == []
+        assert kernel.pool(2 * MiB).reserved == 0
+        follow_up = space.mmap(1 * MiB)
+        assert follow_up.length >= 1 * MiB

@@ -1,0 +1,104 @@
+"""Graceful degradation of the perf pipeline: a failing fast engine
+falls back to the scalar oracle with a counted, attributed downgrade."""
+
+import pytest
+
+from repro.driver.simulation import Simulation
+from repro.mesh.grid import Grid, MeshSpec
+from repro.mesh.tree import AMRTree
+from repro.perfmodel.pipeline import PerformancePipeline
+from repro.perfmodel.workrecord import WorkLog
+from repro.physics.eos import GammaLawEOS
+from repro.physics.hydro.unit import HydroUnit
+from repro.setups.sod import SodProblem
+from repro.toolchain.compiler import FUJITSU
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def tiny_log():
+    tree = AMRTree(ndim=1, nblockx=2, max_level=1,
+                   domain=((0, 1), (0, 1), (0, 1)))
+    spec = MeshSpec(ndim=1, nxb=8, nyb=1, nzb=1, nguard=4, maxblocks=16)
+    grid = Grid(tree, spec)
+    eos = GammaLawEOS(gamma=1.4)
+    SodProblem().initialize(grid, eos)
+    sim = Simulation(grid, HydroUnit(eos, cfl=0.5), nrefs=0)
+    log = WorkLog.attach(sim, helmholtz_eos=False)
+    sim.evolve(nend=2)
+    return log
+
+
+def _fail_fast(engine):
+    if engine == "fast":
+        raise RuntimeError("injected fast-path divergence")
+
+
+class TestEngineFallback:
+    def test_fast_failure_degrades_to_scalar(self, tiny_log):
+        pipe = PerformancePipeline(tiny_log, FUJITSU, engine="fast",
+                                   fault_injector=_fail_fast)
+        report = pipe.run()
+        assert report.engine == "scalar"
+        assert report.degradations["perf_engine_scalar_fallback"] == 1
+        detail = pipe.kernel.degradations.details[
+            "perf_engine_scalar_fallback"]
+        assert "'fast' engine failed" in detail
+        assert "injected fast-path divergence" in detail
+
+    def test_degraded_report_matches_native_scalar(self, tiny_log):
+        """The fallback result is the scalar result — same counters."""
+        degraded = PerformancePipeline(tiny_log, FUJITSU, engine="fast",
+                                       seed=3,
+                                       fault_injector=_fail_fast).run()
+        native = PerformancePipeline(tiny_log, FUJITSU, engine="scalar",
+                                     seed=3).run()
+        assert degraded.seconds == native.seconds
+        assert degraded.flash_timer_s == native.flash_timer_s
+        for name, totals in native.units.items():
+            assert degraded.units[name] == totals
+
+    def test_scalar_failure_propagates(self, tiny_log):
+        def fail_always(engine):
+            raise RuntimeError("broken everywhere")
+
+        pipe = PerformancePipeline(tiny_log, FUJITSU, engine="scalar",
+                                   fault_injector=fail_always)
+        with pytest.raises(RuntimeError, match="broken everywhere"):
+            pipe.run()
+
+    def test_fallback_failure_also_propagates(self, tiny_log):
+        """If the scalar rerun fails too, nothing swallows it."""
+        def fail_always(engine):
+            raise RuntimeError(f"{engine} down")
+
+        pipe = PerformancePipeline(tiny_log, FUJITSU, engine="fast",
+                                   fault_injector=fail_always)
+        with pytest.raises(RuntimeError, match="scalar down"):
+            pipe.run()
+
+    def test_configuration_errors_never_degrade(self, tiny_log):
+        def misconfigured(engine):
+            raise ConfigurationError("bad flags")
+
+        pipe = PerformancePipeline(tiny_log, FUJITSU, engine="fast",
+                                   fault_injector=misconfigured)
+        with pytest.raises(ConfigurationError):
+            pipe.run()
+        assert pipe.kernel.degradations.counts == {}
+
+    def test_clean_fast_run_records_its_engine(self, tiny_log):
+        report = PerformancePipeline(tiny_log, FUJITSU, engine="fast").run()
+        assert report.engine == "fast"
+        assert report.degradations == {}
+
+    def test_failed_fast_attempt_releases_its_process(self, tiny_log):
+        """The torn-down first attempt must leave the kernel clean so the
+        scalar rerun sees the same machine (pool, meminfo)."""
+        pipe = PerformancePipeline(tiny_log, FUJITSU, engine="fast",
+                                   fault_injector=_fail_fast)
+        report = pipe.run()
+        assert report.engine == "scalar"
+        # exactly one process's worth of pool pages is still allocated
+        # at report time... none after the run's own teardown
+        assert pipe.kernel.pool().allocated == 0
