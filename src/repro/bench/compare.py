@@ -19,6 +19,12 @@ from pathlib import Path
 #: change trips it
 _COUNTER_RTOL = 1e-9
 
+#: hard floor for the warm-session whole-report speedup.  A warm store
+#: does zero TLB simulation while the unshared reference replays every
+#: configuration, so this ratio is far above the floor on any machine —
+#: dropping below it means the session cache stopped working
+_MIN_WARM_SPEEDUP = 1.8
+
 
 def load_baseline(path: Path, problem: str) -> dict | None:
     """Load the baseline document for ``problem`` from a file or a
@@ -91,6 +97,59 @@ def compare_bench(current: dict, baseline: dict, *, threshold: float = 0.2,
                 f"{name}: fast-path speedup regressed "
                 f"{base_speed:.2f}x -> {cur_speed:.2f}x "
                 f"(> -{threshold:.0%})")
+
+    failures.extend(_compare_session(current, baseline, threshold=threshold,
+                                     strict_wall=strict_wall))
+    return failures
+
+
+def _compare_session(current: dict, baseline: dict, *, threshold: float,
+                     strict_wall: bool) -> list[str]:
+    """Gate the replay-session block of a whole-report bench document.
+
+    Replay counts are deterministic model outputs — any increase over
+    the baseline means a deduplication or cache path was lost and fails
+    regardless of the threshold.  Walls only gate through the in-process
+    warm speedup ratio (and, under ``--strict-wall``, absolutely).
+    """
+    cur = current.get("session")
+    if cur is None:
+        return []
+    name = current.get("name", "?")
+    failures: list[str] = []
+    if cur.get("text_identical") is False:
+        failures.append(
+            f"{name}: report text differs across cache states "
+            f"(unshared/cold/warm must be byte-identical)")
+    warm_speed = cur.get("speedup_warm")
+    if warm_speed is not None and warm_speed < _MIN_WARM_SPEEDUP:
+        failures.append(
+            f"{name}: warm-session speedup {warm_speed:.2f}x fell below "
+            f"the {_MIN_WARM_SPEEDUP}x floor")
+
+    base = baseline.get("session")
+    if base is None:
+        return failures
+    for field in ("replays_cold", "replays_warm"):
+        cur_n, base_n = cur.get(field), base.get(field)
+        if cur_n is not None and base_n is not None and cur_n > base_n:
+            failures.append(
+                f"{name}: {field} regressed {base_n} -> {cur_n} "
+                f"(replay deduplication lost)")
+    if (current.get("quick") == baseline.get("quick")
+            and base.get("text_sha256") is not None
+            and cur.get("text_sha256") != base.get("text_sha256")):
+        failures.append(
+            f"{name}: report text drifted from the baseline — "
+            f"regenerate the baseline if the change is intended")
+    if strict_wall:
+        for field in ("wall_unshared_s", "wall_cold_s", "wall_warm_s"):
+            cur_w, base_w = cur.get(field), base.get(field)
+            if (cur_w is not None and base_w is not None
+                    and cur_w > base_w * (1 + threshold)):
+                failures.append(
+                    f"{name}: {field} {cur_w:.3f}s vs baseline "
+                    f"{base_w:.3f}s (> +{threshold:.0%})")
     return failures
 
 

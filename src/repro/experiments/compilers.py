@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hw.a64fx import A64FX, XEON_E5_2683V3
-from repro.perfmodel.pipeline import PerformancePipeline
+from repro.perfmodel.session import ReplaySession, default_session
 from repro.perfmodel.workrecord import WorkLog
 from repro.toolchain.compiler import ARM, CRAY, GNU
 
@@ -54,15 +54,24 @@ class CompilerComparison:
         return "\n".join(lines)
 
 
-def compiler_comparison(log: WorkLog, replication: int = 4) -> CompilerComparison:
-    """Replay the workload under GNU/Cray/Arm on A64FX and GNU on Xeon."""
+def compiler_comparison(log: WorkLog, replication: int = 4,
+                        session: ReplaySession | None = None,
+                        ) -> CompilerComparison:
+    """Replay the workload under GNU/Cray/Arm on A64FX and GNU on Xeon.
+
+    All three A64FX toolchains allocate through glibc, so their page
+    traces are byte-identical: through the session the TLB replays once
+    and only the cycle pricing differs per row.  The Xeon row shares the
+    traces too but replays against its own TLB geometry.
+    """
+    session = session if session is not None else default_session()
     times: dict[str, float] = {}
     for compiler in (GNU, CRAY, ARM):
-        report = PerformancePipeline(log, compiler,
-                                     replication=replication).run()
+        report = session.run(log, compiler, machine=A64FX,
+                             replication=replication)
         times[f"{compiler.name}/A64FX"] = report.flash_timer_s
-    report = PerformancePipeline(log, GNU, machine=XEON_E5_2683V3,
-                                 replication=replication).run()
+    report = session.run(log, GNU, machine=XEON_E5_2683V3,
+                         replication=replication)
     times["gnu/Xeon"] = report.flash_timer_s
     return CompilerComparison(times_s=times)
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.mesh.grid import Grid, MeshSpec
 from repro.mesh.tree import AMRTree
 from repro.mpisim.comm import DomainDecomposition, scaling_model
-from repro.perfmodel.pipeline import PerformancePipeline
+from repro.perfmodel.session import ReplaySession, default_session
 from repro.perfmodel.workrecord import WorkLog
 from repro.toolchain.compiler import COMPILERS
 
@@ -50,12 +50,18 @@ class PortingResult:
         return "\n".join(lines)
 
 
-def out_of_the_box(log: WorkLog, replication: int = 2) -> dict[str, float]:
-    """Replay the workload under all four toolchains; return run times."""
+def out_of_the_box(log: WorkLog, replication: int = 2,
+                   session: ReplaySession | None = None) -> dict[str, float]:
+    """Replay the workload under all four toolchains; return run times.
+
+    Through the session the three glibc toolchains share one replay (and
+    the compiler comparison's rows, when it ran first); only the Fujitsu
+    row — whose huge-page layout is unique — replays fresh.
+    """
+    session = session if session is not None else default_session()
     times = {}
     for name, compiler in COMPILERS.items():
-        report = PerformancePipeline(log, compiler,
-                                     replication=replication).run()
+        report = session.run(log, compiler, replication=replication)
         times[name] = report.flash_timer_s
     return times
 
@@ -75,9 +81,10 @@ def strong_scaling(rank_counts=(1, 2, 4, 8, 16, 32, 48),
                          bytes_per_face=bytes_per_face, steps=100)
 
 
-def porting_study(log: WorkLog) -> PortingResult:
+def porting_study(log: WorkLog,
+                  session: ReplaySession | None = None) -> PortingResult:
     return PortingResult(
-        compiler_times_s=out_of_the_box(log),
+        compiler_times_s=out_of_the_box(log, session=session),
         scaling_times_s=strong_scaling(),
     )
 

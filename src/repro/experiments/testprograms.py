@@ -19,12 +19,17 @@ from repro.kernel.meminfo import meminfo
 from repro.kernel.params import ookami_config
 from repro.kernel.tools import Hugeadm, hugectl
 from repro.kernel.vmm import Kernel
+from repro.perfmodel.session import ReplaySession, default_session
 from repro.toolchain.compiler import COMPILERS, CRAY, FUJITSU, GNU
 
 #: the toy programs sum over a big 2-d array
 TOY_ARRAY_BYTES = 2 * GiB
 #: FLASH's main containers at the 2-d supernova scale
 FLASH_UNK_BYTES = 96 * MiB
+
+#: bump when the experiment *rows* change (new mechanisms, new labels);
+#: model-constant changes are captured by the dataclass reprs in the key
+_EXPERIMENT_VERSION = 1
 
 
 @dataclass
@@ -54,8 +59,30 @@ def _outcome(label: str, kernel: Kernel, proc) -> AllocationOutcome:
     )
 
 
-def static_vs_dynamic(compiler_name: str = "gnu") -> list[AllocationOutcome]:
-    """The two toy programs, on a modified node with THP enabled."""
+def _valid_outcomes(stored) -> bool:
+    return (isinstance(stored, list) and len(stored) > 0
+            and all(isinstance(o, AllocationOutcome) for o in stored))
+
+
+def static_vs_dynamic(compiler_name: str = "gnu",
+                      session: ReplaySession | None = None,
+                      ) -> list[AllocationOutcome]:
+    """The two toy programs, on a modified node with THP enabled.
+
+    A pure function of the compiler and kernel models, so the outcome
+    list is memoised in the session store, keyed by their reprs.
+    """
+    session = session if session is not None else default_session()
+    return session.memo(
+        "static-vs-dynamic",
+        (_EXPERIMENT_VERSION, compiler_name, repr(COMPILERS[compiler_name]),
+         repr(ookami_config()), TOY_ARRAY_BYTES),
+        lambda: _static_vs_dynamic(compiler_name),
+        validate=_valid_outcomes,
+    )
+
+
+def _static_vs_dynamic(compiler_name: str) -> list[AllocationOutcome]:
     compiler = COMPILERS[compiler_name]
     out = []
 
@@ -89,8 +116,22 @@ def _run_flash_like(kernel: Kernel, compiler, flags=(), env=None):
     return proc
 
 
-def hugepage_usage_matrix() -> list[AllocationOutcome]:
-    """Every FLASH x mechanism combination the paper tried."""
+def hugepage_usage_matrix(session: ReplaySession | None = None,
+                          ) -> list[AllocationOutcome]:
+    """Every FLASH x mechanism combination the paper tried (memoised)."""
+    session = session if session is not None else default_session()
+    return session.memo(
+        "hugepage-usage-matrix",
+        (_EXPERIMENT_VERSION,
+         tuple(sorted((n, repr(c)) for n, c in COMPILERS.items())),
+         repr(ookami_config()), repr(ookami_config(modified_node=False)),
+         FLASH_UNK_BYTES),
+        _hugepage_usage_matrix,
+        validate=_valid_outcomes,
+    )
+
+
+def _hugepage_usage_matrix() -> list[AllocationOutcome]:
     out: list[AllocationOutcome] = []
 
     for compiler in (GNU, CRAY):

@@ -30,9 +30,12 @@ from repro.setups.sod import SodProblem
 from repro.setups.supernova import supernova_setup
 from repro.util import artifacts
 
-#: bump to invalidate cached work logs after model changes (embedded in
-#: the artifact envelope, not the filename)
-_CACHE_VERSION = 4
+#: envelope **schema** guard only (bumped when the cached payload layout
+#: changes, as in the v5 digest envelope) — *content* staleness is caught
+#: by the ``WorkLog.digest()`` stored alongside the log, which downstream
+#: replay caches also key on, so a changed recording self-invalidates
+#: everything derived from it without a manual bump
+_CACHE_VERSION = 5
 
 
 def _cache_dir() -> Path:
@@ -42,21 +45,47 @@ def _cache_dir() -> Path:
     return path
 
 
+def _load_verified(path) -> WorkLog:
+    """Load a digest-carrying worklog envelope, verifying its content.
+
+    The stored digest must match a fresh ``WorkLog.digest()`` of the
+    loaded log: a payload that deserialises but no longer hashes the
+    same (schema drift that survives unpickling, partial corruption)
+    is rejected — and therefore quarantined and rebuilt by the caller.
+    """
+    payload = artifacts.load_pickle(path, version=_CACHE_VERSION)
+    if not isinstance(payload, dict) or "log" not in payload:
+        raise artifacts.ArtifactError(
+            f"worklog cache {path} is not a digest envelope")
+    log = payload["log"]
+    try:
+        fresh = log.digest()
+    except Exception as exc:  # stale class layout that survived unpickling
+        raise artifacts.ArtifactError(
+            f"worklog cache {path} is undigestable: {exc}") from exc
+    if fresh != payload.get("digest"):
+        raise artifacts.ArtifactError(
+            f"worklog cache {path} failed digest verification")
+    return log
+
+
 def _cached(name: str, builder):
     """Load a pickled WorkLog cache, rebuilding on any corruption.
 
-    A truncated/garbage pickle (interrupted benchmark run) or a stale
-    class layout (``AttributeError`` from an old cache after a refactor)
-    is quarantined and the workload rerun — never fatal.  Writes are
-    atomic, so an interrupted run cannot poison later ones.
+    A truncated/garbage pickle (interrupted benchmark run), a stale
+    class layout (``AttributeError`` from an old cache after a
+    refactor), or a digest mismatch is quarantined and the workload
+    rerun — never fatal.  Writes are atomic, so an interrupted run
+    cannot poison later ones.
     """
     path = _cache_dir() / f"{name}.pkl"
     return artifacts.load_or_rebuild(
         path,
-        loader=lambda p: artifacts.load_pickle(p, version=_CACHE_VERSION),
+        loader=_load_verified,
         builder=builder,
-        saver=lambda log, p: artifacts.save_pickle(p, log,
-                                                   version=_CACHE_VERSION),
+        saver=lambda log, p: artifacts.save_pickle(
+            p, {"log": log, "digest": log.digest()},
+            version=_CACHE_VERSION),
         description=f"worklog cache '{name}'",
     )
 

@@ -12,8 +12,11 @@ whole-run FLASH timer.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import struct
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 import numpy as np
 
@@ -22,7 +25,7 @@ from repro.hw import calibration as cal
 from repro.hw.a64fx import A64FX, MachineSpec
 from repro.hw.cache import CacheModel
 from repro.hw.cpu import CycleModel, WorkCounts
-from repro.hw.tlb import TLBSimulator, TLBStats, run_steady_segments
+from repro.hw.tlb import TLBStats
 from repro.kernel.meminfo import hugepages_in_use, meminfo
 from repro.kernel.params import ookami_config
 from repro.kernel.vmm import Kernel
@@ -31,9 +34,38 @@ from repro.papi.counters import CounterBank
 from repro.papi.events import Event, derive_measures
 from repro.perfmodel.fastpath import FastTraceBuilder
 from repro.perfmodel.patterns import TraceBuilder
+from repro.perfmodel.session import (
+    TRACE_SCHEMA,
+    ReplaySession,
+    default_session,
+    geometry_digest,
+)
 from repro.perfmodel.workrecord import UnitInvocation, WorkLog
 from repro.toolchain.compiler import Compiler
 from repro.util.errors import ConfigurationError
+
+
+def _layout_signature(space, allocations) -> str:
+    """Digest of everything ``translate`` can see for these allocations.
+
+    Two processes whose allocations land at the same virtual addresses
+    with the same backing (base pages, hugetlbfs size, THP extents)
+    translate identically — so configurations sharing a signature share
+    page traces.  All base-page toolchains (GNU, Cray, Arm, Fujitsu
+    ``-Knolargepage``) produce one signature per (workload, replication).
+    """
+    geo = space.kernel.config.geometry
+    h = hashlib.sha256()
+    h.update(struct.pack("<2q", geo.base_page, geo.thp_page))
+    for alloc in allocations:
+        vma = alloc.vma
+        h.update(struct.pack("<4q", vma.start, alloc.offset, alloc.nbytes,
+                             vma.hugetlb_size or 0))
+        if vma.hugetlb_size is None:
+            # THP extents change page sizes mid-VMA; the bitmap is tiny
+            # (one flag per 512 MiB extent) and captures it exactly
+            h.update(vma._ext_thp.tobytes())
+    return h.hexdigest()[:40]
 
 
 def resolve_engine(engine: str | None = None, params=None) -> str:
@@ -89,6 +121,12 @@ class PerfReport:
     #: fallbacks, perf-engine fallbacks, ...), kind -> count
     degradations: dict[str, int] = field(default_factory=dict)
 
+    @cached_property
+    def cycle_model(self) -> CycleModel:
+        """The machine's cycle model, built once per report — ``region``
+        and ``as_counterbank`` run once per table cell per measure."""
+        return CycleModel(self.machine)
+
     def region(self, unit_names: tuple[str, ...] | str) -> dict[str, float]:
         """The paper's five measures for an instrumented region."""
         if isinstance(unit_names, str):
@@ -99,13 +137,12 @@ class PerfReport:
             if name in self.units:
                 work = work + self.units[name].work
                 tlb = tlb + self.units[name].tlb
-        model = CycleModel(self.machine)
-        return model.measures(work, tlb)
+        return self.cycle_model.measures(work, tlb)
 
     def as_counterbank(self) -> CounterBank:
         """Mirror the totals into a PAPI counter bank (for EventSet use)."""
         bank = CounterBank()
-        model = CycleModel(self.machine)
+        model = self.cycle_model
         for name, tot in self.units.items():
             breakdown = model.cycles(tot.work, tot.tlb)
             bank.advance(self.seconds[name], {
@@ -136,6 +173,7 @@ class PerformancePipeline:
         engine: str | None = None,
         params=None,
         fault_injector=None,
+        session: ReplaySession | None = None,
     ) -> None:
         load_all()
         #: invocation kind -> (work model, vectorisation key) and the set
@@ -157,6 +195,9 @@ class PerformancePipeline:
         #: per engine attempt; raising from it aborts that attempt exactly
         #: like an internal replay failure would
         self.fault_injector = fault_injector
+        #: replay sharing/caching layer; every unparameterised pipeline
+        #: joins the process-wide default session
+        self.session = session if session is not None else default_session()
 
     # --- setup: the allocation story -------------------------------------------------
     def _launch_and_allocate(self):
@@ -250,48 +291,48 @@ class PerformancePipeline:
                 flame_table, flux_scratch) -> PerfReport:
         if self.fault_injector is not None:
             self.fault_injector(engine)
-        builder_cls = FastTraceBuilder if engine == "fast" else TraceBuilder
-        builder = builder_cls(
-            space=proc.space, layout=layout, unk=unk, scratch=scratch,
-            eos_table=eos_table, flame_table=flame_table, log=self.log,
-            flux_scratch=flux_scratch,
-            replication=self.replication,
-            fine_sample_blocks=self.fine_sample_blocks, seed=self.seed,
-        )
         rep = self.log.representative_step()
 
-        # --- TLB: stream pass (capacity behaviour), warmed then measured,
-        # and fine passes (inner-loop behaviour), per invocation
-        stream_traces = [builder.invocation_stream_trace(rep, inv)
-                         for inv in rep.invocations]
-        fine_traces: list[tuple[int, "PageTrace", float]] = []
-        for i, inv in enumerate(rep.invocations):
-            if inv.unit in self._fine_kinds:
-                trace, scale = builder.fine_unit_trace(rep, inv)
-                fine_traces.append((i, trace, scale))
+        def synthesize():
+            # stream pass (capacity behaviour) per invocation, plus fine
+            # passes (inner-loop behaviour) for the fine-granularity units
+            builder_cls = (FastTraceBuilder if engine == "fast"
+                           else TraceBuilder)
+            builder = builder_cls(
+                space=proc.space, layout=layout, unk=unk, scratch=scratch,
+                eos_table=eos_table, flame_table=flame_table, log=self.log,
+                flux_scratch=flux_scratch,
+                replication=self.replication,
+                fine_sample_blocks=self.fine_sample_blocks, seed=self.seed,
+            )
+            stream_traces = [builder.invocation_stream_trace(rep, inv)
+                             for inv in rep.invocations]
+            fine_traces: list[tuple[int, "PageTrace", float]] = []
+            for i, inv in enumerate(rep.invocations):
+                if inv.unit in self._fine_kinds:
+                    trace, scale = builder.fine_unit_trace(rep, inv)
+                    fine_traces.append((i, trace, scale))
+            return stream_traces, fine_traces
 
-        if engine == "fast":
-            # batch steady-state kernel: one shared TLB for the whole
-            # stream sequence, one fresh TLB per fine invocation
-            stream_stats = run_steady_segments(
-                self.machine.tlb, stream_traces,
-                streams=[0] * len(stream_traces))
-            fine_res = run_steady_segments(
-                self.machine.tlb, [t for _, t, _ in fine_traces],
-                streams=list(range(len(fine_traces))))
-            fine_stats = [TLBStats() for _ in rep.invocations]
-            for (i, _, scale), stats in zip(fine_traces, fine_res):
-                fine_stats[i] = stats.scaled(scale)
-        else:
-            stream_sim = TLBSimulator(self.machine.tlb)
-            for t in stream_traces:
-                stream_sim.run(t)  # warm pass
-            stream_stats = [stream_sim.run(t) for t in stream_traces]
-            fine_stats = [TLBStats() for _ in rep.invocations]
-            for i, trace, scale in fine_traces:
-                sim = TLBSimulator(self.machine.tlb)
-                sim.run(trace)  # warm
-                fine_stats[i] = sim.run(trace).scaled(scale)
+        # the replay is a pure function of these inputs; anything else
+        # (compiler pricing, machine frequency, THP statistics) is applied
+        # after the session answers
+        allocations = [unk, *scratch, eos_table, flame_table, flux_scratch]
+        key = hashlib.sha256("/".join((
+            str(TRACE_SCHEMA), self.log.digest(),
+            _layout_signature(proc.space, allocations),
+            geometry_digest(self.machine.tlb), engine,
+            str(self.seed), str(self.replication),
+            str(self.fine_sample_blocks),
+            ",".join(sorted(self._fine_kinds)),
+        )).encode()).hexdigest()[:40]
+        replay = self.session.replay(config_key=key,
+                                     geometry=self.machine.tlb,
+                                     engine=engine, synthesize=synthesize)
+        stream_stats = replay.stream
+        fine_stats = [TLBStats() for _ in rep.invocations]
+        for i, raw, scale in replay.fine:
+            fine_stats[i] = raw.scaled(scale)
 
         # --- accumulate per unit over the whole run, scaling the
         # representative step's misses by each unit's total zone count

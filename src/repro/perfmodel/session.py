@@ -1,0 +1,410 @@
+"""Multi-configuration replay: one synthesis, many translations, few replays.
+
+The paper's experiment is *one* recording replayed under many
+configurations — with/without huge pages, four toolchains, two machines.
+A :class:`ReplaySession` amortises that matrix three ways:
+
+1. **Content-addressed replay dedup.**  The TLB simulator's output is a
+   pure function of (page trace, TLB geometry, engine).  Every replay is
+   keyed by a SHA-256 digest of exactly those inputs, so configurations
+   that share a trace — all base-page A64FX toolchains produce
+   byte-identical address-space layouts, hence byte-identical traces —
+   get one replay and N pricings.  Fine (zone-resolution) traces replay
+   through *independent* TLB streams, so they deduplicate individually;
+   stream traces share one TLB and deduplicate only as a whole sequence.
+
+2. **Config-level result reuse.**  A full replay result (per-invocation
+   :class:`~repro.hw.tlb.TLBStats` plus fine-trace scales) is keyed by
+   ``WorkLog.digest()`` + the address-space layout signature + TLB
+   geometry + engine + seed.  A hit skips trace synthesis entirely —
+   this is what makes ``run_table``'s replication probe free on a warm
+   cache, instead of a discarded full replay.
+
+3. **Persistence.**  Both caches live in the corruption-safe artifact
+   store (atomic writes, SHA-256 sidecars, versioned envelopes), so
+   `repro.bench`, the tests, and CI hit warm cache across processes.  A
+   corrupted entry is quarantined to ``*.corrupt`` and recomputed —
+   never a crash, never a wrong number (keys are content hashes of the
+   inputs; the payload is validated by the envelope + checksum).
+
+The hard contract, inherited from the fast-path work: counters are
+**bit-identical** to per-config :class:`PerformancePipeline` runs on both
+engines.  Dedup relies only on (a) SHA-256 collision resistance and (b)
+the replay kernels being pure functions of a single stream's trace —
+which is exactly what the fast-vs-scalar property suite already pins.
+
+Set ``REPRO_REPLAY_CACHE=off`` to keep the default session memory-only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.hw.a64fx import TLBGeometry
+from repro.hw.tlb import TLBSimulator, TLBStats, run_steady_segments
+from repro.hw.trace import PageTrace
+from repro.util import artifacts
+from repro.util.artifacts import ArtifactError
+
+#: bump when the persisted envelope layout changes (a schema guard only —
+#: content changes invalidate through the digests in the keys, not here)
+_STORE_VERSION = 1
+#: bump when trace *synthesis* semantics change (builder emission order,
+#: probe step, fine sampling); part of every config-level key so replay
+#: results recorded by an older model can never be served for a new one
+TRACE_SCHEMA = 1
+
+
+# --- digest helpers ----------------------------------------------------------
+
+def _hexdigest(h: "hashlib._Hash") -> str:
+    return h.hexdigest()[:40]
+
+
+def trace_digest(trace: PageTrace) -> str:
+    """Content digest of one page trace (page/size/weight arrays)."""
+    h = hashlib.sha256()
+    h.update(struct.pack("<q", trace.n_events))
+    h.update(trace.page.tobytes())
+    h.update(trace.size.tobytes())
+    h.update(trace.weight.tobytes())
+    return _hexdigest(h)
+
+
+def geometry_digest(geometry: TLBGeometry) -> str:
+    """Digest of the TLB fields that determine miss counts.
+
+    Miss penalties and walk cycles price misses but do not change them,
+    so they are deliberately excluded: machines sharing a geometry share
+    replays.
+    """
+    h = hashlib.sha256()
+    h.update(struct.pack("<4q", geometry.l1.entries, geometry.l1.assoc,
+                         geometry.l2.entries, geometry.l2.assoc))
+    return _hexdigest(h)
+
+
+# --- session -----------------------------------------------------------------
+
+@dataclass
+class SessionStats:
+    """Observability counters for one session (tests and bench gate on
+    these — ``replays`` is the "distinct TLB replays" number)."""
+
+    #: replay requests priced through the session (one per pipeline run)
+    configs: int = 0
+    #: configs whose replay actually executed TLB simulation work
+    replays: int = 0
+    #: configs served entirely from the in-memory config cache
+    memory_hits: int = 0
+    #: configs served entirely from the persistent store
+    disk_hits: int = 0
+    #: trace-level (content-digest) reuses across or within configs
+    trace_hits: int = 0
+    #: duplicate fine traces within a config not replayed twice
+    fine_deduped: int = 0
+    #: persisted memo()isations served instead of recomputed
+    memo_hits: int = 0
+
+
+@dataclass
+class ReplayResult:
+    """Everything a pipeline needs to price one configuration."""
+
+    #: per-invocation stream-pass stats, in invocation order
+    stream: list[TLBStats]
+    #: (invocation index, raw unscaled stats, extrapolation scale) per
+    #: fine-sampled invocation
+    fine: list[tuple[int, TLBStats, float]] = field(default_factory=list)
+
+
+class ReplaySession:
+    """Shares and persists TLB replay results across configurations.
+
+    ``share=False`` disables both cache levels (every config synthesises
+    and replays — the seed-equivalent behaviour, used by the bench as the
+    reference measurement); ``persist=False`` keeps results in memory
+    only.  Sessions are cheap; the process-wide :func:`default_session`
+    is what gives independent experiment entry points a common cache.
+    """
+
+    def __init__(self, store_dir: str | Path | None = None, *,
+                 persist: bool = True, share: bool = True) -> None:
+        self.share = share
+        self.persist = persist and share
+        self._store_dir = Path(store_dir) if store_dir is not None else None
+        self._configs: dict[str, ReplayResult] = {}
+        self._traces: dict[str, list[TLBStats]] = {}
+        self._memos: dict[str, Any] = {}
+        self.stats = SessionStats()
+
+    @classmethod
+    def disabled(cls) -> "ReplaySession":
+        """A no-sharing, no-persistence session (per-config behaviour)."""
+        return cls(persist=False, share=False)
+
+    # --- store -----------------------------------------------------------
+    def _store(self) -> Path | None:
+        if not self.persist:
+            return None
+        if self._store_dir is None:
+            base = Path(os.environ.get("XDG_CACHE_HOME",
+                                       Path.home() / ".cache"))
+            self._store_dir = base / "repro" / "replays"
+        try:
+            self._store_dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            self.persist = False
+            return None
+        return self._store_dir
+
+    def _load(self, name: str) -> Any | None:
+        """Fetch one persisted payload; corruption quarantines and misses."""
+        store = self._store()
+        if store is None:
+            return None
+        path = store / f"{name}.pkl"
+        if not path.exists():
+            return None
+        try:
+            return artifacts.load_pickle(path, version=_STORE_VERSION)
+        except ArtifactError:
+            artifacts.quarantine(path)
+            return None
+        except OSError:
+            return None
+
+    def _save(self, name: str, payload: Any) -> None:
+        store = self._store()
+        if store is None:
+            return
+        try:
+            artifacts.save_pickle(store / f"{name}.pkl", payload,
+                                  version=_STORE_VERSION)
+        except (OSError, ArtifactError):
+            self.persist = False  # e.g. read-only cache dir: degrade quietly
+
+    # --- replay ----------------------------------------------------------
+    def replay(self, *, config_key: str, geometry: TLBGeometry, engine: str,
+               synthesize: Callable[[], tuple[list[PageTrace],
+                                              list[tuple[int, PageTrace,
+                                                         float]]]],
+               ) -> ReplayResult:
+        """Replay one configuration, reusing every cached piece.
+
+        ``synthesize`` is only called on a config-level miss — a warm
+        store answers without building a single trace.
+        """
+        self.stats.configs += 1
+        if self.share:
+            hit = self._configs.get(config_key)
+            if hit is not None:
+                self.stats.memory_hits += 1
+                return hit
+            stored = self._load(f"cfg-{config_key}")
+            if self._valid_config(stored):
+                result = ReplayResult(
+                    stream=list(stored["stream"]),
+                    fine=[(int(i), s, float(sc))
+                          for i, s, sc in stored["fine"]])
+                self._configs[config_key] = result
+                self.stats.disk_hits += 1
+                return result
+
+        stream_traces, fine_traces = synthesize()
+        geo = geometry_digest(geometry)
+        computed = False
+
+        # stream pass: one shared TLB for the whole sequence -> the
+        # sequence deduplicates only as a whole
+        bundle = hashlib.sha256()
+        bundle.update(f"stream/{engine}/{geo}/{len(stream_traces)}".encode())
+        for t in stream_traces:
+            bundle.update(trace_digest(t).encode())
+        bundle_key = _hexdigest(bundle)
+        stream_stats = self._cached_traces(bundle_key)
+        if stream_stats is not None and len(stream_stats) == len(stream_traces):
+            self.stats.trace_hits += 1
+        else:
+            stream_stats = self._replay_stream(engine, geometry, stream_traces)
+            computed = True
+            self._store_traces(bundle_key, stream_stats)
+
+        # fine passes: independent (fresh) TLB per trace -> each trace
+        # deduplicates individually, within and across configurations
+        fine: list[tuple[int, TLBStats, float]] = []
+        digests = [trace_digest(t) for _, t, _ in fine_traces]
+        by_digest: dict[str, TLBStats] = {}
+        missing: list[tuple[str, PageTrace]] = []
+        for d, (_, t, _) in zip(digests, fine_traces):
+            if d in by_digest or any(d == m[0] for m in missing):
+                self.stats.fine_deduped += 1
+                continue
+            cached = self._cached_traces(f"fine-{engine}-{geo}-{d}")
+            if cached is not None and len(cached) == 1:
+                by_digest[d] = cached[0]
+                self.stats.trace_hits += 1
+            else:
+                missing.append((d, t))
+        if missing:
+            results = self._replay_fine(engine, geometry,
+                                        [t for _, t in missing])
+            computed = True
+            for (d, _), stats in zip(missing, results):
+                by_digest[d] = stats
+                self._store_traces(f"fine-{engine}-{geo}-{d}", [stats])
+        for d, (i, _, scale) in zip(digests, fine_traces):
+            fine.append((i, by_digest[d], scale))
+
+        if computed:
+            self.stats.replays += 1
+        result = ReplayResult(stream=stream_stats, fine=fine)
+        if self.share:
+            self._configs[config_key] = result
+            self._save(f"cfg-{config_key}",
+                       {"stream": result.stream, "fine": result.fine})
+        return result
+
+    def _cached_traces(self, key: str) -> list[TLBStats] | None:
+        if not self.share:
+            return None
+        hit = self._traces.get(key)
+        if hit is not None:
+            return hit
+        stored = self._load(f"trace-{key}")
+        if (isinstance(stored, list)
+                and all(isinstance(s, TLBStats) for s in stored)):
+            self._traces[key] = stored
+            return stored
+        return None
+
+    def _store_traces(self, key: str, stats: list[TLBStats]) -> None:
+        if not self.share:
+            return
+        self._traces[key] = stats
+        self._save(f"trace-{key}", stats)
+
+    @staticmethod
+    def _valid_config(stored: Any) -> bool:
+        return (isinstance(stored, dict)
+                and isinstance(stored.get("stream"), list)
+                and all(isinstance(s, TLBStats) for s in stored["stream"])
+                and isinstance(stored.get("fine"), list)
+                and all(len(e) == 3 and isinstance(e[1], TLBStats)
+                        for e in stored["fine"]))
+
+    # --- the two replay kernels (bit-identical to the per-config paths) --
+    @staticmethod
+    def _replay_stream(engine: str, geometry: TLBGeometry,
+                       traces: list[PageTrace]) -> list[TLBStats]:
+        if engine == "fast":
+            return run_steady_segments(geometry, traces,
+                                       streams=[0] * len(traces))
+        sim = TLBSimulator(geometry)
+        for t in traces:
+            sim.run(t)  # warm pass
+        return [sim.run(t) for t in traces]
+
+    @staticmethod
+    def _replay_fine(engine: str, geometry: TLBGeometry,
+                     traces: list[PageTrace]) -> list[TLBStats]:
+        if engine == "fast":
+            return run_steady_segments(geometry, traces,
+                                       streams=list(range(len(traces))))
+        out = []
+        for trace in traces:
+            sim = TLBSimulator(geometry)
+            sim.run(trace)  # warm
+            out.append(sim.run(trace))
+        return out
+
+    # --- deterministic experiment memoisation ----------------------------
+    def memo(self, kind: str, key_parts: tuple, builder: Callable[[], Any],
+             validate: Callable[[Any], bool] | None = None) -> Any:
+        """Persist a deterministic experiment result keyed by content.
+
+        ``key_parts`` must capture every input the result depends on
+        (model constants included — ``repr`` of the relevant dataclasses
+        is the usual spelling).  Used by the allocation experiments,
+        whose kernel/allocator simulations are pure functions of their
+        configuration.
+        """
+        h = hashlib.sha256()
+        h.update(f"{kind}/{TRACE_SCHEMA}".encode())
+        h.update(repr(key_parts).encode())
+        key = _hexdigest(h)
+        if self.share:
+            if key in self._memos:
+                self.stats.memo_hits += 1
+                return self._memos[key]
+            stored = self._load(f"memo-{key}")
+            if stored is not None and (validate is None or validate(stored)):
+                self._memos[key] = stored
+                self.stats.memo_hits += 1
+                return stored
+        value = builder()
+        if self.share:
+            self._memos[key] = value
+            self._save(f"memo-{key}", value)
+        return value
+
+    # --- sugar ------------------------------------------------------------
+    def pipeline(self, log, compiler, **kwargs):
+        """A :class:`PerformancePipeline` bound to this session."""
+        from repro.perfmodel.pipeline import PerformancePipeline
+        return PerformancePipeline(log, compiler, session=self, **kwargs)
+
+    def run(self, log, compiler, **kwargs):
+        """Run one configuration through the session; returns PerfReport."""
+        return self.pipeline(log, compiler, **kwargs).run()
+
+
+# --- the process-wide default session ----------------------------------------
+
+_DEFAULT: ReplaySession | None = None
+
+
+def default_session() -> ReplaySession:
+    """The shared session every un-parameterised consumer joins.
+
+    Honours ``REPRO_REPLAY_CACHE``: ``off``/``0`` keeps it memory-only,
+    any other value names the store directory.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        env = os.environ.get("REPRO_REPLAY_CACHE", "")
+        if env.lower() in ("off", "0", "none"):
+            _DEFAULT = ReplaySession(persist=False)
+        elif env:
+            _DEFAULT = ReplaySession(store_dir=env)
+        else:
+            _DEFAULT = ReplaySession()
+    return _DEFAULT
+
+
+def set_default_session(session: ReplaySession | None) -> None:
+    global _DEFAULT
+    _DEFAULT = session
+
+
+@contextmanager
+def session_scope(session: ReplaySession) -> Iterator[ReplaySession]:
+    """Temporarily replace the default session (bench and tests)."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = session
+    try:
+        yield session
+    finally:
+        _DEFAULT = previous
+
+
+__all__ = ["ReplaySession", "ReplayResult", "SessionStats",
+           "default_session", "set_default_session", "session_scope",
+           "trace_digest", "geometry_digest", "TRACE_SCHEMA"]

@@ -10,7 +10,11 @@ data-dependent part of the EOS cost).
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core import RecordContext
 from repro.driver.simulation import Simulation, StepInfo
@@ -115,6 +119,36 @@ class WorkLog:
             n=info.n, dt=info.dt, slots=slots, levels=levels,
             invocations=tuple(inv),
         ))
+
+    # --- identity ------------------------------------------------------------
+    def digest(self) -> str:
+        """A stable content hash over everything the replay consumes.
+
+        Two logs with the same mesh spec, variable count, and step records
+        (slots, levels, invocations, dt) digest identically regardless of
+        how or when they were built — so caches keyed on the digest survive
+        process restarts and self-invalidate when the recording changes,
+        without manual version bumps.  ``dt`` is hashed at full bit
+        precision (it seeds no trace today, but a record is its content).
+        """
+        h = hashlib.sha256()
+        spec = self.spec
+        h.update(struct.pack("<7q", spec.ndim, spec.nxb, spec.nyb, spec.nzb,
+                             spec.nguard, spec.maxblocks, self.nvar))
+        h.update(struct.pack("<q", len(self.steps)))
+        for rec in self.steps:
+            h.update(struct.pack("<qdqq", rec.n, rec.dt,
+                                 len(rec.slots), len(rec.invocations)))
+            h.update(np.asarray(rec.slots, dtype=np.int64).tobytes())
+            h.update(np.asarray(rec.levels, dtype=np.int64).tobytes())
+            for inv in rec.invocations:
+                name = inv.unit.encode()
+                h.update(struct.pack("<q", len(name)))
+                h.update(name)
+                axis = -1 if inv.axis is None else inv.axis
+                h.update(struct.pack("<3q", inv.zones,
+                                     inv.newton_iterations, axis))
+        return h.hexdigest()
 
     # --- summaries -----------------------------------------------------------
     @property

@@ -1,0 +1,56 @@
+"""Replay sharing across the experiment harness.
+
+The replication probe used to run a full pipeline and throw its replay
+away; through the session it must be a cache hit for the measurement
+runs, and the whole quick report must fit a fixed distinct-replay budget
+(14 configurations priced, at most 8 replays executed).
+"""
+
+import pytest
+
+from repro.experiments.report import full_report
+from repro.experiments.tables import run_table
+from repro.experiments.workloads import eos_problem_worklog
+from repro.perfmodel.session import ReplaySession, default_session
+
+
+@pytest.fixture(scope="module")
+def eos_log():
+    return eos_problem_worklog(quick=True)
+
+
+def test_quick_probe_replay_is_shared(eos_log):
+    """In quick mode the probe runs at the replication cap, so whenever
+    the cap wins (both paper problems hit it) the probe's replay IS the
+    without-HP cell's replay — one distinct replay, not two."""
+    session = ReplaySession(persist=False)
+    result = run_table("eos", eos_log, quick=True, session=session)
+    assert result.replication == 4  # the cap won, as at the seed
+    # three pipelines priced: probe, with-HP, without-HP ...
+    assert session.stats.configs == 3
+    # ... but the without-HP cell reused the probe's replay
+    assert session.stats.memory_hits == 1
+    assert session.stats.replays == 2
+
+
+def test_repeated_table_is_free(eos_log):
+    session = ReplaySession(persist=False)
+    first = run_table("eos", eos_log, quick=True, session=session)
+    replays = session.stats.replays
+    second = run_table("eos", eos_log, quick=True, session=session)
+    assert session.stats.replays == replays  # zero new replays
+    assert second.measured == first.measured
+    assert second.replication == first.replication
+
+
+def test_full_quick_report_replay_budget():
+    """The whole report prices 14 configurations; the session must cover
+    them with at most 8 distinct replays (the seed ran all 14)."""
+    session = ReplaySession(persist=False)
+    full_report(quick=True, session=session)
+    assert session.stats.configs == 14
+    assert session.stats.replays <= 8
+
+
+def test_default_session_is_shared():
+    assert default_session() is default_session()

@@ -11,6 +11,7 @@ import logging
 import pickle
 import sys
 import zipfile
+from dataclasses import dataclass
 
 import numpy as np
 import pytest
@@ -435,6 +436,18 @@ class TestCheckpointSite:
 
 # --- site 3: the worklog pickle cache ----------------------------------------
 
+@dataclass
+class _DigestableLog:
+    """Stand-in for a WorkLog in cache-site tests: the worklog cache now
+    stores a ``{"log", "digest"}`` envelope and verifies the digest on
+    load, so payloads must be digestable (and picklable)."""
+
+    n: int
+
+    def digest(self) -> str:
+        return f"probe-digest-{self.n}"
+
+
 class TestWorklogCacheSite:
     def _cached(self, tmp_path, monkeypatch):
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
@@ -447,10 +460,10 @@ class TestWorklogCacheSite:
 
         def builder():
             calls.append(1)
-            return {"steps": 5}
+            return _DigestableLog(5)
 
-        assert workloads._cached("unit_probe", builder) == {"steps": 5}
-        assert workloads._cached("unit_probe", builder) == {"steps": 5}
+        assert workloads._cached("unit_probe", builder) == _DigestableLog(5)
+        assert workloads._cached("unit_probe", builder) == _DigestableLog(5)
         assert len(calls) == 1
 
     @pytest.mark.parametrize("corruptor", [
@@ -465,20 +478,34 @@ class TestWorklogCacheSite:
 
         def builder():
             calls.append(1)
-            return {"n": len(calls)}
+            return _DigestableLog(len(calls))
 
         workloads._cached("unit_probe", builder)
         path = workloads._cache_dir() / "unit_probe.pkl"
         corruptor(path)
-        assert workloads._cached("unit_probe", builder) == {"n": 2}
+        assert workloads._cached("unit_probe", builder) == _DigestableLog(2)
         assert path.with_name(path.name + ".corrupt").exists()
         # rebuilt cache is clean: no third build
-        assert workloads._cached("unit_probe", builder) == {"n": 2}
+        assert workloads._cached("unit_probe", builder) == _DigestableLog(2)
         assert len(calls) == 2
 
     def test_stale_version_rebuilds(self, tmp_path, monkeypatch):
         workloads = self._cached(tmp_path, monkeypatch)
         path = workloads._cache_dir() / "unit_probe.pkl"
-        artifacts.save_pickle(path, {"n": 0},
+        old = _DigestableLog(0)
+        artifacts.save_pickle(path, {"log": old, "digest": old.digest()},
                               version=workloads._CACHE_VERSION - 1)
-        assert workloads._cached("unit_probe", lambda: {"n": 1}) == {"n": 1}
+        assert (workloads._cached("unit_probe", lambda: _DigestableLog(1))
+                == _DigestableLog(1))
+
+    def test_digest_mismatch_rebuilds(self, tmp_path, monkeypatch):
+        workloads = self._cached(tmp_path, monkeypatch)
+        path = workloads._cache_dir() / "unit_probe.pkl"
+        # right version, valid pickle, wrong digest: content no longer
+        # matches what it claims to be -> quarantine and rebuild
+        artifacts.save_pickle(path,
+                              {"log": _DigestableLog(0), "digest": "stale"},
+                              version=workloads._CACHE_VERSION)
+        assert (workloads._cached("unit_probe", lambda: _DigestableLog(1))
+                == _DigestableLog(1))
+        assert path.with_name(path.name + ".corrupt").exists()
