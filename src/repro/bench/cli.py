@@ -11,6 +11,7 @@ and — under ``--strict-wall`` — wall-clock regression).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import platform
@@ -22,12 +23,15 @@ import numpy as np
 
 from repro.bench.compare import compare_bench, load_baseline
 from repro.core import unit_registry
+from repro.perfmodel.parallel import resolve_jobs
 from repro.perfmodel.pipeline import PerformancePipeline, resolve_engine
 from repro.perfmodel.session import ReplaySession
 from repro.toolchain.compiler import FUJITSU
 
 #: document format version; bump on incompatible layout changes
-SCHEMA = "repro.bench/1"
+#: (v2: environment records ``jobs``, the report document gains the
+#: multicore executor leg and the batched-geometry block)
+SCHEMA = "repro.bench/2"
 
 #: mesh replication scales exercised per problem; quick mode skips
 #: replication 1, where the engine-independent pipeline overhead
@@ -44,7 +48,26 @@ def _environment() -> dict[str, object]:
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
         "default_engine": resolve_engine(),
+        "jobs": resolve_jobs(),
     }
+
+
+@contextlib.contextmanager
+def _forced_jobs(n: int):
+    """Pin ``REPRO_REPLAY_JOBS`` for a bench leg, restoring it after.
+
+    The serial legs force 1 so the committed walls mean the same thing
+    regardless of the caller's environment; the executor leg forces the
+    requested worker count."""
+    old = os.environ.get("REPRO_REPLAY_JOBS")
+    os.environ["REPRO_REPLAY_JOBS"] = str(n)
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_REPLAY_JOBS", None)
+        else:
+            os.environ["REPRO_REPLAY_JOBS"] = old
 
 
 def _run_once(log, flags: tuple[str, ...], replication: int,
@@ -138,11 +161,59 @@ def run_problem_bench(problem: str, *, quick: bool = False,
     }
 
 
-def run_report_bench(*, quick: bool = True) -> dict[str, object]:
+def _geometry_block(*, quick: bool = True) -> dict[str, object]:
+    """Benchmark the batched multi-geometry kernel against the serial
+    per-geometry sweep it replaces.
+
+    The ratio is algorithmic (one shared stack-distance pass instead of
+    one per sweep point), so it holds on a single core; the identity
+    flag is the contract — the batch must be bit-identical to running
+    one pipeline per geometry.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.geometry import L1_SWEEP_ENTRIES, sweep_geometries
+    from repro.experiments.workloads import eos_problem_worklog
+    from repro.hw.a64fx import A64FX
+
+    log = eos_problem_worklog(quick=quick)
+    geometries = sweep_geometries()
+
+    def fingerprint(report):
+        bank = report.as_counterbank()
+        return ({event.value: total for event, total in bank.totals.items()},
+                sum(t.tlb.l1_misses for t in report.units.values()),
+                sum(t.tlb.l2_misses for t in report.units.values()))
+
+    t0 = time.perf_counter()
+    batched = PerformancePipeline(
+        log, FUJITSU, replication=1,
+        session=ReplaySession.disabled()).run_geometries(geometries)
+    wall_batched = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    serial = [PerformancePipeline(
+        log, FUJITSU, replication=1, machine=replace(A64FX, tlb=geo),
+        session=ReplaySession.disabled()).run() for geo in geometries]
+    wall_serial = time.perf_counter() - t0
+
+    return {
+        "l1_entries": list(L1_SWEEP_ENTRIES),
+        "wall_batched_s": wall_batched,
+        "wall_serial_s": wall_serial,
+        "speedup_batch": (wall_serial / wall_batched
+                          if wall_batched > 0 else None),
+        "batch_identical": all(fingerprint(b) == fingerprint(s)
+                               for b, s in zip(batched, serial)),
+    }
+
+
+def run_report_bench(*, quick: bool = True,
+                     jobs: int | str | None = None) -> dict[str, object]:
     """Benchmark the full experiment report through the replay session.
 
-    Three walls, all in one process on the same machine (so the ratios
-    transfer across hosts even though the absolute times do not):
+    Three serial walls, all in one process on the same machine (so the
+    ratios transfer across hosts even though the absolute times do not):
 
     * ``wall_unshared_s`` — a disabled session; every configuration
       synthesises and replays on its own, the pre-session behaviour;
@@ -151,9 +222,17 @@ def run_report_bench(*, quick: bool = True) -> dict[str, object]:
     * ``wall_warm_s`` — a new session over the now-populated store; the
       steady state for CI, tests, and repeated local report runs.
 
+    When the resolved ``jobs`` is above 1 a fourth leg repeats the cold
+    run with the process-pool executor (``wall_cold_jobs_s``), recording
+    the measured ``speedup_jobs`` — honestly, whatever the host's core
+    count makes of it — plus ``text_identical_jobs`` and the executor's
+    replay count, which the compare gate holds bit-equal to the serial
+    cold leg.
+
     The emitted ``session`` block also records the distinct-replay
-    counts each variant performed and whether the three report texts
-    were byte-identical — the cache must never change the answer.
+    counts each variant performed and whether all report texts were
+    byte-identical — neither the cache nor the executor may ever change
+    the answer.
     """
     import hashlib
     import tempfile
@@ -174,14 +253,38 @@ def run_report_bench(*, quick: bool = True) -> dict[str, object]:
         text = full_report(quick=quick, session=session)
         return time.perf_counter() - t0, text
 
-    unshared = ReplaySession.disabled()
-    wall_unshared, text_unshared = timed(unshared)
+    with _forced_jobs(1):
+        unshared = ReplaySession.disabled()
+        wall_unshared, text_unshared = timed(unshared)
 
-    with tempfile.TemporaryDirectory() as tmp:
-        cold = ReplaySession(store_dir=tmp)
-        wall_cold, text_cold = timed(cold)
-        warm = ReplaySession(store_dir=tmp)
-        wall_warm, text_warm = timed(warm)
+        with tempfile.TemporaryDirectory() as tmp:
+            cold = ReplaySession(store_dir=tmp)
+            wall_cold, text_cold = timed(cold)
+            warm = ReplaySession(store_dir=tmp)
+            wall_warm, text_warm = timed(warm)
+
+    resolved_jobs = resolve_jobs(jobs)
+    jobs_doc: dict[str, object] = {
+        "jobs": resolved_jobs,
+        "wall_cold_jobs_s": None,
+        "replays_cold_jobs": None,
+        "executor_fallbacks": None,
+        "speedup_jobs": None,
+        "text_identical_jobs": None,
+    }
+    if resolved_jobs > 1:
+        with tempfile.TemporaryDirectory() as tmp, _forced_jobs(resolved_jobs):
+            par = ReplaySession(store_dir=tmp)
+            wall_jobs, text_jobs = timed(par)
+            fallbacks = par._executor.fallbacks if par._executor else 0
+            par.close()
+        jobs_doc.update({
+            "wall_cold_jobs_s": wall_jobs,
+            "replays_cold_jobs": par.stats.replays,
+            "executor_fallbacks": fallbacks,
+            "speedup_jobs": wall_cold / wall_jobs if wall_jobs > 0 else None,
+            "text_identical_jobs": text_jobs == text_unshared,
+        })
 
     identical = text_unshared == text_cold == text_warm
     session_doc = {
@@ -197,21 +300,31 @@ def run_report_bench(*, quick: bool = True) -> dict[str, object]:
         "speedup_warm": wall_unshared / wall_warm if wall_warm > 0 else None,
         "text_sha256": hashlib.sha256(text_unshared.encode()).hexdigest(),
         "text_identical": identical,
+        **jobs_doc,
     }
+    geometry_doc = _geometry_block(quick=quick)
+    environment = _environment()
+    environment["jobs"] = resolved_jobs  # the jobs this document ran with
     return {
         "schema": SCHEMA,
         "name": "report",
         "quick": quick,
         "engines": [resolve_engine()],
-        "environment": _environment(),
+        "environment": environment,
         "runs": [],
         "session": session_doc,
+        "geometry": geometry_doc,
         "summary": {
-            "n_runs": 3,
+            "n_runs": 3 + (1 if resolved_jobs > 1 else 0),
             "replays_cold": session_doc["replays_cold"],
             "replays_warm": session_doc["replays_warm"],
             "speedup_warm": session_doc["speedup_warm"],
             "text_identical": identical,
+            "jobs": resolved_jobs,
+            "speedup_jobs": jobs_doc["speedup_jobs"],
+            "text_identical_jobs": jobs_doc["text_identical_jobs"],
+            "speedup_batch": geometry_doc["speedup_batch"],
+            "batch_identical": geometry_doc["batch_identical"],
         },
     }
 
@@ -243,6 +356,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="replay engine(s); 'both' also checks the "
                              "fast-vs-scalar equivalence contract and "
                              "reports the speedup")
+    parser.add_argument("--jobs", default=None, metavar="N",
+                        help="worker processes for the report bench's "
+                             "executor leg (default: REPRO_REPLAY_JOBS / "
+                             "the replay_jobs parameter; 0 = one per "
+                             "core; 1 skips the leg)")
     parser.add_argument("--compare", type=Path, default=None, metavar="PATH",
                         help="baseline BENCH_*.json file or a directory of "
                              "them; exit non-zero on regression")
@@ -258,9 +376,10 @@ def main(argv: list[str] | None = None) -> int:
     engines = ("fast", "scalar") if args.engine == "both" else (args.engine,)
     args.out.mkdir(parents=True, exist_ok=True)
     failures: list[str] = []
+    notes: list[str] = []
     for problem in args.problems:
         if problem == "report":
-            doc = run_report_bench(quick=args.quick)
+            doc = run_report_bench(quick=args.quick, jobs=args.jobs)
         else:
             doc = run_problem_bench(problem, quick=args.quick,
                                     engines=engines)
@@ -279,12 +398,28 @@ def main(argv: list[str] | None = None) -> int:
                      f" / warm {summary['replays_warm']}, text "
                      + ("identical" if summary["text_identical"]
                         else "DIFFERS"))
+        if summary.get("speedup_jobs") is not None:
+            line += (f", jobs={summary['jobs']} speedup "
+                     f"{summary['speedup_jobs']:.2f}x, text "
+                     + ("identical" if summary["text_identical_jobs"]
+                        else "DIFFERS"))
+        if summary.get("speedup_batch") is not None:
+            line += (f", geometry batch speedup "
+                     f"{summary['speedup_batch']:.2f}x, batch "
+                     + ("identical" if summary["batch_identical"]
+                        else "DIFFERS"))
         print(line)
         if summary.get("all_counters_equal") is False:
             failures.append(f"{problem}: fast and scalar engines disagree")
         if summary.get("text_identical") is False:
             failures.append(
                 f"{problem}: report text changed across cache states")
+        if summary.get("text_identical_jobs") is False:
+            failures.append(
+                f"{problem}: report text changed under the executor")
+        if summary.get("batch_identical") is False:
+            failures.append(
+                f"{problem}: batched geometry sweep diverged from serial")
         if args.compare is not None:
             baseline = load_baseline(args.compare, problem)
             if baseline is None:
@@ -294,7 +429,10 @@ def main(argv: list[str] | None = None) -> int:
                 failures.extend(
                     compare_bench(doc, baseline,
                                   threshold=args.threshold,
-                                  strict_wall=args.strict_wall))
+                                  strict_wall=args.strict_wall,
+                                  notes=notes))
+    for note in notes:
+        print(f"note: {note}")
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)
     return 1 if failures else 0

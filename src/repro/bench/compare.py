@@ -25,6 +25,21 @@ _COUNTER_RTOL = 1e-9
 #: dropping below it means the session cache stopped working
 _MIN_WARM_SPEEDUP = 1.8
 
+#: floor for the executor-leg speedup — gated only on hosts that can
+#: actually exhibit it (cpu_count >= _MIN_JOBS_CORES and jobs >= 2);
+#: elsewhere the measured value is recorded but not judged
+_MIN_JOBS_SPEEDUP = 1.5
+_MIN_JOBS_CORES = 4
+
+
+def _env_mismatch(current: dict, baseline: dict) -> list[str]:
+    """Environment keys that make wall-clock comparisons meaningless."""
+    cur = current.get("environment", {}) or {}
+    base = baseline.get("environment", {}) or {}
+    return [f"{key} {base.get(key)!r} -> {cur.get(key)!r}"
+            for key in ("cpu_count", "jobs")
+            if cur.get(key) != base.get(key)]
+
 
 def load_baseline(path: Path, problem: str) -> dict | None:
     """Load the baseline document for ``problem`` from a file or a
@@ -50,9 +65,17 @@ def _drifted(current: float, baseline: float) -> bool:
 
 
 def compare_bench(current: dict, baseline: dict, *, threshold: float = 0.2,
-                  strict_wall: bool = False) -> list[str]:
+                  strict_wall: bool = False,
+                  notes: list[str] | None = None) -> list[str]:
     """Return a list of human-readable regression descriptions (empty =
-    the run passes the gate)."""
+    the run passes the gate).
+
+    Wall-clock gates only fire when the environment's ``cpu_count`` and
+    ``jobs`` match the baseline's — a baseline regenerated on a laptop
+    must not fail CI (or vice versa) on machine speed.  Skipped gates
+    are reported through ``notes``; deterministic gates (counters,
+    identity booleans, replay counts) always apply.
+    """
     failures: list[str] = []
     name = current.get("name", "?")
     if baseline.get("schema") != current.get("schema"):
@@ -60,6 +83,10 @@ def compare_bench(current: dict, baseline: dict, *, threshold: float = 0.2,
             f"{name}: schema mismatch ({baseline.get('schema')!r} vs "
             f"{current.get('schema')!r}) — regenerate the baseline")
         return failures
+    env_diffs = _env_mismatch(current, baseline)
+    if env_diffs and strict_wall and notes is not None:
+        notes.append(f"{name}: environment differs from the baseline "
+                     f"({', '.join(env_diffs)}) — wall-clock gates skipped")
 
     base_runs = {_run_key(r): r for r in baseline.get("runs", ())}
     for run in current.get("runs", ()):
@@ -80,7 +107,7 @@ def compare_bench(current: dict, baseline: dict, *, threshold: float = 0.2,
                 failures.append(
                     f"{label}: dtlb {level} changed "
                     f"{base['dtlb'][level]} -> {value}")
-        if strict_wall:
+        if strict_wall and not env_diffs:
             for engine, res in run.get("engines", {}).items():
                 bres = base.get("engines", {}).get(engine)
                 if bres and res["wall_s"] > bres["wall_s"] * (1 + threshold):
@@ -99,33 +126,95 @@ def compare_bench(current: dict, baseline: dict, *, threshold: float = 0.2,
                 f"(> -{threshold:.0%})")
 
     failures.extend(_compare_session(current, baseline, threshold=threshold,
-                                     strict_wall=strict_wall))
+                                     strict_wall=strict_wall,
+                                     env_diffs=env_diffs, notes=notes))
+    failures.extend(_compare_geometry(current, baseline, threshold=threshold))
+    return failures
+
+
+def _compare_geometry(current: dict, baseline: dict, *,
+                      threshold: float) -> list[str]:
+    """Gate the batched-geometry block of a report bench document.
+
+    The identity boolean is the contract and always gates; the batch
+    speedup is an in-process algorithmic ratio (shared stack-distance
+    pass vs one pass per sweep point), so it transfers across hosts and
+    gates against the baseline like the fast-path speedup does.
+    """
+    cur = current.get("geometry")
+    if cur is None:
+        return []
+    name = current.get("name", "?")
+    failures: list[str] = []
+    if cur.get("batch_identical") is False:
+        failures.append(
+            f"{name}: batched geometry sweep diverged from the serial "
+            f"per-geometry sweep (must be bit-identical)")
+    base = (baseline.get("geometry") or {})
+    cur_speed, base_speed = cur.get("speedup_batch"), base.get("speedup_batch")
+    if (cur_speed is not None and base_speed is not None
+            and cur_speed < base_speed * (1 - threshold)):
+        failures.append(
+            f"{name}: geometry batch speedup regressed "
+            f"{base_speed:.2f}x -> {cur_speed:.2f}x (> -{threshold:.0%})")
     return failures
 
 
 def _compare_session(current: dict, baseline: dict, *, threshold: float,
-                     strict_wall: bool) -> list[str]:
+                     strict_wall: bool, env_diffs: list[str] | None = None,
+                     notes: list[str] | None = None) -> list[str]:
     """Gate the replay-session block of a whole-report bench document.
 
     Replay counts are deterministic model outputs — any increase over
     the baseline means a deduplication or cache path was lost and fails
-    regardless of the threshold.  Walls only gate through the in-process
-    warm speedup ratio (and, under ``--strict-wall``, absolutely).
+    regardless of the threshold; the executor leg's replay count must be
+    bit-equal to the serial cold leg's (the as-if-sequential accounting
+    contract).  Walls only gate through the in-process warm speedup
+    ratio (and, under ``--strict-wall`` with a matching environment,
+    absolutely); the executor speedup floor only applies on hosts with
+    at least ``_MIN_JOBS_CORES`` cores — a single-core container cannot
+    exhibit multicore speedup and must not be failed for it.
     """
     cur = current.get("session")
     if cur is None:
         return []
+    env_diffs = env_diffs or []
     name = current.get("name", "?")
     failures: list[str] = []
     if cur.get("text_identical") is False:
         failures.append(
             f"{name}: report text differs across cache states "
             f"(unshared/cold/warm must be byte-identical)")
+    if cur.get("text_identical_jobs") is False:
+        failures.append(
+            f"{name}: report text under the process-pool executor differs "
+            f"from the serial text (jobs={cur.get('jobs')})")
+    replays_jobs = cur.get("replays_cold_jobs")
+    if (replays_jobs is not None and cur.get("replays_cold") is not None
+            and replays_jobs != cur["replays_cold"]):
+        failures.append(
+            f"{name}: executor leg performed {replays_jobs} replays vs "
+            f"{cur['replays_cold']} serial (as-if-sequential accounting "
+            f"broken)")
     warm_speed = cur.get("speedup_warm")
     if warm_speed is not None and warm_speed < _MIN_WARM_SPEEDUP:
         failures.append(
             f"{name}: warm-session speedup {warm_speed:.2f}x fell below "
             f"the {_MIN_WARM_SPEEDUP}x floor")
+    jobs_speed = cur.get("speedup_jobs")
+    if jobs_speed is not None:
+        env = current.get("environment", {}) or {}
+        cores = env.get("cpu_count") or 0
+        if cores >= _MIN_JOBS_CORES and (cur.get("jobs") or 0) >= 2:
+            if jobs_speed < _MIN_JOBS_SPEEDUP:
+                failures.append(
+                    f"{name}: executor speedup {jobs_speed:.2f}x fell "
+                    f"below the {_MIN_JOBS_SPEEDUP}x floor "
+                    f"(jobs={cur.get('jobs')}, {cores} cores)")
+        elif notes is not None:
+            notes.append(
+                f"{name}: executor speedup {jobs_speed:.2f}x recorded but "
+                f"not gated ({cores} cores < {_MIN_JOBS_CORES})")
 
     base = baseline.get("session")
     if base is None:
@@ -142,8 +231,9 @@ def _compare_session(current: dict, baseline: dict, *, threshold: float,
         failures.append(
             f"{name}: report text drifted from the baseline — "
             f"regenerate the baseline if the change is intended")
-    if strict_wall:
-        for field in ("wall_unshared_s", "wall_cold_s", "wall_warm_s"):
+    if strict_wall and not env_diffs:
+        for field in ("wall_unshared_s", "wall_cold_s", "wall_warm_s",
+                      "wall_cold_jobs_s"):
             cur_w, base_w = cur.get(field), base.get(field)
             if (cur_w is not None and base_w is not None
                     and cur_w > base_w * (1 + threshold)):

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hw.a64fx import A64FX, XEON_E5_2683V3
+from repro.perfmodel.pipeline import run_batch
 from repro.perfmodel.session import ReplaySession, default_session
 from repro.perfmodel.workrecord import WorkLog
 from repro.toolchain.compiler import ARM, CRAY, GNU
@@ -65,14 +66,17 @@ def compiler_comparison(log: WorkLog, replication: int = 4,
     traces too but replays against its own TLB geometry.
     """
     session = session if session is not None else default_session()
-    times: dict[str, float] = {}
-    for compiler in (GNU, CRAY, ARM):
-        report = session.run(log, compiler, machine=A64FX,
-                             replication=replication)
-        times[f"{compiler.name}/A64FX"] = report.flash_timer_s
-    report = session.run(log, GNU, machine=XEON_E5_2683V3,
-                         replication=replication)
-    times["gnu/Xeon"] = report.flash_timer_s
+    rows = [(f"{c.name}/A64FX", c, A64FX) for c in (GNU, CRAY, ARM)]
+    rows.append(("gnu/Xeon", GNU, XEON_E5_2683V3))
+    # one session batch for all four rows: the shared-trace dedup happens
+    # inside replay_batch, and REPRO_REPLAY_JOBS > 1 runs the distinct
+    # replays (A64FX vs Xeon TLB geometry) on worker processes
+    pipelines = [session.pipeline(log, compiler, machine=machine,
+                                  replication=replication)
+                 for _, compiler, machine in rows]
+    reports = run_batch(pipelines)
+    times = {label: report.flash_timer_s
+             for (label, _, _), report in zip(rows, reports)}
     return CompilerComparison(times_s=times)
 
 

@@ -1,0 +1,89 @@
+"""DTLB geometry sensitivity: how much L1 DTLB would FLASH need?
+
+The paper's punchline rests on the A64FX's 16-entry fully-associative
+L1 DTLB being far too small for FLASH's base-page working set.  This
+study asks the natural follow-up the hardware model makes cheap: sweep
+the L1 entry count and replay the EOS workload with and without huge
+pages at every point.  The sweep exercises the batched replay path end
+to end — one launch, one trace synthesis, and a single shared
+stack-distance pass for all sweep points per cell
+(:meth:`~repro.perfmodel.pipeline.PerformancePipeline.run_geometries`),
+bit-identical to running one pipeline per geometry.
+
+The expected shape *is* the paper's mechanism: without huge pages the
+miss rate stays pathological until the L1 grows far beyond anything
+buildable (fully-associative CAMs do not scale), while with huge pages
+even the real 16-entry L1 already covers the working set — hardware
+cannot fix this, the page size can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core import unit_registry
+from repro.hw.a64fx import A64FX, TLBGeometry
+from repro.perfmodel.session import ReplaySession, default_session
+from repro.perfmodel.workrecord import WorkLog
+from repro.toolchain.compiler import FUJITSU
+
+#: the swept L1 entry counts (16 is the real A64FX point); the L1 stays
+#: fully associative, as on the real part, so every point shares one
+#: stack-distance pass in the batched kernel
+L1_SWEEP_ENTRIES = (8, 16, 32, 64)
+
+
+def sweep_geometries(entries=L1_SWEEP_ENTRIES) -> list[TLBGeometry]:
+    """A64FX-derived geometries with the L1 entry count swept."""
+    base = A64FX.tlb
+    return [replace(base, l1=replace(base.l1, entries=e, assoc=e))
+            for e in entries]
+
+
+@dataclass
+class GeometryStudy:
+    """Per-sweep-point DTLB miss rates, with and without huge pages."""
+
+    problem: str
+    entries: tuple[int, ...]
+    #: "with" / "without" -> [l1 misses per second, one per sweep point]
+    miss_rates: dict[str, list[float]]
+
+    def render(self) -> str:
+        lines = ["DTLB GEOMETRY SENSITIVITY (EOS problem, Fujitsu compiler)",
+                 "---------------------------------------------------------"]
+        header = f"  {'L1 entries':<12}{'without HPs':>16}{'with HPs':>16}" \
+                 f"{'ratio':>9}"
+        lines.append(header)
+        for i, e in enumerate(self.entries):
+            w = self.miss_rates["with"][i]
+            wo = self.miss_rates["without"][i]
+            ratio = wo / w if w else float("inf")
+            mark = "  <- A64FX" if e == 16 else ""
+            lines.append(f"  {e:<12}{wo:>16.3e}{w:>16.3e}{ratio:>9.1f}{mark}")
+        lines.append("  (TLB_DM per second over the instrumented region; "
+                     "huge pages flatten the curve, more entries do not)")
+        return "\n".join(lines)
+
+
+def geometry_study(log: WorkLog, *, replication: int = 2,
+                   session: ReplaySession | None = None,
+                   entries=L1_SWEEP_ENTRIES) -> GeometryStudy:
+    """Sweep the L1 DTLB size over the EOS workload, both page regimes."""
+    session = session if session is not None else default_session()
+    geometries = sweep_geometries(entries)
+    region = unit_registry.workload("eos").region_kinds
+    miss_rates: dict[str, list[float]] = {}
+    for flags, label in (((), "with"), (("-Knolargepage",), "without")):
+        pipeline = session.pipeline(log, FUJITSU, flags=flags,
+                                    replication=replication)
+        reports = pipeline.run_geometries(geometries)
+        miss_rates[label] = [r.region(region)["dtlb_misses_per_s"]
+                             for r in reports]
+    return GeometryStudy(problem="eos",
+                         entries=tuple(int(e) for e in entries),
+                         miss_rates=miss_rates)
+
+
+__all__ = ["geometry_study", "sweep_geometries", "GeometryStudy",
+           "L1_SWEEP_ENTRIES"]

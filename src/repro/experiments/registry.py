@@ -108,6 +108,13 @@ def _run_soak(*, quick: bool = False) -> str:
     return soak_experiment(quick=quick)
 
 
+def _run_geometry(*, quick: bool = False) -> str:
+    from repro.core import unit_registry
+    from repro.experiments.geometry import geometry_study
+    log = unit_registry.workload("eos").builder(quick=quick)
+    return geometry_study(log, replication=1 if quick else 2).render()
+
+
 register(ExperimentSpec(
     "all", "every table, figure, and study in one report", _run_all))
 register(ExperimentSpec(
@@ -134,6 +141,10 @@ register(ExperimentSpec(
     "soak", "chaos soak: supervised run under scheduled fault injection "
             "(env: REPRO_SOAK_STEPS/SEED/FAULTS/OUT)",
     _run_soak))
+register(ExperimentSpec(
+    "geometry", "DTLB geometry sensitivity: L1 entry sweep, both page "
+                "regimes, via the batched replay kernel",
+    _run_geometry))
 
 
 __all__ = ["ExperimentSpec", "register", "experiments", "experiment"]

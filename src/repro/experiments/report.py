@@ -50,6 +50,11 @@ def full_report(*, quick: bool = False,
         hugepage_usage_matrix(session=session),
         "HUGE-PAGE USAGE MATRIX (sections III-IV)"))
 
+    from repro.experiments.geometry import geometry_study
+
+    sections.append(geometry_study(eos_log, replication=1 if quick else 2,
+                                   session=session).render())
+
     from repro.experiments.porting import porting_study
 
     sections.append(porting_study(eos_log, session=session).render())

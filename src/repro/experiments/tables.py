@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.core import WorkloadSpec, unit_registry
 from repro.experiments.measures import MEASURE_LABELS, PAPER_TABLE1, PAPER_TABLE2
-from repro.perfmodel.pipeline import PerfReport
+from repro.perfmodel.pipeline import PerfReport, run_batch
 from repro.perfmodel.session import ReplaySession, default_session
 from repro.perfmodel.workrecord import WorkLog
 from repro.toolchain.compiler import FUJITSU
@@ -116,11 +116,16 @@ def run_table(problem: str, log: WorkLog, *,
         if quick:
             replication = min(replication, _QUICK_REPLICATION_CAP)
 
+    # both cells ride one session batch: with REPRO_REPLAY_JOBS > 1 their
+    # distinct replays run on worker processes, and either way the
+    # results are bit-identical to running the cells one at a time
     measured = {}
     reports = {}
-    for flags, label in (((), "with"), (("-Knolargepage",), "without")):
-        report = session.pipeline(log, FUJITSU, flags=flags,
-                                  replication=replication).run()
+    cells = (((), "with"), (("-Knolargepage",), "without"))
+    pipelines = [session.pipeline(log, FUJITSU, flags=flags,
+                                  replication=replication)
+                 for flags, _ in cells]
+    for (_, label), report in zip(cells, run_batch(pipelines)):
         measured[label] = _measure(report, problem, steps_scale, flash_anchor)
         reports[label] = report
     return TableResult(problem=problem, measured=measured, paper=paper,

@@ -41,6 +41,14 @@ Two engines implement the same model:
   (:func:`_lru_rounds`).  The L2 level replays only the L1-miss
   substream, exactly as the scalar loop does.  Both engines produce
   bit-identical miss counts (see ``tests/perfmodel/test_fast_path.py``).
+
+Because a stack distance depends only on the access stream and the set
+mapping — never on the way count — :func:`run_steady_segments_multi`
+replays one trace bundle against *many* geometries in a single pass:
+geometries whose L1s share a set count share one distance computation
+and differ only in the ``distance >= assoc`` threshold.  Geometry
+sweeps (the DTLB sensitivity study) pay for one replay, not one per
+point.
 """
 
 from __future__ import annotations
@@ -267,7 +275,7 @@ def _inversion_counts(a: np.ndarray) -> np.ndarray:
 
 
 def _matrix_miss(row: np.ndarray, prev: np.ndarray, need: np.ndarray,
-                 seg_lens: np.ndarray, assoc: int
+                 seg_lens: np.ndarray
                  ) -> tuple[np.ndarray, np.ndarray]:
     """Stack distances for segments with small page working sets.
 
@@ -282,7 +290,9 @@ def _matrix_miss(row: np.ndarray, prev: np.ndarray, need: np.ndarray,
     within-interval change is still detected exactly because no page can
     recur 65536 times inside an interval shorter than that.
 
-    Returns ``(query_positions, query_miss)`` in bucket-local positions.
+    Returns ``(query_positions, query_distance)`` in bucket-local
+    positions — verdicts are thresholds (``distance >= assoc``) at the
+    call site, so one evaluation serves any number of associativities.
     """
     bounds = np.concatenate(([0], np.cumsum(seg_lens)))
     chunks = []
@@ -295,7 +305,7 @@ def _matrix_miss(row: np.ndarray, prev: np.ndarray, need: np.ndarray,
         acc += ln
     chunks.append((int(bounds[lo_seg]), int(bounds[-1])))
     qpos_all: list[np.ndarray] = []
-    qmiss_all: list[np.ndarray] = []
+    qdist_all: list[np.ndarray] = []
     for lo, hi in chunks:
         q = np.flatnonzero(need[lo:hi])
         if q.size == 0:
@@ -310,10 +320,10 @@ def _matrix_miss(row: np.ndarray, prev: np.ndarray, need: np.ndarray,
         cols_j = counts[:, prev[lo + q] - lo]
         distance = (cols_i != cols_j).sum(axis=0)
         qpos_all.append(lo + q)
-        qmiss_all.append(distance >= assoc)
+        qdist_all.append(distance.astype(np.int64))
     if not qpos_all:
-        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
-    return np.concatenate(qpos_all), np.concatenate(qmiss_all)
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    return np.concatenate(qpos_all), np.concatenate(qdist_all)
 
 
 def _lru_rounds(keys: np.ndarray, group: np.ndarray, n_groups: int,
@@ -368,7 +378,8 @@ def lru_miss_mask(pages: np.ndarray, vpn: np.ndarray, n_sets: int,
     return _lru_core(pages, vpn, n_sets, assoc, streams, steady=False)
 
 
-def _lru_core(pages: np.ndarray, vpn: np.ndarray, n_sets: int, assoc: int,
+def _lru_core(pages: np.ndarray, vpn: np.ndarray, n_sets: int,
+              assoc: int | tuple[int, ...],
               streams: np.ndarray | None, steady: bool):
     """Kernel behind :func:`lru_miss_mask`.
 
@@ -383,10 +394,30 @@ def _lru_core(pages: np.ndarray, vpn: np.ndarray, n_sets: int, assoc: int,
     per-segment 2-D dominance count: the entries *not* touched inside the
     wrapped interval ``(last_e, first_e + period)`` are exactly those
     with ``last < last_e`` and ``first > first_e``.
+
+    ``assoc`` may be a *tuple* of associativities (multi-geometry batch
+    mode): stack distances do not depend on the associativity, only the
+    hit/miss threshold does, so one distance pass serves every
+    associativity sharing this set count.  Pruning then uses
+    ``min(assoc)`` (conservative for every larger way count) and the
+    set-parallel rounds strategy — which computes verdicts, not
+    distances — is bypassed in favour of the general inversion-count
+    path.  The return value becomes a list, one entry (mask, or
+    steady-state mask pair) per requested associativity, each
+    bit-identical to a dedicated single-assoc call.
     """
+    multi = isinstance(assoc, tuple)
+    assocs = assoc if multi else (assoc,)
+    amin = min(assocs)
     n = int(pages.size)
     if n == 0:
         empty = np.zeros(0, dtype=bool)
+
+        def _empty():
+            return (np.zeros(0, dtype=bool), np.zeros(0, dtype=bool)) \
+                if steady else np.zeros(0, dtype=bool)
+        if multi:
+            return [_empty() for _ in assocs]
         return (empty, empty.copy()) if steady else empty
     if n_sets > 1 or streams is not None:
         # group accesses by (stream, set); stable keeps time order within
@@ -439,11 +470,17 @@ def _lru_core(pages: np.ndarray, vpn: np.ndarray, n_sets: int, assoc: int,
     ent[o2] = np.cumsum(~same) - 1
     idx = np.arange(n, dtype=np.int64)
 
-    miss = np.ones(n, dtype=bool)  # cold accesses (prev < 0) miss
+    # Verdict state: single mode keeps a boolean mask (so the rounds
+    # strategy can write misses directly); multi mode keeps the raw
+    # stack distance, thresholded per associativity at the end.  Cold
+    # accesses (prev < 0) miss at any way count: distance sentinel n.
+    miss = np.ones(n, dtype=bool)
+    dist = np.full(n, n, dtype=np.int64) if multi else None
     warm = prev >= 0
-    # fewer than `assoc` accesses since the previous occurrence cannot
-    # have evicted the entry: guaranteed hit, no evaluation needed
-    need = warm & (idx - prev - 1 >= assoc)
+    # fewer than `amin` accesses since the previous occurrence cannot
+    # have evicted the entry: guaranteed hit, no evaluation needed (and
+    # a fortiori a hit at any larger associativity in the batch)
+    need = warm & (idx - prev - 1 >= amin)
     # segment bookkeeping: lengths and per-segment working-set size
     # (entries are numbered in (set, page) order, which visits segments
     # in grouped order)
@@ -453,16 +490,20 @@ def _lru_core(pages: np.ndarray, vpn: np.ndarray, n_sets: int, assoc: int,
         # a working set no larger than the associativity can never evict:
         # every warm access in such a segment is a guaranteed hit (this
         # disposes of most L2 sets outright)
-        need &= (u_seg > assoc)[seg_id]
+        need &= (u_seg > amin)[seg_id]
     miss[warm & ~need] = False
+    if multi:
+        dist[warm & ~need] = 0  # true distance < amin <= every assoc
     if need.any():
         row = ent - np.concatenate(([0], np.cumsum(u_seg)[:-1]))[seg_id]
 
-        active = u_seg > assoc
+        active = u_seg > amin
         is_matrix = active & (u_seg <= _MATRIX_MAX_PAGES)
         is_rest = active & ~is_matrix
         rest = np.flatnonzero(is_rest)
-        use_rounds = (rest.size > 1
+        # the rounds replay produces verdicts for one way count only, so
+        # batch mode always takes the distance-producing general path
+        use_rounds = (not multi and rest.size > 1
                       and int(seg_lens[rest].max()) * _ROUNDS_PARALLELISM
                       <= int(seg_lens[rest].sum()))
 
@@ -479,16 +520,19 @@ def _lru_core(pages: np.ndarray, vpn: np.ndarray, n_sets: int, assoc: int,
             prev_b = prev[sel]
             prev_loc = np.where(prev_b >= 0, loc[prev_b], -1)
             if strategy == "matrix":
-                qpos, qmiss = _matrix_miss(row[sel], prev_loc, need[sel],
-                                           seg_lens[seg_sel], assoc)
-                miss[sel[qpos]] = qmiss
+                qpos, qdist = _matrix_miss(row[sel], prev_loc, need[sel],
+                                           seg_lens[seg_sel])
+                if multi:
+                    dist[sel[qpos]] = qdist
+                else:
+                    miss[sel[qpos]] = qdist >= amin
             elif use_rounds:
                 lens = seg_lens[seg_sel]
                 starts = np.concatenate(([0], np.cumsum(lens)[:-1]))
                 group = np.repeat(np.arange(lens.size), lens)
                 occ = np.arange(sel.size) - np.repeat(starts, lens)
                 miss[sel] = _lru_rounds(ent[sel], group, lens.size, occ,
-                                        assoc)
+                                        amin)
             else:
                 # general case: stack distance from the prev array alone.
                 # Of the i - prev[i] - 1 positions between an access and
@@ -501,13 +545,22 @@ def _lru_core(pages: np.ndarray, vpn: np.ndarray, n_sets: int, assoc: int,
                 warm_b = np.flatnonzero(prev_loc >= 0)
                 inv = _inversion_counts(prev_loc[warm_b])
                 distance = warm_b - prev_loc[warm_b] - 1 - inv
-                miss[sel[warm_b]] = distance >= assoc
-    if not steady:
+                if multi:
+                    dist[sel[warm_b]] = distance
+                else:
+                    miss[sel[warm_b]] = distance >= amin
+
+    def _scatter(m):
         if order is None:
-            return miss
+            return m
         out = np.empty(n, dtype=bool)
-        out[order] = miss
+        out[order] = m
         return out
+
+    if not steady:
+        if multi:
+            return [_scatter(dist >= a) for a in assocs]
+        return _scatter(miss)
     # second-pass mask: reuse every in-pass verdict; re-evaluate each
     # entry's seam-wrapping first access from per-entry (first, last)
     # occurrence positions.  Entry groups are contiguous in o2 with time
@@ -521,17 +574,20 @@ def _lru_core(pages: np.ndarray, vpn: np.ndarray, n_sets: int, assoc: int,
     # one inversion count yields the dominance count per entry
     eorder = np.argsort(seg_e * n + last_e)
     dom = _inversion_counts(seg_e[eorder] * np.int64(n) + first_e[eorder])
-    # distinct other entries touched inside the wrapped interval
-    wrapped = (u_seg[seg_e[eorder]] - 1 - dom) >= assoc
+    # distinct other entries touched inside the wrapped interval — a
+    # stack distance too, so it also thresholds per associativity
+    wrapped_dist = u_seg[seg_e[eorder]] - 1 - dom
+    if multi:
+        results = []
+        for a in assocs:
+            m1 = dist >= a
+            m2 = m1.copy()
+            m2[first_e[eorder]] = wrapped_dist >= a
+            results.append((_scatter(m1), _scatter(m2)))
+        return results
     miss2 = miss.copy()
-    miss2[first_e[eorder]] = wrapped
-    if order is None:
-        return miss, miss2
-    out = np.empty(n, dtype=bool)
-    out[order] = miss
-    out2 = np.empty(n, dtype=bool)
-    out2[order] = miss2
-    return out, out2
+    miss2[first_e[eorder]] = wrapped_dist >= amin
+    return _scatter(miss), _scatter(miss2)
 
 
 def simulate_two_level(
@@ -631,5 +687,82 @@ def run_steady_segments(geometry: TLBGeometry, traces: list[PageTrace],
             for i, t in enumerate(traces)]
 
 
+def run_steady_segments_multi(
+        geometries: list[TLBGeometry], traces: list[PageTrace],
+        streams: list[int] | None = None) -> list[list[TLBStats]]:
+    """Steady-state per-trace stats for *many* TLB geometries in one pass.
+
+    Bit-identical to ``[run_steady_segments(g, traces, streams) for g in
+    geometries]`` but far cheaper: the trace concatenation and VPN math
+    happen once, and the expensive L1 stack-distance pass is shared by
+    every geometry whose L1 has the same set count — distances are
+    associativity-independent, so each geometry's verdict is just a
+    threshold (see :func:`_lru_core`).  The A64FX L1 DTLB is fully
+    associative (one set), so entry-count sweeps all collapse into a
+    single pass.  Each distinct L1 then replays its own (much smaller)
+    L1-miss substream through each distinct L2; geometries that share
+    both levels share the whole result.
+
+    Returns one per-trace stats list per geometry, in geometry order.
+    """
+    geometries = list(geometries)
+    if not geometries:
+        return []
+    if not traces:
+        return [[] for _ in geometries]
+    lengths = np.array([t.n_events for t in traces], dtype=np.int64)
+    if int(lengths.sum()) == 0:
+        return [[TLBStats(accesses=t.n_accesses) for t in traces]
+                for _ in geometries]
+    pages = np.concatenate([t.page for t in traces])
+    sizes = np.concatenate([t.size for t in traces])
+    seg = np.repeat(np.arange(lengths.size), lengths)
+    stream_arr = None
+    if streams is not None:
+        stream_arr = np.repeat(np.asarray(streams, dtype=np.int64), lengths)
+    vpn = pages // np.asarray(sizes, dtype=np.int64)
+
+    # one shared L1 pass per distinct set count; the distinct
+    # associativities within a group are thresholds over its distances
+    by_sets: dict[int, set[int]] = {}
+    for g in geometries:
+        by_sets.setdefault(g.l1.n_sets, set()).add(g.l1.assoc)
+    l1_masks: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+    for n_sets, assoc_set in by_sets.items():
+        assocs = tuple(sorted(assoc_set))
+        pairs = _lru_core(pages, vpn, n_sets, assocs, stream_arr,
+                          steady=True)
+        for a, pair in zip(assocs, pairs):
+            l1_masks[(n_sets, a)] = pair
+
+    out: list[list[TLBStats]] = []
+    shared: dict[tuple, list[TLBStats]] = {}
+    for g in geometries:
+        l1key = (g.l1.n_sets, g.l1.assoc)
+        key = (l1key, (g.l2.n_sets, g.l2.assoc))
+        cached = shared.get(key)
+        if cached is not None:
+            out.append([TLBStats(s.accesses, s.l1_misses, s.l2_misses)
+                        for s in cached])
+            continue
+        m1, m2 = l1_masks[l1key]
+        p1 = np.flatnonzero(m1)
+        p2 = np.flatnonzero(m2)
+        pos = np.concatenate((p1, p2))
+        l2_miss = lru_miss_mask(
+            pages[pos], vpn[pos], g.l2.n_sets, g.l2.assoc,
+            None if stream_arr is None else stream_arr[pos])
+        l2_second = l2_miss[p1.size:]
+        l1_counts = np.bincount(seg[p2], minlength=lengths.size)
+        l2_counts = np.bincount(seg[p2[l2_second]], minlength=lengths.size)
+        stats = [TLBStats(accesses=t.n_accesses,
+                          l1_misses=int(l1_counts[i]),
+                          l2_misses=int(l2_counts[i]))
+                 for i, t in enumerate(traces)]
+        shared[key] = stats
+        out.append(stats)
+    return out
+
+
 __all__ = ["TLBSimulator", "TLBStats", "lru_miss_mask", "simulate_two_level",
-           "run_segments", "run_steady_segments"]
+           "run_segments", "run_steady_segments", "run_steady_segments_multi"]

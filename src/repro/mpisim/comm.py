@@ -28,22 +28,45 @@ from repro.util.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class CommCostModel:
-    """alpha-beta model for Ookami's HDR100 InfiniBand fat tree."""
+    """alpha-beta model for Ookami's HDR100 InfiniBand fat tree.
+
+    The node's injection bandwidth (``node_bandwidth_Bps``, one HDR100
+    HCA per A64FX node) is *shared* by every rank resident on the node:
+    with R ranks per node the per-rank beta term degrades to
+    ``min(bandwidth_Bps, node_bandwidth_Bps / R)``.  Ookami runs up to
+    48 ranks per node, so multicore scaling curves that ignored this
+    overstated bandwidth by up to 48x.
+    """
 
     latency_s: float = 1.3e-6
     bandwidth_Bps: float = 12.5e9  # HDR100 ~ 100 Gb/s
     #: per-node injection limit shared by resident ranks
     node_bandwidth_Bps: float = 12.5e9
+    #: cores (max resident ranks) per node — Ookami's A64FX has 48
+    cores_per_node: int = 48
 
-    def p2p_time(self, nbytes: int) -> float:
-        return self.latency_s + nbytes / self.bandwidth_Bps
+    def effective_bandwidth_Bps(self, ranks_per_node: int = 1) -> float:
+        """Per-rank bandwidth once residents share the node's injection."""
+        if ranks_per_node < 1:
+            raise ConfigurationError("need at least one resident rank")
+        return min(self.bandwidth_Bps,
+                   self.node_bandwidth_Bps / ranks_per_node)
 
-    def allreduce_time(self, nbytes: int, n_ranks: int) -> float:
+    def p2p_time(self, nbytes: int, ranks_per_node: int = 1) -> float:
+        return (self.latency_s
+                + nbytes / self.effective_bandwidth_Bps(ranks_per_node))
+
+    def allreduce_time(self, nbytes: int, n_ranks: int,
+                       ranks_per_node: int = 1) -> float:
         """Recursive-doubling estimate: log2(P) rounds."""
         if n_ranks <= 1:
             return 0.0
         rounds = int(np.ceil(np.log2(n_ranks)))
-        return rounds * self.p2p_time(nbytes)
+        return rounds * self.p2p_time(nbytes, ranks_per_node)
+
+    def resident_ranks(self, n_ranks: int) -> int:
+        """Ranks sharing one node's injection when packing nodes densely."""
+        return max(1, min(n_ranks, self.cores_per_node))
 
 
 @dataclass
@@ -53,6 +76,10 @@ class DomainDecomposition:
     n_ranks: int
     #: rank -> list of BlockIds
     assignment: dict[int, list] = field(default_factory=dict)
+    #: BlockId -> rank reverse map (lazily rebuilt if assignment is
+    #: constructed by hand); makes rank_of O(1) instead of an
+    #: O(ranks * blocks) scan per lookup
+    _owner: dict = field(default_factory=dict, repr=False, compare=False)
 
     @classmethod
     def split(cls, grid: Grid, n_ranks: int) -> "DomainDecomposition":
@@ -65,13 +92,18 @@ class DomainDecomposition:
             lo = int(round(rank * per))
             hi = int(round((rank + 1) * per))
             out.assignment[rank] = leaves[lo:hi]
+        out._rebuild_owner()
         return out
 
+    def _rebuild_owner(self) -> None:
+        self._owner = {bid: rank
+                       for rank, blocks in self.assignment.items()
+                       for bid in blocks}
+
     def rank_of(self, bid) -> int:
-        for rank, blocks in self.assignment.items():
-            if bid in blocks:
-                return rank
-        raise KeyError(bid)
+        if len(self._owner) != sum(len(b) for b in self.assignment.values()):
+            self._rebuild_owner()
+        return self._owner[bid]
 
     def load_imbalance(self) -> float:
         """max/mean block count across ranks (1.0 = perfect)."""
@@ -81,7 +113,8 @@ class DomainDecomposition:
 
     def halo_bytes(self, grid: Grid, rank: int, bytes_per_face: int) -> int:
         """Bytes rank must receive per guard-cell fill (off-rank faces)."""
-        mine = set(self.assignment[rank])
+        if len(self._owner) != sum(len(b) for b in self.assignment.values()):
+            self._rebuild_owner()
         total = 0
         for bid in self.assignment[rank]:
             for axis in range(grid.tree.ndim):
@@ -91,7 +124,7 @@ class DomainDecomposition:
                         continue
                     neighbors = info if isinstance(info, list) else [info]
                     for nid in neighbors:
-                        if nid not in mine:
+                        if self._owner.get(nid) != rank:
                             total += bytes_per_face
         return total
 
@@ -104,11 +137,15 @@ class SimComm:
     """
 
     def __init__(self, n_ranks: int,
-                 cost: CommCostModel | None = None) -> None:
+                 cost: CommCostModel | None = None,
+                 ranks_per_node: int = 1) -> None:
         if n_ranks < 1:
             raise ConfigurationError("need at least one rank")
+        if ranks_per_node < 1:
+            raise ConfigurationError("need at least one resident rank")
         self.n_ranks = n_ranks
         self.cost = cost or CommCostModel()
+        self.ranks_per_node = ranks_per_node
         self.elapsed_s = 0.0
         self.bytes_moved = 0
 
@@ -116,21 +153,23 @@ class SimComm:
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (self.n_ranks,):
             raise ConfigurationError("one value per rank expected")
-        self.elapsed_s += self.cost.allreduce_time(8, self.n_ranks)
+        self.elapsed_s += self.cost.allreduce_time(
+            8, self.n_ranks, self.ranks_per_node)
         return float(values.min())
 
     def allreduce_sum(self, values) -> float:
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (self.n_ranks,):
             raise ConfigurationError("one value per rank expected")
-        self.elapsed_s += self.cost.allreduce_time(8, self.n_ranks)
+        self.elapsed_s += self.cost.allreduce_time(
+            8, self.n_ranks, self.ranks_per_node)
         return float(values.sum())
 
     def halo_exchange(self, per_rank_bytes) -> None:
         """Charge a guard-cell fill's communication time (bulk model)."""
         per_rank_bytes = np.asarray(per_rank_bytes)
         worst = int(per_rank_bytes.max()) if per_rank_bytes.size else 0
-        self.elapsed_s += self.cost.p2p_time(worst)
+        self.elapsed_s += self.cost.p2p_time(worst, self.ranks_per_node)
         self.bytes_moved += int(per_rank_bytes.sum())
 
 
@@ -138,23 +177,30 @@ def scaling_model(grid: Grid, rank_counts: list[int], *,
                   seconds_per_block_step: float,
                   bytes_per_face: int,
                   steps: int = 1,
-                  cost: CommCostModel | None = None) -> dict[int, float]:
+                  cost: CommCostModel | None = None,
+                  ranks_per_node: int | None = None) -> dict[int, float]:
     """Predicted time per run vs rank count (compute + halo + allreduce).
 
     Returns {n_ranks: seconds}; the shape gives the porting study's
     "scaled reasonably well" curve with the usual surface/volume tail.
+
+    ``ranks_per_node`` controls node-injection sharing: an explicit int
+    pins residency for every rank count; ``"packed"`` semantics are had
+    by passing ``None`` with a ``cost`` whose ``cores_per_node`` reflects
+    the machine — ``None`` keeps the historical one-rank-per-node curve.
     """
     cost = cost or CommCostModel()
     out = {}
     for p in rank_counts:
+        rpn = 1 if ranks_per_node is None else min(ranks_per_node, p)
         dd = DomainDecomposition.split(grid, p)
         per_rank_blocks = max(len(b) for b in dd.assignment.values())
         compute = per_rank_blocks * seconds_per_block_step
         halo = max(
-            cost.p2p_time(dd.halo_bytes(grid, r, bytes_per_face))
+            cost.p2p_time(dd.halo_bytes(grid, r, bytes_per_face), rpn)
             for r in range(p)
         )
-        reduce_t = cost.allreduce_time(8, p)
+        reduce_t = cost.allreduce_time(8, p, rpn)
         out[p] = steps * (compute + halo + reduce_t)
     return out
 

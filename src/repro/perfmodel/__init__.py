@@ -19,7 +19,8 @@ the authors ran.
 
 from repro.perfmodel.workrecord import StepRecord, UnitInvocation, WorkLog
 from repro.perfmodel.patterns import TraceBuilder
-from repro.perfmodel.pipeline import PerformancePipeline, PerfReport
+from repro.perfmodel.pipeline import PerformancePipeline, PerfReport, run_batch
+from repro.perfmodel.parallel import ReplayExecutor, resolve_jobs
 
 __all__ = [
     "StepRecord",
@@ -28,4 +29,7 @@ __all__ = [
     "TraceBuilder",
     "PerformancePipeline",
     "PerfReport",
+    "run_batch",
+    "ReplayExecutor",
+    "resolve_jobs",
 ]

@@ -287,10 +287,13 @@ class PerformancePipeline:
             # against the scalar re-run
             proc.exit()
 
-    def _replay(self, engine, proc, layout, unk, scratch, eos_table,
-                flame_table, flux_scratch) -> PerfReport:
-        if self.fault_injector is not None:
-            self.fault_injector(engine)
+    def _synthesize_closure(self, engine, proc, layout, unk, scratch,
+                            eos_table, flame_table, flux_scratch):
+        """The trace-synthesis thunk one replay request carries.
+
+        Geometry-independent: the traces depend on the address-space
+        layout and the engine's builder, never on the TLB — which is
+        what lets a geometry sweep share one synthesis."""
         rep = self.log.representative_step()
 
         def synthesize():
@@ -314,21 +317,55 @@ class PerformancePipeline:
                     fine_traces.append((i, trace, scale))
             return stream_traces, fine_traces
 
+        return synthesize
+
+    def _config_key(self, engine, machine, proc, allocations) -> str:
         # the replay is a pure function of these inputs; anything else
         # (compiler pricing, machine frequency, THP statistics) is applied
         # after the session answers
-        allocations = [unk, *scratch, eos_table, flame_table, flux_scratch]
-        key = hashlib.sha256("/".join((
+        return hashlib.sha256("/".join((
             str(TRACE_SCHEMA), self.log.digest(),
             _layout_signature(proc.space, allocations),
-            geometry_digest(self.machine.tlb), engine,
+            geometry_digest(machine.tlb), engine,
             str(self.seed), str(self.replication),
             str(self.fine_sample_blocks),
             ",".join(sorted(self._fine_kinds)),
         )).encode()).hexdigest()[:40]
-        replay = self.session.replay(config_key=key,
-                                     geometry=self.machine.tlb,
-                                     engine=engine, synthesize=synthesize)
+
+    def _pending(self, engine, proc, layout, unk, scratch, eos_table,
+                 flame_table, flux_scratch,
+                 machine: MachineSpec | None = None) -> "ReplayRequest":
+        """Build the replay request for one launched process.
+
+        ``run_batch`` collects these across pipelines and answers them
+        with a single :meth:`ReplaySession.replay_batch` call."""
+        from repro.perfmodel.session import ReplayRequest
+        if self.fault_injector is not None:
+            self.fault_injector(engine)
+        machine = machine or self.machine
+        allocations = [unk, *scratch, eos_table, flame_table, flux_scratch]
+        return ReplayRequest(
+            config_key=self._config_key(engine, machine, proc, allocations),
+            geometry=machine.tlb,
+            engine=engine,
+            synthesize=self._synthesize_closure(
+                engine, proc, layout, unk, scratch, eos_table, flame_table,
+                flux_scratch),
+        )
+
+    def _replay(self, engine, proc, layout, unk, scratch, eos_table,
+                flame_table, flux_scratch) -> PerfReport:
+        request = self._pending(engine, proc, layout, unk, scratch,
+                                eos_table, flame_table, flux_scratch)
+        replay = self.session.replay(config_key=request.config_key,
+                                     geometry=request.geometry,
+                                     engine=engine,
+                                     synthesize=request.synthesize)
+        return self._finish(engine, self.machine, proc, replay)
+
+    def _finish(self, engine, machine, proc, replay) -> PerfReport:
+        """Price one session answer into a report (pure post-processing)."""
+        rep = self.log.representative_step()
         stream_stats = replay.stream
         fine_stats = [TLBStats() for _ in rep.invocations]
         for i, raw, scale in replay.fine:
@@ -356,7 +393,7 @@ class PerformancePipeline:
             totals.tlb = per_step_tlb.get(unit, TLBStats()).scaled(scale)
 
         # --- price everything
-        model = CycleModel(self.machine)
+        model = CycleModel(machine)
         seconds = {}
         for unit, totals in units.items():
             seconds[unit] = model.seconds(model.cycles(totals.work, totals.tlb))
@@ -368,13 +405,106 @@ class PerformancePipeline:
             flash_timer_s=flash_timer,
             uses_huge_pages=proc.uses_huge_pages(),
             meminfo=meminfo(self.kernel),
-            machine=self.machine,
+            machine=machine,
             compiler=self.compiler.name,
             n_steps=self.log.n_steps,
             engine=engine,
             degradations=dict(self.kernel.degradations.counts),
         )
 
+    # --- geometry sweeps -------------------------------------------------
+    def run_geometries(self, geometries) -> list[PerfReport]:
+        """Replay this configuration under many TLB geometries at once.
+
+        One launch, one trace synthesis, one batched kernel pass for the
+        whole sweep (:meth:`ReplaySession.replay_sweep`); each report is
+        priced against ``self.machine`` with its TLB swapped for the
+        sweep point — bit-identical to constructing one pipeline per
+        geometry, at a fraction of the cost.  Degrades to the scalar
+        oracle as :meth:`run` does.
+        """
+        geometries = list(geometries)
+        try:
+            return self._run_geometries_with_engine(self.engine, geometries)
+        except ConfigurationError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — any replay failure degrades
+            if self.engine == "scalar":
+                raise
+            self.kernel.degradations.record(
+                "perf_engine_scalar_fallback",
+                f"{self.engine!r} engine failed: {type(exc).__name__}: {exc}")
+            return self._run_geometries_with_engine("scalar", geometries)
+
+    def _run_geometries_with_engine(self, engine, geometries):
+        machines = [replace(self.machine, tlb=geo) for geo in geometries]
+        proc, layout, unk, scratch, eos_table, flame_table, flux_scratch = \
+            self._launch_and_allocate()
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector(engine)
+            allocations = [unk, *scratch, eos_table, flame_table,
+                           flux_scratch]
+            keys = [self._config_key(engine, m, proc, allocations)
+                    for m in machines]
+            synthesize = self._synthesize_closure(
+                engine, proc, layout, unk, scratch, eos_table, flame_table,
+                flux_scratch)
+            replays = self.session.replay_sweep(
+                config_keys=keys, geometries=[m.tlb for m in machines],
+                engine=engine, synthesize=synthesize)
+            return [self._finish(engine, m, proc, r)
+                    for m, r in zip(machines, replays)]
+        finally:
+            proc.exit()
+
+
+def run_batch(pipelines) -> list[PerfReport]:
+    """Run many pipelines, answering their replays as one session batch.
+
+    Each pipeline launches and allocates exactly as :meth:`\
+PerformancePipeline.run` would; the replay requests are then handed to
+    :meth:`ReplaySession.replay_batch` per shared session, which dedupes
+    the work units across the whole batch and may execute them on worker
+    processes (``REPRO_REPLAY_JOBS``).  Results are bit-identical to
+    running the pipelines one by one — the batch only reorders *where*
+    the pure replay kernels run.
+
+    Any failure inside the batched path (an injected fault, a fast-
+    engine inconsistency) falls back to running each pipeline serially
+    through its own :meth:`~PerformancePipeline.run`, which owns the
+    fast-to-scalar degradation story.
+    """
+    pipelines = list(pipelines)
+    try:
+        reports: list[PerfReport | None] = [None] * len(pipelines)
+        by_session: dict[int, list[int]] = {}
+        for i, pipe in enumerate(pipelines):
+            by_session.setdefault(id(pipe.session), []).append(i)
+        for idxs in by_session.values():
+            session = pipelines[idxs[0]].session
+            procs = []
+            try:
+                requests = []
+                for i in idxs:
+                    pipe = pipelines[i]
+                    ctx = pipe._launch_and_allocate()
+                    procs.append(ctx[0])
+                    requests.append(pipe._pending(pipe.engine, *ctx))
+                replays = session.replay_batch(requests)
+                for i, proc, replay in zip(idxs, procs, replays):
+                    pipe = pipelines[i]
+                    reports[i] = pipe._finish(pipe.engine, pipe.machine,
+                                              proc, replay)
+            finally:
+                for proc in procs:
+                    proc.exit()
+        return reports  # type: ignore[return-value]
+    except ConfigurationError:
+        raise
+    except Exception:  # noqa: BLE001 — serial re-run owns degradation
+        return [pipe.run() for pipe in pipelines]
+
 
 __all__ = ["PerformancePipeline", "PerfReport", "UnitTotals",
-           "resolve_engine"]
+           "resolve_engine", "run_batch"]

@@ -47,10 +47,16 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from repro.hw.a64fx import TLBGeometry
-from repro.hw.tlb import TLBSimulator, TLBStats, run_steady_segments
+from repro.hw.tlb import (
+    TLBSimulator,
+    TLBStats,
+    run_steady_segments,
+    run_steady_segments_multi,
+)
 from repro.hw.trace import PageTrace
 from repro.util import artifacts
 from repro.util.artifacts import ArtifactError
+from repro.util.errors import ConfigurationError
 
 #: bump when the persisted envelope layout changes (a schema guard only —
 #: content changes invalidate through the digests in the keys, not here)
@@ -124,6 +130,22 @@ class ReplayResult:
     fine: list[tuple[int, TLBStats, float]] = field(default_factory=list)
 
 
+@dataclass
+class ReplayRequest:
+    """One configuration's replay inputs, batchable with others.
+
+    ``synthesize`` is only called on a config-level cache miss, exactly
+    as in :meth:`ReplaySession.replay` — a warm store never builds a
+    trace.
+    """
+
+    config_key: str
+    geometry: TLBGeometry
+    engine: str
+    synthesize: Callable[[], tuple[list[PageTrace],
+                                   list[tuple[int, PageTrace, float]]]]
+
+
 class ReplaySession:
     """Shares and persists TLB replay results across configurations.
 
@@ -142,6 +164,7 @@ class ReplaySession:
         self._configs: dict[str, ReplayResult] = {}
         self._traces: dict[str, list[TLBStats]] = {}
         self._memos: dict[str, Any] = {}
+        self._executor = None
         self.stats = SessionStats()
 
     @classmethod
@@ -199,77 +222,333 @@ class ReplaySession:
         """Replay one configuration, reusing every cached piece.
 
         ``synthesize`` is only called on a config-level miss — a warm
-        store answers without building a single trace.
+        store answers without building a single trace.  This is the
+        single-request form of :meth:`replay_batch`; counters and cache
+        behaviour are identical by construction.
         """
-        self.stats.configs += 1
-        if self.share:
-            hit = self._configs.get(config_key)
-            if hit is not None:
-                self.stats.memory_hits += 1
-                return hit
-            stored = self._load(f"cfg-{config_key}")
-            if self._valid_config(stored):
-                result = ReplayResult(
-                    stream=list(stored["stream"]),
-                    fine=[(int(i), s, float(sc))
-                          for i, s, sc in stored["fine"]])
-                self._configs[config_key] = result
-                self.stats.disk_hits += 1
-                return result
+        return self.replay_batch([ReplayRequest(
+            config_key=config_key, geometry=geometry, engine=engine,
+            synthesize=synthesize)])[0]
 
-        stream_traces, fine_traces = synthesize()
-        geo = geometry_digest(geometry)
-        computed = False
+    def replay_batch(self, requests: list[ReplayRequest], *,
+                     executor=None) -> list[ReplayResult]:
+        """Replay many configurations, scheduling distinct work units.
 
-        # stream pass: one shared TLB for the whole sequence -> the
-        # sequence deduplicates only as a whole
-        bundle = hashlib.sha256()
-        bundle.update(f"stream/{engine}/{geo}/{len(stream_traces)}".encode())
-        for t in stream_traces:
-            bundle.update(trace_digest(t).encode())
-        bundle_key = _hexdigest(bundle)
-        stream_stats = self._cached_traces(bundle_key)
-        if stream_stats is not None and len(stream_stats) == len(stream_traces):
-            self.stats.trace_hits += 1
-        else:
-            stream_stats = self._replay_stream(engine, geometry, stream_traces)
-            computed = True
-            self._store_traces(bundle_key, stream_stats)
+        The batch first answers every request it can from the config
+        caches, then synthesises the misses (serially — synthesis reads
+        the simulated process) and *dedupes* their work across the
+        batch: one unit per distinct content-keyed stream bundle, one
+        per distinct fine trace.  Units are pure functions of their
+        inputs, so the executor may run them in any order on any number
+        of processes; results merge back by digest.  With the default
+        serial executor the whole method is step-for-step the sequence
+        of :meth:`replay` calls it replaces — counters included.
 
-        # fine passes: independent (fresh) TLB per trace -> each trace
-        # deduplicates individually, within and across configurations
-        fine: list[tuple[int, TLBStats, float]] = []
-        digests = [trace_digest(t) for _, t, _ in fine_traces]
-        by_digest: dict[str, TLBStats] = {}
-        missing: list[tuple[str, PageTrace]] = []
-        for d, (_, t, _) in zip(digests, fine_traces):
-            if d in by_digest or any(d == m[0] for m in missing):
-                self.stats.fine_deduped += 1
-                continue
-            cached = self._cached_traces(f"fine-{engine}-{geo}-{d}")
-            if cached is not None and len(cached) == 1:
-                by_digest[d] = cached[0]
+        ``executor`` defaults to the session's own lazily-created
+        :class:`~repro.perfmodel.parallel.ReplayExecutor`, whose job
+        count honours ``REPRO_REPLAY_JOBS`` / the ``replay_jobs``
+        runtime parameter (serial unless asked otherwise).
+        """
+        results: list[ReplayResult | None] = [None] * len(requests)
+        pending: list[tuple[int, ReplayRequest]] = []
+        pending_by_key: dict[str, int] = {}
+        aliases: list[tuple[int, int]] = []  # (index, index of original)
+        for i, req in enumerate(requests):
+            self.stats.configs += 1
+            if self.share:
+                hit = self._configs.get(req.config_key)
+                if hit is not None:
+                    self.stats.memory_hits += 1
+                    results[i] = hit
+                    continue
+                if req.config_key in pending_by_key:
+                    # an earlier batch entry already computes this config;
+                    # sequential replay would memory-hit here
+                    self.stats.memory_hits += 1
+                    aliases.append((i, pending_by_key[req.config_key]))
+                    continue
+                stored = self._load(f"cfg-{req.config_key}")
+                if self._valid_config(stored):
+                    result = ReplayResult(
+                        stream=list(stored["stream"]),
+                        fine=[(int(j), s, float(sc))
+                              for j, s, sc in stored["fine"]])
+                    self._configs[req.config_key] = result
+                    self.stats.disk_hits += 1
+                    results[i] = result
+                    continue
+                pending_by_key[req.config_key] = i
+            pending.append((i, req))
+        if not pending:
+            return results  # type: ignore[return-value]
+
+        # --- plan: synthesize misses, dedupe distinct work units.  Unit
+        # keys are content digests, so the accounting below is exactly
+        # what sequential execution would have recorded: the first
+        # requester of a unit computes it, later requesters hit the
+        # (by then warm) trace cache.
+        stream_units: dict[object, tuple] = {}   # ukey -> work unit
+        fine_units: dict[object, tuple] = {}
+        plans = []
+        for i, req in pending:
+            stream_traces, fine_traces = req.synthesize()
+            geo = geometry_digest(req.geometry)
+            computed = False
+
+            # stream pass: one shared TLB for the whole sequence -> the
+            # sequence deduplicates only as a whole
+            bundle = hashlib.sha256()
+            bundle.update(
+                f"stream/{req.engine}/{geo}/{len(stream_traces)}".encode())
+            for t in stream_traces:
+                bundle.update(trace_digest(t).encode())
+            bundle_key = _hexdigest(bundle)
+            stream_cached = self._cached_traces(bundle_key)
+            stream_ukey: object = bundle_key if self.share else (bundle_key, i)
+            if (stream_cached is not None
+                    and len(stream_cached) == len(stream_traces)):
+                self.stats.trace_hits += 1
+            elif self.share and stream_ukey in stream_units:
                 self.stats.trace_hits += 1
             else:
-                missing.append((d, t))
-        if missing:
-            results = self._replay_fine(engine, geometry,
-                                        [t for _, t in missing])
-            computed = True
-            for (d, _), stats in zip(missing, results):
-                by_digest[d] = stats
-                self._store_traces(f"fine-{engine}-{geo}-{d}", [stats])
-        for d, (i, _, scale) in zip(digests, fine_traces):
-            fine.append((i, by_digest[d], scale))
+                stream_units[stream_ukey] = ("stream", req.engine,
+                                             req.geometry, stream_traces)
+                computed = True
 
-        if computed:
-            self.stats.replays += 1
-        result = ReplayResult(stream=stream_stats, fine=fine)
-        if self.share:
-            self._configs[config_key] = result
-            self._save(f"cfg-{config_key}",
-                       {"stream": result.stream, "fine": result.fine})
-        return result
+            # fine passes: independent (fresh) TLB per trace -> each
+            # trace deduplicates individually, within and across
+            # configurations (and across the batch)
+            digests = [trace_digest(t) for _, t, _ in fine_traces]
+            fine_sources: dict[str, tuple] = {}  # digest -> source
+            for d, (_, t, _) in zip(digests, fine_traces):
+                if d in fine_sources:
+                    self.stats.fine_deduped += 1
+                    continue
+                fine_ukey: object = (req.engine, geo, d)
+                cached = self._cached_traces(f"fine-{req.engine}-{geo}-{d}")
+                if cached is not None and len(cached) == 1:
+                    fine_sources[d] = ("cached", cached[0])
+                    self.stats.trace_hits += 1
+                elif self.share and fine_ukey in fine_units:
+                    fine_sources[d] = ("unit", fine_ukey)
+                    self.stats.trace_hits += 1
+                else:
+                    if not self.share:
+                        fine_ukey = (req.engine, geo, d, i)
+                    fine_units[fine_ukey] = ("fine", req.engine,
+                                             req.geometry, [t])
+                    fine_sources[d] = ("unit", fine_ukey)
+                    computed = True
+            if computed:
+                self.stats.replays += 1
+            plans.append({
+                "index": i, "request": req, "geo": geo,
+                "bundle_key": bundle_key, "stream_ukey": stream_ukey,
+                "stream_cached": stream_cached
+                if (stream_cached is not None
+                    and len(stream_cached) == len(stream_traces)) else None,
+                "digests": digests, "fine_traces": fine_traces,
+                "fine_sources": fine_sources,
+            })
+
+        # --- execute every distinct unit (possibly on worker processes)
+        ukeys = list(stream_units) + list(fine_units)
+        units = [stream_units[k] for k in stream_units] + \
+                [fine_units[k] for k in fine_units]
+        if executor is None:
+            executor = self._executor_for_batch()
+        outputs = executor.run_units(units)
+        by_ukey = dict(zip(ukeys, outputs))
+
+        # --- merge by digest, persist, assemble in request order
+        for plan in plans:
+            req = plan["request"]
+            if plan["stream_cached"] is not None:
+                stream_stats = plan["stream_cached"]
+            else:
+                stream_stats = by_ukey[plan["stream_ukey"]]
+                if plan["stream_ukey"] in stream_units:
+                    self._store_traces(plan["bundle_key"], stream_stats)
+                    # later plans sharing the bundle read the stored list
+                    stream_units.pop(plan["stream_ukey"], None)
+            fine: list[tuple[int, TLBStats, float]] = []
+            resolved: dict[str, TLBStats] = {}
+            for d, (j, _, scale) in zip(plan["digests"],
+                                        plan["fine_traces"]):
+                if d not in resolved:
+                    kind, payload = plan["fine_sources"][d]
+                    if kind == "cached":
+                        resolved[d] = payload
+                    else:
+                        stats = by_ukey[payload][0]
+                        resolved[d] = stats
+                        if payload in fine_units:
+                            self._store_traces(
+                                f"fine-{req.engine}-{plan['geo']}-{d}",
+                                [stats])
+                            fine_units.pop(payload, None)
+                fine.append((j, resolved[d], scale))
+            result = ReplayResult(stream=stream_stats, fine=fine)
+            if self.share:
+                self._configs[req.config_key] = result
+                self._save(f"cfg-{req.config_key}",
+                           {"stream": result.stream, "fine": result.fine})
+            results[plan["index"]] = result
+        for i, j in aliases:
+            results[i] = self._configs.get(requests[j].config_key,
+                                           results[j])
+        return results  # type: ignore[return-value]
+
+    def replay_sweep(self, *, config_keys: list[str],
+                     geometries: list[TLBGeometry], engine: str,
+                     synthesize: Callable[[], tuple[list[PageTrace],
+                                                    list[tuple[int, PageTrace,
+                                                               float]]]],
+                     ) -> list[ReplayResult]:
+        """Replay one trace set under many TLB geometries in one pass.
+
+        The geometry-sweep analogue of :meth:`replay_batch`: synthesis
+        runs (at most) once, and on the fast engine every geometry that
+        misses the caches shares a single
+        :func:`~repro.hw.tlb.run_steady_segments_multi` call — one
+        stack-distance pass for the whole sweep.  Results are persisted
+        under exactly the keys per-geometry :meth:`replay` calls would
+        use, so sweeps and single replays warm each other's caches, and
+        every entry is bit-identical to its serial equivalent (the
+        batched kernel's contract).
+        """
+        if len(config_keys) != len(geometries):
+            raise ConfigurationError(
+                "replay_sweep needs one config key per geometry")
+        results: list[ReplayResult | None] = [None] * len(config_keys)
+        pending: list[int] = []
+        for i, key in enumerate(config_keys):
+            self.stats.configs += 1
+            if self.share:
+                hit = self._configs.get(key)
+                if hit is not None:
+                    self.stats.memory_hits += 1
+                    results[i] = hit
+                    continue
+                stored = self._load(f"cfg-{key}")
+                if self._valid_config(stored):
+                    result = ReplayResult(
+                        stream=list(stored["stream"]),
+                        fine=[(int(j), s, float(sc))
+                              for j, s, sc in stored["fine"]])
+                    self._configs[key] = result
+                    self.stats.disk_hits += 1
+                    results[i] = result
+                    continue
+            pending.append(i)
+        if not pending:
+            return results  # type: ignore[return-value]
+
+        stream_traces, fine_traces = synthesize()
+        fine_digests = [trace_digest(t) for _, t, _ in fine_traces]
+        trace_by_digest: dict[str, PageTrace] = {}
+        for d, (_, t, _) in zip(fine_digests, fine_traces):
+            trace_by_digest.setdefault(d, t)
+
+        plans: dict[int, dict] = {}
+        stream_need: list[int] = []
+        for i in pending:
+            geo = geometry_digest(geometries[i])
+            bundle = hashlib.sha256()
+            bundle.update(
+                f"stream/{engine}/{geo}/{len(stream_traces)}".encode())
+            for t in stream_traces:
+                bundle.update(trace_digest(t).encode())
+            bundle_key = _hexdigest(bundle)
+            computed = False
+            stream_stats = self._cached_traces(bundle_key)
+            if (stream_stats is not None
+                    and len(stream_stats) == len(stream_traces)):
+                self.stats.trace_hits += 1
+            else:
+                stream_stats = None
+                stream_need.append(i)
+                computed = True
+            by_digest: dict[str, TLBStats] = {}
+            missing: list[str] = []
+            for d in fine_digests:
+                if d in by_digest or d in missing:
+                    self.stats.fine_deduped += 1
+                    continue
+                cached = self._cached_traces(f"fine-{engine}-{geo}-{d}")
+                if cached is not None and len(cached) == 1:
+                    by_digest[d] = cached[0]
+                    self.stats.trace_hits += 1
+                else:
+                    missing.append(d)
+            if missing:
+                computed = True
+            if computed:
+                self.stats.replays += 1
+            plans[i] = {"geo": geo, "bundle_key": bundle_key,
+                        "stream": stream_stats, "by_digest": by_digest,
+                        "missing": missing}
+
+        if stream_need:
+            geos = [geometries[i] for i in stream_need]
+            if engine == "fast":
+                rows = run_steady_segments_multi(
+                    geos, stream_traces, streams=[0] * len(stream_traces))
+            else:
+                rows = [self._replay_stream(engine, g, stream_traces)
+                        for g in geos]
+            for i, row in zip(stream_need, rows):
+                plans[i]["stream"] = row
+                self._store_traces(plans[i]["bundle_key"], row)
+
+        # fine traces: geometries missing the *same* digests replay them
+        # together (cold sweeps collapse into one batched call)
+        groups: dict[tuple, list[int]] = {}
+        for i in pending:
+            if plans[i]["missing"]:
+                groups.setdefault(tuple(plans[i]["missing"]), []).append(i)
+        for missing, idxs in groups.items():
+            traces = [trace_by_digest[d] for d in missing]
+            if engine == "fast" and len(idxs) > 1:
+                rows = run_steady_segments_multi(
+                    [geometries[i] for i in idxs], traces,
+                    streams=list(range(len(traces))))
+            else:
+                rows = [self._replay_fine(engine, geometries[i], traces)
+                        for i in idxs]
+            for i, row in zip(idxs, rows):
+                for d, stats in zip(missing, row):
+                    plans[i]["by_digest"][d] = stats
+                    self._store_traces(
+                        f"fine-{engine}-{plans[i]['geo']}-{d}", [stats])
+
+        for i in pending:
+            plan = plans[i]
+            fine = [(j, plan["by_digest"][d], scale)
+                    for d, (j, _, scale) in zip(fine_digests, fine_traces)]
+            result = ReplayResult(stream=plan["stream"], fine=fine)
+            if self.share:
+                self._configs[config_keys[i]] = result
+                self._save(f"cfg-{config_keys[i]}",
+                           {"stream": result.stream, "fine": result.fine})
+            results[i] = result
+        return results  # type: ignore[return-value]
+
+    def _executor_for_batch(self):
+        """The session's lazily-created executor (jobs from the
+        environment / registry); created serial stays serial forever,
+        so the hot path never imports multiprocessing machinery."""
+        if getattr(self, "_executor", None) is None:
+            from repro.perfmodel.parallel import ReplayExecutor
+            self._executor = ReplayExecutor()
+        return self._executor
+
+    def close(self) -> None:
+        """Release the executor's worker pool, if one was ever forked."""
+        ex = getattr(self, "_executor", None)
+        if ex is not None:
+            ex.close()
+            self._executor = None
 
     def _cached_traces(self, key: str) -> list[TLBStats] | None:
         if not self.share:
@@ -405,6 +684,6 @@ def session_scope(session: ReplaySession) -> Iterator[ReplaySession]:
         _DEFAULT = previous
 
 
-__all__ = ["ReplaySession", "ReplayResult", "SessionStats",
+__all__ = ["ReplaySession", "ReplayResult", "ReplayRequest", "SessionStats",
            "default_session", "set_default_session", "session_scope",
            "trace_digest", "geometry_digest", "TRACE_SCHEMA"]

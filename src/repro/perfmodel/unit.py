@@ -23,6 +23,11 @@ PERFMODEL_UNIT = unit_registry.register(UnitSpec(
                       doc="replay engine: vectorized batch kernels or the "
                           "scalar reference oracle (identical counters)",
                       choices=ENGINES),
+        ParameterSpec("replay_jobs", 1,
+                      doc="worker processes for batched replays: 1 = "
+                          "serial (the bit-identity reference), 0 = one "
+                          "per core; REPRO_REPLAY_JOBS overrides",
+                      validator=lambda v: v >= 0),
     ),
 ))
 

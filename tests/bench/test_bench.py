@@ -66,6 +66,90 @@ class TestCompare:
         assert compare_bench(cur, _doc()) == []
 
 
+def _report_doc(*, cores=4, jobs=2, speedup_jobs=1.9, text_jobs=True,
+                replays_jobs=8, batch_identical=True, speedup_batch=3.0,
+                wall_jobs=0.5):
+    return {
+        "schema": SCHEMA, "name": "report", "quick": True,
+        "engines": ["fast"],
+        "environment": {"cpu_count": cores, "jobs": jobs},
+        "runs": [],
+        "session": {
+            "wall_unshared_s": 2.0, "wall_cold_s": 1.0, "wall_warm_s": 0.5,
+            "configs": 22, "replays_unshared": 22, "replays_cold": 8,
+            "replays_warm": 0, "disk_hits_warm": 8,
+            "speedup_cold": 2.0, "speedup_warm": 4.0,
+            "text_sha256": "abc", "text_identical": True,
+            "jobs": jobs, "wall_cold_jobs_s": wall_jobs,
+            "replays_cold_jobs": replays_jobs, "executor_fallbacks": 0,
+            "speedup_jobs": speedup_jobs, "text_identical_jobs": text_jobs,
+        },
+        "geometry": {
+            "l1_entries": [8, 16, 32, 64],
+            "wall_batched_s": 1.0, "wall_serial_s": speedup_batch,
+            "speedup_batch": speedup_batch,
+            "batch_identical": batch_identical,
+        },
+        "summary": {"n_runs": 4, "replays_cold": 8, "replays_warm": 0,
+                    "speedup_warm": 4.0, "text_identical": True,
+                    "jobs": jobs, "speedup_jobs": speedup_jobs,
+                    "text_identical_jobs": text_jobs,
+                    "speedup_batch": speedup_batch,
+                    "batch_identical": batch_identical},
+    }
+
+
+class TestCompareReportV2:
+    def test_identical_report_docs_pass(self):
+        assert compare_bench(_report_doc(), _report_doc()) == []
+
+    def test_executor_text_divergence_fails(self):
+        failures = compare_bench(_report_doc(text_jobs=False), _report_doc())
+        assert any("under the process-pool executor" in f for f in failures)
+
+    def test_executor_replay_count_must_match_serial(self):
+        failures = compare_bench(_report_doc(replays_jobs=9), _report_doc())
+        assert any("as-if-sequential" in f for f in failures)
+
+    def test_geometry_batch_divergence_fails(self):
+        failures = compare_bench(_report_doc(batch_identical=False),
+                                 _report_doc())
+        assert any("diverged from the serial" in f for f in failures)
+
+    def test_geometry_batch_speedup_regression_fails(self):
+        failures = compare_bench(_report_doc(speedup_batch=1.1),
+                                 _report_doc(speedup_batch=3.0),
+                                 threshold=0.2)
+        assert any("geometry batch speedup regressed" in f for f in failures)
+
+    def test_jobs_speedup_gated_on_multicore_hosts(self):
+        failures = compare_bench(_report_doc(cores=8, speedup_jobs=1.0),
+                                 _report_doc(cores=8))
+        assert any("executor speedup" in f for f in failures)
+
+    def test_jobs_speedup_skipped_on_small_hosts(self):
+        notes = []
+        failures = compare_bench(_report_doc(cores=1, speedup_jobs=0.9),
+                                 _report_doc(cores=1), notes=notes)
+        assert failures == []
+        assert any("not gated" in n for n in notes)
+
+    def test_env_mismatch_skips_strict_wall(self):
+        notes = []
+        slow = _report_doc(cores=1, jobs=1, wall_jobs=9.0, speedup_jobs=None)
+        slow["session"]["wall_cold_s"] = 9.0
+        failures = compare_bench(slow, _report_doc(cores=8),
+                                 strict_wall=True, notes=notes)
+        assert failures == []
+        assert any("wall-clock gates skipped" in n for n in notes)
+
+    def test_matching_env_gates_strict_wall(self):
+        slow = _report_doc()
+        slow["session"]["wall_cold_jobs_s"] = 9.0
+        failures = compare_bench(slow, _report_doc(), strict_wall=True)
+        assert any("wall_cold_jobs_s" in f for f in failures)
+
+
 class TestLoadBaseline:
     def test_from_directory(self, tmp_path):
         (tmp_path / "BENCH_eos.json").write_text(json.dumps(_doc()))

@@ -156,6 +156,52 @@ class TestExposedCycles:
         assert 2.0 < per_miss < 15.0
 
 
+class TestMultiGeometryBatch:
+    """run_steady_segments_multi shares one stack-distance pass across
+    geometries; its contract is exact agreement with per-geometry calls."""
+
+    def _geometries(self):
+        from dataclasses import replace
+        geos = [tiny_geometry(l1_entries=e) for e in (2, 4, 8, 16)]
+        geos.append(TLBGeometry(
+            l1=TLBLevelSpec(entries=8, assoc=2, miss_penalty=7.0),
+            l2=TLBLevelSpec(entries=16, assoc=4, miss_penalty=0.0),
+            walk_cycles=90.0))
+        geos.append(A64FX.tlb)
+        geos.append(replace(A64FX.tlb, l2=replace(A64FX.tlb.l2, entries=512)))
+        geos.append(A64FX.tlb)  # duplicate exercises the shared-result path
+        return geos
+
+    def test_bit_identical_to_serial_sweep(self):
+        from repro.hw.tlb import run_steady_segments, run_steady_segments_multi
+        rng = np.random.default_rng(11)
+        traces = [trace_of(rng.integers(0, p, n))
+                  for n, p in ((600, 5), (900, 60), (400, 300))]
+        for streams in (None, [0, 0, 1], [0, 1, 2]):
+            batched = run_steady_segments_multi(self._geometries(), traces,
+                                                streams)
+            for geo, got in zip(self._geometries(), batched):
+                want = run_steady_segments(geo, traces, streams)
+                assert [(s.accesses, s.l1_misses, s.l2_misses) for s in got] \
+                    == [(s.accesses, s.l1_misses, s.l2_misses) for s in want]
+
+    def test_degenerate_inputs(self):
+        from repro.hw.tlb import run_steady_segments_multi
+        geos = self._geometries()
+        assert run_steady_segments_multi([], [trace_of([1])]) == []
+        assert run_steady_segments_multi(geos, []) == [[] for _ in geos]
+        rows = run_steady_segments_multi(geos, [PageTrace.empty()])
+        assert all(row[0].l1_misses == 0 for row in rows)
+
+    def test_results_are_independent_copies(self):
+        """Duplicate geometries must not alias mutable stats objects."""
+        from repro.hw.tlb import run_steady_segments_multi
+        geos = [A64FX.tlb, A64FX.tlb]
+        rows = run_steady_segments_multi(geos, [trace_of([1, 2, 3])])
+        rows[0][0].l1_misses = -99
+        assert rows[1][0].l1_misses != -99
+
+
 @settings(max_examples=60, deadline=None)
 @given(
     pages=st.lists(st.integers(0, 30), min_size=1, max_size=300),

@@ -42,6 +42,37 @@ class TestCostModel:
     def test_allreduce_single_rank_free(self):
         assert CommCostModel().allreduce_time(8, 1) == 0.0
 
+    def test_node_bandwidth_shared_by_residents(self):
+        """Two resident ranks halve the effective per-rank bandwidth."""
+        cost = CommCostModel()
+        assert cost.effective_bandwidth_Bps(1) == cost.bandwidth_Bps
+        assert cost.effective_bandwidth_Bps(2) == pytest.approx(
+            cost.node_bandwidth_Bps / 2)
+        t1 = cost.p2p_time(12_500_000_000, ranks_per_node=1)
+        t2 = cost.p2p_time(12_500_000_000, ranks_per_node=2)
+        assert t2 == pytest.approx(2.0 + cost.latency_s)
+        assert t2 > t1
+
+    def test_link_bandwidth_still_caps(self):
+        """A fat node pipe cannot exceed the per-rank link rate."""
+        cost = CommCostModel(node_bandwidth_Bps=100e9)
+        assert cost.effective_bandwidth_Bps(2) == cost.bandwidth_Bps
+
+    def test_allreduce_respects_residency(self):
+        cost = CommCostModel()
+        assert cost.allreduce_time(8 << 20, 4, ranks_per_node=4) > \
+            cost.allreduce_time(8 << 20, 4, ranks_per_node=1)
+
+    def test_residency_validated(self):
+        with pytest.raises(ConfigurationError):
+            CommCostModel().effective_bandwidth_Bps(0)
+
+    def test_resident_ranks_packing(self):
+        cost = CommCostModel(cores_per_node=48)
+        assert cost.resident_ranks(1) == 1
+        assert cost.resident_ranks(32) == 32
+        assert cost.resident_ranks(96) == 48
+
 
 class TestDecomposition:
     def test_all_blocks_assigned_once(self):
@@ -77,6 +108,33 @@ class TestDecomposition:
         bid = grid.tree.leaves()[0]
         assert dd.rank_of(bid) == 0
 
+    def test_rank_of_consistent_for_every_block(self):
+        """The reverse map agrees with the assignment for all blocks."""
+        grid = make_grid()
+        dd = DomainDecomposition.split(grid, 4)
+        for rank, blocks in dd.assignment.items():
+            for bid in blocks:
+                assert dd.rank_of(bid) == rank
+
+    def test_rank_of_unknown_block_raises(self):
+        grid = make_grid()
+        dd = DomainDecomposition.split(grid, 2)
+        with pytest.raises(KeyError):
+            dd.rank_of(BlockId(99, 99, 99))
+
+    def test_rank_of_handmade_assignment(self):
+        """Manually constructed decompositions lazily build the map."""
+        grid = make_grid()
+        leaves = grid.tree.leaves()
+        dd = DomainDecomposition(n_ranks=2)
+        dd.assignment[0] = leaves[: len(leaves) // 2]
+        dd.assignment[1] = leaves[len(leaves) // 2:]
+        assert dd.rank_of(leaves[-1]) == 1
+        # growing the assignment invalidates the cached map via its size
+        extra = BlockId(7, 7, 7)
+        dd.assignment[0].append(extra)
+        assert dd.rank_of(extra) == 0
+
     def test_needs_positive_ranks(self):
         with pytest.raises(ConfigurationError):
             DomainDecomposition.split(make_grid(), 0)
@@ -104,6 +162,19 @@ class TestSimComm:
         assert comm.elapsed_s >= comm.cost.p2p_time(2000)
 
 
+class TestSimCommResidency:
+    def test_simcomm_threads_ranks_per_node(self):
+        dense = SimComm(4, ranks_per_node=4)
+        sparse = SimComm(4, ranks_per_node=1)
+        for comm in (dense, sparse):
+            comm.halo_exchange([10_000_000] * 4)
+        assert dense.elapsed_s > sparse.elapsed_s
+
+    def test_simcomm_residency_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimComm(4, ranks_per_node=0)
+
+
 class TestScalingModel:
     def test_scales_reasonably_well(self):
         """The porting narrative: time falls with rank count, with the
@@ -116,3 +187,21 @@ class TestScalingModel:
         assert all(a > b for a, b in zip(ts, ts[1:]))  # monotone speedup
         eff16 = times[1] / (16 * times[16])
         assert 0.5 < eff16 <= 1.02  # reasonable, not perfect
+
+    def test_dense_packing_slower_than_sparse(self):
+        """Node-injection sharing makes packed curves honestly slower."""
+        grid = make_grid(nblock=8, max_level=0)
+        kwargs = dict(seconds_per_block_step=1e-2,
+                      bytes_per_face=8 * 10 * 8 * 2)
+        sparse = scaling_model(grid, [16], **kwargs)
+        dense = scaling_model(grid, [16], ranks_per_node=16, **kwargs)
+        assert dense[16] > sparse[16]
+
+    def test_residency_capped_at_rank_count(self):
+        """ranks_per_node above p degrades no further than p residents."""
+        grid = make_grid(nblock=8, max_level=0)
+        kwargs = dict(seconds_per_block_step=1e-2,
+                      bytes_per_face=8 * 10 * 8 * 2)
+        a = scaling_model(grid, [4], ranks_per_node=4, **kwargs)
+        b = scaling_model(grid, [4], ranks_per_node=48, **kwargs)
+        assert a[4] == pytest.approx(b[4])

@@ -1,0 +1,199 @@
+"""Determinism and concurrency of the multicore replay executor.
+
+The executor's contract is bit-identity *by construction*: a parallel
+run schedules the same pure work units as the serial reference, only on
+other processes, so every counter, every report, and the session's
+replay accounting must come out exactly equal — run to run, jobs to
+jobs, and under racing writers sharing one persistent store.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+import repro.perfmodel.parallel as parallel_mod
+from repro.experiments.workloads import sod_problem_worklog
+from repro.hw.a64fx import A64FX, XEON_E5_2683V3
+from repro.perfmodel.parallel import ReplayExecutor, resolve_jobs
+from repro.perfmodel.pipeline import PerformancePipeline, run_batch
+from repro.perfmodel.session import ReplaySession
+from repro.toolchain.compiler import FUJITSU, GNU
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def sod_log():
+    return sod_problem_worklog(quick=True)
+
+
+def _fingerprint(report):
+    """Every number the experiment harness can observe, exactly."""
+    units = {
+        name: (tot.tlb.accesses, tot.tlb.l1_misses, tot.tlb.l2_misses,
+               repr(tot.work))
+        for name, tot in report.units.items()
+    }
+    bank = report.as_counterbank()
+    counters = {event.value: total for event, total in bank.totals.items()}
+    return (units, counters, report.seconds, report.flash_timer_s,
+            report.uses_huge_pages)
+
+
+def _batch_pipelines(log, session):
+    """Four configurations with real sharing structure: two share page
+    traces (base-page toolchains), one has its own allocation story
+    (Fujitsu huge pages), one replays on a different TLB geometry."""
+    return [
+        PerformancePipeline(log, FUJITSU, session=session),
+        PerformancePipeline(log, FUJITSU, flags=("-Knolargepage",),
+                            session=session),
+        PerformancePipeline(log, GNU, machine=A64FX, session=session),
+        PerformancePipeline(log, GNU, machine=XEON_E5_2683V3,
+                            session=session),
+    ]
+
+
+class TestResolveJobs:
+    """Precedence: explicit argument > REPRO_REPLAY_JOBS > parameter."""
+
+    @pytest.fixture(autouse=True)
+    def clean_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPLAY_JOBS", raising=False)
+
+    def test_default_is_serial(self):
+        assert resolve_jobs() == 1
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_JOBS", "3")
+        assert resolve_jobs() == 3
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_JOBS", "3")
+        assert resolve_jobs(2) == 2
+
+    def test_params_override_default(self):
+        assert resolve_jobs(params={"replay_jobs": 5}) == 5
+
+    def test_auto_and_zero_mean_one_per_core(self, monkeypatch):
+        cores = os.cpu_count() or 1
+        assert resolve_jobs(0) == cores
+        assert resolve_jobs("auto") == cores
+        monkeypatch.setenv("REPRO_REPLAY_JOBS", "auto")
+        assert resolve_jobs() == cores
+
+    @pytest.mark.parametrize("bad", ["-1", "two", "1.5"])
+    def test_invalid_values_raise(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(bad)
+
+
+class TestBitIdentity:
+    """jobs=N results and accounting == the jobs=1 reference, exactly."""
+
+    def _run(self, log, jobs, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_JOBS", str(jobs))
+        session = ReplaySession(persist=False)
+        try:
+            reports = run_batch(_batch_pipelines(log, session))
+        finally:
+            session.close()
+        return [_fingerprint(r) for r in reports], session.stats
+
+    def test_jobs2_matches_serial(self, sod_log, monkeypatch):
+        ref_prints, ref_stats = self._run(sod_log, 1, monkeypatch)
+        par_prints, par_stats = self._run(sod_log, 2, monkeypatch)
+        assert par_prints == ref_prints
+        # the *accounting* is as-if-sequential too: same replay count,
+        # same hit classification, not merely the same totals
+        assert par_stats == ref_stats
+
+    def test_parallel_runs_are_repeatable(self, sod_log, monkeypatch):
+        first, s1 = self._run(sod_log, 2, monkeypatch)
+        second, s2 = self._run(sod_log, 2, monkeypatch)
+        assert first == second
+        assert s1 == s2
+
+    def test_geometry_sweep_unaffected_by_jobs(self, sod_log, monkeypatch):
+        from dataclasses import replace
+
+        geometries = [replace(A64FX.tlb,
+                              l1=replace(A64FX.tlb.l1, entries=e, assoc=e))
+                      for e in (8, 16, 64)]
+        prints = []
+        for jobs in (1, 2):
+            monkeypatch.setenv("REPRO_REPLAY_JOBS", str(jobs))
+            session = ReplaySession(persist=False)
+            try:
+                pipe = PerformancePipeline(sod_log, FUJITSU, session=session)
+                prints.append([_fingerprint(r)
+                               for r in pipe.run_geometries(geometries)])
+            finally:
+                session.close()
+        assert prints[0] == prints[1]
+
+
+class TestExecutorFallback:
+    """Pool-level damage degrades to inline execution, never to a loss."""
+
+    def test_pool_failure_retries_inline(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "_run_unit", lambda u: [u])
+        ex = ReplayExecutor(2)
+
+        def broken_pool():
+            raise RuntimeError("worker exploded")
+
+        monkeypatch.setattr(ex, "_ensure_pool", broken_pool)
+        units = [("stream", "fast", None, []), ("fine", "fast", None, [])]
+        assert ex.run_units(units) == [[u] for u in units]
+        assert ex.fallbacks == 1
+
+    def test_genuine_errors_propagate_inline(self, monkeypatch):
+        def boom(unit):
+            raise ValueError("bad trace")
+
+        monkeypatch.setattr(parallel_mod, "_run_unit", boom)
+        with pytest.raises(ValueError, match="bad trace"):
+            ReplayExecutor(1).run_units([("stream", "fast", None, [])])
+
+    def test_unknown_unit_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_mod._run_unit(("granular", "fast", None, []))
+
+    def test_serial_executor_never_forks(self):
+        ex = ReplayExecutor(1)
+        ex.run_units([])
+        assert ex._pool is None
+
+
+class TestRacingWriters:
+    """Concurrent sessions over one store: atomic renames mean the last
+    writer wins a whole entry, never a torn one."""
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="needs fork to inherit the worklog without pickling")
+    def test_racing_writers_leave_store_consistent(self, tmp_path, sod_log):
+        store = str(tmp_path / "store")
+        ctx = multiprocessing.get_context("fork")
+
+        def worker():
+            session = ReplaySession(store_dir=store)
+            PerformancePipeline(sod_log, FUJITSU, session=session).run()
+
+        procs = [ctx.Process(target=worker) for _ in range(3)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=300)
+        assert all(p.exitcode == 0 for p in procs)
+
+        # a warm reader must find a fully consistent store: zero new
+        # replays, and results bit-identical to the disabled reference
+        ref = PerformancePipeline(
+            sod_log, FUJITSU, session=ReplaySession.disabled()).run()
+        warm = ReplaySession(store_dir=store)
+        via = PerformancePipeline(sod_log, FUJITSU, session=warm).run()
+        assert _fingerprint(via) == _fingerprint(ref)
+        assert warm.stats.replays == 0
+        assert warm.stats.disk_hits > 0
