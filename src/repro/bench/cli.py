@@ -262,6 +262,12 @@ def run_report_bench(*, quick: bool = True,
             wall_cold, text_cold = timed(cold)
             warm = ReplaySession(store_dir=tmp)
             wall_warm, text_warm = timed(warm)
+            # the cache story behind the warm wall: sharded layout,
+            # entry/byte counts, migrations — same snapshot the serving
+            # layer reports on /v1/stats (while tmp still exists)
+            warm_store = warm.store
+            store_doc = (warm_store.describe()
+                         if warm_store is not None else None)
 
     resolved_jobs = resolve_jobs(jobs)
     jobs_doc: dict[str, object] = {
@@ -300,6 +306,7 @@ def run_report_bench(*, quick: bool = True,
         "speedup_warm": wall_unshared / wall_warm if wall_warm > 0 else None,
         "text_sha256": hashlib.sha256(text_unshared.encode()).hexdigest(),
         "text_identical": identical,
+        "store": store_doc,
         **jobs_doc,
     }
     geometry_doc = _geometry_block(quick=quick)

@@ -1,0 +1,132 @@
+"""Keep the docs in lockstep with the registries.
+
+Two jobs, both run by the CI ``docs`` job:
+
+* **Generated CLI reference.**  ``docs/architecture.md`` embeds the
+  output of ``python -m repro.experiments list`` between marker
+  comments; this module regenerates that block from the live
+  registries (``--write``) or verifies it is current (``--check``), so
+  registering a new experiment/workload/unit cannot silently leave the
+  documentation behind.
+
+* **Link check.**  ``--links`` walks every markdown file in ``docs/``
+  plus the top-level ``README.md``/``DESIGN.md`` and verifies that
+  every *relative* link target exists in the repository.  External
+  URLs and pure anchors are skipped — this is a repo-consistency
+  check, not a crawler.
+
+Usage::
+
+    python -m repro.experiments.docgen --check          # CI
+    python -m repro.experiments.docgen --write          # after edits
+    python -m repro.experiments.docgen --links          # link check only
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+BEGIN_MARK = "<!-- BEGIN generated: repro.experiments list -->"
+END_MARK = "<!-- END generated: repro.experiments list -->"
+
+#: files the link checker walks (relative to the repo root)
+LINKED_DOCS = ("README.md", "DESIGN.md", "ROADMAP.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def repo_root() -> Path:
+    """The repository root (three levels above this module's package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def generated_block() -> str:
+    """The registry-derived reference block, markers included."""
+    from repro.experiments.__main__ import _render_list
+    return (f"{BEGIN_MARK}\n```\n{_render_list()}\n```\n{END_MARK}")
+
+
+def render_doc(text: str) -> str:
+    """*text* with its generated block replaced by the current one."""
+    try:
+        head, rest = text.split(BEGIN_MARK, 1)
+        _, tail = rest.split(END_MARK, 1)
+    except ValueError:
+        raise SystemExit(
+            f"marker pair {BEGIN_MARK!r} .. {END_MARK!r} not found in the "
+            "target document — re-add both markers before regenerating")
+    return head + generated_block() + tail
+
+
+def check_links(root: Path) -> list[str]:
+    """Every broken relative link in the documentation set."""
+    files = sorted((root / "docs").glob("*.md"))
+    files += [root / name for name in LINKED_DOCS if (root / name).exists()]
+    problems: list[str] = []
+    for path in files:
+        for match in _LINK.finditer(path.read_text()):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.docgen",
+        description="Regenerate/verify registry-derived documentation.")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="rewrite the generated block in place")
+    mode.add_argument("--check", action="store_true",
+                      help="fail (exit 1) if the block or links are stale")
+    mode.add_argument("--links", action="store_true",
+                      help="check documentation links only")
+    parser.add_argument("--doc", type=Path, default=None,
+                        help="document holding the generated block "
+                             "(default: docs/architecture.md)")
+    args = parser.parse_args(argv)
+
+    root = repo_root()
+    doc = args.doc if args.doc is not None else root / "docs/architecture.md"
+
+    if args.links or args.check:
+        problems = check_links(root)
+        for p in problems:
+            print(p, file=sys.stderr)
+        if args.links:
+            print(f"docgen: links {'BROKEN' if problems else 'ok'}")
+            return 1 if problems else 0
+        if problems:
+            return 1
+
+    current = doc.read_text()
+    rendered = render_doc(current)
+    if args.write:
+        if rendered != current:
+            doc.write_text(rendered)
+            print(f"docgen: rewrote generated block in {doc}")
+        else:
+            print(f"docgen: {doc} already current")
+        return 0
+    if rendered != current:
+        print(f"docgen: {doc} is stale — run "
+              "`python -m repro.experiments.docgen --write`",
+              file=sys.stderr)
+        return 1
+    print("docgen: ok (generated block current, links resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

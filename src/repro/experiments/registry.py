@@ -81,7 +81,7 @@ def _run_compilers(*, quick: bool = False) -> str:
     from repro.core import unit_registry
     from repro.experiments.compilers import compiler_comparison
     log = unit_registry.workload("eos").builder(quick=quick)
-    return compiler_comparison(log).render()
+    return compiler_comparison(log, replication=2 if quick else 4).render()
 
 
 def _run_toys(*, quick: bool = False) -> str:

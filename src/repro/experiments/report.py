@@ -13,6 +13,14 @@ from repro.experiments.testprograms import (
 from repro.experiments.workloads import eos_problem_worklog, hydro_problem_worklog
 from repro.perfmodel.session import ReplaySession, default_session
 
+#: configurations the quick full report prices through the session
+QUICK_REPORT_CONFIGS = 22
+#: the PR 6 cold-replay budget: at most this many distinct TLB replays
+#: may execute for the whole quick matrix (gated by
+#: tests/experiments/test_replay_sharing.py, the report bench baseline,
+#: and the serving soak harness)
+QUICK_REPORT_REPLAY_BUDGET = 15
+
 
 def full_report(*, quick: bool = False,
                 session: ReplaySession | None = None) -> str:

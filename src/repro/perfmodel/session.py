@@ -25,7 +25,9 @@ A :class:`ReplaySession` amortises that matrix three ways:
    `repro.bench`, the tests, and CI hit warm cache across processes.  A
    corrupted entry is quarantined to ``*.corrupt`` and recomputed —
    never a crash, never a wrong number (keys are content hashes of the
-   inputs; the payload is validated by the envelope + checksum).
+   inputs; the payload is validated by the envelope + checksum).  The
+   on-disk layout, sharding, and LRU size bounds live in
+   :class:`~repro.perfmodel.store.ReplayStore`.
 
 The hard contract, inherited from the fast-path work: counters are
 **bit-identical** to per-config :class:`PerformancePipeline` runs on both
@@ -33,14 +35,16 @@ engines.  Dedup relies only on (a) SHA-256 collision resistance and (b)
 the replay kernels being pure functions of a single stream's trace —
 which is exactly what the fast-vs-scalar property suite already pins.
 
-Set ``REPRO_REPLAY_CACHE=off`` to keep the default session memory-only.
+``REPRO_REPLAY_CACHE`` follows the ``off|auto|<dir>`` contract of
+:func:`repro.perfmodel.store.resolve_cache_dir` — ``off`` keeps
+sessions memory-only, ``auto`` (or unset) uses the XDG default.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
 import struct
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -54,7 +58,11 @@ from repro.hw.tlb import (
     run_steady_segments_multi,
 )
 from repro.hw.trace import PageTrace
-from repro.util import artifacts
+from repro.perfmodel.store import (
+    ReplayStore,
+    resolve_cache_bytes,
+    resolve_cache_dir,
+)
 from repro.util.artifacts import ArtifactError
 from repro.util.errors import ConfigurationError
 
@@ -157,14 +165,18 @@ class ReplaySession:
     """
 
     def __init__(self, store_dir: str | Path | None = None, *,
-                 persist: bool = True, share: bool = True) -> None:
+                 persist: bool = True, share: bool = True,
+                 max_bytes: int | None = None) -> None:
         self.share = share
         self.persist = persist and share
         self._store_dir = Path(store_dir) if store_dir is not None else None
+        self._max_bytes = max_bytes
+        self._store_obj: ReplayStore | None = None
         self._configs: dict[str, ReplayResult] = {}
         self._traces: dict[str, list[TLBStats]] = {}
         self._memos: dict[str, Any] = {}
         self._executor = None
+        self._lock = threading.RLock()
         self.stats = SessionStats()
 
     @classmethod
@@ -173,43 +185,55 @@ class ReplaySession:
         return cls(persist=False, share=False)
 
     # --- store -----------------------------------------------------------
-    def _store(self) -> Path | None:
+    def _store(self) -> ReplayStore | None:
+        """The session's sharded persistent store, or ``None``.
+
+        Cache-dir resolution is centralized in
+        :func:`repro.perfmodel.store.resolve_cache_dir` — the single
+        reader of ``REPRO_REPLAY_CACHE`` (``off|auto|<dir>``).  An
+        explicit ``store_dir`` argument bypasses the environment; an
+        uncreatable directory degrades the session to memory-only.
+        """
         if not self.persist:
             return None
-        if self._store_dir is None:
-            base = Path(os.environ.get("XDG_CACHE_HOME",
-                                       Path.home() / ".cache"))
-            self._store_dir = base / "repro" / "replays"
-        try:
-            self._store_dir.mkdir(parents=True, exist_ok=True)
-        except OSError:
-            self.persist = False
-            return None
-        return self._store_dir
+        if self._store_obj is None:
+            store_dir = self._store_dir
+            if store_dir is None:
+                store_dir = resolve_cache_dir()
+                if store_dir is None:  # REPRO_REPLAY_CACHE=off
+                    self.persist = False
+                    return None
+            max_bytes = self._max_bytes
+            if max_bytes is None:
+                max_bytes = resolve_cache_bytes()
+            store = ReplayStore(store_dir, max_bytes=max_bytes)
+            try:
+                store.ensure()
+            except OSError:
+                self.persist = False
+                return None
+            self._store_dir = store.root
+            self._store_obj = store
+        return self._store_obj
+
+    @property
+    def store(self) -> ReplayStore | None:
+        """The persistent store (for metrics/eviction), if any."""
+        return self._store()
 
     def _load(self, name: str) -> Any | None:
         """Fetch one persisted payload; corruption quarantines and misses."""
         store = self._store()
         if store is None:
             return None
-        path = store / f"{name}.pkl"
-        if not path.exists():
-            return None
-        try:
-            return artifacts.load_pickle(path, version=_STORE_VERSION)
-        except ArtifactError:
-            artifacts.quarantine(path)
-            return None
-        except OSError:
-            return None
+        return store.load(name, version=_STORE_VERSION)
 
     def _save(self, name: str, payload: Any) -> None:
         store = self._store()
         if store is None:
             return
         try:
-            artifacts.save_pickle(store / f"{name}.pkl", payload,
-                                  version=_STORE_VERSION)
+            store.save(name, payload, version=_STORE_VERSION)
         except (OSError, ArtifactError):
             self.persist = False  # e.g. read-only cache dir: degrade quietly
 
@@ -232,6 +256,20 @@ class ReplaySession:
 
     def replay_batch(self, requests: list[ReplayRequest], *,
                      executor=None) -> list[ReplayResult]:
+        """Thread-safe entry point for :meth:`_replay_batch`.
+
+        One re-entrant lock serialises the session's cache mutations
+        (:meth:`replay_batch`, :meth:`replay_sweep`, :meth:`memo`), so a
+        multi-threaded server sharing one session keeps the exact
+        sequential accounting the bench gates on — concurrency between
+        *different* requests lives above this layer, in the serving
+        singleflight, and below it, in the replay executor.
+        """
+        with self._lock:
+            return self._replay_batch(requests, executor=executor)
+
+    def _replay_batch(self, requests: list[ReplayRequest], *,
+                      executor=None) -> list[ReplayResult]:
         """Replay many configurations, scheduling distinct work units.
 
         The batch first answers every request it can from the config
@@ -405,6 +443,19 @@ class ReplaySession:
                                                     list[tuple[int, PageTrace,
                                                                float]]]],
                      ) -> list[ReplayResult]:
+        """Thread-safe entry point for :meth:`_replay_sweep` (see
+        :meth:`replay_batch` for the locking contract)."""
+        with self._lock:
+            return self._replay_sweep(config_keys=config_keys,
+                                      geometries=geometries, engine=engine,
+                                      synthesize=synthesize)
+
+    def _replay_sweep(self, *, config_keys: list[str],
+                      geometries: list[TLBGeometry], engine: str,
+                      synthesize: Callable[[], tuple[list[PageTrace],
+                                                     list[tuple[int, PageTrace,
+                                                                float]]]],
+                      ) -> list[ReplayResult]:
         """Replay one trace set under many TLB geometries in one pass.
 
         The geometry-sweep analogue of :meth:`replay_batch`: synthesis
@@ -612,26 +663,37 @@ class ReplaySession:
         (model constants included — ``repr`` of the relevant dataclasses
         is the usual spelling).  Used by the allocation experiments,
         whose kernel/allocator simulations are pure functions of their
-        configuration.
+        configuration, and by the serving layer's rendered-report memo.
+        Holds the session lock for the duration of ``builder()`` (see
+        :meth:`replay_batch`).
         """
+        key = self.memo_key(kind, key_parts)
+        with self._lock:
+            if self.share:
+                if key in self._memos:
+                    self.stats.memo_hits += 1
+                    return self._memos[key]
+                stored = self._load(f"memo-{key}")
+                if stored is not None and (validate is None
+                                           or validate(stored)):
+                    self._memos[key] = stored
+                    self.stats.memo_hits += 1
+                    return stored
+            value = builder()
+            if self.share:
+                self._memos[key] = value
+                self._save(f"memo-{key}", value)
+            return value
+
+    @staticmethod
+    def memo_key(kind: str, key_parts: tuple) -> str:
+        """The content digest :meth:`memo` files ``(kind, key_parts)``
+        under — exposed so callers (the serving singleflight) can name,
+        pin, or probe the persisted ``memo-<key>`` entry."""
         h = hashlib.sha256()
         h.update(f"{kind}/{TRACE_SCHEMA}".encode())
         h.update(repr(key_parts).encode())
-        key = _hexdigest(h)
-        if self.share:
-            if key in self._memos:
-                self.stats.memo_hits += 1
-                return self._memos[key]
-            stored = self._load(f"memo-{key}")
-            if stored is not None and (validate is None or validate(stored)):
-                self._memos[key] = stored
-                self.stats.memo_hits += 1
-                return stored
-        value = builder()
-        if self.share:
-            self._memos[key] = value
-            self._save(f"memo-{key}", value)
-        return value
+        return _hexdigest(h)
 
     # --- sugar ------------------------------------------------------------
     def pipeline(self, log, compiler, **kwargs):
@@ -652,18 +714,14 @@ _DEFAULT: ReplaySession | None = None
 def default_session() -> ReplaySession:
     """The shared session every un-parameterised consumer joins.
 
-    Honours ``REPRO_REPLAY_CACHE``: ``off``/``0`` keeps it memory-only,
-    any other value names the store directory.
+    ``REPRO_REPLAY_CACHE`` (``off|auto|<dir>``) is honoured lazily by
+    the session's store, through the one resolver in
+    :mod:`repro.perfmodel.store` — every session without an explicit
+    ``store_dir`` obeys it, not just this default one.
     """
     global _DEFAULT
     if _DEFAULT is None:
-        env = os.environ.get("REPRO_REPLAY_CACHE", "")
-        if env.lower() in ("off", "0", "none"):
-            _DEFAULT = ReplaySession(persist=False)
-        elif env:
-            _DEFAULT = ReplaySession(store_dir=env)
-        else:
-            _DEFAULT = ReplaySession()
+        _DEFAULT = ReplaySession()
     return _DEFAULT
 
 
@@ -686,4 +744,5 @@ def session_scope(session: ReplaySession) -> Iterator[ReplaySession]:
 
 __all__ = ["ReplaySession", "ReplayResult", "ReplayRequest", "SessionStats",
            "default_session", "set_default_session", "session_scope",
-           "trace_digest", "geometry_digest", "TRACE_SCHEMA"]
+           "trace_digest", "geometry_digest", "TRACE_SCHEMA",
+           "resolve_cache_dir", "resolve_cache_bytes"]

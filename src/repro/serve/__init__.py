@@ -1,0 +1,25 @@
+"""``repro.serve`` — the async experiment service.
+
+A long-running front end over the PR 5/6 replay machinery: clients
+request rendered reports/tables/figures over HTTP (``python -m
+repro.serve``), identical in-flight computations coalesce through a
+singleflight layer, completed ones persist in the sharded, size-bounded
+replay store, and everything is observable via ``/metrics`` and a
+structured ``SERVICE_REPORT.json``.  ``python -m repro.serve.soak``
+drives hundreds of concurrent clients against an in-process server and
+asserts the cache-budget and latency contracts.
+
+See ``docs/serving.md`` for endpoints, schemas, cache layout, and the
+operational story.
+"""
+
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.service import (
+    ExperimentService,
+    ReportResponse,
+    UnknownExperimentError,
+)
+from repro.serve.singleflight import Singleflight, SingleflightStats
+
+__all__ = ["ExperimentService", "ReportResponse", "UnknownExperimentError",
+           "MetricsRegistry", "Singleflight", "SingleflightStats"]

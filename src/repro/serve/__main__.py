@@ -1,0 +1,103 @@
+"""CLI: run the experiment service.
+
+Usage::
+
+    python -m repro.serve [--host 127.0.0.1] [--port 8077]
+                          [--cache-dir DIR] [--cache-bytes 256M]
+                          [--workers 2] [--report SERVICE_REPORT.json]
+
+``--port 0`` binds an ephemeral port (printed on startup).  The service
+shuts down gracefully on SIGTERM/SIGINT — in-flight requests finish,
+and ``--report`` writes the structured service report on the way out.
+The replay cache honours ``REPRO_REPLAY_CACHE`` (``off|auto|<dir>``)
+and ``REPRO_REPLAY_CACHE_BYTES`` unless overridden by the flags above.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import logging
+import signal
+import sys
+from pathlib import Path
+
+from repro.perfmodel.session import ReplaySession
+from repro.perfmodel.store import resolve_cache_bytes
+from repro.serve.http import HttpServer
+from repro.serve.service import ExperimentService
+
+
+def build_service(*, cache_dir: str | None = None,
+                  cache_bytes: str | None = None,
+                  workers: int = 2) -> ExperimentService:
+    """Construct the service with an optionally overridden cache."""
+    max_bytes = (resolve_cache_bytes(cache_bytes)
+                 if cache_bytes is not None else None)
+    if cache_dir is not None or max_bytes is not None:
+        session = ReplaySession(store_dir=cache_dir, max_bytes=max_bytes)
+    else:
+        session = None  # the process-wide default session
+    return ExperimentService(session=session, max_workers=workers)
+
+
+async def run_server(service: ExperimentService, *, host: str, port: int,
+                     report_path: Path | None = None) -> int:
+    server = HttpServer(service, host=host, port=port)
+    await server.start()
+    print(f"repro.serve listening on {server.url}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread / platform without signal support
+    await stop.wait()
+    await server.close()
+    if report_path is not None:
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(
+            json.dumps(service.service_report(), indent=2, sort_keys=True)
+            + "\n")
+        print(f"wrote {report_path}", flush=True)
+    service.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve experiment reports off the replay cache.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8077,
+                        help="TCP port (0 = ephemeral, printed on startup)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="replay store directory (default: "
+                             "REPRO_REPLAY_CACHE / the XDG location)")
+    parser.add_argument("--cache-bytes", default=None, metavar="N[K|M|G]",
+                        help="LRU size bound for the store (default: "
+                             "REPRO_REPLAY_CACHE_BYTES / unbounded)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="computation worker threads (default: 2)")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="write SERVICE_REPORT.json here on shutdown")
+    args = parser.parse_args(argv)
+
+    logging.basicConfig(level=logging.INFO,
+                        format="%(asctime)s %(name)s %(message)s")
+    service = build_service(cache_dir=args.cache_dir,
+                            cache_bytes=args.cache_bytes,
+                            workers=args.workers)
+    try:
+        return asyncio.run(run_server(service, host=args.host,
+                                      port=args.port,
+                                      report_path=args.report))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,231 @@
+"""A stdlib-asyncio HTTP/1.1 front end for the experiment service.
+
+No web framework, no new dependencies: ``asyncio.start_server`` plus a
+minimal, strict request parser covering exactly what the service needs
+(GET/POST, small JSON bodies, keep-alive).  Endpoints — full schemas
+and a worked session live in ``docs/serving.md``:
+
+====================  =======================================================
+``GET /healthz``      liveness: ``{"status": "ok"}``
+``GET /metrics``      Prometheus text exposition (counters + histograms)
+``GET /v1/stats``     the structured service report (JSON)
+``GET /v1/experiments``  the experiment registry, names + one-liners
+``GET /v1/report/<name>?quick=1``  one rendered experiment report
+``POST /v1/report``   same, body ``{"name": ..., "quick": ...}``
+====================  =======================================================
+
+Report responses carry the rendered text, its SHA-256, and cache
+provenance (``cold`` / ``warm`` / ``memory`` / ``coalesced``).  Unknown
+experiments are 404 with the registry's did-you-mean suggestion; bad
+requests are 400; a computation failure is 500 with the exception type
+(the traceback stays in the server log, not the wire).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Any
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.serve.service import ExperimentService, UnknownExperimentError
+
+logger = logging.getLogger(__name__)
+
+#: request-line + headers ceiling; this is a report service, not a proxy
+MAX_HEADER_BYTES = 16 * 1024
+#: JSON body ceiling
+MAX_BODY_BYTES = 64 * 1024
+
+_TRUE = {"1", "true", "yes", "on"}
+_FALSE = {"0", "false", "no", "off", ""}
+
+
+class HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 413: "Payload Too Large",
+                500: "Internal Server Error"}
+
+
+def _parse_bool(raw: str, *, name: str) -> bool:
+    low = raw.strip().lower()
+    if low in _TRUE:
+        return True
+    if low in _FALSE:
+        return False
+    raise HttpError(400, f"{name} must be a boolean, got {raw!r}")
+
+
+class HttpServer:
+    """Binds an :class:`ExperimentService` to a TCP port."""
+
+    def __init__(self, service: ExperimentService, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, backlog=512)
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("repro.serve listening on http://%s:%d",
+                    self.host, self.port)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # --- connection handling ---------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.LimitOverrunError):
+            pass  # client went away or overflowed the line buffer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_one(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> bool:
+        """Serve one request; returns whether to keep the connection."""
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > MAX_HEADER_BYTES:
+            await self._send(writer, 413, {"error": "headers too large"})
+            return False
+        try:
+            request_line, *header_lines = head.decode(
+                "latin-1").split("\r\n")
+            method, target, version = request_line.split(" ", 2)
+        except ValueError:
+            await self._send(writer, 400, {"error": "malformed request line"})
+            return False
+        headers = {}
+        for line in header_lines:
+            if not line:
+                continue
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                await self._send(writer, 400,
+                                 {"error": "bad Content-Length"})
+                return False
+            if n > MAX_BODY_BYTES:
+                await self._send(writer, 413, {"error": "body too large"})
+                return False
+            body = await reader.readexactly(n)
+
+        keep_alive = (version == "HTTP/1.1"
+                      and headers.get("connection", "").lower() != "close")
+        try:
+            status, payload, content_type = await self._route(
+                method.upper(), target, body)
+        except HttpError as exc:
+            status, payload, content_type = (
+                exc.status, {"error": exc.message}, "application/json")
+        except UnknownExperimentError as exc:
+            status, payload, content_type = (
+                404, {"error": str(exc)}, "application/json")
+        except Exception as exc:  # computation failure -> 500, keep serving
+            logger.exception("request %s %s failed", method, target)
+            status, payload, content_type = (
+                500, {"error": f"{type(exc).__name__}: {exc}"},
+                "application/json")
+        await self._send(writer, status, payload,
+                         content_type=content_type, keep_alive=keep_alive)
+        return keep_alive
+
+    async def _route(self, method: str, target: str,
+                     body: bytes) -> tuple[int, Any, str]:
+        parts = urlsplit(target)
+        path = unquote(parts.path)
+        query = parse_qs(parts.query)
+
+        if path == "/healthz":
+            return 200, {"status": "ok"}, "application/json"
+        if path == "/metrics":
+            if method != "GET":
+                raise HttpError(405, "GET only")
+            return (200, self.service.metrics.render_prometheus(),
+                    "text/plain; version=0.0.4")
+        if path == "/v1/stats":
+            return 200, self.service.service_report(), "application/json"
+        if path == "/v1/experiments":
+            return (200, {"experiments": self.service.list_experiments()},
+                    "application/json")
+        if path.startswith("/v1/report/") and method == "GET":
+            name = path[len("/v1/report/"):]
+            if not name or "/" in name:
+                raise HttpError(400, "expected /v1/report/<experiment>")
+            quick = _parse_bool(query.get("quick", ["0"])[-1], name="quick")
+            response = await self.service.report(name, quick=quick)
+            return 200, response.to_json(), "application/json"
+        if path == "/v1/report" and method == "POST":
+            try:
+                doc = json.loads(body.decode() or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise HttpError(400, f"bad JSON body: {exc}") from None
+            if not isinstance(doc, dict) or "name" not in doc:
+                raise HttpError(400, 'body must be {"name": ..., "quick": ...}')
+            quick = doc.get("quick", False)
+            if not isinstance(quick, bool):
+                quick = _parse_bool(str(quick), name="quick")
+            response = await self.service.report(str(doc["name"]),
+                                                 quick=quick)
+            return 200, response.to_json(), "application/json"
+        if path in ("/v1/report", "/metrics") or path.startswith("/v1/"):
+            raise HttpError(405 if method not in ("GET", "POST") else 404,
+                            f"no route for {method} {path}")
+        raise HttpError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, status: int, payload: Any,
+                    *, content_type: str = "application/json",
+                    keep_alive: bool = False) -> None:
+        if isinstance(payload, str):
+            body = payload.encode()
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                "\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+__all__ = ["HttpServer", "HttpError", "MAX_HEADER_BYTES", "MAX_BODY_BYTES"]

@@ -1,0 +1,191 @@
+"""Counters and latency histograms for the experiment service.
+
+A deliberately small, stdlib-only metrics layer in the Prometheus
+idiom: named counters with label sets, and histograms with fixed
+log-spaced latency buckets.  Two render targets:
+
+* :meth:`MetricsRegistry.render_prometheus` — the ``/metrics`` text
+  exposition format (counters as ``name{labels} value``, histograms as
+  cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``);
+* :meth:`MetricsRegistry.render_dict` — a JSON-ready snapshot embedded
+  in ``SERVICE_REPORT.json`` and served on ``/v1/stats``, with p50/p90/
+  p99 estimates per histogram.
+
+Thread-safe: request handling runs on the event loop but computations
+(and their cache-op accounting) run in worker threads, so every mutation
+holds one lock.  Percentiles come from the retained samples while they
+fit in memory (exact for any soak this repo runs) and degrade to bucket
+upper-bound interpolation beyond the retention cap.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+
+#: histogram bucket upper bounds, in milliseconds (log-spaced 1-2-5)
+DEFAULT_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                      500.0, 1000.0, 2000.0, 5000.0, 10000.0, 30000.0,
+                      60000.0, math.inf)
+
+#: exact-percentile retention cap per histogram; beyond it percentiles
+#: fall back to bucket interpolation (counters and buckets never cap)
+SAMPLE_CAP = 100_000
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def _format_labels(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+
+
+@dataclass
+class Histogram:
+    """One latency distribution: buckets + retained samples."""
+
+    buckets_ms: tuple[float, ...] = DEFAULT_BUCKETS_MS
+    counts: list[int] = field(default_factory=list)
+    sum_ms: float = 0.0
+    count: int = 0
+    min_ms: float = math.inf
+    max_ms: float = 0.0
+    _samples: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * len(self.buckets_ms)
+
+    def observe(self, value_ms: float) -> None:
+        value_ms = max(0.0, float(value_ms))
+        self.counts[bisect_left(self.buckets_ms, value_ms)] += 1
+        self.sum_ms += value_ms
+        self.count += 1
+        self.min_ms = min(self.min_ms, value_ms)
+        self.max_ms = max(self.max_ms, value_ms)
+        if len(self._samples) < SAMPLE_CAP:
+            insort(self._samples, value_ms)
+
+    def percentile(self, p: float) -> float | None:
+        """The *p*-th percentile (0-100); ``None`` before any sample."""
+        if self.count == 0:
+            return None
+        if self._samples and len(self._samples) == self.count:
+            rank = max(0, math.ceil(p / 100.0 * self.count) - 1)
+            return self._samples[min(rank, self.count - 1)]
+        # retention overflowed: answer from the cumulative buckets
+        target = p / 100.0 * self.count
+        seen = 0
+        for bound, n in zip(self.buckets_ms, self.counts):
+            seen += n
+            if seen >= target:
+                return self.max_ms if math.isinf(bound) else bound
+        return self.max_ms
+
+    def snapshot(self) -> dict[str, float | int | None]:
+        return {
+            "count": self.count,
+            "sum_ms": self.sum_ms,
+            "min_ms": None if self.count == 0 else self.min_ms,
+            "max_ms": None if self.count == 0 else self.max_ms,
+            "mean_ms": self.sum_ms / self.count if self.count else None,
+            "p50_ms": self.percentile(50),
+            "p90_ms": self.percentile(90),
+            "p99_ms": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Process-wide named counters and histograms with label sets."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[tuple, float]] = {}
+        self._histograms: dict[str, dict[tuple, Histogram]] = {}
+
+    # --- recording --------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + value
+
+    def set(self, name: str, value: float, **labels: str) -> None:
+        """Set a counter to an absolute value (for mirroring externally
+        accumulated totals like ``SessionStats`` into the exposition)."""
+        with self._lock:
+            self._counters.setdefault(name, {})[_label_key(labels)] = value
+
+    def observe(self, name: str, value_ms: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._histograms.setdefault(name, {})
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = Histogram()
+            hist.observe(value_ms)
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        with self._lock:
+            return self._counters.get(name, {}).get(_label_key(labels), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter across all label sets."""
+        with self._lock:
+            return sum(self._counters.get(name, {}).values())
+
+    def histogram(self, name: str, **labels: str) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(name, {}).get(_label_key(labels))
+
+    # --- rendering --------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The ``/metrics`` payload (text exposition format, version 0.0.4)."""
+        with self._lock:
+            lines: list[str] = []
+            for name in sorted(self._counters):
+                lines.append(f"# TYPE {name} counter")
+                for key, value in sorted(self._counters[name].items()):
+                    value_text = (str(int(value))
+                                  if float(value).is_integer() else
+                                  repr(value))
+                    lines.append(f"{name}{_format_labels(key)} {value_text}")
+            for name in sorted(self._histograms):
+                lines.append(f"# TYPE {name} histogram")
+                for key, hist in sorted(self._histograms[name].items()):
+                    cumulative = 0
+                    for bound, n in zip(hist.buckets_ms, hist.counts):
+                        cumulative += n
+                        le = "+Inf" if math.isinf(bound) else repr(bound)
+                        labels = dict(key)
+                        labels["le"] = le
+                        lines.append(
+                            f"{name}_bucket{_format_labels(_label_key(labels))}"
+                            f" {cumulative}")
+                    lines.append(
+                        f"{name}_sum{_format_labels(key)} {hist.sum_ms!r}")
+                    lines.append(
+                        f"{name}_count{_format_labels(key)} {hist.count}")
+            return "\n".join(lines) + "\n"
+
+    def render_dict(self) -> dict:
+        """JSON-ready snapshot for ``SERVICE_REPORT.json`` / ``/v1/stats``."""
+        with self._lock:
+            counters = {
+                name: {(",".join(f"{k}={v}" for k, v in key) or "_"): value
+                       for key, value in series.items()}
+                for name, series in sorted(self._counters.items())}
+            histograms = {
+                name: {(",".join(f"{k}={v}" for k, v in key) or "_"):
+                       hist.snapshot()
+                       for key, hist in series.items()}
+                for name, series in sorted(self._histograms.items())}
+        return {"counters": counters, "histograms": histograms}
+
+
+__all__ = ["MetricsRegistry", "Histogram", "DEFAULT_BUCKETS_MS", "SAMPLE_CAP"]

@@ -1,0 +1,260 @@
+"""The experiment service: rendered reports served off the replay cache.
+
+:class:`ExperimentService` is the transport-independent core of
+``python -m repro.serve`` (the HTTP front end wraps it; the soak
+harness drives it).  A request names a registered experiment (the same
+registry ``python -m repro.experiments`` dispatches from) plus a
+``quick`` flag; the response is the experiment's rendered text —
+byte-identical to the offline CLI, because it *is* the same runner —
+plus cache/timing metadata.
+
+Three layers keep N concurrent clients from costing N replays:
+
+1. **Response memory** — a completed request's rendered text is kept
+   in-process keyed by its content digest, so repeat requests are
+   answered on the event loop in microseconds.
+2. **Singleflight** — concurrent requests sharing a digest join the
+   in-flight leader (:mod:`repro.serve.singleflight`); N cold requests
+   for one configuration run one computation.
+3. **The replay session** — the leader's computation runs under the
+   service's shared :class:`ReplaySession`, so *different* experiments
+   still share synthesis and TLB replays through the PR 5
+   content-addressed cache, and the rendered text itself persists as a
+   session memo (``memo-<digest>``) — a service restarted over a warm
+   store serves its first request from disk in milliseconds, without
+   replaying anything.
+
+The request digest is :meth:`ReplaySession.memo_key` over
+``(experiment, quick, engine)`` — the same key the persisted memo files
+under, which is what lets a singleflight leader pin its store entry
+against LRU eviction for the duration of the computation.
+
+Computations are synchronous CPU-bound model code, so they run on a
+small thread pool; the session's internal lock serialises cache
+mutations, which preserves the sequential ``SessionStats`` accounting
+(`replays` stays the "distinct TLB replays" number the budget tests
+gate on).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from repro.experiments.registry import experiment, experiments
+from repro.perfmodel.pipeline import resolve_engine
+from repro.perfmodel.session import (
+    ReplaySession,
+    default_session,
+    session_scope,
+)
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.singleflight import Singleflight
+from repro.util.errors import ConfigurationError
+
+#: schema of the structured service report (SERVICE_REPORT.json, /v1/stats)
+REPORT_SCHEMA = "repro.serve/1"
+
+#: memo kind under which rendered reports persist in the replay store
+MEMO_KIND = "serve-report"
+
+
+class UnknownExperimentError(ConfigurationError):
+    """Request named an experiment the registry does not know (HTTP 404)."""
+
+
+@dataclass
+class ReportResponse:
+    """One served report: the text plus its provenance."""
+
+    name: str
+    quick: bool
+    engine: str
+    #: request/content digest (the singleflight and memo key)
+    key: str
+    #: the rendered experiment text, byte-identical to the offline CLI
+    text: str
+    #: SHA-256 of ``text`` (clients comparing against offline output can
+    #: skip transferring the body)
+    sha256: str
+    #: how this response was produced: ``memory`` (service response
+    #: cache), ``coalesced`` (joined an in-flight computation), ``warm``
+    #: (session memo — a prior run or a restarted service's store),
+    #: ``cold`` (computed now)
+    cache: str
+    elapsed_ms: float
+
+    def to_json(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+class ExperimentService:
+    """Serves experiment reports off a shared replay session."""
+
+    def __init__(self, *, session: ReplaySession | None = None,
+                 max_workers: int = 2,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.session = session if session is not None else default_session()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.singleflight = Singleflight()
+        self.started_at = time.time()
+        self._responses: dict[str, ReportResponse] = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve")
+        # one compute at a time may own the default-session scope; warm
+        # memo reads queue behind cold replays here, never interleave
+        self._scope_lock = threading.Lock()
+
+    # --- request resolution ----------------------------------------------
+    @staticmethod
+    def request_key(name: str, quick: bool, engine: str) -> str:
+        """The content digest identifying one request's inputs.
+
+        Exactly the session's memo key for the persisted rendered text,
+        so the singleflight layer, the response memory, and the on-disk
+        ``memo-<key>`` entry all agree on what "the same request" means.
+        """
+        return ReplaySession.memo_key(MEMO_KIND, (name, bool(quick), engine))
+
+    def resolve(self, name: str, quick: bool) -> tuple[str, str]:
+        """Validate *name* against the registry; returns (engine, key)."""
+        try:
+            experiment(name)
+        except ConfigurationError as exc:
+            raise UnknownExperimentError(str(exc)) from None
+        engine = resolve_engine()
+        return engine, self.request_key(name, quick, engine)
+
+    def list_experiments(self) -> list[dict[str, str]]:
+        return [{"name": spec.name, "description": spec.description}
+                for spec in experiments()]
+
+    # --- serving ----------------------------------------------------------
+    async def report(self, name: str, *, quick: bool = False) -> ReportResponse:
+        """Serve one experiment report (the HTTP handlers await this)."""
+        import asyncio
+
+        t0 = time.perf_counter()
+        engine, key = self.resolve(name, quick)
+
+        cached = self._responses.get(key)
+        if cached is not None:
+            response = self._respond(cached, "memory", t0)
+            self._record(response)
+            return response
+
+        loop = asyncio.get_running_loop()
+        (text, compute_cache), coalesced = await self.singleflight.do(
+            key, lambda: loop.run_in_executor(
+                self._pool, self._compute, key, name, quick, engine))
+        response = ReportResponse(
+            name=name, quick=bool(quick), engine=engine, key=key, text=text,
+            sha256=hashlib.sha256(text.encode()).hexdigest(),
+            cache="coalesced" if coalesced else compute_cache,
+            elapsed_ms=(time.perf_counter() - t0) * 1e3)
+        self._responses.setdefault(key, response)
+        self._record(response)
+        return response
+
+    def _respond(self, base: ReportResponse, cache: str,
+                 t0: float) -> ReportResponse:
+        return ReportResponse(
+            name=base.name, quick=base.quick, engine=base.engine,
+            key=base.key, text=base.text, sha256=base.sha256, cache=cache,
+            elapsed_ms=(time.perf_counter() - t0) * 1e3)
+
+    def _compute(self, key: str, name: str, quick: bool,
+                 engine: str) -> tuple[str, str]:
+        """Run (or recall) one experiment under the service session.
+
+        Executes on a worker thread.  The rendered text is memoised in
+        the session store under ``memo-<key>``; while this computation
+        is in flight that entry is pinned, so a concurrent LRU eviction
+        pass can never delete what the leader is about to read or has
+        just written.
+        """
+        computed = False
+
+        def build() -> str:
+            nonlocal computed
+            computed = True
+            return experiment(name).run(quick=quick)
+
+        with ExitStack() as stack:
+            stack.enter_context(self._scope_lock)
+            stack.enter_context(session_scope(self.session))
+            store = self.session.store
+            if store is not None:
+                stack.enter_context(store.pinned(f"memo-{key}"))
+            text = self.session.memo(
+                MEMO_KIND, (name, bool(quick), engine), build,
+                validate=lambda v: isinstance(v, str) and bool(v))
+        return text, ("cold" if computed else "warm")
+
+    def _record(self, response: ReportResponse) -> None:
+        self.metrics.inc("serve_requests_total",
+                         experiment=response.name, cache=response.cache)
+        self.metrics.observe("serve_request_ms", response.elapsed_ms,
+                             cache=response.cache)
+        self._mirror_backends()
+
+    def _mirror_backends(self) -> None:
+        """Mirror session/store/singleflight counters into the registry
+        so one ``/metrics`` scrape carries the whole story."""
+        m = self.metrics
+        sf = self.singleflight.stats
+        m.set("serve_singleflight_leaders_total", sf.leaders)
+        m.set("serve_singleflight_coalesced_total", sf.coalesced)
+        m.set("serve_singleflight_failures_total", sf.failures)
+        s = self.session.stats
+        m.set("serve_replay_configs_total", s.configs)
+        m.set("serve_replays_total", s.replays)
+        m.set("serve_replay_hits_total", s.memory_hits, layer="memory")
+        m.set("serve_replay_hits_total", s.disk_hits, layer="disk")
+        m.set("serve_replay_hits_total", s.trace_hits, layer="trace")
+        m.set("serve_replay_memo_hits_total", s.memo_hits)
+        store = self.session.store
+        if store is not None:
+            m.set("serve_store_evictions_total", store.stats.evictions)
+            m.set("serve_store_evicted_bytes_total",
+                  store.stats.evicted_bytes)
+            m.set("serve_store_migrated_total", store.stats.migrated)
+            m.set("serve_store_corrupt_total", store.stats.corrupt)
+
+    # --- observability ----------------------------------------------------
+    def service_report(self) -> dict[str, Any]:
+        """The structured report (``SERVICE_REPORT.json`` / ``/v1/stats``)."""
+        self._mirror_backends()
+        store = self.session.store
+        sf = self.singleflight.stats
+        session = self.session.stats
+        return {
+            "schema": REPORT_SCHEMA,
+            "uptime_s": time.time() - self.started_at,
+            "requests": {
+                "total": int(self.metrics.counter_total(
+                    "serve_requests_total")),
+                "distinct": len(self._responses),
+            },
+            "singleflight": {
+                "leaders": sf.leaders,
+                "coalesced": sf.coalesced,
+                "failures": sf.failures,
+            },
+            "session": asdict(session),
+            "store": store.describe() if store is not None else None,
+            "metrics": self.metrics.render_dict(),
+        }
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        self.session.close()
+
+
+__all__ = ["ExperimentService", "ReportResponse", "UnknownExperimentError",
+           "REPORT_SCHEMA", "MEMO_KIND"]

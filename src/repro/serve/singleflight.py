@@ -1,0 +1,92 @@
+"""Coalesce concurrent identical computations (the singleflight pattern).
+
+The experiment service's workload is many near-identical requests: N
+clients asking for the same table at once.  The replay cache makes the
+*second* request cheap, but only once the first has finished — without
+coalescing, N concurrent cold requests each start the same replay and
+the cache dedupes none of them (they all miss before any of them
+writes).  :class:`Singleflight` closes that window: requests sharing a
+key join the in-flight leader's future, so N concurrent requests for
+one configuration cost exactly one computation.
+
+Keys are content digests (the same PR 5 digest discipline the replay
+cache uses — see :meth:`ExperimentService.request_key`), so "identical
+request" means identical *inputs*, never just an equal URL string.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class SingleflightStats:
+    """Counters surfaced on ``/metrics``."""
+
+    #: calls that started a computation (one per distinct in-flight key)
+    leaders: int = 0
+    #: calls that joined an already-in-flight leader instead of computing
+    coalesced: int = 0
+    #: leader computations that raised (waiters see the same exception)
+    failures: int = 0
+
+
+@dataclass
+class Singleflight:
+    """Per-key coalescing of concurrent awaitable computations.
+
+    Single-event-loop discipline: all bookkeeping happens between
+    awaits, so no locks are needed.  The leader's result (or exception)
+    is shared with every waiter that arrived while it was in flight;
+    once it resolves, the key is live again — later requests start a
+    fresh computation (and normally hit the cache the leader warmed).
+    """
+
+    stats: SingleflightStats = field(default_factory=SingleflightStats)
+
+    def __post_init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+
+    def inflight(self) -> tuple[str, ...]:
+        """Keys currently being computed (eviction pins these)."""
+        return tuple(self._inflight)
+
+    async def do(self, key: str,
+                 thunk: Callable[[], Awaitable[T]]) -> tuple[T, bool]:
+        """Run ``thunk`` unless *key* is already in flight.
+
+        Returns ``(result, coalesced)`` where ``coalesced`` tells the
+        caller whether it waited on another request's computation (the
+        service labels such responses and counts them).  A waiter being
+        cancelled never cancels the leader — the future is shielded, so
+        one impatient client cannot fail the N-1 others.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.stats.coalesced += 1
+            return await asyncio.shield(existing), True
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.stats.leaders += 1
+        try:
+            result = await thunk()
+        except BaseException as exc:
+            self.stats.failures += 1
+            if not future.cancelled():
+                future.set_exception(exc)
+                # mark retrieved: with zero waiters nobody else reads it
+                future.exception()
+            raise
+        else:
+            if not future.cancelled():
+                future.set_result(result)
+            return result, False
+        finally:
+            self._inflight.pop(key, None)
+
+
+__all__ = ["Singleflight", "SingleflightStats"]

@@ -1,0 +1,247 @@
+"""Soak the experiment service: hundreds of clients, one cache story.
+
+``python -m repro.serve.soak`` stands up an in-process server over a
+throwaway replay store and fires two bursts of concurrent HTTP clients
+at it — a **cold** burst (empty store: every distinct request must
+coalesce onto one computation) and a **warm** burst (every request must
+be answered from response memory in milliseconds).  It then checks the
+contracts the serving layer advertises:
+
+* every response is 200 and its ``sha256`` matches the offline
+  pipeline's output for the same experiment (byte-identity);
+* the session performed at most
+  :data:`~repro.experiments.report.QUICK_REPORT_REPLAY_BUDGET` distinct
+  TLB replays for the whole burst (singleflight + content-addressed
+  dedup did their job);
+* ``coalesced >= cold_clients - replay_budget`` — concurrent identical
+  requests joined in-flight leaders instead of recomputing;
+* warm-burst p50 latency is under the advertised bound (50 ms).
+
+The structured service report — plus a ``soak`` section recording every
+check — is written to ``--out`` (default ``SERVICE_REPORT.json``); the
+exit code is 0 iff all checks pass.  CI's ``serve-smoke`` job runs this
+with ``--clients 200`` and uploads the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.registry import experiment
+from repro.experiments.report import QUICK_REPORT_REPLAY_BUDGET
+from repro.perfmodel.session import ReplaySession, session_scope
+from repro.serve.http import HttpServer
+from repro.serve.service import ExperimentService
+from repro.util.errors import ConfigurationError
+
+#: the serving latency contract checked against the warm burst
+WARM_P50_BOUND_MS = 50.0
+
+#: every deterministic registry target (the chaos-soak experiment is
+#: excluded: it reads REPRO_SOAK_* from the environment, so it is not a
+#: pure function of (name, quick) the way the cache key assumes)
+DEFAULT_TARGETS = ("all", "table1", "table2", "figure1", "compilers",
+                   "toys", "matrix", "geometry", "porting")
+
+
+def offline_reference(targets: tuple[str, ...], *,
+                      quick: bool) -> dict[str, str]:
+    """SHA-256 of each target's offline (CLI-equivalent) rendering.
+
+    Runs under a fresh memory-only session, exactly like
+    ``REPRO_REPLAY_CACHE=off python -m repro.experiments <name>`` — the
+    independent ground truth the served bytes must match.
+    """
+    shas: dict[str, str] = {}
+    with session_scope(ReplaySession(persist=False)) as session:
+        for name in targets:
+            text = experiment(name).run(quick=quick)
+            shas[name] = hashlib.sha256(text.encode()).hexdigest()
+        session.close()
+    return shas
+
+
+async def _client(host: str, port: int, name: str, *, quick: bool,
+                  go: asyncio.Event) -> dict[str, Any]:
+    """One raw-socket client: connect, wait for the barrier, request.
+
+    Connecting first and writing only once *every* client is connected
+    makes the burst genuinely concurrent — the server sees all N
+    requests before the fastest computation can finish, which is what
+    exercises the singleflight layer rather than the response memory.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await go.wait()
+        t0 = time.perf_counter()
+        request = (f"GET /v1/report/{name}?quick={int(quick)} HTTP/1.1\r\n"
+                   f"Host: {host}\r\nConnection: close\r\n\r\n")
+        writer.write(request.encode())
+        await writer.drain()
+        raw = await reader.read()
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    doc = json.loads(body.decode()) if body else {}
+    return {"name": name, "status": status, "elapsed_ms": elapsed_ms,
+            "sha256": doc.get("sha256"), "cache": doc.get("cache"),
+            "error": doc.get("error")}
+
+
+async def _burst(host: str, port: int, targets: tuple[str, ...],
+                 clients: int, *, quick: bool) -> list[dict[str, Any]]:
+    go = asyncio.Event()
+    tasks = [asyncio.create_task(
+        _client(host, port, targets[i % len(targets)], quick=quick, go=go))
+        for i in range(clients)]
+    await asyncio.sleep(0.05)  # let every client connect
+    go.set()
+    return list(await asyncio.gather(*tasks))
+
+
+def _percentile(samples: list[float], p: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(p / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+async def soak(*, clients: int, quick: bool, targets: tuple[str, ...],
+               store_dir: Path, out: Path) -> int:
+    print(f"soak: computing offline reference for {len(targets)} targets "
+          f"(quick={quick}) ...", flush=True)
+    reference = offline_reference(targets, quick=quick)
+
+    service = ExperimentService(session=ReplaySession(store_dir=store_dir))
+    server = HttpServer(service)
+    await server.start()
+    print(f"soak: server up at {server.url}; "
+          f"cold burst of {clients} clients ...", flush=True)
+
+    try:
+        cold = await _burst(server.host, server.port, targets, clients,
+                            quick=quick)
+        print("soak: warm burst ...", flush=True)
+        warm = await _burst(server.host, server.port, targets, clients,
+                            quick=quick)
+    finally:
+        await server.close()
+
+    checks: list[dict[str, Any]] = []
+
+    def check(name: str, ok: bool, detail: str) -> None:
+        checks.append({"name": name, "ok": bool(ok), "detail": detail})
+        print(f"soak: [{'ok' if ok else 'FAIL'}] {name}: {detail}",
+              flush=True)
+
+    responses = cold + warm
+    bad = [r for r in responses if r["status"] != 200]
+    check("all_responses_200", not bad,
+          f"{len(responses) - len(bad)}/{len(responses)} OK"
+          + (f"; first failure: {bad[0]}" if bad else ""))
+
+    mismatched = [r for r in responses
+                  if r["status"] == 200 and r["sha256"] != reference[r["name"]]]
+    check("byte_identical_to_offline", not mismatched,
+          f"{len(responses) - len(mismatched)}/{len(responses)} responses "
+          "match the offline pipeline's SHA-256"
+          + (f"; first mismatch: {mismatched[0]['name']}" if mismatched
+             else ""))
+
+    replays = service.session.stats.replays
+    budget = QUICK_REPORT_REPLAY_BUDGET if quick else None
+    if budget is not None:
+        check("replays_within_budget", replays <= budget,
+              f"{replays} distinct TLB replays <= budget {budget}")
+
+    sf = service.singleflight.stats
+    floor = len(cold) - (budget if budget is not None else len(targets))
+    check("coalescing_effective", sf.coalesced >= floor,
+          f"coalesced={sf.coalesced} >= cold_clients({len(cold)}) - "
+          f"budget({budget if budget is not None else len(targets)})"
+          f" = {floor} (leaders={sf.leaders})")
+
+    warm_latencies = [r["elapsed_ms"] for r in warm if r["status"] == 200]
+    warm_p50 = _percentile(warm_latencies, 50)
+    check("warm_p50_under_bound", warm_p50 < WARM_P50_BOUND_MS,
+          f"warm p50 {warm_p50:.2f} ms < {WARM_P50_BOUND_MS:.0f} ms "
+          f"(p99 {_percentile(warm_latencies, 99):.2f} ms)")
+
+    report = service.service_report()
+    report["soak"] = {
+        "clients": clients,
+        "quick": quick,
+        "targets": list(targets),
+        "replay_budget": budget,
+        "warm_p50_ms": warm_p50,
+        "warm_p99_ms": _percentile(warm_latencies, 99),
+        "cold_p50_ms": _percentile(
+            [r["elapsed_ms"] for r in cold if r["status"] == 200], 50),
+        "checks": checks,
+        "passed": all(c["ok"] for c in checks),
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"soak: wrote {out}", flush=True)
+
+    service.close()
+    ok = all(c["ok"] for c in checks)
+    print(f"soak: {'PASS' if ok else 'FAIL'} "
+          f"({sum(c['ok'] for c in checks)}/{len(checks)} checks)",
+          flush=True)
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.soak",
+        description="Concurrency soak for the experiment service.")
+    parser.add_argument("--clients", type=int, default=200,
+                        help="concurrent clients per burst (default: 200)")
+    parser.add_argument("--quick", action="store_true",
+                        help="quick experiment matrix (the CI setting)")
+    parser.add_argument("--targets", nargs="+", default=None,
+                        metavar="NAME", help="experiments to round-robin "
+                        f"(default: {' '.join(DEFAULT_TARGETS)})")
+    parser.add_argument("--store-dir", type=Path, default=None,
+                        help="replay store for the service under test "
+                             "(default: a throwaway temp dir)")
+    parser.add_argument("--out", type=Path,
+                        default=Path("SERVICE_REPORT.json"),
+                        help="where to write the service report")
+    args = parser.parse_args(argv)
+
+    targets = tuple(args.targets) if args.targets else DEFAULT_TARGETS
+    for name in targets:
+        try:
+            experiment(name)  # fail fast on a typo
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+
+    if args.store_dir is not None:
+        return asyncio.run(soak(clients=args.clients, quick=args.quick,
+                                targets=targets, store_dir=args.store_dir,
+                                out=args.out))
+    with tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
+        return asyncio.run(soak(clients=args.clients, quick=args.quick,
+                                targets=targets, store_dir=Path(tmp),
+                                out=args.out))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""The registry-derived documentation generator and link checker."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import docgen
+
+
+class TestGeneratedBlock:
+    def test_block_carries_every_experiment(self):
+        from repro.experiments.registry import experiments
+        block = docgen.generated_block()
+        for spec in experiments():
+            assert f"\n  {spec.name}" in block
+        assert block.startswith(docgen.BEGIN_MARK)
+        assert block.endswith(docgen.END_MARK)
+
+    def test_render_doc_replaces_only_the_block(self):
+        stale = (f"# Title\n\nintro text\n\n{docgen.BEGIN_MARK}\n"
+                 f"OUT OF DATE\n{docgen.END_MARK}\n\ntrailing text\n")
+        rendered = docgen.render_doc(stale)
+        assert "OUT OF DATE" not in rendered
+        assert rendered.startswith("# Title\n\nintro text\n\n")
+        assert rendered.endswith("\n\ntrailing text\n")
+        assert docgen.generated_block() in rendered
+
+    def test_render_doc_without_markers_fails_loudly(self):
+        with pytest.raises(SystemExit):
+            docgen.render_doc("# no markers here\n")
+
+    def test_committed_doc_is_current(self):
+        """The tier-1 equivalent of CI's `docgen --check`: the committed
+        architecture doc must match the live registries."""
+        doc = docgen.repo_root() / "docs" / "architecture.md"
+        assert docgen.render_doc(doc.read_text()) == doc.read_text()
+
+    def test_check_mode_detects_staleness(self, tmp_path, monkeypatch):
+        doc = tmp_path / "stale.md"
+        doc.write_text(f"{docgen.BEGIN_MARK}\nstale\n{docgen.END_MARK}\n")
+        assert docgen.main(["--check", "--doc", str(doc)]) == 1
+        assert docgen.main(["--write", "--doc", str(doc)]) == 0
+        assert docgen.main(["--check", "--doc", str(doc)]) == 0
+
+
+class TestLinkChecker:
+    def test_repo_docs_have_no_broken_links(self):
+        assert docgen.check_links(docgen.repo_root()) == []
+
+    def test_detects_broken_relative_link(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "a.md").write_text(
+            "see [missing](no-such-file.md) and [ok](b.md)\n")
+        (tmp_path / "docs" / "b.md").write_text("fine\n")
+        problems = docgen.check_links(tmp_path)
+        assert len(problems) == 1
+        assert "no-such-file.md" in problems[0]
+
+    def test_ignores_external_urls_and_anchors(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "a.md").write_text(
+            "[web](https://example.org) [mail](mailto:x@y) [frag](#section) "
+            "[anchored](b.md#part)\n")
+        (tmp_path / "docs" / "b.md").write_text("fine\n")
+        assert docgen.check_links(tmp_path) == []
+
+    def test_repo_root_is_the_repo(self):
+        root = docgen.repo_root()
+        assert (root / "src" / "repro").is_dir()
+        assert (root / "docs").is_dir()

@@ -8,7 +8,11 @@ runs, and the whole quick report must fit a fixed distinct-replay budget
 
 import pytest
 
-from repro.experiments.report import full_report
+from repro.experiments.report import (
+    QUICK_REPORT_CONFIGS,
+    QUICK_REPORT_REPLAY_BUDGET,
+    full_report,
+)
 from repro.experiments.tables import run_table
 from repro.experiments.workloads import eos_problem_worklog
 from repro.perfmodel.session import ReplaySession, default_session
@@ -51,8 +55,20 @@ def test_full_quick_report_replay_budget():
     this counter, in the batched stack-distance pass."""
     session = ReplaySession(persist=False)
     full_report(quick=True, session=session)
-    assert session.stats.configs == 22
-    assert session.stats.replays <= 15
+    assert session.stats.configs == QUICK_REPORT_CONFIGS
+    assert session.stats.replays <= QUICK_REPORT_REPLAY_BUDGET
+
+    # standalone registry runners use the same quick parameters as the
+    # report (the serving layer depends on this: any quick request mix
+    # stays within the report's replay budget), so re-running one through
+    # the same session replays nothing new
+    from repro.experiments.registry import experiment
+    from repro.perfmodel.session import session_scope
+
+    replays = session.stats.replays
+    with session_scope(session):
+        experiment("compilers").run(quick=True)
+    assert session.stats.replays == replays
 
 
 def test_default_session_is_shared():

@@ -125,7 +125,7 @@ class TestPersistence:
         kwargs = dict(replication=1, engine="fast")
         ref = _run(sod_log, FUJITSU, ReplaySession(store_dir=tmp_path),
                    **kwargs)
-        stored = sorted(tmp_path.glob("*.pkl"))
+        stored = sorted(tmp_path.glob("**/*.pkl"))
         assert stored, "the session persisted nothing"
         for path in stored:
             path.write_bytes(b"\x00not a pickle at all")
@@ -134,7 +134,7 @@ class TestPersistence:
         out = _run(sod_log, FUJITSU, again, **kwargs)
         assert _fingerprint(out) == _fingerprint(ref)
         assert again.stats.replays == 1 and again.stats.disk_hits == 0
-        assert list(tmp_path.glob("*.corrupt")), "corruption not quarantined"
+        assert list(tmp_path.glob("**/*.corrupt")), "corruption not quarantined"
 
         # the rebuild re-populated the store: a third session is warm
         third = ReplaySession(store_dir=tmp_path)

@@ -1,0 +1,241 @@
+"""The HTTP front end, end to end over an ephemeral port.
+
+Raw asyncio-socket clients against a real server instance — the same
+transport the soak harness uses — with fake registry experiments for
+speed and determinism.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentSpec
+from repro.perfmodel.session import ReplaySession
+from repro.serve.http import HttpServer
+from repro.serve.service import ExperimentService
+
+
+@pytest.fixture()
+def fake(monkeypatch):
+    def run(*, quick=False):
+        return f"HTTP FAKE quick={quick}"
+
+    monkeypatch.setitem(registry._EXPERIMENTS, "http-fake",
+                        ExperimentSpec("http-fake", "a test fixture", run))
+
+
+async def request(host, port, raw: bytes) -> tuple[int, dict, bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(raw)
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        k, _, v = line.partition(":")
+        headers[k.strip().lower()] = v.strip()
+    return status, headers, body
+
+
+def get(path: str, *, host: str) -> bytes:
+    return (f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n").encode()
+
+
+def with_server(scenario):
+    """Run *scenario(server)* against a live server on an ephemeral port."""
+    async def runner():
+        service = ExperimentService(session=ReplaySession(persist=False))
+        server = HttpServer(service)
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.close()
+            service.close()
+
+    return asyncio.run(runner())
+
+
+class TestEndpoints:
+    def test_healthz(self):
+        async def scenario(server):
+            return await request(server.host, server.port,
+                                 get("/healthz", host=server.host))
+
+        status, headers, body = with_server(scenario)
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert json.loads(body) == {"status": "ok"}
+        assert int(headers["content-length"]) == len(body)
+
+    def test_report_get_and_post_agree(self, fake):
+        async def scenario(server):
+            s1, _, b1 = await request(
+                server.host, server.port,
+                get("/v1/report/http-fake?quick=1", host=server.host))
+            post = json.dumps({"name": "http-fake", "quick": True}).encode()
+            raw = (f"POST /v1/report HTTP/1.1\r\nHost: {server.host}\r\n"
+                   f"Content-Length: {len(post)}\r\n"
+                   "Connection: close\r\n\r\n").encode() + post
+            s2, _, b2 = await request(server.host, server.port, raw)
+            return s1, json.loads(b1), s2, json.loads(b2)
+
+        s1, doc1, s2, doc2 = with_server(scenario)
+        assert s1 == s2 == 200
+        assert doc1["text"] == doc2["text"] == "HTTP FAKE quick=True"
+        assert doc1["sha256"] == doc2["sha256"]
+        assert doc1["cache"] == "cold"
+        assert doc2["cache"] == "memory"  # same key, served from memory
+
+    def test_experiments_listing(self):
+        async def scenario(server):
+            return await request(server.host, server.port,
+                                 get("/v1/experiments", host=server.host))
+
+        status, _, body = with_server(scenario)
+        assert status == 200
+        names = [e["name"] for e in json.loads(body)["experiments"]]
+        assert "all" in names and "table1" in names
+
+    def test_stats_schema(self, fake):
+        async def scenario(server):
+            await request(server.host, server.port,
+                          get("/v1/report/http-fake", host=server.host))
+            return await request(server.host, server.port,
+                                 get("/v1/stats", host=server.host))
+
+        status, _, body = with_server(scenario)
+        doc = json.loads(body)
+        assert status == 200
+        assert doc["schema"] == "repro.serve/1"
+        assert doc["requests"]["total"] == 1
+        assert doc["singleflight"]["leaders"] == 1
+
+    def test_metrics_exposition(self, fake):
+        async def scenario(server):
+            await request(server.host, server.port,
+                          get("/v1/report/http-fake", host=server.host))
+            return await request(server.host, server.port,
+                                 get("/metrics", host=server.host))
+
+        status, headers, body = with_server(scenario)
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        text = body.decode()
+        assert ('serve_requests_total{cache="cold",experiment="http-fake"} 1'
+                in text)
+        assert "serve_request_ms_bucket" in text
+        assert "serve_singleflight_leaders_total 1" in text
+
+
+class TestErrors:
+    def test_unknown_experiment_404_with_suggestion(self):
+        async def scenario(server):
+            return await request(server.host, server.port,
+                                 get("/v1/report/tabel1", host=server.host))
+
+        status, _, body = with_server(scenario)
+        assert status == 404
+        assert "table1" in json.loads(body)["error"]
+
+    def test_bad_quick_value_400(self, fake):
+        async def scenario(server):
+            return await request(
+                server.host, server.port,
+                get("/v1/report/http-fake?quick=maybe", host=server.host))
+
+        status, _, body = with_server(scenario)
+        assert status == 400
+        assert "quick" in json.loads(body)["error"]
+
+    def test_bad_json_body_400(self):
+        async def scenario(server):
+            raw = (f"POST /v1/report HTTP/1.1\r\nHost: {server.host}\r\n"
+                   "Content-Length: 9\r\nConnection: close\r\n\r\n"
+                   "not json!").encode()
+            return await request(server.host, server.port, raw)
+
+        status, _, body = with_server(scenario)
+        assert status == 400
+
+    def test_unknown_route_404(self):
+        async def scenario(server):
+            return await request(server.host, server.port,
+                                 get("/nope", host=server.host))
+
+        status, _, _ = with_server(scenario)
+        assert status == 404
+
+    def test_metrics_post_405(self):
+        async def scenario(server):
+            raw = (f"POST /metrics HTTP/1.1\r\nHost: {server.host}\r\n"
+                   "Content-Length: 0\r\nConnection: close\r\n\r\n").encode()
+            return await request(server.host, server.port, raw)
+
+        status, _, _ = with_server(scenario)
+        assert status == 405
+
+    def test_computation_failure_500_and_server_survives(self, monkeypatch):
+        def run(*, quick=False):
+            raise ValueError("model exploded")
+
+        monkeypatch.setitem(registry._EXPERIMENTS, "boom-exp",
+                            ExperimentSpec("boom-exp", "raises", run))
+
+        async def scenario(server):
+            s1, _, b1 = await request(
+                server.host, server.port,
+                get("/v1/report/boom-exp", host=server.host))
+            s2, _, _ = await request(server.host, server.port,
+                                     get("/healthz", host=server.host))
+            return s1, json.loads(b1), s2
+
+        s1, doc, s2 = with_server(scenario)
+        assert s1 == 500
+        assert "ValueError" in doc["error"]
+        assert s2 == 200  # still serving
+
+    def test_oversized_body_413(self):
+        async def scenario(server):
+            raw = (f"POST /v1/report HTTP/1.1\r\nHost: {server.host}\r\n"
+                   f"Content-Length: {128 * 1024}\r\n"
+                   "Connection: close\r\n\r\n").encode()
+            return await request(server.host, server.port, raw)
+
+        status, _, _ = with_server(scenario)
+        assert status == 413
+
+
+class TestKeepAlive:
+    def test_two_requests_one_connection(self, fake):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port)
+            docs = []
+            for i in range(2):
+                close = "close" if i == 1 else "keep-alive"
+                writer.write(
+                    (f"GET /v1/report/http-fake HTTP/1.1\r\n"
+                     f"Host: {server.host}\r\n"
+                     f"Connection: {close}\r\n\r\n").encode())
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                length = int([line for line in head.decode().split("\r\n")
+                              if line.lower().startswith("content-length")
+                              ][0].split(":")[1])
+                body = await reader.readexactly(length)
+                docs.append(json.loads(body))
+            writer.close()
+            await writer.wait_closed()
+            return docs
+
+        docs = with_server(scenario)
+        assert docs[0]["cache"] == "cold"
+        assert docs[1]["cache"] == "memory"

@@ -1,0 +1,120 @@
+"""The serving metrics layer: counters, histograms, exposition formats."""
+
+import json
+import math
+import threading
+
+from repro.serve.metrics import (
+    DEFAULT_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.percentile(50) is None
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["p50_ms"] is None
+
+    def test_exact_percentiles_from_samples(self):
+        h = Histogram()
+        for v in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+            h.observe(v)
+        assert h.percentile(50) == 5
+        assert h.percentile(90) == 9
+        assert h.percentile(100) == 10
+        assert h.min_ms == 1 and h.max_ms == 10
+        assert h.sum_ms == 55 and h.count == 10
+
+    def test_bucket_counts_cumulate_correctly(self):
+        h = Histogram()
+        for v in [0.5, 1.5, 7.0, 40.0, 70000.0]:
+            h.observe(v)
+        # each value lands in the first bucket whose bound >= value
+        by_bound = dict(zip(h.buckets_ms, h.counts))
+        assert by_bound[1.0] == 1       # 0.5
+        assert by_bound[2.0] == 1       # 1.5
+        assert by_bound[10.0] == 1      # 7.0
+        assert by_bound[50.0] == 1      # 40.0
+        assert by_bound[math.inf] == 1  # 70000.0
+        assert sum(h.counts) == h.count == 5
+
+    def test_bucket_fallback_when_samples_overflow(self, monkeypatch):
+        monkeypatch.setattr("repro.serve.metrics.SAMPLE_CAP", 4)
+        h = Histogram()
+        for v in [1, 1, 1, 1, 100, 100, 100, 100]:
+            h.observe(v)
+        # retention capped at 4 of 8: percentile answers from buckets
+        assert h.percentile(50) == 1.0
+        assert h.percentile(99) == 100.0
+
+    def test_negative_values_clamp_to_zero(self):
+        h = Histogram()
+        h.observe(-3.0)
+        assert h.min_ms == 0.0
+        assert h.count == 1
+
+
+class TestRegistry:
+    def test_inc_and_labels(self):
+        m = MetricsRegistry()
+        m.inc("req", experiment="all", cache="cold")
+        m.inc("req", experiment="all", cache="cold")
+        m.inc("req", experiment="toys", cache="memory")
+        assert m.counter_value("req", experiment="all", cache="cold") == 2
+        assert m.counter_total("req") == 3
+
+    def test_set_is_absolute(self):
+        m = MetricsRegistry()
+        m.set("replays", 7)
+        m.set("replays", 7)  # mirroring the same total twice is idempotent
+        assert m.counter_total("replays") == 7
+
+    def test_prometheus_rendering(self):
+        m = MetricsRegistry()
+        m.inc("serve_requests_total", experiment="all", cache="cold")
+        m.observe("serve_request_ms", 3.0, cache="cold")
+        text = m.render_prometheus()
+        assert "# TYPE serve_requests_total counter" in text
+        assert ('serve_requests_total{cache="cold",experiment="all"} 1'
+                in text)
+        assert "# TYPE serve_request_ms histogram" in text
+        assert 'serve_request_ms_bucket{cache="cold",le="5.0"} 1' in text
+        assert 'serve_request_ms_bucket{cache="cold",le="+Inf"} 1' in text
+        assert 'serve_request_ms_count{cache="cold"} 1' in text
+        assert text.endswith("\n")
+
+    def test_render_dict_is_json_ready(self):
+        m = MetricsRegistry()
+        m.inc("c", kind="x")
+        m.inc("plain")
+        m.observe("h", 12.5)
+        doc = m.render_dict()
+        json.dumps(doc)
+        assert doc["counters"]["c"]["kind=x"] == 1
+        assert doc["counters"]["plain"]["_"] == 1
+        assert doc["histograms"]["h"]["_"]["count"] == 1
+        assert doc["histograms"]["h"]["_"]["p50_ms"] == 12.5
+
+    def test_thread_safety_under_contention(self):
+        m = MetricsRegistry()
+
+        def work():
+            for _ in range(500):
+                m.inc("n")
+                m.observe("lat", 1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter_total("n") == 4000
+        assert m.histogram("lat").count == 4000
+
+    def test_default_buckets_are_sorted_and_capped_by_inf(self):
+        assert list(DEFAULT_BUCKETS_MS) == sorted(DEFAULT_BUCKETS_MS)
+        assert math.isinf(DEFAULT_BUCKETS_MS[-1])

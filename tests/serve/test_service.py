@@ -1,0 +1,216 @@
+"""The experiment service core: cache provenance, coalescing, pinning.
+
+Fake registry experiments (injected via monkeypatch) keep these tests
+fast and deterministic; one integration test runs a real (cheap)
+registry target through the service and compares bytes against the
+offline pipeline.
+"""
+
+import asyncio
+import hashlib
+import threading
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentSpec
+from repro.perfmodel.session import ReplaySession, session_scope
+from repro.serve.service import (
+    MEMO_KIND,
+    ExperimentService,
+    ReportResponse,
+    UnknownExperimentError,
+)
+
+
+@pytest.fixture()
+def fake(monkeypatch):
+    """Register a deterministic fake experiment; returns its call log."""
+    calls = []
+
+    def run(*, quick=False):
+        calls.append(quick)
+        return f"FAKE REPORT quick={quick} call={len(calls)}"
+
+    monkeypatch.setitem(registry._EXPERIMENTS, "fake-exp",
+                        ExperimentSpec("fake-exp", "a test fixture", run))
+    return calls
+
+
+def make_service(tmp_path, **kwargs):
+    return ExperimentService(
+        session=ReplaySession(store_dir=tmp_path / "store"), **kwargs)
+
+
+class TestServing:
+    def test_cold_then_memory(self, tmp_path, fake):
+        async def scenario(service):
+            first = await service.report("fake-exp", quick=True)
+            second = await service.report("fake-exp", quick=True)
+            return first, second
+
+        service = make_service(tmp_path)
+        first, second = asyncio.run(scenario(service))
+        assert first.cache == "cold"
+        assert second.cache == "memory"
+        assert first.text == second.text
+        assert fake == [True]  # one computation
+        assert first.sha256 == hashlib.sha256(
+            first.text.encode()).hexdigest()
+        service.close()
+
+    def test_quick_and_full_are_distinct_requests(self, tmp_path, fake):
+        async def scenario(service):
+            a = await service.report("fake-exp", quick=True)
+            b = await service.report("fake-exp", quick=False)
+            return a, b
+
+        service = make_service(tmp_path)
+        a, b = asyncio.run(scenario(service))
+        assert a.key != b.key
+        assert a.text != b.text
+        assert fake == [True, False]
+        service.close()
+
+    def test_warm_restart_serves_from_store(self, tmp_path, fake):
+        service1 = make_service(tmp_path)
+        first = asyncio.run(service1.report("fake-exp", quick=True))
+        service1.close()
+
+        # a new process over the same store: no recompute, cache="warm"
+        service2 = make_service(tmp_path)
+        second = asyncio.run(service2.report("fake-exp", quick=True))
+        assert second.cache == "warm"
+        assert second.text == first.text
+        assert fake == [True]  # the restart did not call the runner again
+        service2.close()
+
+    def test_unknown_experiment_raises_with_suggestion(self, tmp_path):
+        service = make_service(tmp_path)
+        with pytest.raises(UnknownExperimentError) as err:
+            asyncio.run(service.report("tabel1"))
+        assert "table1" in str(err.value)  # did-you-mean survives the wrap
+        service.close()
+
+    def test_metrics_and_report_reflect_requests(self, tmp_path, fake):
+        async def scenario(service):
+            await service.report("fake-exp", quick=True)
+            await service.report("fake-exp", quick=True)
+
+        service = make_service(tmp_path)
+        asyncio.run(scenario(service))
+        m = service.metrics
+        assert m.counter_value("serve_requests_total",
+                               experiment="fake-exp", cache="cold") == 1
+        assert m.counter_value("serve_requests_total",
+                               experiment="fake-exp", cache="memory") == 1
+        assert m.histogram("serve_request_ms", cache="cold").count == 1
+        doc = service.service_report()
+        assert doc["schema"] == "repro.serve/1"
+        assert doc["requests"] == {"total": 2, "distinct": 1}
+        assert doc["singleflight"]["leaders"] == 1
+        assert doc["store"]["entries"] >= 1
+        import json
+        json.dumps(doc)
+        service.close()
+
+
+class TestCoalescingAndPinning:
+    def test_concurrent_requests_coalesce_and_pin(self, tmp_path,
+                                                  monkeypatch):
+        """While the leader computes, (a) identical requests coalesce
+        instead of recomputing, and (b) the leader's memo entry is
+        pinned so eviction cannot race it."""
+        started = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def run(*, quick=False):
+            calls.append(quick)
+            started.set()
+            assert release.wait(timeout=60)
+            return "SLOW REPORT"
+
+        monkeypatch.setitem(registry._EXPERIMENTS, "slow-exp",
+                            ExperimentSpec("slow-exp", "blocks", run))
+        service = make_service(tmp_path)
+
+        async def scenario():
+            leader = asyncio.create_task(service.report("slow-exp"))
+            await asyncio.get_running_loop().run_in_executor(
+                None, started.wait)
+            # the computation is provably in flight: its key is pinned
+            engine, key = service.resolve("slow-exp", False)
+            store = service.session.store
+            assert store.is_pinned(f"memo-{key}")
+            waiters = [asyncio.create_task(service.report("slow-exp"))
+                       for _ in range(5)]
+            while service.singleflight.stats.coalesced < 5:
+                await asyncio.sleep(0)
+            release.set()
+            results = await asyncio.gather(leader, *waiters)
+            assert not store.is_pinned(f"memo-{key}")
+            return key, results
+
+        key, results = asyncio.run(scenario())
+        assert calls == [False]  # exactly one computation
+        assert results[0].cache == "cold"
+        assert all(r.cache == "coalesced" for r in results[1:])
+        assert len({r.sha256 for r in results}) == 1
+        # the memo persisted and survives an aggressive eviction pass
+        # (nothing is pinned now, but the entry exists and loads)
+        store = service.session.store
+        assert store.load(f"memo-{key}") == "SLOW REPORT"
+        service.close()
+
+    def test_leader_failure_propagates_then_recovers(self, tmp_path,
+                                                     monkeypatch):
+        attempts = []
+
+        def run(*, quick=False):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("transient failure")
+            return "RECOVERED"
+
+        monkeypatch.setitem(registry._EXPERIMENTS, "flaky-exp",
+                            ExperimentSpec("flaky-exp", "fails once", run))
+        service = make_service(tmp_path)
+        with pytest.raises(RuntimeError):
+            asyncio.run(service.report("flaky-exp"))
+        assert service.singleflight.stats.failures == 1
+        response = asyncio.run(service.report("flaky-exp"))
+        assert response.text == "RECOVERED"
+        assert response.cache == "cold"
+        service.close()
+
+
+class TestRealTargetIdentity:
+    def test_matrix_quick_matches_offline(self, tmp_path):
+        """A real registry target through the service is byte-identical
+        to the offline CLI run (the soak checks all nine; this keeps a
+        cheap end-to-end instance in the tier-1 suite)."""
+        with session_scope(ReplaySession(persist=False)):
+            offline = registry.experiment("matrix").run(quick=True)
+
+        service = make_service(tmp_path)
+        served = asyncio.run(service.report("matrix", quick=True))
+        assert served.text == offline
+        assert served.sha256 == hashlib.sha256(
+            offline.encode()).hexdigest()
+        service.close()
+
+
+class TestResponseShape:
+    def test_to_json_roundtrips(self):
+        import json
+        response = ReportResponse(
+            name="x", quick=True, engine="fast", key="k", text="t",
+            sha256="s", cache="cold", elapsed_ms=1.5)
+        doc = json.loads(json.dumps(response.to_json()))
+        assert doc["name"] == "x"
+        assert doc["cache"] == "cold"
+
+    def test_request_key_matches_session_memo_key(self):
+        assert (ExperimentService.request_key("a", True, "fast")
+                == ReplaySession.memo_key(MEMO_KIND, ("a", True, "fast")))

@@ -1,0 +1,172 @@
+"""Singleflight: N concurrent identical requests, one computation.
+
+Deterministic, no timing assumptions: leaders block on explicit events,
+waiters are admitted while the leader is provably in flight.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.singleflight import Singleflight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_single_caller_is_leader(self):
+        async def scenario():
+            sf = Singleflight()
+
+            async def thunk():
+                return 42
+
+            value, coalesced = await sf.do("k", thunk)
+            return sf, value, coalesced
+
+        sf, value, coalesced = run(scenario())
+        assert (value, coalesced) == (42, False)
+        assert sf.stats.leaders == 1
+        assert sf.stats.coalesced == 0
+        assert sf.inflight() == ()
+
+    def test_concurrent_identical_requests_coalesce(self):
+        async def scenario():
+            sf = Singleflight()
+            release = asyncio.Event()
+            computations = 0
+
+            async def thunk():
+                nonlocal computations
+                computations += 1
+                await release.wait()
+                return "result"
+
+            leader = asyncio.create_task(sf.do("k", thunk))
+            while not sf.inflight():  # leader provably registered
+                await asyncio.sleep(0)
+            waiters = [asyncio.create_task(sf.do("k", thunk))
+                       for _ in range(10)]
+            while sf.stats.coalesced < 10:  # all joined, none computing
+                await asyncio.sleep(0)
+            release.set()
+            results = await asyncio.gather(leader, *waiters)
+            return sf, computations, results
+
+        sf, computations, results = run(scenario())
+        assert computations == 1
+        assert [value for value, _ in results] == ["result"] * 11
+        assert [flag for _, flag in results] == [False] + [True] * 10
+        assert sf.stats.leaders == 1
+        assert sf.stats.coalesced == 10
+        assert sf.inflight() == ()
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            sf = Singleflight()
+
+            async def make(key):
+                return await sf.do(key, lambda: asyncio.sleep(0, result=key))
+
+            results = await asyncio.gather(make("a"), make("b"), make("c"))
+            return sf, results
+
+        sf, results = run(scenario())
+        assert sf.stats.leaders == 3
+        assert sf.stats.coalesced == 0
+        assert sorted(v for v, _ in results) == ["a", "b", "c"]
+
+    def test_sequential_requests_recompute(self):
+        """Singleflight is not a cache: a key finished is a key gone."""
+        async def scenario():
+            sf = Singleflight()
+            calls = 0
+
+            async def thunk():
+                nonlocal calls
+                calls += 1
+                return calls
+
+            first, _ = await sf.do("k", thunk)
+            second, _ = await sf.do("k", thunk)
+            return sf, first, second
+
+        sf, first, second = run(scenario())
+        assert (first, second) == (1, 2)
+        assert sf.stats.leaders == 2
+
+
+class TestFailures:
+    def test_leader_failure_propagates_to_waiters(self):
+        async def scenario():
+            sf = Singleflight()
+            release = asyncio.Event()
+
+            async def thunk():
+                await release.wait()
+                raise ValueError("computation failed")
+
+            leader = asyncio.create_task(sf.do("k", thunk))
+            while not sf.inflight():
+                await asyncio.sleep(0)
+            waiter = asyncio.create_task(sf.do("k", thunk))
+            while sf.stats.coalesced < 1:
+                await asyncio.sleep(0)
+            release.set()
+            with pytest.raises(ValueError):
+                await leader
+            with pytest.raises(ValueError):
+                await waiter
+            return sf
+
+        sf = run(scenario())
+        assert sf.stats.failures == 1
+        assert sf.inflight() == ()  # failed key cleared: next caller retries
+
+    def test_failure_then_retry_succeeds(self):
+        async def scenario():
+            sf = Singleflight()
+
+            async def boom():
+                raise RuntimeError("first try")
+
+            async def ok():
+                return "second try"
+
+            with pytest.raises(RuntimeError):
+                await sf.do("k", boom)
+            value, coalesced = await sf.do("k", ok)
+            return sf, value, coalesced
+
+        sf, value, coalesced = run(scenario())
+        assert (value, coalesced) == ("second try", False)
+        assert sf.stats.leaders == 2
+        assert sf.stats.failures == 1
+
+    def test_waiter_cancellation_leaves_leader_running(self):
+        """A cancelled waiter must not cancel the shared computation."""
+        async def scenario():
+            sf = Singleflight()
+            release = asyncio.Event()
+
+            async def thunk():
+                await release.wait()
+                return "done"
+
+            leader = asyncio.create_task(sf.do("k", thunk))
+            while not sf.inflight():
+                await asyncio.sleep(0)
+            waiter = asyncio.create_task(sf.do("k", thunk))
+            while sf.stats.coalesced < 1:
+                await asyncio.sleep(0)
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            release.set()
+            value, coalesced = await leader
+            return value, coalesced
+
+        value, coalesced = run(scenario())
+        assert (value, coalesced) == ("done", False)

@@ -1,0 +1,69 @@
+"""A miniature in-process run of the soak harness.
+
+The CI ``serve-smoke`` job runs the real thing (200 clients, all nine
+registry targets); this keeps a fast, deterministic instance in the
+tier-1 suite using fake experiments with a deliberate computation
+delay, so the concurrency path (connect-barrier, coalescing, budget
+and latency checks, report writing) is exercised on every test run.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentSpec
+from repro.serve import soak
+
+
+@pytest.fixture()
+def fake_targets(monkeypatch):
+    """Two deterministic fake experiments, slow enough to coalesce on."""
+    names = ("soak-fake-a", "soak-fake-b")
+    for name in names:
+        def run(*, quick=False, _name=name):
+            time.sleep(0.05)  # long enough that the burst is in flight
+            return f"SOAK {_name} quick={quick}"
+
+        monkeypatch.setitem(registry._EXPERIMENTS, name,
+                            ExperimentSpec(name, "soak fixture", run))
+    return names
+
+
+class TestMiniSoak:
+    def test_soak_passes_and_writes_report(self, tmp_path, fake_targets):
+        out = tmp_path / "SERVICE_REPORT.json"
+        rc = soak.main(["--clients", "16", "--quick",
+                        "--targets", *fake_targets,
+                        "--store-dir", str(tmp_path / "store"),
+                        "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.serve/1"
+        assert doc["soak"]["passed"] is True
+        checks = {c["name"]: c["ok"] for c in doc["soak"]["checks"]}
+        assert checks == {
+            "all_responses_200": True,
+            "byte_identical_to_offline": True,
+            "replays_within_budget": True,
+            "coalescing_effective": True,
+            "warm_p50_under_bound": True,
+        }
+        # 16 cold clients over 2 targets: 2 leaders, the rest coalesced
+        # (the barrier makes this deterministic: computations take 50 ms,
+        # all clients are connected and written within that window)
+        assert doc["singleflight"]["leaders"] == 2
+        assert doc["singleflight"]["coalesced"] == 14
+        assert doc["requests"]["total"] == 32
+        assert doc["requests"]["distinct"] == 2
+
+    def test_soak_fails_on_unknown_target(self, tmp_path):
+        with pytest.raises(SystemExit):
+            soak.main(["--targets", "not-an-experiment",
+                       "--out", str(tmp_path / "r.json")])
+
+    def test_default_targets_are_registered_and_exclude_chaos_soak(self):
+        for name in soak.DEFAULT_TARGETS:
+            registry.experiment(name)  # raises on a stale name
+        assert "soak" not in soak.DEFAULT_TARGETS
