@@ -336,6 +336,62 @@ def run_report_bench(*, quick: bool = True,
     }
 
 
+def run_scaling_bench(*, quick: bool = True) -> dict[str, object]:
+    """Benchmark + gate document for the rank-decomposed scaling sweep.
+
+    Everything in the document except the wall is a deterministic model
+    output (fabric evolution, per-rank replays, the contention story),
+    so the compare gate holds it to the baseline at counter tolerance.
+    The ``identity`` block is the tentpole contract: a one-rank fabric
+    must be bit-identical to the serial spine — same WorkLog digest,
+    same replayed counters, same timer.
+    """
+    import hashlib
+    import tempfile
+
+    from repro.experiments.scaling import scaling_study, serial_identity
+
+    with tempfile.TemporaryDirectory() as tmp:
+        session = ReplaySession(store_dir=tmp)
+        t0 = time.perf_counter()
+        study = scaling_study(quick=quick, session=session)
+        wall = time.perf_counter() - t0
+        identity = serial_identity(session=session)
+        replays = session.stats.replays
+    text = study.render()
+
+    def mode_doc(points: dict[int, dict]) -> dict[str, dict]:
+        return {str(p): point for p, point in sorted(points.items())}
+
+    serial_ok = bool(identity["digest_identical"]
+                     and identity["counters_identical"])
+    return {
+        "schema": SCHEMA,
+        "name": "scaling",
+        "quick": quick,
+        "engines": [resolve_engine()],
+        "environment": _environment(),
+        "runs": [],
+        "scaling": {
+            "wall_s": wall,
+            "replays": replays,
+            "ranks_per_node": study.ranks_per_node,
+            "steps": study.steps,
+            "strong": mode_doc(study.strong),
+            "weak": mode_doc(study.weak),
+            "contention": study.contention,
+            "identity": identity,
+            "text_sha256": hashlib.sha256(text.encode()).hexdigest(),
+        },
+        "summary": {
+            "n_runs": len(study.strong) + len(study.weak),
+            "serial_identical": serial_ok,
+            "degraded_ranks": study.contention["degraded"],
+            "max_ranks": max(study.strong),
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -353,6 +409,10 @@ def main(argv: list[str] | None = None) -> int:
     # registered workload; it has a committed baseline, so it is gated
     all_problems += ("report",)
     gated += ["report"]
+    # "scaling" is the rank-decomposed fabric sweep; its committed
+    # baseline gates the n_ranks=1 bit-identity contract
+    all_problems += ("scaling",)
+    gated += ["scaling"]
     parser.add_argument("--problems", nargs="+", choices=all_problems,
                         default=gated,
                         help="which registered workloads to run (default: "
@@ -387,6 +447,8 @@ def main(argv: list[str] | None = None) -> int:
     for problem in args.problems:
         if problem == "report":
             doc = run_report_bench(quick=args.quick, jobs=args.jobs)
+        elif problem == "scaling":
+            doc = run_scaling_bench(quick=args.quick)
         else:
             doc = run_problem_bench(problem, quick=args.quick,
                                     engines=engines)
@@ -415,6 +477,11 @@ def main(argv: list[str] | None = None) -> int:
                      f"{summary['speedup_batch']:.2f}x, batch "
                      + ("identical" if summary["batch_identical"]
                         else "DIFFERS"))
+        if "serial_identical" in summary:
+            line += (f", up to {summary['max_ranks']} ranks, n_ranks=1 "
+                     + ("identical" if summary["serial_identical"]
+                        else "DIFFERS")
+                     + f", degraded ranks {summary['degraded_ranks']}")
         print(line)
         if summary.get("all_counters_equal") is False:
             failures.append(f"{problem}: fast and scalar engines disagree")
@@ -427,6 +494,9 @@ def main(argv: list[str] | None = None) -> int:
         if summary.get("batch_identical") is False:
             failures.append(
                 f"{problem}: batched geometry sweep diverged from serial")
+        if summary.get("serial_identical") is False:
+            failures.append(
+                f"{problem}: one-rank fabric diverged from the serial spine")
         if args.compare is not None:
             baseline = load_baseline(args.compare, problem)
             if baseline is None:

@@ -129,6 +129,70 @@ def compare_bench(current: dict, baseline: dict, *, threshold: float = 0.2,
                                      strict_wall=strict_wall,
                                      env_diffs=env_diffs, notes=notes))
     failures.extend(_compare_geometry(current, baseline, threshold=threshold))
+    failures.extend(_compare_scaling(current, baseline))
+    return failures
+
+
+def _compare_scaling(current: dict, baseline: dict) -> list[str]:
+    """Gate the rank-decomposed scaling block of a bench document.
+
+    Everything here is a deterministic model output, so drift at counter
+    tolerance is a behaviour change: per-rank DTLB misses and modelled
+    times per (mode, rank count, regime), the contention outcome (which
+    ranks degraded to base pages), the n_ranks=1 identity booleans, and
+    — when the quick flags match — the rendered table's hash.
+    """
+    cur = current.get("scaling")
+    if cur is None:
+        return []
+    name = current.get("name", "?")
+    failures: list[str] = []
+    identity = cur.get("identity", {})
+    for flag in ("digest_identical", "counters_identical"):
+        if identity.get(flag) is False:
+            failures.append(
+                f"{name}: one-rank fabric {flag.replace('_', ' ')} is False "
+                f"(must equal the serial spine bit-for-bit)")
+    base = baseline.get("scaling")
+    if base is None:
+        return failures
+    for mode in ("strong", "weak"):
+        cur_mode = cur.get(mode, {})
+        base_mode = base.get(mode, {})
+        for ranks in sorted(set(cur_mode) & set(base_mode), key=int):
+            cpt, bpt = cur_mode[ranks], base_mode[ranks]
+            label = f"{name} {mode} {ranks} ranks"
+            for regime in ("with", "without"):
+                ct = cpt.get("time_s", {}).get(regime)
+                bt = bpt.get("time_s", {}).get(regime)
+                if ct is not None and bt is not None and _drifted(ct, bt):
+                    failures.append(
+                        f"{label}: {regime}-HP time drifted {bt!r} -> {ct!r}")
+                cd = cpt.get("per_rank_dtlb", {}).get(regime)
+                bd = bpt.get("per_rank_dtlb", {}).get(regime)
+                if (cd is not None and bd is not None
+                        and (len(cd) != len(bd)
+                             or any(_drifted(c, b)
+                                    for c, b in zip(cd, bd)))):
+                    failures.append(
+                        f"{label}: {regime}-HP per-rank dtlb drifted "
+                        f"{bd!r} -> {cd!r}")
+            if cpt.get("halo_bytes") != bpt.get("halo_bytes"):
+                failures.append(
+                    f"{label}: halo bytes changed {bpt.get('halo_bytes')} "
+                    f"-> {cpt.get('halo_bytes')}")
+    cur_deg = (cur.get("contention") or {}).get("degraded")
+    base_deg = (base.get("contention") or {}).get("degraded")
+    if cur_deg != base_deg:
+        failures.append(
+            f"{name}: contention degraded ranks changed "
+            f"{base_deg!r} -> {cur_deg!r}")
+    if (current.get("quick") == baseline.get("quick")
+            and base.get("text_sha256") is not None
+            and cur.get("text_sha256") != base.get("text_sha256")):
+        failures.append(
+            f"{name}: scaling table text drifted from the baseline — "
+            f"regenerate the baseline if the change is intended")
     return failures
 
 

@@ -31,6 +31,7 @@ from repro.util.errors import ConfigurationError
 UNIT_MODULES = (
     "repro.driver.unit",
     "repro.mesh.unit",
+    "repro.mpisim.unit",
     "repro.physics.hydro.unit",
     "repro.physics.eos.unit",
     "repro.physics.flame.unit",

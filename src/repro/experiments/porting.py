@@ -32,10 +32,14 @@ class PortingResult:
     scaling_times_s: dict[int, float]
 
     def speedup(self, ranks: int) -> float:
-        return self.scaling_times_s[1] / self.scaling_times_s[ranks]
+        """Speedup relative to the smallest measured rank count — a
+        sweep need not start at 1 rank (large problems often can't)."""
+        base = min(self.scaling_times_s)
+        return self.scaling_times_s[base] / self.scaling_times_s[ranks]
 
     def efficiency(self, ranks: int) -> float:
-        return self.speedup(ranks) / ranks
+        base = min(self.scaling_times_s)
+        return self.speedup(ranks) / (ranks / base)
 
     def render(self) -> str:
         lines = ["PORTING STUDY (section II): out of the box + scaling",

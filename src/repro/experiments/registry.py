@@ -108,6 +108,11 @@ def _run_soak(*, quick: bool = False) -> str:
     return soak_experiment(quick=quick)
 
 
+def _run_scaling(*, quick: bool = False) -> str:
+    from repro.experiments.scaling import scaling_study
+    return scaling_study(quick=quick).render()
+
+
 def _run_geometry(*, quick: bool = False) -> str:
     from repro.core import unit_registry
     from repro.experiments.geometry import geometry_study
@@ -145,6 +150,10 @@ register(ExperimentSpec(
     "geometry", "DTLB geometry sensitivity: L1 entry sweep, both page "
                 "regimes, via the batched replay kernel",
     _run_geometry))
+register(ExperimentSpec(
+    "scaling", "rank-decomposed weak/strong scaling sweep: per-rank "
+               "replays, both page regimes, node hugetlb contention",
+    _run_scaling))
 
 
 __all__ = ["ExperimentSpec", "register", "experiments", "experiment"]

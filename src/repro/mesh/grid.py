@@ -107,6 +107,14 @@ class Grid:
                             order="F")
         self._free_slots = list(range(spec.maxblocks - 1, -1, -1))
         self.blocks: dict[BlockId, Block] = {}
+        #: rank decomposition hooks (see repro.mpisim.fabric): when
+        #: ``owned`` is set, iteration — and therefore every unit sweep
+        #: and integral — is restricted to the owned shard; ``halo_hook``
+        #: is invoked once per guard-fill axis pass so off-rank source
+        #: blocks can be refreshed before they are read.  Both default to
+        #: the serial behaviour (no filter, no hook).
+        self.owned: frozenset | None = None
+        self.halo_hook = None
         for bid in tree.leaves():
             self._add_block(bid)
 
@@ -127,8 +135,16 @@ class Grid:
         self._free_slots.append(block.slot)
 
     def leaf_blocks(self) -> list[Block]:
-        """Leaf blocks in Morton order (the iteration order of every unit)."""
-        return [self.blocks[bid] for bid in self.tree.leaves()]
+        """Leaf blocks in Morton order (the iteration order of every unit).
+
+        Under a rank decomposition (``owned`` set) only the owned shard
+        is returned, in the same Morton order — units then sweep, apply
+        the EOS to, and integrate over this rank's blocks only.
+        """
+        leaves = self.tree.leaves()
+        if self.owned is not None:
+            leaves = [bid for bid in leaves if bid in self.owned]
+        return [self.blocks[bid] for bid in leaves]
 
     @property
     def n_blocks(self) -> int:

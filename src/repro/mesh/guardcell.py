@@ -68,6 +68,14 @@ def fill_guardcells(grid: Grid, bc: BoundaryConditions | None = None,
         n_a = interior_n[axis]
         if 2 * g > n_a:
             raise MeshError("nguard may not exceed half the block width")
+        if grid.halo_hook is not None:
+            # rank decomposition: refresh off-rank source blocks before
+            # this axis pass reads them (repro.mpisim.fabric); within one
+            # pass the writes (guard strips along ``axis``) never overlap
+            # the reads (source interiors + already-filled transverse
+            # guards), so a per-axis exchange reproduces the serial fill
+            # bit-for-bit
+            grid.halo_hook(axis)
         for block in grid.leaf_blocks():
             for direction in (-1, 1):
                 _fill_face(grid, block, axis, direction, bc, velocity_vars)

@@ -1,5 +1,7 @@
-"""Simulated MPI: rank decomposition and communication cost modelling."""
+"""Simulated MPI: rank decomposition, halo-exchange runs, cost modelling."""
 
 from repro.mpisim.comm import SimComm, DomainDecomposition, CommCostModel
+from repro.mpisim.fabric import Fabric, RankContext
 
-__all__ = ["SimComm", "DomainDecomposition", "CommCostModel"]
+__all__ = ["SimComm", "DomainDecomposition", "CommCostModel",
+           "Fabric", "RankContext"]

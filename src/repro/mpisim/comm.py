@@ -82,10 +82,27 @@ class DomainDecomposition:
     _owner: dict = field(default_factory=dict, repr=False, compare=False)
 
     @classmethod
-    def split(cls, grid: Grid, n_ranks: int) -> "DomainDecomposition":
+    def split(cls, grid: Grid, n_ranks: int, *,
+              allow_empty: bool = False) -> "DomainDecomposition":
+        """Split the grid's Morton-ordered leaves into ``n_ranks`` shards.
+
+        With more ranks than leaves, trailing ranks would get *empty*
+        shards — a real FLASH run refuses such a launch, and every
+        consumer here (``halo_bytes``, ``scaling_model``) would silently
+        iterate idle ranks.  That is therefore an error unless the
+        caller opts in with ``allow_empty=True``, in which case the
+        empty-shard contract holds: every rank key exists in
+        ``assignment``, empty ranks exchange zero halo bytes, and
+        ``load_imbalance`` counts them in the mean.
+        """
         if n_ranks < 1:
             raise ConfigurationError("need at least one rank")
         leaves = grid.tree.leaves()
+        if n_ranks > len(leaves) and not allow_empty:
+            raise ConfigurationError(
+                f"cannot split {len(leaves)} leaf blocks across {n_ranks} "
+                f"ranks without empty shards (pass allow_empty=True to "
+                f"accept idle ranks)")
         out = cls(n_ranks=n_ranks)
         per = len(leaves) / n_ranks
         for rank in range(n_ranks):
@@ -113,20 +130,38 @@ class DomainDecomposition:
 
     def halo_bytes(self, grid: Grid, rank: int, bytes_per_face: int) -> int:
         """Bytes rank must receive per guard-cell fill (off-rank faces)."""
+        received, _ = self.halo_traffic(grid, bytes_per_face)
+        return received[rank]
+
+    def halo_traffic(self, grid: Grid,
+                     bytes_per_face: int) -> tuple[list[int], list[int]]:
+        """Per-rank (received, sent) bytes for one guard-cell fill.
+
+        Every off-rank source face a rank reads is a receive for that
+        rank and a send for the source's owner, so the two lists always
+        sum to the same total — the symmetry the fabric's accounting
+        tests pin down on refined trees.
+        """
         if len(self._owner) != sum(len(b) for b in self.assignment.values()):
             self._rebuild_owner()
-        total = 0
-        for bid in self.assignment[rank]:
-            for axis in range(grid.tree.ndim):
-                for direction in (-1, 1):
-                    kind, info = grid.tree.face_neighbor(bid, axis, direction)
-                    if kind == "boundary":
-                        continue
-                    neighbors = info if isinstance(info, list) else [info]
-                    for nid in neighbors:
-                        if self._owner.get(nid) != rank:
-                            total += bytes_per_face
-        return total
+        received = [0] * self.n_ranks
+        sent = [0] * self.n_ranks
+        for rank in range(self.n_ranks):
+            for bid in self.assignment[rank]:
+                for axis in range(grid.tree.ndim):
+                    for direction in (-1, 1):
+                        kind, info = grid.tree.face_neighbor(bid, axis,
+                                                             direction)
+                        if kind == "boundary":
+                            continue
+                        neighbors = info if isinstance(info, list) else [info]
+                        for nid in neighbors:
+                            owner = self._owner.get(nid)
+                            if owner != rank:
+                                received[rank] += bytes_per_face
+                                if owner is not None:
+                                    sent[owner] += bytes_per_face
+        return received, sent
 
 
 class SimComm:

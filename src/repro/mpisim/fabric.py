@@ -1,0 +1,257 @@
+"""Rank-decomposed execution of a Simulation (PARAMESH across ranks).
+
+FLASH distributes Morton-ordered blocks across MPI ranks; every rank
+steps only its own blocks, refreshes off-rank *surrogate* copies before
+each guard-cell pass, and joins the timestep reduction.  The
+:class:`Fabric` reproduces that execution model inside one process:
+
+* every rank owns a full :class:`~repro.driver.simulation.Simulation`
+  (its own ``unk`` storage — a private address space, like a real MPI
+  process) restricted to its :class:`~repro.mpisim.comm.\
+DomainDecomposition` shard via ``Grid.owned``;
+* ranks advance in lockstep on threads; the per-axis ``Grid.halo_hook``
+  of every rank meets at a barrier whose action copies each off-rank
+  source block from its owner's live grid — real data movement, with the
+  bytes charged to :class:`~repro.mpisim.comm.SimComm`;
+* the timestep is negotiated with ``allreduce_min`` over the per-rank
+  CFL minima, exactly as ``Driver_computeDt`` does.
+
+Bit-identity with the serial spine is by construction, not luck: within
+one guard-fill axis pass the writes (guard strips along the fill axis)
+never intersect the reads (source interiors plus transverse guards
+filled by *earlier* passes), so refreshing surrogates once per axis
+while every rank is paused at the same phase reproduces the serial
+``fill_guardcells`` bit-for-bit — and therefore the whole run.
+``n_ranks=1`` installs no hook and no filter at all: it *is* the serial
+spine.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.driver.simulation import Simulation, StepInfo
+from repro.mpisim.comm import CommCostModel, DomainDecomposition, SimComm
+from repro.perfmodel.workrecord import WorkLog
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class RankContext:
+    """One simulated rank: its simulation, shard, and traffic counters."""
+
+    rank: int
+    sim: Simulation
+    owned: frozenset
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    #: attached per-rank work log (``Fabric.attach_worklogs``)
+    log: WorkLog | None = None
+
+    @property
+    def grid(self):
+        return self.sim.grid
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.owned)
+
+
+@dataclass(frozen=True)
+class _Copy:
+    """One surrogate-block refresh: ``bid`` from ``src`` rank to ``dst``."""
+
+    src: int
+    bid: object
+    dst: int
+
+
+class Fabric:
+    """Lockstep rank-decomposed evolution over one shared-memory process.
+
+    ``builder`` must return a *fresh, deterministic* Simulation each
+    call (same initial state every time) — it is invoked once per rank,
+    giving each rank its own storage.  Refinement must be disabled
+    (``nrefs=0``): remeshing mid-run would move blocks between shards,
+    which the decomposition is static over.
+    """
+
+    def __init__(self, builder, n_ranks: int, *,
+                 ranks_per_node: int = 1,
+                 cost: CommCostModel | None = None) -> None:
+        if n_ranks < 1:
+            raise ConfigurationError("need at least one rank")
+        sims = [builder() for _ in range(n_ranks)]
+        for sim in sims:
+            if sim.refinement is not None and sim.nrefs > 0:
+                raise ConfigurationError(
+                    "the fabric needs a static decomposition: build the "
+                    "simulation with nrefs=0 (refinement would move blocks "
+                    "between shards mid-run)")
+        self.n_ranks = n_ranks
+        self.decomposition = DomainDecomposition.split(sims[0].grid, n_ranks)
+        self.comm = SimComm(n_ranks, cost or CommCostModel(),
+                            ranks_per_node=min(ranks_per_node, n_ranks))
+        self.ranks: list[RankContext] = [
+            RankContext(rank=r, sim=sims[r],
+                        owned=frozenset(self.decomposition.assignment[r]))
+            for r in range(n_ranks)]
+        self._validate_no_cross_rank_jumps(sims[0].grid)
+        self._plan = self._build_exchange_plan(sims[0].grid)
+        self._axis_requests = [None] * n_ranks
+        self._barrier: threading.Barrier | None = None
+        if n_ranks > 1:
+            self._barrier = threading.Barrier(n_ranks, action=self._exchange)
+            for ctx in self.ranks:
+                ctx.grid.owned = ctx.owned
+                ctx.grid.halo_hook = (
+                    lambda axis, rank=ctx.rank: self._hook(rank, axis))
+        # n_ranks == 1: leave owned/halo_hook untouched — the serial spine
+
+    # --- construction helpers ------------------------------------------------
+    def _validate_no_cross_rank_jumps(self, grid) -> None:
+        """Flux matching at refinement jumps needs both sides on one rank
+        (``_match_fluxes`` resolves children among the swept blocks), so a
+        jump crossing shards is a configuration error, not a crash."""
+        dd = self.decomposition
+        for rank, blocks in dd.assignment.items():
+            for bid in blocks:
+                for axis in range(grid.tree.ndim):
+                    for direction in (-1, 1):
+                        kind, info = grid.tree.face_neighbor(bid, axis,
+                                                             direction)
+                        if kind not in ("finer", "coarser"):
+                            continue
+                        others = info if isinstance(info, list) else [info]
+                        if any(dd.rank_of(nid) != rank for nid in others):
+                            raise ConfigurationError(
+                                f"refinement jump at {bid} crosses a rank "
+                                f"boundary; choose a rank count whose "
+                                f"Morton split keeps jumps on one shard")
+
+    def _build_exchange_plan(self, grid) -> list[list[_Copy]]:
+        """Per axis: every off-rank source block each rank reads during
+        that axis pass, deduplicated, in deterministic (rank, Morton)
+        order.  Sources are refreshed as whole padded blocks —
+        PARAMESH's surrogate-block strategy — so the transverse guard
+        slabs the corner trick reads arrive along with the interior."""
+        dd = self.decomposition
+        plan: list[list[_Copy]] = []
+        for axis in range(grid.tree.ndim):
+            copies: list[_Copy] = []
+            seen: set[tuple[int, object, int]] = set()
+            for rank in range(self.n_ranks):
+                for bid in dd.assignment[rank]:
+                    for direction in (-1, 1):
+                        kind, info = grid.tree.face_neighbor(bid, axis,
+                                                             direction)
+                        if kind == "boundary":
+                            continue
+                        others = info if isinstance(info, list) else [info]
+                        for nid in others:
+                            src = dd.rank_of(nid)
+                            if src == rank:
+                                continue
+                            key = (src, nid, rank)
+                            if key not in seen:
+                                seen.add(key)
+                                copies.append(_Copy(src, nid, rank))
+            plan.append(copies)
+        return plan
+
+    # --- the halo exchange ---------------------------------------------------
+    def _hook(self, rank: int, axis: int) -> None:
+        self._axis_requests[rank] = axis
+        self._barrier.wait()
+
+    def _exchange(self) -> None:
+        """Barrier action: runs in exactly one thread while every rank is
+        paused at the same guard-fill phase — cross-grid copies are
+        race-free and their order is deterministic."""
+        axes = set(self._axis_requests)
+        if len(axes) != 1:
+            raise ConfigurationError(
+                f"ranks diverged: guard fills requested axes "
+                f"{sorted(self._axis_requests)} at one barrier (the "
+                f"fabric needs identical unit schedules on every rank)")
+        axis = axes.pop()
+        received = [0] * self.n_ranks
+        for copy in self._plan[axis]:
+            src = self.ranks[copy.src].grid.block_data(copy.bid)
+            dst = self.ranks[copy.dst].grid.block_data(copy.bid)
+            dst[...] = src
+            nbytes = src.nbytes
+            received[copy.dst] += nbytes
+            self.ranks[copy.src].bytes_sent += nbytes
+            self.ranks[copy.dst].bytes_received += nbytes
+        self.comm.halo_exchange(received)
+
+    # --- evolution -----------------------------------------------------------
+    def negotiate_dt(self) -> float:
+        """``Driver_computeDt``: per-rank CFL minima joined by an
+        allreduce.  Exact: min over ranks of per-shard minima is the
+        serial minimum, bit-for-bit."""
+        dts = np.array([ctx.sim.compute_dt() for ctx in self.ranks])
+        return self.comm.allreduce_min(dts)
+
+    def step(self, dt: float | None = None) -> list[StepInfo]:
+        """Advance every rank by one (negotiated) step in lockstep."""
+        if dt is None:
+            dt = self.negotiate_dt()
+        if self.n_ranks == 1:
+            return [self.ranks[0].sim.step(dt)]
+
+        self._barrier.reset()
+        errors: list[BaseException] = []
+        infos: list[StepInfo | None] = [None] * self.n_ranks
+
+        def run(ctx: RankContext) -> None:
+            try:
+                infos[ctx.rank] = ctx.sim.step(dt)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors.append(exc)
+                self._barrier.abort()
+
+        threads = [threading.Thread(target=run, args=(ctx,),
+                                    name=f"fabric-rank{ctx.rank}")
+                   for ctx in self.ranks]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        real = [e for e in errors
+                if not isinstance(e, threading.BrokenBarrierError)]
+        if real:
+            raise real[0]
+        if errors:
+            raise errors[0]
+        return infos  # type: ignore[return-value]
+
+    def evolve(self, *, nend: int) -> list[list[StepInfo]]:
+        """Run ``nend`` lockstep steps; returns per-step rank summaries."""
+        return [self.step() for _ in range(nend)]
+
+    # --- reductions and instrumentation --------------------------------------
+    def total(self, name: str, weight: str | None = "dens") -> float:
+        """Domain integral across all shards (an ``allreduce_sum``)."""
+        partials = np.array([ctx.grid.total(name, weight)
+                             for ctx in self.ranks])
+        return self.comm.allreduce_sum(partials)
+
+    def attach_worklogs(self, *,
+                        helmholtz_eos: bool = True) -> tuple[WorkLog, ...]:
+        """Attach one WorkLog per rank (call before evolving).
+
+        Each log records only its rank's shard — slots, levels, and zone
+        counts are per-rank — so the perfmodel replays every rank's own
+        memory behaviour, the way per-process PAPI counters would read.
+        """
+        for ctx in self.ranks:
+            ctx.log = WorkLog.attach(ctx.sim, helmholtz_eos=helmholtz_eos)
+        return tuple(ctx.log for ctx in self.ranks)
+
+
+__all__ = ["Fabric", "RankContext"]

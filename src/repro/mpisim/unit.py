@@ -1,0 +1,35 @@
+"""The MPI-simulation unit's declarations (FLASH's ``Grid/GridMain``
+parallel-decomposition parameters).
+
+The mpisim unit owns the rank-decomposition parameters: how many
+simulated ranks a run is split across and how densely those ranks pack
+onto nodes (which sets the shared node-injection bandwidth in the
+:class:`~repro.mpisim.comm.CommCostModel`).  Like the driver, it has no
+step hook — the decomposed evolution loop is the
+:class:`~repro.mpisim.fabric.Fabric`, which reads these parameters
+through :class:`~repro.driver.config.RuntimeParameters`.
+"""
+
+from __future__ import annotations
+
+from repro.core import ParameterSpec, UnitSpec, unit_registry
+
+MPISIM_UNIT = unit_registry.register(UnitSpec(
+    name="mpisim",
+    description="simulated rank decomposition: shard count, node packing",
+    phase=0,
+    parameters=(
+        ParameterSpec("n_ranks", 1,
+                      doc="simulated MPI ranks the domain is decomposed "
+                          "across (1: the serial spine, bit-identical to "
+                          "a plain Simulation run)",
+                      validator=lambda v: v >= 1),
+        ParameterSpec("ranks_per_node", 1,
+                      doc="ranks resident per node: sets the shared "
+                          "node-injection bandwidth and how many ranks "
+                          "contend for one node's hugetlb pool",
+                      validator=lambda v: v >= 1),
+    ),
+))
+
+__all__ = ["MPISIM_UNIT"]

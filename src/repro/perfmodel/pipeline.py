@@ -174,6 +174,7 @@ class PerformancePipeline:
         params=None,
         fault_injector=None,
         session: ReplaySession | None = None,
+        rank_signature: str = "",
     ) -> None:
         load_all()
         #: invocation kind -> (work model, vectorisation key) and the set
@@ -198,6 +199,12 @@ class PerformancePipeline:
         #: replay sharing/caching layer; every unparameterised pipeline
         #: joins the process-wide default session
         self.session = session if session is not None else default_session()
+        #: rank-decomposition tag (e.g. ``"rank2/4@rpn2"``): per-rank
+        #: WorkLogs usually differ (and so do their digests), but a
+        #: decomposed run must never be served a cached replay from a
+        #: different rank layout even when shard contents coincide — the
+        #: tag is folded into the replay config key when set
+        self.rank_signature = rank_signature
 
     # --- setup: the allocation story -------------------------------------------------
     def _launch_and_allocate(self):
@@ -322,15 +329,19 @@ class PerformancePipeline:
     def _config_key(self, engine, machine, proc, allocations) -> str:
         # the replay is a pure function of these inputs; anything else
         # (compiler pricing, machine frequency, THP statistics) is applied
-        # after the session answers
-        return hashlib.sha256("/".join((
+        # after the session answers.  The rank signature joins only when
+        # set so serial (n_ranks=1) keys are bit-stable across releases.
+        parts = (
             str(TRACE_SCHEMA), self.log.digest(),
             _layout_signature(proc.space, allocations),
             geometry_digest(machine.tlb), engine,
             str(self.seed), str(self.replication),
             str(self.fine_sample_blocks),
             ",".join(sorted(self._fine_kinds)),
-        )).encode()).hexdigest()[:40]
+        )
+        if self.rank_signature:
+            parts = parts + (self.rank_signature,)
+        return hashlib.sha256("/".join(parts).encode()).hexdigest()[:40]
 
     def _pending(self, engine, proc, layout, unk, scratch, eos_table,
                  flame_table, flux_scratch,

@@ -102,7 +102,8 @@ class HydroUnit:
                          conserve_fluxes=self.conserve_fluxes)
             if inst is not None:
                 inst.end("hydro")
-            step_work.zone_sweeps += grid.tree.n_leaves * grid.spec.zones_per_block()
+            step_work.zone_sweeps += (len(grid.leaf_blocks())
+                                      * grid.spec.zones_per_block())
             if inst is not None:
                 inst.begin("eos")
             ew = apply_eos(grid, self.eos, mode="dens_ei",

@@ -1,0 +1,125 @@
+"""Tests for the rank-decomposed scaling sweep."""
+
+import pytest
+
+from repro.experiments.porting import PortingResult
+from repro.experiments.scaling import (node_contention, scaling_study,
+                                       sedov_fabric_builder, serial_identity)
+from repro.perfmodel.session import ReplaySession
+from repro.toolchain.compiler import FUJITSU
+
+
+@pytest.fixture(scope="module")
+def study():
+    session = ReplaySession(persist=False)
+    return scaling_study(quick=True, rank_counts=(1, 2), steps=1,
+                         session=session)
+
+
+class TestScalingStudy:
+    def test_points_cover_both_modes_and_regimes(self, study):
+        for points in (study.strong, study.weak):
+            assert sorted(points) == [1, 2]
+            for p, point in points.items():
+                assert set(point["time_s"]) == {"with", "without"}
+                assert len(point["per_rank_dtlb"]["with"]) == p
+                assert len(point["per_rank_dtlb"]["without"]) == p
+
+    def test_page_regimes_follow_flags(self, study):
+        """The Fujitsu default launches on huge pages; -Knolargepage
+        keeps every rank on base pages."""
+        for point in list(study.strong.values()) + list(study.weak.values()):
+            assert all(point["huge_pages"]["with"])
+            assert not any(point["huge_pages"]["without"])
+
+    def test_single_rank_has_no_halo_traffic(self, study):
+        assert study.strong[1]["halo_bytes"] == 0
+        assert study.strong[2]["halo_bytes"] > 0
+
+    def test_render_has_tables_and_contention(self, study):
+        text = study.render()
+        assert "strong scaling" in text
+        assert "weak scaling" in text
+        assert "node hugetlb pool contention" in text
+        assert "exhaustion degrades only the ranks" in text
+
+    def test_efficiency_anchored_at_smallest_rank_count(self, study):
+        assert study.speedup("strong", "with", 1) == 1.0
+        assert study.efficiency("strong", "with", 1) == 1.0
+
+
+class TestNodeContention:
+    def test_exhaustion_degrades_only_late_ranks(self):
+        """48 static 2 MiB pages serve two 40 MiB arenas (20 pages
+        each); ranks 2 and 3 hit the dry pool and fall back per
+        process — earlier residents keep their huge pages."""
+        c = node_contention(ranks_per_node=4, pool_pages=48, arena_mib=40)
+        assert c["degraded"] == [2, 3]
+        assert [r["hugetlb"] for r in c["ranks"]] == [True, True,
+                                                      False, False]
+        assert c["fallback_total"] == 2
+
+    def test_ample_pool_degrades_nobody(self):
+        c = node_contention(ranks_per_node=2, pool_pages=64, arena_mib=16)
+        assert c["degraded"] == []
+        assert c["fallback_total"] == 0
+
+
+class TestSerialIdentity:
+    def test_one_rank_fabric_is_bit_identical(self):
+        out = serial_identity(steps=1, session=ReplaySession(persist=False))
+        assert out["digest_identical"]
+        assert out["counters_identical"]
+        assert out["fabric"] == out["serial"]
+
+
+class TestRankSignatureCacheKeys:
+    def test_same_signature_hits_the_cache(self):
+        session = ReplaySession(persist=False)
+        builder = sedov_fabric_builder(2, 2)
+        from repro.mpisim.fabric import Fabric
+        fabric = Fabric(builder, 1)
+        log = fabric.attach_worklogs(helmholtz_eos=False)[0]
+        fabric.evolve(nend=1)
+        for _ in range(2):
+            session.pipeline(log, FUJITSU, replication=1,
+                             rank_signature="rank0/1@rpn1").run()
+        assert session.stats.replays == 1
+        assert session.stats.memory_hits == 1
+
+    def test_distinct_signatures_never_share_a_config(self):
+        """Identical shard content on different decompositions must not
+        serve each other's cached config result.  (The trace layer below
+        it is content-addressed and may still share — identical traces
+        under identical geometry give identical counters by
+        construction, whatever rank produced them.)"""
+        session = ReplaySession(persist=False)
+        builder = sedov_fabric_builder(2, 2)
+        from repro.mpisim.fabric import Fabric
+        fabric = Fabric(builder, 1)
+        log = fabric.attach_worklogs(helmholtz_eos=False)[0]
+        fabric.evolve(nend=1)
+        for sig in ("rank0/1@rpn1", "rank0/2@rpn2"):
+            session.pipeline(log, FUJITSU, replication=1,
+                             rank_signature=sig).run()
+        assert session.stats.configs == 2
+        assert session.stats.memory_hits == 0  # distinct config keys
+
+
+class TestPortingScalingAnchor:
+    def test_sweep_not_starting_at_one_rank(self):
+        result = PortingResult(
+            compiler_times_s={},
+            scaling_times_s={2: 10.0, 4: 5.5, 8: 3.0})
+        assert result.speedup(2) == 1.0
+        assert result.efficiency(2) == 1.0
+        assert result.speedup(4) == pytest.approx(10.0 / 5.5)
+        assert result.efficiency(4) == pytest.approx((10.0 / 5.5) / 2)
+
+    def test_backward_compatible_at_rank_one(self):
+        result = PortingResult(
+            compiler_times_s={},
+            scaling_times_s={1: 8.0, 2: 4.0})
+        assert result.speedup(1) == 1.0
+        assert result.speedup(2) == 2.0
+        assert result.efficiency(2) == 1.0

@@ -205,3 +205,75 @@ class TestScalingModel:
         a = scaling_model(grid, [4], ranks_per_node=4, **kwargs)
         b = scaling_model(grid, [4], ranks_per_node=48, **kwargs)
         assert a[4] == pytest.approx(b[4])
+
+
+class TestEmptyShardContract:
+    def test_more_ranks_than_leaves_rejected(self):
+        grid = make_grid(nblock=2, max_level=0)  # 4 leaves
+        with pytest.raises(ConfigurationError, match="empty shards"):
+            DomainDecomposition.split(grid, 5)
+
+    def test_allow_empty_opts_in(self):
+        """The documented contract: every rank key exists, idle ranks
+        exchange zero bytes, load_imbalance counts them."""
+        grid = make_grid(nblock=2, max_level=0)
+        dd = DomainDecomposition.split(grid, 6, allow_empty=True)
+        assert sorted(dd.assignment) == list(range(6))
+        empty = [r for r, blocks in dd.assignment.items() if not blocks]
+        assert empty
+        for rank in empty:
+            assert dd.halo_bytes(grid, rank, 100) == 0
+        assert dd.load_imbalance() > 1.0
+
+    def test_exact_fit_needs_no_opt_in(self):
+        grid = make_grid(nblock=2, max_level=0)
+        dd = DomainDecomposition.split(grid, 4)
+        assert all(len(b) == 1 for b in dd.assignment.values())
+
+
+class TestHaloTraffic:
+    def test_sent_equals_received_uniform(self):
+        grid = make_grid(nblock=4, max_level=0)
+        dd = DomainDecomposition.split(grid, 4)
+        received, sent = dd.halo_traffic(grid, 100)
+        assert sum(received) == sum(sent) > 0
+
+    def test_sent_equals_received_refined(self):
+        """Symmetry holds across refinement jumps, where one coarse face
+        reads several fine neighbours (and vice versa)."""
+        grid = make_grid(nblock=4, max_level=2)
+        refine_block(grid, BlockId(0, 0, 0))
+        refine_block(grid, BlockId(1, 2, 2))
+        for n_ranks in (2, 3, 4, 7):
+            dd = DomainDecomposition.split(grid, n_ranks)
+            received, sent = dd.halo_traffic(grid, 64)
+            assert sum(received) == sum(sent) > 0
+            assert len(received) == len(sent) == n_ranks
+
+    def test_halo_bytes_delegates_to_traffic(self):
+        grid = make_grid(nblock=4, max_level=0)
+        dd = DomainDecomposition.split(grid, 4)
+        received, _ = dd.halo_traffic(grid, 100)
+        for rank in range(4):
+            assert dd.halo_bytes(grid, rank, 100) == received[rank]
+
+
+class TestChargedTimeMonotonicity:
+    def test_halo_time_monotone_in_ranks_per_node(self):
+        """Denser node packing shares the injection pipe: the charged
+        time for the same exchange never decreases with residency."""
+        elapsed = []
+        for rpn in (1, 2, 4, 8):
+            comm = SimComm(8, ranks_per_node=rpn)
+            comm.halo_exchange([5_000_000] * 8)
+            elapsed.append(comm.elapsed_s)
+        assert all(a <= b for a, b in zip(elapsed, elapsed[1:]))
+        assert elapsed[0] < elapsed[-1]
+
+    def test_allreduce_time_monotone_in_ranks_per_node(self):
+        elapsed = []
+        for rpn in (1, 2, 4):
+            comm = SimComm(4, ranks_per_node=rpn)
+            comm.allreduce_min(np.zeros(4))
+            elapsed.append(comm.elapsed_s)
+        assert all(a <= b for a, b in zip(elapsed, elapsed[1:]))

@@ -1,0 +1,198 @@
+"""Tests for the rank-decomposed simulation fabric.
+
+The load-bearing property is bit-identity: a decomposed run must equal
+the serial spine exactly (not approximately) — the same theorem real
+PARAMESH relies on when it fills guard cells from surrogate blocks.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.driver.simulation import Simulation
+from repro.mesh.grid import Grid, MeshSpec
+from repro.mesh.refine import refine_block
+from repro.mesh.tree import AMRTree
+from repro.mpisim.fabric import Fabric
+from repro.perfmodel.workrecord import WorkLog
+from repro.physics.eos import GammaLawEOS
+from repro.physics.hydro.unit import HydroUnit
+from repro.setups.sedov import sedov_setup
+from repro.util.errors import ConfigurationError
+
+
+def sedov_builder(nblockx=4, nblocky=4, *, nrefs=0):
+    def build():
+        tree = AMRTree(ndim=2, nblockx=nblockx, nblocky=nblocky,
+                       max_level=0, domain=((0, 1), (0, 1), (0, 1)))
+        spec = MeshSpec(ndim=2, nxb=8, nyb=8, nzb=1, nguard=2,
+                        maxblocks=nblockx * nblocky + 4)
+        grid = Grid(tree, spec)
+        eos = GammaLawEOS(gamma=1.4)
+        sedov_setup(grid, eos)
+        kwargs = {"refine_var": "pres"} if nrefs else {}
+        return Simulation(grid, HydroUnit(eos, cfl=0.4), nrefs=nrefs,
+                          dtinit=1e-5, **kwargs)
+    return build
+
+
+class TestBitIdentity:
+    def test_two_ranks_match_serial_bit_for_bit(self):
+        """Every owned block equals the serial run exactly after
+        several lockstep steps — guards included (the surrogate
+        refreshes reproduce serial fill_guardcells)."""
+        builder = sedov_builder()
+        serial = builder()
+        fabric = Fabric(builder, 2)
+        for _ in range(3):
+            dt = serial.compute_dt()
+            assert fabric.negotiate_dt() == dt  # exact, not approx
+            serial.step(dt)
+            fabric.step(dt)
+        for ctx in fabric.ranks:
+            assert ctx.owned
+            for bid in ctx.owned:
+                np.testing.assert_array_equal(
+                    ctx.grid.block_data(bid), serial.grid.block_data(bid))
+
+    def test_four_ranks_match_serial(self):
+        builder = sedov_builder()
+        serial = builder()
+        fabric = Fabric(builder, 4)
+        infos = fabric.evolve(nend=2)
+        for _ in range(2):
+            serial.step(serial.compute_dt())
+        assert len(infos) == 2 and len(infos[0]) == 4
+        for ctx in fabric.ranks:
+            for bid in ctx.owned:
+                np.testing.assert_array_equal(
+                    ctx.grid.block_data(bid), serial.grid.block_data(bid))
+
+    def test_one_rank_is_the_serial_spine(self):
+        """n_ranks=1 installs no hook and no filter: identical WorkLog
+        digests, untouched grid attributes."""
+        builder = sedov_builder()
+        fabric = Fabric(builder, 1)
+        assert fabric.ranks[0].grid.owned is None
+        assert fabric.ranks[0].grid.halo_hook is None
+        flog = fabric.attach_worklogs(helmholtz_eos=False)[0]
+        fabric.evolve(nend=2)
+        sim = builder()
+        slog = WorkLog.attach(sim, helmholtz_eos=False)
+        sim.evolve(nend=2)
+        assert flog.digest() == slog.digest()
+
+    def test_deterministic_across_runs(self):
+        builder = sedov_builder()
+        digests = []
+        for _ in range(2):
+            fabric = Fabric(builder, 4)
+            logs = fabric.attach_worklogs(helmholtz_eos=False)
+            fabric.evolve(nend=2)
+            digests.append(tuple(log.digest() for log in logs))
+        assert digests[0] == digests[1]
+
+    def test_per_rank_worklogs_record_only_the_shard(self):
+        fabric = Fabric(sedov_builder(), 4)
+        logs = fabric.attach_worklogs(helmholtz_eos=False)
+        fabric.evolve(nend=1)
+        for ctx, log in zip(fabric.ranks, logs):
+            assert len(log.steps[0].slots) == len(ctx.owned) == 4
+
+
+class TestConservation:
+    def test_mass_and_energy_conserved_at_two_ranks(self):
+        fabric = Fabric(sedov_builder(), 2)
+        mass0 = fabric.total("dens", None)
+        ener0 = fabric.total("ener")
+        fabric.evolve(nend=3)
+        assert fabric.total("dens", None) == pytest.approx(mass0, rel=1e-12)
+        assert fabric.total("ener") == pytest.approx(ener0, rel=1e-9)
+
+    def test_totals_match_serial(self):
+        builder = sedov_builder()
+        serial = builder()
+        fabric = Fabric(builder, 4)
+        fabric.evolve(nend=2)
+        for _ in range(2):
+            serial.step(serial.compute_dt())
+        assert fabric.total("dens", None) == serial.grid.total("dens", None)
+
+
+class TestTrafficAccounting:
+    def test_bytes_sent_received_symmetric(self):
+        fabric = Fabric(sedov_builder(), 4)
+        fabric.evolve(nend=2)
+        sent = sum(ctx.bytes_sent for ctx in fabric.ranks)
+        received = sum(ctx.bytes_received for ctx in fabric.ranks)
+        assert sent == received > 0
+        assert fabric.comm.bytes_moved == received
+        assert fabric.comm.elapsed_s > 0.0
+
+    def test_two_rank_traffic_mirrors(self):
+        """With two ranks, everything rank 0 sends rank 1 receives."""
+        fabric = Fabric(sedov_builder(), 2)
+        fabric.evolve(nend=1)
+        a, b = fabric.ranks
+        assert a.bytes_sent == b.bytes_received > 0
+        assert b.bytes_sent == a.bytes_received > 0
+
+    def test_single_rank_moves_no_bytes(self):
+        fabric = Fabric(sedov_builder(), 1)
+        fabric.evolve(nend=1)
+        assert fabric.comm.bytes_moved == 0
+        assert fabric.ranks[0].bytes_sent == 0
+
+
+class TestConfigurationGuards:
+    def test_refinement_must_be_disabled(self):
+        with pytest.raises(ConfigurationError, match="nrefs=0"):
+            Fabric(sedov_builder(nrefs=4), 2)
+
+    def test_more_ranks_than_blocks_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty shards"):
+            Fabric(sedov_builder(2, 2), 5)
+
+    def test_cross_rank_refinement_jump_rejected(self):
+        """One rank per leaf on a refined tree puts every jump across a
+        boundary — flux matching could not resolve the fine children."""
+        def build():
+            tree = AMRTree(ndim=2, nblockx=2, nblocky=2, max_level=1,
+                           domain=((0, 1), (0, 1), (0, 1)))
+            spec = MeshSpec(ndim=2, nxb=8, nyb=8, nzb=1, nguard=2,
+                            maxblocks=16)
+            grid = Grid(tree, spec)
+            refine_block(grid, grid.tree.leaves()[0])
+            eos = GammaLawEOS(gamma=1.4)
+            sedov_setup(grid, eos)
+            return Simulation(grid, HydroUnit(eos, cfl=0.4), nrefs=0,
+                              dtinit=1e-5)
+        n_leaves = len(build().grid.tree.leaves())
+        with pytest.raises(ConfigurationError, match="crosses a rank"):
+            Fabric(build, n_leaves)
+
+    def test_need_at_least_one_rank(self):
+        with pytest.raises(ConfigurationError):
+            Fabric(sedov_builder(), 0)
+
+
+class TestFailurePropagation:
+    def test_rank_exception_propagates_not_deadlocks(self):
+        """A rank dying mid-step aborts the barrier instead of hanging
+        the others, and the original error (not BrokenBarrierError)
+        surfaces."""
+        fabric = Fabric(sedov_builder(), 2)
+
+        boom = RuntimeError("rank 1 exploded")
+        original_hook = fabric.ranks[1].grid.halo_hook
+
+        def failing_hook(axis):
+            raise boom
+
+        fabric.ranks[1].grid.halo_hook = failing_hook
+        with pytest.raises(RuntimeError, match="rank 1 exploded"):
+            fabric.step(1e-5)
+        fabric.ranks[1].grid.halo_hook = original_hook
+        assert not any(t.name.startswith("fabric-rank")
+                       for t in threading.enumerate())

@@ -1,0 +1,42 @@
+"""Tests for the mpisim unit's registry declarations."""
+
+import pytest
+
+from repro.core import parameter_registry, unit_registry
+from repro.driver.config import RuntimeParameters
+from repro.util.errors import ConfigurationError
+
+
+class TestMpisimUnit:
+    def test_registered(self):
+        spec = unit_registry.unit("mpisim")
+        assert spec.phase == 0  # decomposition precedes every step hook
+        names = {p.name for p in spec.parameters}
+        assert names == {"n_ranks", "ranks_per_node"}
+
+    def test_parameters_owned_by_mpisim(self):
+        assert parameter_registry.owner("n_ranks") == "mpisim"
+        assert parameter_registry.owner("ranks_per_node") == "mpisim"
+
+    def test_serial_defaults(self):
+        """Both default to 1: a par file that never mentions ranks gets
+        the serial spine."""
+        assert parameter_registry.spec("n_ranks").default == 1
+        assert parameter_registry.spec("ranks_per_node").default == 1
+
+    def test_validators_reject_nonpositive(self):
+        for name in ("n_ranks", "ranks_per_node"):
+            spec = parameter_registry.spec(name)
+            spec.validate(1)
+            spec.validate(64)
+            with pytest.raises(ConfigurationError):
+                spec.validate(0)
+
+    def test_par_file_roundtrip(self):
+        params = RuntimeParameters.from_par("n_ranks = 4\nranks_per_node = 2")
+        assert params.get("n_ranks") == 4
+        assert params.get("ranks_per_node") == 2
+
+    def test_par_file_validation(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeParameters.from_par("n_ranks = 0")
