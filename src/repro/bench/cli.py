@@ -392,6 +392,53 @@ def run_scaling_bench(*, quick: bool = True) -> dict[str, object]:
     }
 
 
+def run_resilience_bench(*, quick: bool = True) -> dict[str, object]:
+    """Benchmark + gate document for the fabric resilience study.
+
+    Wall-clock numbers (checkpoint overhead, recovery time) are
+    recorded for the trend but never gated — they are machine noise.
+    What gates is the determinism story: the identity booleans (a
+    fault-free supervised run and a killed-and-recovered run both
+    finish bit-identical to the unsupervised reference) and the exact
+    recovery accounting (restarts and replayed steps per point, which
+    are pure functions of the schedule).
+    """
+    import hashlib
+
+    from repro.experiments.resilience import resilience_study
+
+    t0 = time.perf_counter()
+    study = resilience_study(quick=quick)
+    wall = time.perf_counter() - t0
+    text = study.render()
+
+    points = {f"{ranks}x{interval}": dict(p)
+              for (ranks, interval), p in sorted(study.points.items())}
+    all_identical = all(p["faultfree_identical"] and p["recovered_identical"]
+                        for p in study.points.values())
+    return {
+        "schema": SCHEMA,
+        "name": "resilience",
+        "quick": quick,
+        "engines": [resolve_engine()],
+        "environment": _environment(),
+        "runs": [],
+        "resilience": {
+            "wall_s": wall,
+            "steps": study.steps,
+            "kill_step": study.kill_step,
+            "points": points,
+            "text_sha256": hashlib.sha256(text.encode()).hexdigest(),
+        },
+        "summary": {
+            "n_runs": 2 * len(points) + 2,  # ref + fault-free + killed
+            "all_identical": all_identical,
+            "rank_restarts": sum(p["rank_restarts"]
+                                 for p in study.points.values()),
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -413,6 +460,10 @@ def main(argv: list[str] | None = None) -> int:
     # baseline gates the n_ranks=1 bit-identity contract
     all_problems += ("scaling",)
     gated += ["scaling"]
+    # "resilience" is the fault-tolerant fabric study; its committed
+    # baseline gates the recovery bit-identity contract
+    all_problems += ("resilience",)
+    gated += ["resilience"]
     parser.add_argument("--problems", nargs="+", choices=all_problems,
                         default=gated,
                         help="which registered workloads to run (default: "
@@ -449,6 +500,8 @@ def main(argv: list[str] | None = None) -> int:
             doc = run_report_bench(quick=args.quick, jobs=args.jobs)
         elif problem == "scaling":
             doc = run_scaling_bench(quick=args.quick)
+        elif problem == "resilience":
+            doc = run_resilience_bench(quick=args.quick)
         else:
             doc = run_problem_bench(problem, quick=args.quick,
                                     engines=engines)
@@ -482,6 +535,11 @@ def main(argv: list[str] | None = None) -> int:
                      + ("identical" if summary["serial_identical"]
                         else "DIFFERS")
                      + f", degraded ranks {summary['degraded_ranks']}")
+        if "all_identical" in summary:
+            line += (f", {summary['rank_restarts']} rank restart(s), "
+                     "recovery "
+                     + ("bit-identical" if summary["all_identical"]
+                        else "DIVERGED"))
         print(line)
         if summary.get("all_counters_equal") is False:
             failures.append(f"{problem}: fast and scalar engines disagree")
@@ -497,6 +555,10 @@ def main(argv: list[str] | None = None) -> int:
         if summary.get("serial_identical") is False:
             failures.append(
                 f"{problem}: one-rank fabric diverged from the serial spine")
+        if summary.get("all_identical") is False:
+            failures.append(
+                f"{problem}: a supervised or recovered fabric run diverged "
+                f"from the unsupervised reference")
         if args.compare is not None:
             baseline = load_baseline(args.compare, problem)
             if baseline is None:

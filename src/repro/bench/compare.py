@@ -130,6 +130,42 @@ def compare_bench(current: dict, baseline: dict, *, threshold: float = 0.2,
                                      env_diffs=env_diffs, notes=notes))
     failures.extend(_compare_geometry(current, baseline, threshold=threshold))
     failures.extend(_compare_scaling(current, baseline))
+    failures.extend(_compare_resilience(current, baseline))
+    return failures
+
+
+def _compare_resilience(current: dict, baseline: dict) -> list[str]:
+    """Gate the resilience block of a bench document.
+
+    The identity booleans always gate (recovery must reproduce the
+    unfaulted run bit-for-bit); the recovery accounting — restarts and
+    replayed steps per (ranks, interval) point — is a pure function of
+    the fault schedule and gates exactly.  Walls (checkpoint overhead,
+    recovery time) are recorded for the trend but never gated.
+    """
+    cur = current.get("resilience")
+    if cur is None:
+        return []
+    name = current.get("name", "?")
+    failures: list[str] = []
+    for point, p in sorted((cur.get("points") or {}).items()):
+        for flag in ("faultfree_identical", "recovered_identical"):
+            if p.get(flag) is False:
+                failures.append(
+                    f"{name} {point}: {flag.replace('_', ' ')} is False "
+                    f"(recovery must be bit-identical)")
+    base = baseline.get("resilience")
+    if base is None:
+        return failures
+    base_points = base.get("points") or {}
+    for point in sorted(set(cur.get("points") or {}) & set(base_points)):
+        p, b = cur["points"][point], base_points[point]
+        for field in ("rank_restarts", "replayed_steps"):
+            if p.get(field) != b.get(field):
+                failures.append(
+                    f"{name} {point}: {field} changed "
+                    f"{b.get(field)} -> {p.get(field)} (the fault "
+                    f"schedule is deterministic)")
     return failures
 
 

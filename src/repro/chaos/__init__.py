@@ -10,5 +10,7 @@ exactly reproducible.
 """
 
 from repro.chaos.injector import FAULT_KINDS, ChaosUnit, Injection
+from repro.chaos.rankfaults import RANK_FAULT_KINDS, RankChaos, RankInjection
 
-__all__ = ["ChaosUnit", "Injection", "FAULT_KINDS"]
+__all__ = ["ChaosUnit", "Injection", "FAULT_KINDS",
+           "RankChaos", "RankInjection", "RANK_FAULT_KINDS"]

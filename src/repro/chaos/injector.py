@@ -83,6 +83,12 @@ class ChaosUnit:
         self.kernel = kernel
         self.raise_signal = raise_signal
         self.enabled = enabled
+        #: optional zero-argument callable the ``signal`` fault invokes
+        #: *instead of* raising a real OS signal.  ``signal.signal`` is
+        #: illegal off the main thread, so the fabric routes rank-level
+        #: interruption through this stop flag (checked at the next
+        #: barrier point) when it composes chaos into rank simulations.
+        self.stop_flag = None
         #: steps whose fault already fired — survives step rollback, so a
         #: retried step is not poisoned again
         self.fired: set[int] = set()
@@ -178,6 +184,12 @@ class ChaosUnit:
 
     def _inject_signal(self, sim, n: int) -> None:
         name = signal_module.Signals(self.raise_signal).name
+        if self.stop_flag is not None:
+            self._log(n, "signal",
+                      f"{name} routed to the fabric stop flag (rank "
+                      f"thread: raise_signal would need the main thread)")
+            self.stop_flag()
+            return
         self._log(n, "signal", f"{name} delivered to self")
         signal_module.raise_signal(self.raise_signal)
 

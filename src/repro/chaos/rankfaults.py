@@ -1,0 +1,190 @@
+"""Rank-targeted fault injection for the simulation fabric.
+
+:class:`~repro.chaos.injector.ChaosUnit` corrupts *one simulation*;
+under a rank decomposition the interesting failures are per-rank: a
+rank thread dying mid-step, a straggler stalling everyone at the
+barrier, corruption flowing across a halo exchange, a node's hugetlb
+pool drained out from under a respawning rank.  :class:`RankChaos`
+schedules exactly those, on the same deterministic ``start``/``every``
+cycle the serial injector uses, with the target rank derived from the
+seed and step number — two runs with one configuration inject
+identically, which is what lets the resilience experiment compare a
+faulted run bit-for-bit against its unfaulted reference.
+
+Faults fire **once** per scheduled step (the ``fired`` set is shared
+across rank threads under a lock and deliberately survives the
+coordinated rollback): recovery replays the step clean, modelling
+transient failures the way the serial injector does.
+
+Delivery points:
+
+``kill_rank``
+    the target rank raises :class:`~repro.util.errors.RankKilled` at
+    step start → the barrier aborts, survivors unwind, and the fabric's
+    recovery loop restores the last coordinated snapshot and respawns
+    the rank from its checkpoint;
+``stall_rank``
+    the target rank sleeps ``stall_s`` before stepping → with a barrier
+    timeout configured the watchdog raises
+    :class:`~repro.util.errors.FabricTimeout` naming the straggler;
+``corrupt_halo``
+    one interior density zone of an owned block of the target rank is
+    poisoned at step start → the NaN crosses the halo exchange into the
+    neighbour's surrogate and trips the post-step guards on *both*
+    sides, exercising multi-rank rollback;
+``drain_pool_at_rank``
+    delivered in the main thread at the step boundary: the node
+    kernel's hugetlb pools are drained, so a later respawn's
+    re-admission degrades to base pages on the
+    :class:`~repro.kernel.vmm.DegradationLog` instead of dying.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError, RankKilled
+
+#: every rank-targeted fault kind, in default schedule order
+RANK_FAULT_KINDS = ("kill_rank", "stall_rank", "corrupt_halo",
+                    "drain_pool_at_rank")
+
+
+@dataclass(frozen=True)
+class RankInjection:
+    """One rank-targeted fault as it was actually delivered."""
+
+    step: int
+    kind: str
+    rank: int
+    detail: str
+
+    def to_json(self) -> dict:
+        return {"step": self.step, "kind": self.kind, "rank": self.rank,
+                "detail": self.detail}
+
+
+class RankChaos:
+    """Scheduled rank-targeted faults on a deterministic cycle.
+
+    Faults fire on steps ``start, start + every, ...``, cycling through
+    ``faults`` in order.  The target rank is ``target_rank`` when given,
+    else a seeded hash of the step number — deterministic without any
+    RNG state, so concurrent rank threads need no draw ordering.
+    """
+
+    def __init__(self, *, faults: tuple[str, ...] = RANK_FAULT_KINDS,
+                 start: int = 2, every: int = 3, seed: int = 0,
+                 target_rank: int | None = None, stall_s: float = 0.05,
+                 kernel=None, enabled: bool = True) -> None:
+        unknown = set(faults) - set(RANK_FAULT_KINDS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown rank fault kind(s): {sorted(unknown)} "
+                f"(known: {', '.join(RANK_FAULT_KINDS)})")
+        if start < 1 or every < 1:
+            raise ConfigurationError("rank chaos start/every must be >= 1")
+        if stall_s < 0.0:
+            raise ConfigurationError("stall_s cannot be negative")
+        self.faults = tuple(faults)
+        self.start = start
+        self.every = every
+        self.seed = seed
+        self.target_rank = target_rank
+        self.stall_s = stall_s
+        #: optional simulated node kernel (drain_pool_at_rank target and
+        #: the respawn re-admission pool)
+        self.kernel = kernel
+        self.enabled = enabled
+        #: steps whose fault already fired — shared across rank threads,
+        #: survives the coordinated rollback so recovery replays clean
+        self.fired: set[int] = set()
+        self.injections: list[RankInjection] = []
+        self._lock = threading.Lock()
+
+    # --- schedule -----------------------------------------------------------
+    def fault_for(self, n: int) -> str | None:
+        """The fault scheduled for step ``n`` (None: step is clean)."""
+        if not self.enabled or not self.faults or n < self.start:
+            return None
+        if (n - self.start) % self.every:
+            return None
+        return self.faults[((n - self.start) // self.every)
+                           % len(self.faults)]
+
+    def target_for(self, n: int, n_ranks: int) -> int:
+        """The deterministic target rank for step ``n``."""
+        if self.target_rank is not None:
+            return self.target_rank % n_ranks
+        # a seeded multiplicative hash: deterministic, RNG-free (rank
+        # threads deliver concurrently, so draws could not be ordered)
+        return ((self.seed * 2654435761 + n * 40503) >> 7) % n_ranks
+
+    def _claim(self, n: int) -> bool:
+        """Atomically claim step ``n``'s fault (False: already fired)."""
+        with self._lock:
+            if n in self.fired:
+                return False
+            self.fired.add(n)
+            return True
+
+    def _log(self, n: int, kind: str, rank: int, detail: str) -> None:
+        with self._lock:
+            self.injections.append(
+                RankInjection(step=n, kind=kind, rank=rank, detail=detail))
+
+    # --- delivery (called by the fabric) ------------------------------------
+    def deliver_rank(self, fabric, ctx, n: int) -> None:
+        """Rank-thread delivery point, at the start of step ``n``."""
+        kind = self.fault_for(n)
+        if kind in (None, "drain_pool_at_rank"):
+            return
+        target = self.target_for(n, fabric.n_ranks)
+        if ctx.rank != target or not self._claim(n):
+            return
+        if kind == "kill_rank":
+            self._log(n, kind, ctx.rank, "rank thread killed at step start")
+            raise RankKilled(ctx.rank,
+                             f"chaos: rank {ctx.rank} killed at step {n}")
+        if kind == "stall_rank":
+            self._log(n, kind, ctx.rank,
+                      f"rank stalled {self.stall_s:.3f} s before stepping")
+            time.sleep(self.stall_s)
+            return
+        # corrupt_halo: poison an owned interior zone; the halo exchange
+        # carries the NaN into the neighbour's surrogate copy
+        blocks = ctx.grid.leaf_blocks()
+        block = blocks[((self.seed + n * 131) % len(blocks))]
+        ctx.grid.interior(block, "dens")[0, 0, 0] = float("nan")
+        self._log(n, kind, ctx.rank,
+                  f"dens[0,0,0] of owned block {block.bid} <- NaN "
+                  f"(crosses the halo exchange into neighbour guards)")
+
+    def deliver_main(self, fabric, n: int) -> None:
+        """Main-thread delivery point, before step ``n``'s threads spawn
+        (kernel pool mutation must not race the rank threads)."""
+        if self.fault_for(n) != "drain_pool_at_rank":
+            return
+        target = self.target_for(n, fabric.n_ranks)
+        if not self._claim(n):
+            return
+        if self.kernel is None:
+            self._log(n, "drain_pool_at_rank", target,
+                      "skipped: no kernel attached")
+            return
+        drained = []
+        for size, pool in sorted(self.kernel.pools.items()):
+            pages = pool.available_for_reservation
+            if pages > 0:
+                pool.reserve(pages)
+                drained.append(f"{pages} x {size} B")
+        self._log(n, "drain_pool_at_rank", target,
+                  "node pool drained: "
+                  + (", ".join(drained) if drained
+                     else "nothing (already empty)")
+                  + f" (rank {target}'s next re-admission must degrade)")
+
+
+__all__ = ["RankChaos", "RankInjection", "RANK_FAULT_KINDS"]

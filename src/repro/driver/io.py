@@ -148,6 +148,45 @@ def restart_simulation(path: str | Path, *units, **sim_kwargs):
     return sim
 
 
+def restore_into(sim, path: str | Path) -> None:
+    """Apply a checkpoint onto an *existing*, topology-identical simulation.
+
+    The respawn path: rebuilding a failed fabric rank calls the builder
+    (fresh storage, initial conditions) and then overwrites its leaf
+    interiors, time, step count, and embedded run state from the rank's
+    last checkpoint — cheaper than reconstructing a Grid, and it keeps
+    the ownership filter and halo hook the fabric already installed on
+    the grid.  Guard cells are left stale; the next guard-cell fill
+    refills them from the restored interiors exactly as a cold restart
+    would.
+    """
+    f = _load_validated(path)
+    grid = sim.grid
+    stored_vars = tuple(str(v) for v in f["variables"])
+    if stored_vars != tuple(grid.variables.names):
+        raise ArtifactError(
+            f"checkpoint {path} variables {stored_vars} do not match the "
+            f"live grid's {tuple(grid.variables.names)}")
+    bids = [BlockId(int(l), int(x), int(y), int(z))
+            for l, x, y, z in f["bids"]]
+    missing = [b for b in bids if b not in grid.blocks]
+    if missing:
+        raise ArtifactError(
+            f"checkpoint {path} holds block(s) {missing[:3]} the live "
+            f"grid does not have (topology mismatch)")
+    sx, sy, sz = grid.spec.interior_slices()
+    data = f["data"]
+    for i, bid in enumerate(bids):
+        grid.unk[:, sx, sy, sz, grid.blocks[bid].slot] = data[..., i]
+    time, n_step = f["scalars"]
+    sim.t = float(time)
+    sim.n_step = int(n_step)
+    if sim.hydro is not None:
+        sim.hydro._parity = sim.n_step
+    restore_run_state(sim, {k: v for k, v in f.items()
+                            if k.startswith("state/")})
+
+
 def read_checkpoint(path: str | Path) -> tuple[Grid, float, int]:
     """Reconstruct a Grid (tree + data) from a checkpoint.
 
@@ -203,4 +242,5 @@ def _load_validated(path: str | Path) -> dict[str, np.ndarray]:
 
 
 __all__ = ["write_checkpoint", "read_checkpoint", "restart_simulation",
-           "collect_run_state", "restore_run_state", "read_run_state"]
+           "restore_into", "collect_run_state", "restore_run_state",
+           "read_run_state"]

@@ -33,6 +33,7 @@ from __future__ import annotations
 import copy
 import json
 import signal
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -115,6 +116,18 @@ class RunReport:
     #: counted graceful degradations (hugetlb base-page fallbacks,
     #: perf-engine fallbacks, ...), kind -> count
     degradations: dict[str, int] = field(default_factory=dict)
+    #: rank threads killed and respawned by the fabric's recovery loop
+    rank_restarts: int = 0
+    #: wall seconds spent inside coordinated recoveries (restore +
+    #: respawn), summed — the run's MTTR numerator
+    recovery_wall_s: float = 0.0
+    #: barrier/collective deadlines that tripped (FabricTimeout count)
+    timeouts: int = 0
+    #: per-rank stack dumps from the last barrier timeout, rank -> trace
+    rank_stacks: dict[str, str] = field(default_factory=dict)
+    #: rank-targeted chaos injections actually delivered
+    #: (step/kind/rank/detail dicts, in delivery order)
+    rank_faults: list[dict] = field(default_factory=list)
 
     @property
     def retried_steps(self) -> int:
@@ -349,6 +362,11 @@ class RunSupervisor:
 
     # --- signals ---------------------------------------------------------------
     def _install_handlers(self):
+        # signal.signal is only legal on the main thread; a supervisor
+        # running inside a fabric rank thread must skip handler setup
+        # (rank-level interruption goes through the fabric's stop flag)
+        if threading.current_thread() is not threading.main_thread():
+            return {}
         previous = {}
         for sig in self.SIGNALS:
             def handler(signum, frame):

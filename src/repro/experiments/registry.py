@@ -113,6 +113,11 @@ def _run_scaling(*, quick: bool = False) -> str:
     return scaling_study(quick=quick).render()
 
 
+def _run_resilience(*, quick: bool = False) -> str:
+    from repro.experiments.resilience import resilience_study
+    return resilience_study(quick=quick).render()
+
+
 def _run_geometry(*, quick: bool = False) -> str:
     from repro.core import unit_registry
     from repro.experiments.geometry import geometry_study
@@ -154,6 +159,10 @@ register(ExperimentSpec(
     "scaling", "rank-decomposed weak/strong scaling sweep: per-rank "
                "replays, both page regimes, node hugetlb contention",
     _run_scaling))
+register(ExperimentSpec(
+    "resilience", "fabric fault tolerance: checkpoint overhead vs "
+                  "cadence, forced rank kill, recovery bit-identity",
+    _run_resilience))
 
 
 __all__ = ["ExperimentSpec", "register", "experiments", "experiment"]

@@ -1,7 +1,7 @@
 """Simulated MPI: rank decomposition, halo-exchange runs, cost modelling."""
 
 from repro.mpisim.comm import SimComm, DomainDecomposition, CommCostModel
-from repro.mpisim.fabric import Fabric, RankContext
+from repro.mpisim.fabric import Fabric, FabricSnapshot, RankContext
 
 __all__ = ["SimComm", "DomainDecomposition", "CommCostModel",
-           "Fabric", "RankContext"]
+           "Fabric", "FabricSnapshot", "RankContext"]

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.mesh.grid import Grid
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, FabricTimeout
 
 
 @dataclass(frozen=True)
@@ -169,42 +169,84 @@ class SimComm:
 
     Per-rank values live in arrays indexed by rank; collectives combine
     them exactly and charge modelled time to ``elapsed_s``.
+
+    ``timeout_s`` is an optional per-operation deadline in *modelled*
+    time: when a collective or p2p operation's charged time would exceed
+    it, the operation raises :class:`~repro.util.errors.FabricTimeout`
+    instead of completing — the simulated analogue of a hung partner
+    that never answers.  Off (``None``) by default so every existing
+    bench stays bit-identical; each operation also accepts a per-call
+    override.
     """
 
     def __init__(self, n_ranks: int,
                  cost: CommCostModel | None = None,
-                 ranks_per_node: int = 1) -> None:
+                 ranks_per_node: int = 1,
+                 timeout_s: float | None = None) -> None:
         if n_ranks < 1:
             raise ConfigurationError("need at least one rank")
         if ranks_per_node < 1:
             raise ConfigurationError("need at least one resident rank")
+        if timeout_s is not None and timeout_s <= 0.0:
+            raise ConfigurationError("timeout_s must be positive (or None)")
         self.n_ranks = n_ranks
         self.cost = cost or CommCostModel()
         self.ranks_per_node = ranks_per_node
+        self.timeout_s = timeout_s
         self.elapsed_s = 0.0
         self.bytes_moved = 0
 
-    def allreduce_min(self, values) -> float:
+    def _charge(self, op: str, seconds: float,
+                timeout_s: float | None) -> None:
+        """Charge one operation's modelled time, enforcing the deadline.
+
+        A timed-out operation charges nothing: the caller recovers from
+        the snapshot taken before the step, so partial charges would
+        only desynchronise the accounting from the retried step's."""
+        deadline = timeout_s if timeout_s is not None else self.timeout_s
+        if deadline is not None and seconds > deadline:
+            raise FabricTimeout(
+                f"{op} would take {seconds:.3e} s of modelled time, over "
+                f"the {deadline:.3e} s deadline (hung partner?)")
+        self.elapsed_s += seconds
+
+    def allreduce_min(self, values, *, timeout_s: float | None = None) -> float:
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (self.n_ranks,):
             raise ConfigurationError("one value per rank expected")
-        self.elapsed_s += self.cost.allreduce_time(
-            8, self.n_ranks, self.ranks_per_node)
+        self._charge("allreduce_min",
+                     self.cost.allreduce_time(8, self.n_ranks,
+                                              self.ranks_per_node),
+                     timeout_s)
         return float(values.min())
 
-    def allreduce_sum(self, values) -> float:
+    def allreduce_sum(self, values, *, timeout_s: float | None = None) -> float:
         values = np.asarray(values, dtype=np.float64)
         if values.shape != (self.n_ranks,):
             raise ConfigurationError("one value per rank expected")
-        self.elapsed_s += self.cost.allreduce_time(
-            8, self.n_ranks, self.ranks_per_node)
+        self._charge("allreduce_sum",
+                     self.cost.allreduce_time(8, self.n_ranks,
+                                              self.ranks_per_node),
+                     timeout_s)
         return float(values.sum())
 
-    def halo_exchange(self, per_rank_bytes) -> None:
+    def p2p(self, nbytes: int, *, timeout_s: float | None = None) -> float:
+        """Charge one point-to-point message; returns the modelled time."""
+        if nbytes < 0:
+            raise ConfigurationError("message size cannot be negative")
+        seconds = self.cost.p2p_time(int(nbytes), self.ranks_per_node)
+        self._charge("p2p", seconds, timeout_s)
+        self.bytes_moved += int(nbytes)
+        return seconds
+
+    def halo_exchange(self, per_rank_bytes, *,
+                      timeout_s: float | None = None) -> None:
         """Charge a guard-cell fill's communication time (bulk model)."""
         per_rank_bytes = np.asarray(per_rank_bytes)
         worst = int(per_rank_bytes.max()) if per_rank_bytes.size else 0
-        self.elapsed_s += self.cost.p2p_time(worst, self.ranks_per_node)
+        self._charge("halo_exchange",
+                     self.cost.p2p_time(worst, self.ranks_per_node),
+                     timeout_s)
         self.bytes_moved += int(per_rank_bytes.sum())
 
 

@@ -24,19 +24,62 @@ while every rank is paused at the same phase reproduces the serial
 ``fill_guardcells`` bit-for-bit — and therefore the whole run.
 ``n_ranks=1`` installs no hook and no filter at all: it *is* the serial
 spine.
+
+**Fault tolerance** (see ``docs/resilience.md``): the fabric takes
+globally consistent snapshots at step boundaries (every rank thread
+joined — a barrier point), both in memory (:meth:`Fabric.snapshot`) and
+on disk through the artifact store (:meth:`Fabric.write_checkpoint`,
+one per-rank checkpoint plus a manifest); :meth:`Fabric.restart`
+resumes a multi-rank run bit-identically.  :meth:`Fabric.run_supervised`
+is the distributed analogue of the serial
+:class:`~repro.driver.supervisor.RunSupervisor`: per-step guards with
+bounded dt-retry, plus *coordinated recovery* — on a rank kill, a
+barrier deadlock (:class:`~repro.util.errors.FabricTimeout`, with
+per-rank stack dumps), or an exhausted retry budget, every rank is
+rolled back to the last coordinated snapshot and the failed rank's
+thread is respawned from its checkpoint (with hugetlb-pool-aware
+re-admission on an attached kernel), bounded by ``max_rank_restarts``.
+Because rank-targeted chaos faults fire once, the replay is clean and
+the recovered run finishes bit-identical to an unfaulted one.
 """
 
 from __future__ import annotations
 
+import copy
+import json
+import sys
 import threading
-from dataclasses import dataclass
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro.driver.io import restore_into, write_checkpoint
 from repro.driver.simulation import Simulation, StepInfo
+from repro.driver.supervisor import (
+    GuardViolation,
+    RetryRecord,
+    RunReport,
+    StepAttempt,
+    StepFailure,
+    step_guards,
+)
 from repro.mpisim.comm import CommCostModel, DomainDecomposition, SimComm
 from repro.perfmodel.workrecord import WorkLog
-from repro.util.errors import ConfigurationError
+from repro.util import MiB, artifacts
+from repro.util.errors import (
+    ConfigurationError,
+    FabricTimeout,
+    PhysicsError,
+    RankKilled,
+)
+
+#: schema tag of the on-disk fabric checkpoint manifest
+MANIFEST_SCHEMA = "repro.fabric-checkpoint/1"
+#: manifest file name inside a fabric checkpoint directory
+MANIFEST_NAME = "fabric_manifest.json"
 
 
 @dataclass
@@ -69,6 +112,40 @@ class _Copy:
     dst: int
 
 
+@dataclass
+class _RankSnapshot:
+    """One rank's share of a coordinated snapshot (cf. the serial
+    supervisor's ``_Snapshot``, plus the fabric-only state: traffic
+    counters, the driver RNG, and the work log's resume point)."""
+
+    unk: np.ndarray
+    tree: object
+    blocks: dict
+    free_slots: list[int]
+    t: float
+    n_step: int
+    history_len: int
+    bank_totals: dict
+    bank_time: float
+    unit_state: dict[str, dict[str, float]]
+    rng_state: dict | None
+    bytes_sent: int
+    bytes_received: int
+    log_len: int
+    log_state: dict
+
+
+@dataclass
+class FabricSnapshot:
+    """A globally consistent cut: every rank at the same step boundary,
+    plus the communicator totals the cut must agree with."""
+
+    step: int
+    comm_elapsed_s: float
+    comm_bytes_moved: int
+    ranks: list[_RankSnapshot] = field(default_factory=list)
+
+
 class Fabric:
     """Lockstep rank-decomposed evolution over one shared-memory process.
 
@@ -81,9 +158,15 @@ class Fabric:
 
     def __init__(self, builder, n_ranks: int, *,
                  ranks_per_node: int = 1,
-                 cost: CommCostModel | None = None) -> None:
+                 cost: CommCostModel | None = None,
+                 barrier_timeout_s: float | None = None,
+                 rank_chaos=None) -> None:
         if n_ranks < 1:
             raise ConfigurationError("need at least one rank")
+        if barrier_timeout_s is not None and barrier_timeout_s <= 0.0:
+            raise ConfigurationError(
+                "barrier_timeout_s must be positive (or None)")
+        self._builder = builder
         sims = [builder() for _ in range(n_ranks)]
         for sim in sims:
             if sim.refinement is not None and sim.nrefs > 0:
@@ -103,6 +186,18 @@ class Fabric:
         self._plan = self._build_exchange_plan(sims[0].grid)
         self._axis_requests = [None] * n_ranks
         self._barrier: threading.Barrier | None = None
+        #: barrier deadline in wall seconds (None: wait forever); a
+        #: straggler that misses it raises :class:`FabricTimeout`
+        #: naming the missing ranks, with per-rank stack dumps
+        self.barrier_timeout_s = barrier_timeout_s
+        #: optional :class:`~repro.chaos.rankfaults.RankChaos` schedule
+        self.rank_chaos = rank_chaos
+        self._last_dt: float | None = None
+        self._stop_requested = False
+        self._arrived: set[int] = set()
+        self._arrive_lock = threading.Lock()
+        self._timeout_error: FabricTimeout | None = None
+        self._aborted = False
         if n_ranks > 1:
             self._barrier = threading.Barrier(n_ranks, action=self._exchange)
             for ctx in self.ranks:
@@ -165,7 +260,54 @@ class Fabric:
     # --- the halo exchange ---------------------------------------------------
     def _hook(self, rank: int, axis: int) -> None:
         self._axis_requests[rank] = axis
-        self._barrier.wait()
+        self._wait_barrier(rank)
+
+    def _wait_barrier(self, rank: int) -> None:
+        """One rank arriving at the lockstep barrier, under the deadline.
+
+        ``Barrier.wait(timeout)`` breaks the barrier for everyone; the
+        first waiter to observe the break (with no rank error recorded)
+        identifies the ranks that never arrived and captures their live
+        stacks — the deadlock/straggler forensics the ``RunReport``
+        carries.
+        """
+        with self._arrive_lock:
+            self._arrived.add(rank)
+        try:
+            self._barrier.wait(self.barrier_timeout_s)
+        except threading.BrokenBarrierError:
+            self._note_timeout()
+            raise
+
+    def _note_timeout(self) -> None:
+        if self.barrier_timeout_s is None:
+            return
+        with self._arrive_lock:
+            if self._timeout_error is not None or self._aborted:
+                return
+            missing = sorted(set(range(self.n_ranks)) - self._arrived)
+            if not missing:
+                return
+            self._timeout_error = FabricTimeout(
+                f"lockstep barrier timed out after "
+                f"{self.barrier_timeout_s:.3f} s: rank(s) "
+                f"{', '.join(str(r) for r in missing)} never arrived "
+                f"({len(self._arrived)}/{self.n_ranks} present)",
+                missing_ranks=tuple(missing),
+                rank_stacks=self._rank_stacks())
+
+    def _rank_stacks(self) -> dict[int, str]:
+        """Formatted stack of every live rank thread (deadlock dumps)."""
+        idents = {t.name: t.ident for t in threading.enumerate()
+                  if t.name.startswith("fabric-rank")}
+        frames = sys._current_frames()
+        stacks: dict[int, str] = {}
+        for rank in range(self.n_ranks):
+            ident = idents.get(f"fabric-rank{rank}")
+            if ident is not None and ident in frames:
+                stacks[rank] = "".join(
+                    traceback.format_stack(frames[ident]))
+        return stacks
 
     def _exchange(self) -> None:
         """Barrier action: runs in exactly one thread while every rank is
@@ -178,6 +320,8 @@ class Fabric:
                 f"{sorted(self._axis_requests)} at one barrier (the "
                 f"fabric needs identical unit schedules on every rank)")
         axis = axes.pop()
+        with self._arrive_lock:
+            self._arrived.clear()  # next barrier cycle tracks fresh arrivals
         received = [0] * self.n_ranks
         for copy in self._plan[axis]:
             src = self.ranks[copy.src].grid.block_data(copy.bid)
@@ -202,17 +346,30 @@ class Fabric:
         if dt is None:
             dt = self.negotiate_dt()
         if self.n_ranks == 1:
-            return [self.ranks[0].sim.step(dt)]
+            ctx = self.ranks[0]
+            if self.rank_chaos is not None:
+                self.rank_chaos.deliver_rank(self, ctx, ctx.sim.n_step + 1)
+            return [ctx.sim.step(dt)]
 
         self._barrier.reset()
+        with self._arrive_lock:
+            self._arrived.clear()
+            self._timeout_error = None
+            self._aborted = False
         errors: list[BaseException] = []
         infos: list[StepInfo | None] = [None] * self.n_ranks
 
         def run(ctx: RankContext) -> None:
             try:
+                if self.rank_chaos is not None:
+                    self.rank_chaos.deliver_rank(self, ctx,
+                                                 ctx.sim.n_step + 1)
                 infos[ctx.rank] = ctx.sim.step(dt)
             except BaseException as exc:  # noqa: BLE001 — re-raised below
                 errors.append(exc)
+                if not isinstance(exc, threading.BrokenBarrierError):
+                    with self._arrive_lock:
+                        self._aborted = True
                 self._barrier.abort()
 
         threads = [threading.Thread(target=run, args=(ctx,),
@@ -226,6 +383,8 @@ class Fabric:
                 if not isinstance(e, threading.BrokenBarrierError)]
         if real:
             raise real[0]
+        if self._timeout_error is not None:
+            raise self._timeout_error
         if errors:
             raise errors[0]
         return infos  # type: ignore[return-value]
@@ -253,5 +412,366 @@ class Fabric:
             ctx.log = WorkLog.attach(ctx.sim, helmholtz_eos=helmholtz_eos)
         return tuple(ctx.log for ctx in self.ranks)
 
+    # --- coordinated snapshots ------------------------------------------------
+    @property
+    def step_count(self) -> int:
+        """Steps completed (identical on every rank — lockstep)."""
+        return self.ranks[0].sim.n_step
 
-__all__ = ["Fabric", "RankContext"]
+    def request_stop(self) -> None:
+        """Ask the supervised run to stop cleanly at the next step
+        boundary (the lockstep barrier point).  Thread-safe: this is
+        where the chaos ``signal`` fault lands when delivered from a
+        rank thread, where ``signal.signal`` would be illegal."""
+        self._stop_requested = True
+
+    def snapshot(self) -> FabricSnapshot:
+        """A globally consistent in-memory snapshot.
+
+        Only valid at a step boundary (every rank thread joined), which
+        is the only place the supervised loop calls it — the cut is
+        consistent by construction, no marker messages needed.
+        """
+        return FabricSnapshot(
+            step=self.step_count,
+            comm_elapsed_s=self.comm.elapsed_s,
+            comm_bytes_moved=self.comm.bytes_moved,
+            ranks=[self._rank_snapshot(ctx) for ctx in self.ranks])
+
+    def _rank_snapshot(self, ctx: RankContext) -> _RankSnapshot:
+        sim = ctx.sim
+        unit_state = {spec.name: dict(spec.save_state(sim, unit))
+                      for spec, unit in sim.scheduled_units()
+                      if spec.save_state is not None}
+        return _RankSnapshot(
+            unk=sim.grid.unk.copy(),
+            tree=copy.deepcopy(sim.grid.tree),
+            blocks=copy.deepcopy(sim.grid.blocks),
+            free_slots=list(sim.grid._free_slots),
+            t=sim.t,
+            n_step=sim.n_step,
+            history_len=len(sim.history),
+            bank_totals=dict(sim.bank.totals),
+            bank_time=sim.bank.time_s,
+            unit_state=unit_state,
+            rng_state=(copy.deepcopy(sim.rng.bit_generator.state)
+                       if sim.rng is not None else None),
+            bytes_sent=ctx.bytes_sent,
+            bytes_received=ctx.bytes_received,
+            log_len=(len(ctx.log.steps) if ctx.log is not None else 0),
+            log_state=(dict(ctx.log._delta_state)
+                       if ctx.log is not None else {}))
+
+    def restore(self, snap: FabricSnapshot) -> None:
+        """Roll every rank back to a coordinated snapshot.
+
+        A snapshot may be restored more than once (repeated faults
+        between checkpoints), so mutable pieces are copied out of it,
+        never aliased into the live simulations.
+        """
+        for ctx, rsnap in zip(self.ranks, snap.ranks):
+            self._rank_restore(ctx, rsnap)
+        self.comm.elapsed_s = snap.comm_elapsed_s
+        self.comm.bytes_moved = snap.comm_bytes_moved
+
+    def _rank_restore(self, ctx: RankContext, snap: _RankSnapshot) -> None:
+        sim = ctx.sim
+        sim.grid.unk[...] = snap.unk
+        sim.grid.tree = copy.deepcopy(snap.tree)
+        sim.grid.blocks = copy.deepcopy(snap.blocks)
+        sim.grid._free_slots = list(snap.free_slots)
+        sim.t = snap.t
+        sim.n_step = snap.n_step
+        del sim.history[snap.history_len:]
+        sim.bank.totals = dict(snap.bank_totals)
+        sim.bank.time_s = snap.bank_time
+        for spec, unit in sim.scheduled_units():
+            if spec.restore_state is not None and spec.name in snap.unit_state:
+                spec.restore_state(sim, unit, snap.unit_state[spec.name])
+        if sim.rng is not None and snap.rng_state is not None:
+            sim.rng.bit_generator.state = copy.deepcopy(snap.rng_state)
+        ctx.bytes_sent = snap.bytes_sent
+        ctx.bytes_received = snap.bytes_received
+        if ctx.log is not None:
+            # truncate the recorded steps AND rewind the attach hook's
+            # delta baselines — the restored unit counters are the ones
+            # the truncated log last saw, and the next recorded step's
+            # deltas must be computed against them
+            del ctx.log.steps[snap.log_len:]
+            ctx.log._delta_state.update(snap.log_state)
+
+    # --- on-disk checkpoints --------------------------------------------------
+    def write_checkpoint(self, directory: str | Path) -> Path:
+        """Write a coordinated checkpoint: one per-rank checkpoint file
+        (through the corruption-safe artifact store, like the serial
+        supervisor's) plus a fabric manifest tying them to one step and
+        to the communicator totals.  Returns the manifest path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        rank_files = []
+        for ctx in self.ranks:
+            path = directory / f"rank{ctx.rank:03d}.npz"
+            write_checkpoint(ctx.grid, path, sim=ctx.sim)
+            rank_files.append(path.name)
+        manifest = {
+            "schema": MANIFEST_SCHEMA,
+            "n_ranks": self.n_ranks,
+            "ranks_per_node": self.comm.ranks_per_node,
+            "step": self.step_count,
+            "t": self.ranks[0].sim.t,
+            "comm": {"elapsed_s": self.comm.elapsed_s,
+                     "bytes_moved": self.comm.bytes_moved},
+            "traffic": [{"rank": ctx.rank,
+                         "bytes_sent": ctx.bytes_sent,
+                         "bytes_received": ctx.bytes_received}
+                        for ctx in self.ranks],
+            "ranks": rank_files,
+        }
+        manifest_path = directory / MANIFEST_NAME
+        with artifacts.atomic_write(manifest_path) as tmp:
+            tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True)
+                           + "\n")
+        return manifest_path
+
+    @classmethod
+    def restart(cls, directory: str | Path, builder, **kwargs) -> "Fabric":
+        """Rebuild a fabric from a coordinated checkpoint directory,
+        resuming the multi-rank run bit-identically: every rank's block
+        data, step/time, unit state (sweep parity, work counters), PAPI
+        bank, and traffic counters, plus the communicator totals."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("schema") != MANIFEST_SCHEMA:
+            raise ConfigurationError(
+                f"{manifest_path} is not a fabric checkpoint manifest "
+                f"(schema {manifest.get('schema')!r}, "
+                f"expected {MANIFEST_SCHEMA!r})")
+        fabric = cls(builder, int(manifest["n_ranks"]),
+                     ranks_per_node=int(manifest.get("ranks_per_node", 1)),
+                     **kwargs)
+        for ctx, name in zip(fabric.ranks, manifest["ranks"]):
+            restore_into(ctx.sim, directory / name)
+        for entry in manifest["traffic"]:
+            ctx = fabric.ranks[int(entry["rank"])]
+            ctx.bytes_sent = int(entry["bytes_sent"])
+            ctx.bytes_received = int(entry["bytes_received"])
+        fabric.comm.elapsed_s = float(manifest["comm"]["elapsed_s"])
+        fabric.comm.bytes_moved = int(manifest["comm"]["bytes_moved"])
+        return fabric
+
+    # --- rank respawn ---------------------------------------------------------
+    def _respawn_rank(self, rank: int, snap: FabricSnapshot,
+                      checkpoint_dir: Path | None, kernel) -> None:
+        """Replace a failed rank's simulation with a fresh one restored
+        from its last coordinated checkpoint.
+
+        The survivors have already been rolled back (they were holding
+        at the recovery barrier — the joined step boundary); the failed
+        rank's new simulation restores from its on-disk checkpoint when
+        one exists, else from the in-memory snapshot.  With a kernel
+        attached, re-admission maps the rank's ``unk`` arena
+        ``MAP_HUGETLB`` with fallback: a drained pool degrades the
+        respawn to base pages on the :class:`~repro.kernel.vmm.\
+DegradationLog` instead of failing it.
+        """
+        ctx = self.ranks[rank]
+        sim = self._builder()
+        if self.n_ranks > 1:
+            sim.grid.owned = ctx.owned
+            sim.grid.halo_hook = (
+                lambda axis, r=rank: self._hook(r, axis))
+        old_log = ctx.log
+        ctx.log = None  # the fresh sim has no hook yet; restore below
+        ctx.sim = sim
+        chk = (checkpoint_dir / f"rank{rank:03d}.npz"
+               if checkpoint_dir is not None else None)
+        if chk is not None and chk.exists():
+            restore_into(sim, chk)
+            ctx.bytes_sent = snap.ranks[rank].bytes_sent
+            ctx.bytes_received = snap.ranks[rank].bytes_received
+        else:
+            ctx.log = old_log  # _rank_restore truncates it consistently
+            self._rank_restore(ctx, snap.ranks[rank])
+            ctx.log = None
+        if old_log is not None:
+            del old_log.steps[snap.ranks[rank].log_len:]
+            old_log.rebind(sim)
+            ctx.log = old_log
+        if kernel is not None:
+            hugetlb = 2 * MiB
+            nbytes = -(-sim.grid.unk.nbytes // hugetlb) * hugetlb
+            space = kernel.new_address_space(f"rank{rank}-respawn")
+            space.mmap(nbytes, hugetlb_size=hugetlb,
+                       hugetlb_fallback=True, name=f"rank{rank}-unk")
+        chaos_unit = sim.unit("chaos")
+        if chaos_unit is not None:
+            chaos_unit.stop_flag = self.request_stop
+
+    # --- the supervised run ---------------------------------------------------
+    def _guarded_step(self, report: RunReport, *, dtmin: float,
+                      retry_factor: float, max_retries: int) -> None:
+        """One lockstep step under per-rank guards with bounded dt-retry.
+
+        Mirrors the serial supervisor's ``guarded_step``: each attempt
+        snapshots the whole fabric first, so a rollback can never tear
+        partially exchanged guard cells — either every rank's step
+        (including every surrogate refresh) happened, or none did.  A
+        poisoned dt reduction (the ``bad_dt`` fault returns a negative
+        contribution through ``allreduce_min``) is *renegotiated* on
+        retry rather than backed off: the fault fires once, so the
+        clean renegotiation reproduces the unfaulted run's dt exactly.
+        """
+        rejected: list[StepAttempt] = []
+        dt: float | None = None
+        for _attempt in range(max_retries + 1):
+            snap = self.snapshot()
+            try:
+                if dt is None:
+                    dt = self.negotiate_dt()
+                if not np.isfinite(dt) or dt <= 0.0:
+                    raise GuardViolation(
+                        [f"bad negotiated timestep {dt}"])
+                if dt < dtmin:
+                    raise GuardViolation(
+                        [f"timestep {dt:.6e} below floor {dtmin:.3e}"])
+                self.step(dt)
+                violations: list[str] = []
+                for ctx in self.ranks:
+                    violations.extend(f"rank {ctx.rank}: {v}"
+                                      for v in step_guards(ctx.grid))
+                if violations:
+                    raise GuardViolation(violations)
+                if rejected:
+                    report.retries.append(RetryRecord(
+                        step=self.step_count, rejected=rejected,
+                        final_dt=dt))
+                self._last_dt = dt
+                return
+            except (GuardViolation, PhysicsError) as exc:
+                self.restore(snap)
+                reasons = (list(exc.violations)
+                           if isinstance(exc, GuardViolation)
+                           else [f"{type(exc).__name__}: {exc}"])
+                attempted = float(dt) if dt is not None else float("nan")
+                rejected.append(StepAttempt(dt=attempted,
+                                            reasons=tuple(reasons)))
+                report.guard_trips += 1
+                if dt is None or not np.isfinite(dt) or dt <= 0.0:
+                    dt = None  # poisoned reduction: renegotiate clean
+                else:
+                    dt = dt * retry_factor
+                    if dt < dtmin:
+                        break
+        raise StepFailure(step=self.step_count + 1, t=self.ranks[0].sim.t,
+                          attempts=tuple(rejected), dtmin=dtmin)
+
+    def run_supervised(self, *, nend: int,
+                       checkpoint_interval: int = 1,
+                       checkpoint_dir: str | Path | None = None,
+                       max_rank_restarts: int = 2,
+                       rank_chaos=None,
+                       kernel=None,
+                       dtmin: float = 1.0e-12,
+                       retry_factor: float = 0.5,
+                       max_retries: int = 4) -> RunReport:
+        """Evolve to ``nend`` steps through rank faults.
+
+        The distributed recovery state machine (``docs/resilience.md``):
+
+        1. **Checkpoint** — every ``checkpoint_interval`` steps, at the
+           joined step boundary, take a coordinated snapshot (and write
+           it to ``checkpoint_dir`` when given).
+        2. **Detect** — a step that raises :class:`RankKilled` (a rank
+           thread died), :class:`FabricTimeout` (barrier deadline
+           missed; the report gets the per-rank stacks), or
+           ``StepFailure`` (dt-retry budget exhausted) enters recovery.
+        3. **Recover** — survivors hold at the recovery barrier (the
+           joined boundary), every rank rolls back to the last
+           coordinated snapshot, and a killed rank's thread is
+           respawned from its checkpoint with hugetlb-aware
+           re-admission.  Bounded by ``max_rank_restarts``; beyond it
+           the error re-raises with the report attached.
+        4. **Replay** — faults fire once, so the replayed steps are
+           clean and the run finishes bit-identical to an unfaulted
+           one.
+
+        The chaos ``signal`` fault (and anything else calling
+        :meth:`request_stop`) stops the run cleanly at the next step
+        boundary with a final checkpoint, ``report.interrupted`` set.
+        """
+        if rank_chaos is not None:
+            self.rank_chaos = rank_chaos
+        if kernel is None and self.rank_chaos is not None:
+            kernel = self.rank_chaos.kernel
+        chk_dir = (Path(checkpoint_dir)
+                   if checkpoint_dir is not None else None)
+        for ctx in self.ranks:
+            chaos_unit = ctx.sim.unit("chaos")
+            if chaos_unit is not None:
+                chaos_unit.stop_flag = self.request_stop
+        report = RunReport()
+        start_wall = time.monotonic()
+        snap = self.snapshot()
+        if chk_dir is not None:
+            report.checkpoints.append(str(self.write_checkpoint(chk_dir)))
+        restarts = 0
+        while self.step_count < nend:
+            if self._stop_requested:
+                report.interrupted = "stop_flag"
+                if chk_dir is not None:
+                    report.final_checkpoint = str(
+                        self.write_checkpoint(chk_dir))
+                break
+            if self.rank_chaos is not None:
+                self.rank_chaos.deliver_main(self, self.step_count + 1)
+            try:
+                self._guarded_step(report, dtmin=dtmin,
+                                   retry_factor=retry_factor,
+                                   max_retries=max_retries)
+            except (FabricTimeout, RankKilled, StepFailure) as exc:
+                if isinstance(exc, FabricTimeout):
+                    report.timeouts += 1
+                    report.rank_stacks = {
+                        str(r): s for r, s in exc.rank_stacks.items()}
+                if restarts >= max_rank_restarts:
+                    report.failure = str(exc)
+                    if chk_dir is not None:
+                        report.final_checkpoint = str(
+                            self.write_checkpoint(chk_dir))
+                    self._finalise(report, start_wall, kernel)
+                    exc.report = report
+                    raise
+                t0 = time.monotonic()
+                restarts += 1
+                report.rank_restarts += 1
+                failed = getattr(exc, "rank", None)
+                self.restore(snap)
+                if failed is not None:
+                    self._respawn_rank(failed, snap, chk_dir, kernel)
+                report.recovery_wall_s += time.monotonic() - t0
+                continue
+            if (checkpoint_interval > 0
+                    and self.step_count % checkpoint_interval == 0):
+                snap = self.snapshot()
+                if chk_dir is not None:
+                    report.checkpoints.append(
+                        str(self.write_checkpoint(chk_dir)))
+        if self.rank_chaos is not None:
+            report.rank_faults = [inj.to_json()
+                                  for inj in self.rank_chaos.injections]
+        self._finalise(report, start_wall, kernel)
+        return report
+
+    def _finalise(self, report: RunReport, start_wall: float,
+                  kernel) -> None:
+        report.steps_completed = self.step_count
+        report.t_final = self.ranks[0].sim.t
+        report.wall_seconds = time.monotonic() - start_wall
+        if kernel is not None:
+            for kind, count in kernel.degradations.counts.items():
+                report.degradations[kind] = (
+                    report.degradations.get(kind, 0) + count)
+
+
+__all__ = ["Fabric", "FabricSnapshot", "RankContext", "MANIFEST_SCHEMA"]

@@ -29,6 +29,23 @@ MPISIM_UNIT = unit_registry.register(UnitSpec(
                           "node-injection bandwidth and how many ranks "
                           "contend for one node's hugetlb pool",
                       validator=lambda v: v >= 1),
+        ParameterSpec("fab_barrier_timeout_s", 0.0,
+                      doc="wall-clock deadline (seconds) a rank may keep "
+                          "the others waiting at the lockstep barrier "
+                          "before the fabric raises FabricTimeout naming "
+                          "the stragglers (0: wait forever)",
+                      validator=lambda v: v >= 0.0),
+        ParameterSpec("fab_max_rank_restarts", 2,
+                      doc="coordinated recoveries (rollback + rank "
+                          "respawn) the supervised fabric run attempts "
+                          "before re-raising the rank failure",
+                      validator=lambda v: v >= 0),
+        ParameterSpec("fab_checkpoint_interval", 1,
+                      doc="steps between coordinated fabric checkpoints "
+                          "(the rollback grain: larger intervals cost "
+                          "less overhead but replay more steps per "
+                          "recovery)",
+                      validator=lambda v: v >= 1),
     ),
 ))
 

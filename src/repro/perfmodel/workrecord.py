@@ -56,6 +56,12 @@ class WorkLog:
     spec: MeshSpec
     nvar: int
     steps: list[StepRecord] = field(default_factory=list)
+    #: the attach hook's delta baselines (cumulative unit counters at the
+    #: last recorded step) — exposed so a rollback that truncates
+    #: ``steps`` can rewind them too, and a rebind can rebase them
+    _delta_state: dict = field(default_factory=dict, repr=False,
+                               compare=False)
+    _helmholtz: bool = field(default=True, repr=False, compare=False)
 
     @property
     def ndim(self) -> int:
@@ -72,15 +78,29 @@ class WorkLog:
     @classmethod
     def attach(cls, sim: Simulation, *, helmholtz_eos: bool = True) -> "WorkLog":
         """Create a log and hook it onto the simulation's step events."""
-        grid = sim.grid
-        log = cls(spec=grid.spec, nvar=len(grid.variables))
-        # baseline the deltas at the unit's *current* cumulative counters:
-        # attaching to a restarted simulation (whose restored work counters
-        # are non-zero) must not fold the pre-restart work into the first
-        # recorded step
+        log = cls(spec=sim.grid.spec, nvar=len(sim.grid.variables))
+        log.rebind(sim, helmholtz_eos=helmholtz_eos)
+        return log
+
+    def rebind(self, sim: Simulation, *,
+               helmholtz_eos: bool | None = None) -> None:
+        """(Re-)hook this log onto a simulation's step events.
+
+        Used by :meth:`attach` for the first binding and by the fabric
+        when a failed rank is respawned from a checkpoint: the fresh
+        simulation gets the *same* log, with the delta baselines rebased
+        at its restored cumulative counters — attaching to a restarted
+        simulation (whose restored work counters are non-zero) must not
+        fold the pre-restart work into the first recorded step.
+        """
+        if helmholtz_eos is not None:
+            self._helmholtz = bool(helmholtz_eos)
         eos_work = sim.unit("hydro").work.eos
-        state = {"eos_iters": eos_work.newton_iterations,
-                 "eos_calls": eos_work.calls}
+        self._delta_state.clear()
+        self._delta_state.update(eos_iters=eos_work.newton_iterations,
+                                 eos_calls=eos_work.calls)
+        state = self._delta_state
+        log = self
 
         def hook(sim: Simulation, info: StepInfo) -> None:
             eos_work = sim.unit("hydro").work.eos
@@ -89,10 +109,9 @@ class WorkLog:
             state["eos_iters"] = eos_work.newton_iterations
             state["eos_calls"] = eos_work.calls
             log.record_step(sim, info, d_calls, d_iters,
-                            helmholtz_eos=helmholtz_eos)
+                            helmholtz_eos=log._helmholtz)
 
         sim.step_hooks.append(hook)
-        return log
 
     def record_step(self, sim: Simulation, info: StepInfo, eos_calls: int,
                     eos_iters: int, *, helmholtz_eos: bool) -> None:

@@ -31,7 +31,9 @@ from repro.serve.service import ExperimentService
 
 def build_service(*, cache_dir: str | None = None,
                   cache_bytes: str | None = None,
-                  workers: int = 2) -> ExperimentService:
+                  workers: int = 2,
+                  request_timeout_s: float | None = None,
+                  admission_limit: int | None = None) -> ExperimentService:
     """Construct the service with an optionally overridden cache."""
     max_bytes = (resolve_cache_bytes(cache_bytes)
                  if cache_bytes is not None else None)
@@ -39,7 +41,9 @@ def build_service(*, cache_dir: str | None = None,
         session = ReplaySession(store_dir=cache_dir, max_bytes=max_bytes)
     else:
         session = None  # the process-wide default session
-    return ExperimentService(session=session, max_workers=workers)
+    return ExperimentService(session=session, max_workers=workers,
+                             request_timeout_s=request_timeout_s,
+                             admission_limit=admission_limit)
 
 
 async def run_server(service: ExperimentService, *, host: str, port: int,
@@ -82,6 +86,15 @@ def main(argv: list[str] | None = None) -> int:
                              "REPRO_REPLAY_CACHE_BYTES / unbounded)")
     parser.add_argument("--workers", type=int, default=2,
                         help="computation worker threads (default: 2)")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-request deadline on the compute leg "
+                             "(504 on miss; default: none)")
+    parser.add_argument("--admission-limit", type=int, default=None,
+                        metavar="N",
+                        help="shed would-be-new-leader requests beyond N "
+                             "concurrent computations (503 + Retry-After; "
+                             "default: admit all)")
     parser.add_argument("--report", type=Path, default=None,
                         help="write SERVICE_REPORT.json here on shutdown")
     args = parser.parse_args(argv)
@@ -90,7 +103,9 @@ def main(argv: list[str] | None = None) -> int:
                         format="%(asctime)s %(name)s %(message)s")
     service = build_service(cache_dir=args.cache_dir,
                             cache_bytes=args.cache_bytes,
-                            workers=args.workers)
+                            workers=args.workers,
+                            request_timeout_s=args.request_timeout,
+                            admission_limit=args.admission_limit)
     try:
         return asyncio.run(run_server(service, host=args.host,
                                       port=args.port,

@@ -18,7 +18,11 @@ Report responses carry the rendered text, its SHA-256, and cache
 provenance (``cold`` / ``warm`` / ``memory`` / ``coalesced``).  Unknown
 experiments are 404 with the registry's did-you-mean suggestion; bad
 requests are 400; a computation failure is 500 with the exception type
-(the traceback stays in the server log, not the wire).
+(the traceback stays in the server log, not the wire).  Under overload
+the service sheds would-be-new-leader requests as 503 with a
+``Retry-After`` header, and a request missing its configured deadline
+is 504 (the shielded computation finishes and warms the cache for the
+retry) — the contract is specified in ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -29,7 +33,12 @@ import logging
 from typing import Any
 from urllib.parse import parse_qs, unquote, urlsplit
 
-from repro.serve.service import ExperimentService, UnknownExperimentError
+from repro.serve.service import (
+    DeadlineExceeded,
+    ExperimentService,
+    ServiceOverloaded,
+    UnknownExperimentError,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -51,7 +60,8 @@ class HttpError(Exception):
 
 _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
                 405: "Method Not Allowed", 413: "Payload Too Large",
-                500: "Internal Server Error"}
+                500: "Internal Server Error", 503: "Service Unavailable",
+                504: "Gateway Timeout"}
 
 
 def _parse_bool(raw: str, *, name: str) -> bool:
@@ -150,6 +160,7 @@ class HttpServer:
 
         keep_alive = (version == "HTTP/1.1"
                       and headers.get("connection", "").lower() != "close")
+        extra_headers: dict[str, str] = {}
         try:
             status, payload, content_type = await self._route(
                 method.upper(), target, body)
@@ -159,13 +170,24 @@ class HttpServer:
         except UnknownExperimentError as exc:
             status, payload, content_type = (
                 404, {"error": str(exc)}, "application/json")
+        except ServiceOverloaded as exc:  # load shed -> 503 + Retry-After
+            extra_headers["Retry-After"] = (
+                f"{max(exc.retry_after_s, 0.001):.3f}")
+            status, payload, content_type = (
+                503, {"error": str(exc),
+                      "retry_after_s": exc.retry_after_s},
+                "application/json")
+        except DeadlineExceeded as exc:  # deadline missed -> 504
+            status, payload, content_type = (
+                504, {"error": str(exc)}, "application/json")
         except Exception as exc:  # computation failure -> 500, keep serving
             logger.exception("request %s %s failed", method, target)
             status, payload, content_type = (
                 500, {"error": f"{type(exc).__name__}: {exc}"},
                 "application/json")
         await self._send(writer, status, payload,
-                         content_type=content_type, keep_alive=keep_alive)
+                         content_type=content_type, keep_alive=keep_alive,
+                         headers=extra_headers)
         return keep_alive
 
     async def _route(self, method: str, target: str,
@@ -214,14 +236,17 @@ class HttpServer:
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, status: int, payload: Any,
                     *, content_type: str = "application/json",
-                    keep_alive: bool = False) -> None:
+                    keep_alive: bool = False,
+                    headers: dict[str, str] | None = None) -> None:
         if isinstance(payload, str):
             body = payload.encode()
         else:
             body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
         head = (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
                 f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
                 "\r\n").encode("latin-1")
         writer.write(head + body)

@@ -68,6 +68,30 @@ class UnknownExperimentError(ConfigurationError):
     """Request named an experiment the registry does not know (HTTP 404)."""
 
 
+class ServiceOverloaded(Exception):
+    """Admission control shed this request (HTTP 503 + Retry-After).
+
+    Raised *before* any computation starts: only a request that would
+    have to become a new singleflight leader is shed — joining an
+    in-flight leader or reading the response memory costs microseconds
+    and is always admitted, so a shed never wastes work already paid
+    for.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(Exception):
+    """The per-request deadline elapsed first (HTTP 504).
+
+    The leader's computation is *shielded*: it keeps running and lands
+    in the response memory, so the client's retry (or a coalesced
+    waiter with a longer deadline) gets the answer without recomputing.
+    """
+
+
 @dataclass
 class ReportResponse:
     """One served report: the text plus its provenance."""
@@ -98,12 +122,31 @@ class ExperimentService:
 
     def __init__(self, *, session: ReplaySession | None = None,
                  max_workers: int = 2,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 request_timeout_s: float | None = None,
+                 admission_limit: int | None = None,
+                 retry_after_s: float = 0.5) -> None:
+        if request_timeout_s is not None and request_timeout_s <= 0.0:
+            raise ConfigurationError("request_timeout_s must be positive")
+        if admission_limit is not None and admission_limit < 1:
+            raise ConfigurationError("admission_limit must be >= 1")
+        if retry_after_s <= 0.0:
+            raise ConfigurationError("retry_after_s must be positive")
         self.session = session if session is not None else default_session()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: per-request deadline on the compute leg (None: no deadline)
+        self.request_timeout_s = request_timeout_s
+        #: would-be singleflight leaders admitted concurrently (None: all)
+        self.admission_limit = admission_limit
+        #: the Retry-After hint a shed response carries
+        self.retry_after_s = retry_after_s
         self.singleflight = Singleflight()
         self.started_at = time.time()
         self._responses: dict[str, ReportResponse] = {}
+        # admission bookkeeping must be synchronous with the admission
+        # check (singleflight only learns a key once its task first
+        # runs, one loop tick later): key -> requests riding it now
+        self._admitted: dict[str, int] = {}
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve")
         # one compute at a time may own the default-session scope; warm
@@ -148,6 +191,60 @@ class ExperimentService:
             self._record(response)
             return response
 
+        # admission control: shed only a request that would become a NEW
+        # leader — joining an in-flight computation or reading memory is
+        # (nearly) free and always admitted, so load shedding protects
+        # the compute pool without throwing away work already in flight
+        if (self.admission_limit is not None
+                and key not in self._admitted
+                and len(self._admitted) >= self.admission_limit):
+            self.metrics.inc("serve_shed_total", experiment=name)
+            self._mirror_backends()
+            raise ServiceOverloaded(
+                f"admission queue full ({len(self._admitted)} "
+                f"computation(s) in flight, limit {self.admission_limit})",
+                retry_after_s=self.retry_after_s)
+
+        # the computation task is shielded from the deadline: on timeout
+        # the leader keeps running and its response lands in memory, so
+        # the client's retry is served instantly instead of recomputing
+        self._admitted[key] = self._admitted.get(key, 0) + 1
+        task = asyncio.ensure_future(
+            self._compute_response(key, name, quick, engine, t0))
+        task.add_done_callback(lambda _t, k=key: self._release(k))
+        if self.request_timeout_s is None:
+            response = await task
+        else:
+            try:
+                response = await asyncio.wait_for(
+                    asyncio.shield(task), self.request_timeout_s)
+            except asyncio.TimeoutError:
+                # the abandoned task still resolves (and may raise);
+                # consume its outcome so the loop never logs an
+                # unretrieved-exception warning
+                task.add_done_callback(
+                    lambda t: t.cancelled() or t.exception())
+                self.metrics.inc("serve_timeout_total", experiment=name)
+                self._mirror_backends()
+                raise DeadlineExceeded(
+                    f"report {name!r} missed the "
+                    f"{self.request_timeout_s:.3f} s deadline (the "
+                    f"computation continues; retry for the cached "
+                    f"result)") from None
+        self._record(response)
+        return response
+
+    def _release(self, key: str) -> None:
+        n = self._admitted.get(key, 0) - 1
+        if n <= 0:
+            self._admitted.pop(key, None)
+        else:
+            self._admitted[key] = n
+
+    async def _compute_response(self, key: str, name: str, quick: bool,
+                                engine: str, t0: float) -> ReportResponse:
+        import asyncio
+
         loop = asyncio.get_running_loop()
         (text, compute_cache), coalesced = await self.singleflight.do(
             key, lambda: loop.run_in_executor(
@@ -158,7 +255,6 @@ class ExperimentService:
             cache="coalesced" if coalesced else compute_cache,
             elapsed_ms=(time.perf_counter() - t0) * 1e3)
         self._responses.setdefault(key, response)
-        self._record(response)
         return response
 
     def _respond(self, base: ReportResponse, cache: str,
@@ -225,6 +321,16 @@ class ExperimentService:
                   store.stats.evicted_bytes)
             m.set("serve_store_migrated_total", store.stats.migrated)
             m.set("serve_store_corrupt_total", store.stats.corrupt)
+        # the resilience experiment's last fabric run, when one has run
+        # in this process: rank recoveries are service-level events (a
+        # recovering backend is why requests shed or miss deadlines)
+        from repro.experiments import resilience as _resilience
+        last = _resilience.LAST_RUN_STATS
+        if last:
+            m.set("serve_rank_restarts_total",
+                  last.get("rank_restarts", 0))
+            m.set("serve_recovery_wall_seconds",
+                  last.get("recovery_wall_s", 0.0))
 
     # --- observability ----------------------------------------------------
     def service_report(self) -> dict[str, Any]:
@@ -240,6 +346,15 @@ class ExperimentService:
                 "total": int(self.metrics.counter_total(
                     "serve_requests_total")),
                 "distinct": len(self._responses),
+                "shed": int(self.metrics.counter_total(
+                    "serve_shed_total")),
+                "timeouts": int(self.metrics.counter_total(
+                    "serve_timeout_total")),
+            },
+            "overload": {
+                "request_timeout_s": self.request_timeout_s,
+                "admission_limit": self.admission_limit,
+                "retry_after_s": self.retry_after_s,
             },
             "singleflight": {
                 "leaders": sf.leaders,
@@ -257,4 +372,5 @@ class ExperimentService:
 
 
 __all__ = ["ExperimentService", "ReportResponse", "UnknownExperimentError",
+           "ServiceOverloaded", "DeadlineExceeded",
            "REPORT_SCHEMA", "MEMO_KIND"]

@@ -69,6 +69,44 @@ def offline_reference(targets: tuple[str, ...], *,
     return shas
 
 
+#: client retry window for shed (503) responses — the service drains
+#: monotonically (every completed leader lands in response memory and
+#: bypasses admission), so a deadline, not an attempt count, is the
+#: right bound
+CLIENT_RETRY_DEADLINE_S = 300.0
+#: floor/ceiling on the honoured Retry-After sleep (seconds)
+MIN_BACKOFF_S, MAX_BACKOFF_S = 0.02, 2.0
+
+
+async def _request_once(host: str, port: int, name: str, *, quick: bool,
+                        reader=None, writer=None) -> dict[str, Any]:
+    """One raw HTTP exchange; opens a fresh connection unless given one."""
+    if reader is None:
+        reader, writer = await asyncio.open_connection(host, port)
+    try:
+        request = (f"GET /v1/report/{name}?quick={int(quick)} HTTP/1.1\r\n"
+                   f"Host: {host}\r\nConnection: close\r\n\r\n")
+        writer.write(request.encode())
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        if value:
+            headers[key.strip().lower()] = value.strip()
+    doc = json.loads(body.decode()) if body else {}
+    return {"status": status, "headers": headers, "doc": doc}
+
+
 async def _client(host: str, port: int, name: str, *, quick: bool,
                   go: asyncio.Event) -> dict[str, Any]:
     """One raw-socket client: connect, wait for the barrier, request.
@@ -77,29 +115,42 @@ async def _client(host: str, port: int, name: str, *, quick: bool,
     makes the burst genuinely concurrent — the server sees all N
     requests before the fastest computation can finish, which is what
     exercises the singleflight layer rather than the response memory.
+
+    A shed response (503) is retried with backoff honouring the
+    server's ``Retry-After`` hint, up to a wall-clock deadline — the
+    client half of the overload contract: every client converges on a
+    200 eventually, the server just controls *when* the work is
+    admitted.
     """
     reader, writer = await asyncio.open_connection(host, port)
-    try:
-        await go.wait()
-        t0 = time.perf_counter()
-        request = (f"GET /v1/report/{name}?quick={int(quick)} HTTP/1.1\r\n"
-                   f"Host: {host}\r\nConnection: close\r\n\r\n")
-        writer.write(request.encode())
-        await writer.drain()
-        raw = await reader.read()
-        elapsed_ms = (time.perf_counter() - t0) * 1e3
-    finally:
-        writer.close()
+    await go.wait()
+    t0 = time.perf_counter()
+    sheds = 0
+    retry_after_ok = True
+    exchange = await _request_once(host, port, name, quick=quick,
+                                   reader=reader, writer=writer)
+    while (exchange["status"] == 503
+           and time.perf_counter() - t0 < CLIENT_RETRY_DEADLINE_S):
+        sheds += 1
+        hint = exchange["headers"].get("retry-after")
+        if hint is None:
+            retry_after_ok = False
         try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
-    head, _, body = raw.partition(b"\r\n\r\n")
-    status = int(head.split(b" ", 2)[1])
-    doc = json.loads(body.decode()) if body else {}
-    return {"name": name, "status": status, "elapsed_ms": elapsed_ms,
-            "sha256": doc.get("sha256"), "cache": doc.get("cache"),
-            "error": doc.get("error")}
+            backoff = float(hint) if hint is not None else MIN_BACKOFF_S
+        except ValueError:
+            retry_after_ok = False
+            backoff = MIN_BACKOFF_S
+        # grow past the hint while shed repeatedly, capped: the herd
+        # thins itself instead of re-stampeding every retry_after
+        backoff = backoff * min(1.0 + 0.25 * sheds, 4.0)
+        await asyncio.sleep(min(max(backoff, MIN_BACKOFF_S), MAX_BACKOFF_S))
+        exchange = await _request_once(host, port, name, quick=quick)
+    elapsed_ms = (time.perf_counter() - t0) * 1e3
+    doc = exchange["doc"]
+    return {"name": name, "status": exchange["status"],
+            "elapsed_ms": elapsed_ms, "sha256": doc.get("sha256"),
+            "cache": doc.get("cache"), "error": doc.get("error"),
+            "sheds": sheds, "retry_after_ok": retry_after_ok}
 
 
 async def _burst(host: str, port: int, targets: tuple[str, ...],
@@ -122,12 +173,16 @@ def _percentile(samples: list[float], p: float) -> float:
 
 
 async def soak(*, clients: int, quick: bool, targets: tuple[str, ...],
-               store_dir: Path, out: Path) -> int:
+               store_dir: Path, out: Path,
+               admission_limit: int | None = None,
+               request_timeout_s: float | None = None) -> int:
     print(f"soak: computing offline reference for {len(targets)} targets "
           f"(quick={quick}) ...", flush=True)
     reference = offline_reference(targets, quick=quick)
 
-    service = ExperimentService(session=ReplaySession(store_dir=store_dir))
+    service = ExperimentService(session=ReplaySession(store_dir=store_dir),
+                                admission_limit=admission_limit,
+                                request_timeout_s=request_timeout_s)
     server = HttpServer(service)
     await server.start()
     print(f"soak: server up at {server.url}; "
@@ -170,11 +225,30 @@ async def soak(*, clients: int, quick: bool, targets: tuple[str, ...],
               f"{replays} distinct TLB replays <= budget {budget}")
 
     sf = service.singleflight.stats
-    floor = len(cold) - (budget if budget is not None else len(targets))
-    check("coalescing_effective", sf.coalesced >= floor,
-          f"coalesced={sf.coalesced} >= cold_clients({len(cold)}) - "
-          f"budget({budget if budget is not None else len(targets)})"
-          f" = {floor} (leaders={sf.leaders})")
+    if admission_limit is None:
+        floor = len(cold) - (budget if budget is not None else len(targets))
+        check("coalescing_effective", sf.coalesced >= floor,
+              f"coalesced={sf.coalesced} >= cold_clients({len(cold)}) - "
+              f"budget({budget if budget is not None else len(targets)})"
+              f" = {floor} (leaders={sf.leaders})")
+    else:
+        # shedding defers would-be leaders to their retry, so the
+        # cold-burst coalescing floor no longer applies; check the
+        # overload contract instead
+        shed_total = int(service.metrics.counter_total("serve_shed_total"))
+        check("sheds_observed", shed_total >= 1,
+              f"serve_shed_total={shed_total} with admission_limit="
+              f"{admission_limit} and {len(targets)} distinct targets "
+              "bursting concurrently")
+        check("sheds_carry_retry_after",
+              all(r["retry_after_ok"] for r in responses),
+              "every 503 carried a parseable Retry-After header "
+              f"({sum(r['sheds'] for r in responses)} shed responses "
+              "seen by clients)")
+        check("retries_converged",
+              all(r["status"] == 200 for r in responses),
+              "every shed client converged on a 200 within the "
+              f"{CLIENT_RETRY_DEADLINE_S:.0f} s retry deadline")
 
     warm_latencies = [r["elapsed_ms"] for r in warm if r["status"] == 200]
     warm_p50 = _percentile(warm_latencies, 50)
@@ -188,6 +262,9 @@ async def soak(*, clients: int, quick: bool, targets: tuple[str, ...],
         "quick": quick,
         "targets": list(targets),
         "replay_budget": budget,
+        "admission_limit": admission_limit,
+        "request_timeout_s": request_timeout_s,
+        "client_sheds": sum(r["sheds"] for r in responses),
         "warm_p50_ms": warm_p50,
         "warm_p99_ms": _percentile(warm_latencies, 99),
         "cold_p50_ms": _percentile(
@@ -221,6 +298,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--store-dir", type=Path, default=None,
                         help="replay store for the service under test "
                              "(default: a throwaway temp dir)")
+    parser.add_argument("--admission-limit", type=int, default=None,
+                        metavar="N", help="shed would-be-new-leader "
+                        "requests beyond N concurrent computations "
+                        "(503 + Retry-After; default: admit all)")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        metavar="SECONDS", help="per-request deadline on "
+                        "the compute leg (504 on miss; default: none)")
     parser.add_argument("--out", type=Path,
                         default=Path("SERVICE_REPORT.json"),
                         help="where to write the service report")
@@ -233,14 +317,13 @@ def main(argv: list[str] | None = None) -> int:
         except ConfigurationError as exc:
             parser.error(str(exc))
 
+    kwargs = dict(clients=args.clients, quick=args.quick, targets=targets,
+                  out=args.out, admission_limit=args.admission_limit,
+                  request_timeout_s=args.request_timeout)
     if args.store_dir is not None:
-        return asyncio.run(soak(clients=args.clients, quick=args.quick,
-                                targets=targets, store_dir=args.store_dir,
-                                out=args.out))
+        return asyncio.run(soak(store_dir=args.store_dir, **kwargs))
     with tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
-        return asyncio.run(soak(clients=args.clients, quick=args.quick,
-                                targets=targets, store_dir=Path(tmp),
-                                out=args.out))
+        return asyncio.run(soak(store_dir=Path(tmp), **kwargs))
 
 
 if __name__ == "__main__":

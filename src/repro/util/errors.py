@@ -30,6 +30,32 @@ class ArtifactError(ReproError):
     regenerate it."""
 
 
+class FabricTimeout(ReproError):
+    """A collective (barrier or simulated communication) missed its
+    deadline.
+
+    Carries the ranks that never arrived (``missing_ranks``) and, when
+    raised by the fabric's barrier watchdog, a per-rank stack dump
+    (``rank_stacks``: rank -> formatted traceback) so a deadlocked or
+    straggling run report shows *where* every rank was stuck.
+    """
+
+    def __init__(self, message: str, *,
+                 missing_ranks: tuple[int, ...] = (),
+                 rank_stacks: dict[int, str] | None = None) -> None:
+        super().__init__(message)
+        self.missing_ranks = tuple(missing_ranks)
+        self.rank_stacks = dict(rank_stacks or {})
+
+
+class RankKilled(ReproError):
+    """A simulated rank died mid-step (the chaos ``kill_rank`` fault)."""
+
+    def __init__(self, rank: int, message: str | None = None) -> None:
+        super().__init__(message or f"rank {rank} killed")
+        self.rank = rank
+
+
 class PhysicsError(ReproError):
     """A physics module received unphysical input."""
 

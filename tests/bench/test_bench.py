@@ -194,3 +194,50 @@ class TestCliSmoke:
                    "--problems", "eos", "--engine", "fast",
                    "--compare", str(tmp_path / "nowhere")])
         assert rc == 1
+
+
+def _resilience_doc(ff=True, rec=True, restarts=1, replayed=2):
+    return {"schema": SCHEMA, "name": "resilience", "quick": True,
+            "engines": [], "environment": {}, "runs": [],
+            "resilience": {
+                "wall_s": 1.0, "steps": 6, "kill_step": 4,
+                "points": {"2x1": {
+                    "n_ranks": 2, "checkpoint_interval": 1,
+                    "faultfree_identical": ff,
+                    "recovered_identical": rec,
+                    "rank_restarts": restarts,
+                    "replayed_steps": replayed,
+                    "checkpoint_overhead_pct": 5.0,
+                    "recovery_wall_ms": 3.0}},
+                "text_sha256": "0" * 64},
+            "summary": {"n_runs": 4, "all_identical": ff and rec,
+                        "rank_restarts": restarts}}
+
+
+class TestCompareResilience:
+    def test_identical_docs_pass(self):
+        assert compare_bench(_resilience_doc(), _resilience_doc()) == []
+
+    def test_identity_booleans_always_gate(self):
+        failures = compare_bench(_resilience_doc(rec=False),
+                                 _resilience_doc())
+        assert any("recovered identical" in f for f in failures)
+        failures = compare_bench(_resilience_doc(ff=False),
+                                 _resilience_doc())
+        assert any("faultfree identical" in f for f in failures)
+
+    def test_recovery_accounting_gates_exactly(self):
+        failures = compare_bench(_resilience_doc(restarts=2),
+                                 _resilience_doc(restarts=1))
+        assert any("rank_restarts changed 1 -> 2" in f for f in failures)
+        failures = compare_bench(_resilience_doc(replayed=3),
+                                 _resilience_doc(replayed=2))
+        assert any("replayed_steps" in f for f in failures)
+
+    def test_walls_never_gate(self):
+        fast = _resilience_doc()
+        slow = _resilience_doc()
+        slow["resilience"]["points"]["2x1"]["recovery_wall_ms"] = 900.0
+        slow["resilience"]["points"]["2x1"]["checkpoint_overhead_pct"] = 80.0
+        assert compare_bench(slow, fast) == []
+        assert compare_bench(slow, fast, strict_wall=True) == []

@@ -277,3 +277,61 @@ class TestChargedTimeMonotonicity:
             comm.allreduce_min(np.zeros(4))
             elapsed.append(comm.elapsed_s)
         assert all(a <= b for a, b in zip(elapsed, elapsed[1:]))
+
+
+class TestCollectiveDeadlines:
+    """Optional modelled-time deadlines on collectives (default: off)."""
+
+    def test_timeout_must_be_positive(self):
+        from repro.util.errors import FabricTimeout  # noqa: F401
+        with pytest.raises(ConfigurationError):
+            SimComm(2, timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SimComm(2, timeout_s=-1.0)
+
+    def test_default_off_is_bit_identical(self):
+        """No deadline configured: charges and results are untouched
+        (the scaling bench baselines depend on this)."""
+        plain = SimComm(4)
+        timed = SimComm(4, timeout_s=1e9)  # generous: never trips
+        for comm in (plain, timed):
+            comm.allreduce_min(np.arange(4.0))
+            comm.p2p(1_000_000)
+            comm.halo_exchange([100, 200, 300, 400])
+        assert plain.elapsed_s == timed.elapsed_s
+        assert plain.bytes_moved == timed.bytes_moved
+
+    def test_tripped_deadline_charges_nothing(self):
+        """A timed-out collective raises FabricTimeout and leaves the
+        accounting untouched — the caller restores a snapshot, so a
+        partial charge would desynchronise the replay."""
+        from repro.util.errors import FabricTimeout
+        comm = SimComm(4, timeout_s=1e-12)
+        before = (comm.elapsed_s, comm.bytes_moved)
+        with pytest.raises(FabricTimeout):
+            comm.allreduce_min(np.zeros(4))
+        with pytest.raises(FabricTimeout):
+            comm.p2p(5_000_000)
+        with pytest.raises(FabricTimeout):
+            comm.halo_exchange([5_000_000] * 4)
+        assert (comm.elapsed_s, comm.bytes_moved) == before
+
+    def test_per_call_deadline_overrides_constructor(self):
+        from repro.util.errors import FabricTimeout
+        comm = SimComm(4, timeout_s=1e-12)
+        # a generous per-call deadline admits the op
+        comm.allreduce_min(np.zeros(4), timeout_s=10.0)
+        assert comm.elapsed_s > 0.0
+        # and a tight per-call deadline trips an otherwise-open comm
+        open_comm = SimComm(4)
+        with pytest.raises(FabricTimeout):
+            open_comm.p2p(5_000_000, timeout_s=1e-12)
+
+    def test_p2p_returns_modelled_seconds_and_counts_bytes(self):
+        comm = SimComm(2)
+        seconds = comm.p2p(12_500)
+        assert seconds == pytest.approx(comm.cost.p2p_time(12_500, 1))
+        assert comm.bytes_moved == 12_500
+        assert comm.elapsed_s == pytest.approx(seconds)
+        with pytest.raises(ConfigurationError):
+            comm.p2p(-1)

@@ -12,7 +12,9 @@ class TestMpisimUnit:
         spec = unit_registry.unit("mpisim")
         assert spec.phase == 0  # decomposition precedes every step hook
         names = {p.name for p in spec.parameters}
-        assert names == {"n_ranks", "ranks_per_node"}
+        assert names == {"n_ranks", "ranks_per_node",
+                         "fab_barrier_timeout_s", "fab_max_rank_restarts",
+                         "fab_checkpoint_interval"}
 
     def test_parameters_owned_by_mpisim(self):
         assert parameter_registry.owner("n_ranks") == "mpisim"
@@ -40,3 +42,24 @@ class TestMpisimUnit:
     def test_par_file_validation(self):
         with pytest.raises(ConfigurationError):
             RuntimeParameters.from_par("n_ranks = 0")
+
+    def test_fault_tolerance_parameters(self):
+        """The fab_* knobs parse from a par file like any unit's and
+        reject nonsense."""
+        params = RuntimeParameters.from_par(
+            "fab_barrier_timeout_s = 2.5\n"
+            "fab_max_rank_restarts = 3\n"
+            "fab_checkpoint_interval = 4")
+        assert params.get("fab_barrier_timeout_s") == 2.5
+        assert params.get("fab_max_rank_restarts") == 3
+        assert params.get("fab_checkpoint_interval") == 4
+        # defaults: no deadline, 2 restarts, checkpoint every step
+        assert parameter_registry.spec("fab_barrier_timeout_s").default == 0.0
+        assert parameter_registry.spec("fab_max_rank_restarts").default == 2
+        assert parameter_registry.spec("fab_checkpoint_interval").default == 1
+        with pytest.raises(ConfigurationError):
+            RuntimeParameters.from_par("fab_barrier_timeout_s = -1.0")
+        with pytest.raises(ConfigurationError):
+            RuntimeParameters.from_par("fab_max_rank_restarts = -1")
+        with pytest.raises(ConfigurationError):
+            RuntimeParameters.from_par("fab_checkpoint_interval = 0")

@@ -7,6 +7,7 @@ speed and determinism.
 
 import asyncio
 import json
+import threading
 
 import pytest
 
@@ -239,3 +240,75 @@ class TestKeepAlive:
         docs = with_server(scenario)
         assert docs[0]["cache"] == "cold"
         assert docs[1]["cache"] == "memory"
+
+
+class TestOverloadStatus:
+    """The HTTP overload contract: 503 + Retry-After on shed, 504 on a
+    missed deadline — machine-readable bodies either way."""
+
+    @staticmethod
+    def _overloaded_server(scenario, *, gate, **service_kwargs):
+        def blocking_run(*, quick=False):
+            gate.wait(5.0)
+            return "slow report"
+
+        async def runner():
+            import repro.experiments.registry as reg
+            saved = dict(reg._EXPERIMENTS)
+            reg._EXPERIMENTS["slow-a"] = ExperimentSpec(
+                "slow-a", "slow fixture", blocking_run)
+            reg._EXPERIMENTS["slow-b"] = ExperimentSpec(
+                "slow-b", "slow fixture", blocking_run)
+            service = ExperimentService(
+                session=ReplaySession(persist=False), **service_kwargs)
+            server = HttpServer(service)
+            await server.start()
+            try:
+                return await scenario(server)
+            finally:
+                await server.close()
+                service.close()
+                reg._EXPERIMENTS.clear()
+                reg._EXPERIMENTS.update(saved)
+
+        return asyncio.run(runner())
+
+    def test_shed_is_503_with_retry_after(self):
+        gate = threading.Event()
+
+        async def scenario(server):
+            leader = asyncio.ensure_future(request(
+                server.host, server.port,
+                get("/v1/report/slow-a?quick=1", host=server.host)))
+            await asyncio.sleep(0.05)  # leader admitted and computing
+            shed = await request(
+                server.host, server.port,
+                get("/v1/report/slow-b?quick=1", host=server.host))
+            gate.set()
+            done = await leader
+            return shed, done
+
+        (status, headers, body), (lstatus, _, _) = self._overloaded_server(
+            scenario, gate=gate, admission_limit=1, retry_after_s=0.25)
+        assert status == 503
+        assert lstatus == 200
+        assert headers["retry-after"] == "0.250"
+        doc = json.loads(body)
+        assert "admission queue full" in doc["error"]
+        assert doc["retry_after_s"] == pytest.approx(0.25)
+
+    def test_deadline_miss_is_504(self):
+        gate = threading.Event()
+
+        async def scenario(server):
+            response = await request(
+                server.host, server.port,
+                get("/v1/report/slow-a?quick=1", host=server.host))
+            gate.set()
+            return response
+
+        status, _, body = self._overloaded_server(
+            scenario, gate=gate, request_timeout_s=0.05)
+        assert status == 504
+        doc = json.loads(body)
+        assert "deadline" in doc["error"]

@@ -107,7 +107,8 @@ class TestServing:
         assert m.histogram("serve_request_ms", cache="cold").count == 1
         doc = service.service_report()
         assert doc["schema"] == "repro.serve/1"
-        assert doc["requests"] == {"total": 2, "distinct": 1}
+        assert doc["requests"] == {"total": 2, "distinct": 1,
+                                   "shed": 0, "timeouts": 0}
         assert doc["singleflight"]["leaders"] == 1
         assert doc["store"]["entries"] >= 1
         import json
@@ -214,3 +215,108 @@ class TestResponseShape:
     def test_request_key_matches_session_memo_key(self):
         assert (ExperimentService.request_key("a", True, "fast")
                 == ReplaySession.memo_key(MEMO_KIND, ("a", True, "fast")))
+
+
+class TestOverloadControl:
+    """Admission control and per-request deadlines (the resilience PR's
+    service leg): would-be-new-leaders beyond the limit shed with 503
+    semantics, deadline misses abandon the wait but never the leader."""
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(Exception):
+            make_service(tmp_path, request_timeout_s=0.0)
+        with pytest.raises(Exception):
+            make_service(tmp_path, admission_limit=0)
+        with pytest.raises(Exception):
+            make_service(tmp_path, retry_after_s=-1.0)
+
+    def test_burst_sheds_synchronously(self, tmp_path, monkeypatch):
+        """A same-tick burst beyond the limit sheds immediately — the
+        admission ledger is synchronous, unlike the singleflight map
+        (whose tasks only start on the next loop tick)."""
+        import asyncio as aio
+
+        gate = threading.Event()
+
+        def blocking_run(*, quick=False):
+            gate.wait(5.0)
+            return f"slow quick={quick}"
+
+        monkeypatch.setitem(
+            registry._EXPERIMENTS, "slow-a",
+            ExperimentSpec("slow-a", "slow fixture", blocking_run))
+        monkeypatch.setitem(
+            registry._EXPERIMENTS, "slow-b",
+            ExperimentSpec("slow-b", "slow fixture", blocking_run))
+
+        from repro.serve.service import ServiceOverloaded
+
+        async def scenario(service):
+            first = aio.ensure_future(service.report("slow-a", quick=True))
+            await aio.sleep(0)  # let the leader start computing
+            with pytest.raises(ServiceOverloaded) as exc_info:
+                await service.report("slow-b", quick=True)
+            assert exc_info.value.retry_after_s == service.retry_after_s
+            # coalescing keys are always admitted: same key joins
+            second = aio.ensure_future(service.report("slow-a", quick=True))
+            await aio.sleep(0)
+            gate.set()
+            a, b = await aio.gather(first, second)
+            return a, b
+
+        service = make_service(tmp_path, admission_limit=1,
+                               retry_after_s=0.25)
+        a, b = asyncio.run(scenario(service))
+        assert a.text == b.text
+        assert service.metrics.counter_value(
+            "serve_shed_total", experiment="slow-b") == 1
+        assert service._admitted == {}  # ledger drained
+        # once computed, the response serves from memory: never shed
+        again = asyncio.run(service.report("slow-a", quick=True))
+        assert again.cache == "memory"
+        service.close()
+
+    def test_deadline_miss_shields_the_leader(self, tmp_path, monkeypatch):
+        """A request that outlives its deadline raises DeadlineExceeded,
+        but the computation finishes and lands in response memory."""
+        gate = threading.Event()
+
+        def blocking_run(*, quick=False):
+            gate.wait(5.0)
+            return "eventually done"
+
+        monkeypatch.setitem(
+            registry._EXPERIMENTS, "laggard",
+            ExperimentSpec("laggard", "slow fixture", blocking_run))
+
+        from repro.serve.service import DeadlineExceeded
+
+        async def scenario(service):
+            with pytest.raises(DeadlineExceeded):
+                await service.report("laggard", quick=True)
+            gate.set()
+            # the shielded leader keeps running; wait for it to land
+            for _ in range(200):
+                await asyncio.sleep(0.01)
+                if not service._admitted:
+                    break
+            return await service.report("laggard", quick=True)
+
+        service = make_service(tmp_path, request_timeout_s=0.05)
+        response = asyncio.run(scenario(service))
+        assert response.text == "eventually done"
+        assert response.cache == "memory"
+        assert service.metrics.counter_value(
+            "serve_timeout_total", experiment="laggard") == 1
+        service.close()
+
+    def test_service_report_carries_overload_block(self, tmp_path):
+        service = make_service(tmp_path, admission_limit=3,
+                               request_timeout_s=1.5, retry_after_s=0.2)
+        doc = service.service_report()
+        assert doc["overload"] == {"request_timeout_s": 1.5,
+                                   "admission_limit": 3,
+                                   "retry_after_s": 0.2}
+        assert doc["requests"]["shed"] == 0
+        assert doc["requests"]["timeouts"] == 0
+        service.close()

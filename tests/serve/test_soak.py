@@ -67,3 +67,29 @@ class TestMiniSoak:
         for name in soak.DEFAULT_TARGETS:
             registry.experiment(name)  # raises on a stale name
         assert "soak" not in soak.DEFAULT_TARGETS
+
+
+class TestOverloadedSoak:
+    def test_admission_limited_soak_sheds_and_converges(self, tmp_path,
+                                                        fake_targets):
+        """With admission_limit=1 and a client burst over two targets,
+        at least one client is shed with Retry-After and every client
+        converges to a 200 within the retry deadline — the CI
+        serve-smoke job runs the same contract at scale."""
+        out = tmp_path / "SERVICE_REPORT.json"
+        rc = soak.main(["--clients", "12", "--quick",
+                        "--targets", *fake_targets,
+                        "--admission-limit", "1",
+                        "--store-dir", str(tmp_path / "store"),
+                        "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["soak"]["passed"] is True
+        checks = {c["name"]: c["ok"] for c in doc["soak"]["checks"]}
+        assert checks["sheds_observed"] is True
+        assert checks["sheds_carry_retry_after"] is True
+        assert checks["retries_converged"] is True
+        assert "coalescing_effective" not in checks  # replaced under limit
+        assert doc["soak"]["admission_limit"] == 1
+        assert doc["soak"]["client_sheds"] >= 1
+        assert doc["requests"]["shed"] >= 1
