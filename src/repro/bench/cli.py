@@ -30,8 +30,10 @@ from repro.toolchain.compiler import FUJITSU
 
 #: document format version; bump on incompatible layout changes
 #: (v2: environment records ``jobs``, the report document gains the
-#: multicore executor leg and the batched-geometry block)
-SCHEMA = "repro.bench/2"
+#: multicore executor leg and the batched-geometry block; v3: the
+#: report document gains the trace-tier leg — cold/warm trace-store
+#: walls, synthesis counts, and the executor's pickled/mapped bytes)
+SCHEMA = "repro.bench/3"
 
 #: mesh replication scales exercised per problem; quick mode skips
 #: replication 1, where the engine-independent pipeline overhead
@@ -227,7 +229,11 @@ def run_report_bench(*, quick: bool = True,
     the measured ``speedup_jobs`` — honestly, whatever the host's core
     count makes of it — plus ``text_identical_jobs`` and the executor's
     replay count, which the compare gate holds bit-equal to the serial
-    cold leg.
+    cold leg.  Two further pool legs exercise the trace tier: a cold
+    trace store (every synthesis paid once, scheduled across the pool)
+    and a warm trace store over a fresh replay store, which must map
+    every bundle (``synthesis_warm == 0``) and ship zero pickled trace
+    bytes.
 
     The emitted ``session`` block also records the distinct-replay
     counts each variant performed and whether all report texts were
@@ -292,6 +298,65 @@ def run_report_bench(*, quick: bool = True,
             "text_identical_jobs": text_jobs == text_unshared,
         })
 
+    # the trace-tier leg: two pool runs sharing one trace store but each
+    # over a fresh replay store.  The cold run pays every synthesis once
+    # (scheduled across the pool) and ships traces by reference; the warm
+    # run must synthesize *nothing* — a known workload over a new replay
+    # store maps every bundle straight from disk.  Both legs' replay
+    # counts must match the serial cold leg's (the cache tier above the
+    # session never changes what gets replayed, only what gets rebuilt).
+    trace_doc: dict[str, object] = {
+        "wall_cold_trace_s": None,
+        "wall_warm_trace_s": None,
+        "synthesis_cold": None,
+        "synthesis_warm": None,
+        "trace_store_hits_warm": None,
+        "replays_cold_trace": None,
+        "replays_warm_trace": None,
+        "traces_pickled_bytes_cold": None,
+        "traces_pickled_bytes_warm": None,
+        "traces_mapped_bytes_cold": None,
+        "traces_mapped_bytes_warm": None,
+        "text_identical_trace": None,
+        "trace_store": None,
+    }
+    if resolved_jobs > 1:
+        with tempfile.TemporaryDirectory() as tmp, _forced_jobs(resolved_jobs):
+            traces = Path(tmp) / "traces"
+            cold_t = ReplaySession(store_dir=str(Path(tmp) / "replays-cold"),
+                                   trace_dir=traces)
+            wall_cold_t, text_cold_t = timed(cold_t)
+            ex = cold_t._executor
+            pickled_cold = ex.traces_pickled_bytes if ex else 0
+            mapped_cold = ex.traces_mapped_bytes if ex else 0
+            cold_t.close()
+            warm_t = ReplaySession(store_dir=str(Path(tmp) / "replays-warm"),
+                                   trace_dir=traces)
+            wall_warm_t, text_warm_t = timed(warm_t)
+            ex = warm_t._executor
+            pickled_warm = ex.traces_pickled_bytes if ex else 0
+            mapped_warm = ex.traces_mapped_bytes if ex else 0
+            tstore = warm_t.trace_store
+            trace_store_doc = (tstore.describe()
+                               if tstore is not None else None)
+            warm_t.close()
+        trace_doc.update({
+            "wall_cold_trace_s": wall_cold_t,
+            "wall_warm_trace_s": wall_warm_t,
+            "synthesis_cold": cold_t.stats.synthesis_count,
+            "synthesis_warm": warm_t.stats.synthesis_count,
+            "trace_store_hits_warm": warm_t.stats.trace_store_hits,
+            "replays_cold_trace": cold_t.stats.replays,
+            "replays_warm_trace": warm_t.stats.replays,
+            "traces_pickled_bytes_cold": pickled_cold,
+            "traces_pickled_bytes_warm": pickled_warm,
+            "traces_mapped_bytes_cold": mapped_cold,
+            "traces_mapped_bytes_warm": mapped_warm,
+            "text_identical_trace": (text_cold_t == text_unshared
+                                     and text_warm_t == text_unshared),
+            "trace_store": trace_store_doc,
+        })
+
     identical = text_unshared == text_cold == text_warm
     session_doc = {
         "wall_unshared_s": wall_unshared,
@@ -308,6 +373,7 @@ def run_report_bench(*, quick: bool = True,
         "text_identical": identical,
         "store": store_doc,
         **jobs_doc,
+        "trace": trace_doc,
     }
     geometry_doc = _geometry_block(quick=quick)
     environment = _environment()
@@ -322,7 +388,7 @@ def run_report_bench(*, quick: bool = True,
         "session": session_doc,
         "geometry": geometry_doc,
         "summary": {
-            "n_runs": 3 + (1 if resolved_jobs > 1 else 0),
+            "n_runs": 3 + (3 if resolved_jobs > 1 else 0),
             "replays_cold": session_doc["replays_cold"],
             "replays_warm": session_doc["replays_warm"],
             "speedup_warm": session_doc["speedup_warm"],
@@ -330,6 +396,10 @@ def run_report_bench(*, quick: bool = True,
             "jobs": resolved_jobs,
             "speedup_jobs": jobs_doc["speedup_jobs"],
             "text_identical_jobs": jobs_doc["text_identical_jobs"],
+            "synthesis_cold": trace_doc["synthesis_cold"],
+            "synthesis_warm": trace_doc["synthesis_warm"],
+            "traces_mapped_bytes": trace_doc["traces_mapped_bytes_warm"],
+            "text_identical_trace": trace_doc["text_identical_trace"],
             "speedup_batch": geometry_doc["speedup_batch"],
             "batch_identical": geometry_doc["batch_identical"],
         },
@@ -479,6 +549,11 @@ def main(argv: list[str] | None = None) -> int:
                              "executor leg (default: REPRO_REPLAY_JOBS / "
                              "the replay_jobs parameter; 0 = one per "
                              "core; 1 skips the leg)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each phase under cProfile and write the "
+                             "top-20 cumulative entries to "
+                             "BENCH_PROFILE_<problem>.txt next to the "
+                             "documents")
     parser.add_argument("--compare", type=Path, default=None, metavar="PATH",
                         help="baseline BENCH_*.json file or a directory of "
                              "them; exit non-zero on regression")
@@ -496,6 +571,11 @@ def main(argv: list[str] | None = None) -> int:
     failures: list[str] = []
     notes: list[str] = []
     for problem in args.problems:
+        profiler = None
+        if args.profile:
+            import cProfile
+            profiler = cProfile.Profile()
+            profiler.enable()
         if problem == "report":
             doc = run_report_bench(quick=args.quick, jobs=args.jobs)
         elif problem == "scaling":
@@ -505,6 +585,16 @@ def main(argv: list[str] | None = None) -> int:
         else:
             doc = run_problem_bench(problem, quick=args.quick,
                                     engines=engines)
+        if profiler is not None:
+            import io
+            import pstats
+            profiler.disable()
+            buf = io.StringIO()
+            pstats.Stats(profiler, stream=buf).sort_stats(
+                "cumulative").print_stats(20)
+            profile_path = args.out / f"BENCH_PROFILE_{problem}.txt"
+            profile_path.write_text(buf.getvalue())
+            print(f"wrote {profile_path}")
         path = args.out / f"BENCH_{problem}.json"
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         summary = doc["summary"]
@@ -524,6 +614,12 @@ def main(argv: list[str] | None = None) -> int:
             line += (f", jobs={summary['jobs']} speedup "
                      f"{summary['speedup_jobs']:.2f}x, text "
                      + ("identical" if summary["text_identical_jobs"]
+                        else "DIFFERS"))
+        if summary.get("synthesis_cold") is not None:
+            line += (f", trace tier synth cold {summary['synthesis_cold']}"
+                     f" / warm {summary['synthesis_warm']}, mapped "
+                     f"{summary['traces_mapped_bytes']} B, text "
+                     + ("identical" if summary["text_identical_trace"]
                         else "DIFFERS"))
         if summary.get("speedup_batch") is not None:
             line += (f", geometry batch speedup "
@@ -549,6 +645,13 @@ def main(argv: list[str] | None = None) -> int:
         if summary.get("text_identical_jobs") is False:
             failures.append(
                 f"{problem}: report text changed under the executor")
+        if summary.get("text_identical_trace") is False:
+            failures.append(
+                f"{problem}: report text changed under the trace tier")
+        if summary.get("synthesis_warm") not in (None, 0):
+            failures.append(
+                f"{problem}: warm trace store still synthesized "
+                f"{summary['synthesis_warm']} bundle(s)")
         if summary.get("batch_identical") is False:
             failures.append(
                 f"{problem}: batched geometry sweep diverged from serial")

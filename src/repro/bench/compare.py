@@ -260,6 +260,48 @@ def _compare_geometry(current: dict, baseline: dict, *,
     return failures
 
 
+def _compare_trace_tier(name: str, session: dict) -> list[str]:
+    """Gate the trace-tier legs of a report bench document.
+
+    Everything here is deterministic, so the gates are absolute rather
+    than baseline-relative: a warm trace store must skip synthesis
+    entirely, the pool path must ship traces by reference (mapped bytes,
+    never pickled bytes), the report text must not change, and neither
+    leg may replay more than the serial cold leg — the trace tier sits
+    *above* the replay cache and must not alter the replay budget.
+    """
+    trace = session.get("trace") or {}
+    failures: list[str] = []
+    if trace.get("text_identical_trace") is False:
+        failures.append(
+            f"{name}: report text under the trace tier differs from the "
+            f"serial text")
+    synth_warm = trace.get("synthesis_warm")
+    if synth_warm not in (None, 0):
+        failures.append(
+            f"{name}: warm trace store still synthesized {synth_warm} "
+            f"bundle(s) (must map every bundle: synthesis_warm == 0)")
+    mapped = trace.get("traces_mapped_bytes_warm")
+    if mapped is not None and mapped <= 0:
+        failures.append(
+            f"{name}: warm trace leg mapped {mapped} trace bytes "
+            f"(zero-copy handoff did not engage)")
+    for leg in ("cold", "warm"):
+        pickled = trace.get(f"traces_pickled_bytes_{leg}")
+        if pickled:
+            failures.append(
+                f"{name}: {leg} trace leg pickled {pickled} trace bytes "
+                f"over the pool pipe (must ship by reference)")
+        replays = trace.get(f"replays_{leg}_trace")
+        if (replays is not None and session.get("replays_cold") is not None
+                and replays != session["replays_cold"]):
+            failures.append(
+                f"{name}: {leg} trace leg performed {replays} replays vs "
+                f"{session['replays_cold']} serial (the trace tier must "
+                f"not change the replay budget)")
+    return failures
+
+
 def _compare_session(current: dict, baseline: dict, *, threshold: float,
                      strict_wall: bool, env_diffs: list[str] | None = None,
                      notes: list[str] | None = None) -> list[str]:
@@ -301,6 +343,7 @@ def _compare_session(current: dict, baseline: dict, *, threshold: float,
         failures.append(
             f"{name}: warm-session speedup {warm_speed:.2f}x fell below "
             f"the {_MIN_WARM_SPEEDUP}x floor")
+    failures.extend(_compare_trace_tier(name, cur))
     jobs_speed = cur.get("speedup_jobs")
     if jobs_speed is not None:
         env = current.get("environment", {}) or {}

@@ -10,6 +10,12 @@ sizes, in access order.  Because a TLB hit/miss stream is invariant under
 removal of *consecutive duplicate* pages (the repeat is always a hit), the
 canonical form is consecutive-deduplicated, with a ``weight`` recording how
 many raw accesses each kept entry stands for.
+
+Traces may be backed by read-only ``np.memmap`` views of a persistent
+:class:`~repro.perfmodel.tracestore.TraceStore` artifact; construction
+must therefore never copy an array that is already int64 — a defensive
+copy would silently turn a zero-copy mapped load back into a private
+resident one.
 """
 
 from __future__ import annotations
@@ -17,6 +23,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+
+def _as_int64(array) -> np.ndarray:
+    """Coerce to int64 without copying when already int64.
+
+    Preserves the object identity of int64 ndarrays (including read-only
+    ``np.memmap`` views) so mmap-backed traces stay mapped; anything else
+    is converted (a copy, exactly as ``np.asarray(..., dtype=int64)``
+    would make one).
+    """
+    if isinstance(array, np.ndarray) and array.dtype == np.int64:
+        return array
+    return np.asarray(array, dtype=np.int64)
 
 
 @dataclass
@@ -39,9 +58,9 @@ class PageTrace:
     weight: np.ndarray
 
     def __post_init__(self) -> None:
-        self.page = np.asarray(self.page, dtype=np.int64)
-        self.size = np.asarray(self.size, dtype=np.int64)
-        self.weight = np.asarray(self.weight, dtype=np.int64)
+        self.page = _as_int64(self.page)
+        self.size = _as_int64(self.size)
+        self.weight = _as_int64(self.weight)
         if not (self.page.shape == self.size.shape == self.weight.shape):
             raise ValueError("trace arrays must have identical shapes")
 
@@ -73,6 +92,11 @@ class PageTrace:
     def n_accesses(self) -> int:
         """Raw access count, including consecutive repeats."""
         return int(self.weight.sum()) if self.weight.size else 0
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes across the three arrays (IPC/mmap accounting)."""
+        return int(self.page.nbytes + self.size.nbytes + self.weight.nbytes)
 
     def concat(self, *others: "PageTrace") -> "PageTrace":
         """Concatenate traces in order, re-deduplicating at the seams."""

@@ -20,6 +20,16 @@ ProcessPoolExecutor` (fork start method where available: workers
   replay errors re-raise from the inline retry exactly as serial
   execution would have raised them.
 
+Replay units carry their traces either by value (a list of
+:class:`~repro.hw.trace.PageTrace`, pickled over the pipe) or by
+reference (a :class:`~repro.perfmodel.tracestore.TraceRef` naming
+sections of a persistent trace bundle, which the worker maps read-only
+straight from the store).  The executor meters both on
+``traces_pickled_bytes`` / ``traces_mapped_bytes`` so the bench can
+gate that the zero-copy handoff actually engaged.  A third unit kind,
+``"synth"``, runs trace synthesis itself on a worker and persists the
+bundle — the requester maps the result instead of building it.
+
 Job-count selection mirrors the engine precedence
 (:func:`repro.perfmodel.pipeline.resolve_engine`): explicit argument,
 then ``REPRO_REPLAY_JOBS``, then the ``replay_jobs`` runtime parameter.
@@ -31,12 +41,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.core import load_all, parameter_registry
 from repro.util.errors import ConfigurationError
 
-#: a work unit: ("stream" | "fine", engine, geometry, [PageTrace, ...])
+#: a work unit — one of:
+#:   ("stream" | "fine", engine, geometry, [PageTrace, ...] | TraceRef)
+#:   ("synth", trace_key, task, store_root, thp)
 WorkUnit = tuple
 
 
@@ -85,10 +98,22 @@ def _run_unit(unit: WorkUnit) -> list:
 
     Imports locally so a forked worker resolves the session lazily; the
     kernels themselves are the session's static methods, guaranteeing
-    the parallel path cannot drift from the serial one.
+    the parallel path cannot drift from the serial one.  A ``"synth"``
+    unit synthesizes and persists a trace bundle (returning nothing —
+    the requester maps the store entry); replay units resolve a
+    :class:`~repro.perfmodel.tracestore.TraceRef` payload by mapping the
+    bundle read-only before running the kernel.
     """
     from repro.perfmodel.session import ReplaySession
-    kind, engine, geometry, traces = unit
+    kind = unit[0]
+    if kind == "synth":
+        from repro.perfmodel.tracestore import TraceStore
+        _, key, task, root, thp = unit
+        stream, fine = task()
+        TraceStore(Path(root), thp=thp).save_bundle(key, stream, fine)
+        return []
+    kind, engine, geometry, payload = unit
+    traces = payload if isinstance(payload, list) else payload.resolve()
     if kind == "stream":
         return ReplaySession._replay_stream(engine, geometry, traces)
     if kind == "fine":
@@ -109,6 +134,12 @@ class ReplayExecutor:
         self.jobs = resolve_jobs(jobs, params=params)
         #: pool-level failures degraded to inline execution
         self.fallbacks = 0
+        #: trace payload bytes shipped to pool workers by pickling
+        #: (by-value units) — the IPC tax the trace tier eliminates
+        self.traces_pickled_bytes = 0
+        #: trace payload bytes workers mapped from the trace store
+        #: instead (by-reference units)
+        self.traces_mapped_bytes = 0
         self._pool: ProcessPoolExecutor | None = None
 
     # --- lifecycle -------------------------------------------------------
@@ -144,7 +175,7 @@ class ReplayExecutor:
             return [_run_unit(u) for u in units]
         try:
             pool = self._ensure_pool()
-            return list(pool.map(_run_unit, units))
+            outputs = list(pool.map(_run_unit, units))
         except Exception:
             # pool-level damage (broken worker, pickling trouble) must
             # not lose the measurement: retry inline.  A genuine replay
@@ -152,6 +183,21 @@ class ReplayExecutor:
             self.fallbacks += 1
             self.close()
             return [_run_unit(u) for u in units]
+        self._account_ipc(units)
+        return outputs
+
+    def _account_ipc(self, units: Sequence[WorkUnit]) -> None:
+        """Meter what the pool dispatch actually shipped per unit:
+        payload bytes pickled over the pipe, or bytes the worker mapped
+        from the trace store instead."""
+        for unit in units:
+            if unit[0] not in ("stream", "fine"):
+                continue
+            payload = unit[3]
+            if isinstance(payload, list):
+                self.traces_pickled_bytes += sum(t.nbytes for t in payload)
+            else:
+                self.traces_mapped_bytes += payload.nbytes
 
 
 __all__ = ["ReplayExecutor", "resolve_jobs"]

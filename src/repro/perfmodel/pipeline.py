@@ -68,6 +68,60 @@ def _layout_signature(space, allocations) -> str:
     return h.hexdigest()[:40]
 
 
+@dataclass
+class SynthesisTask:
+    """Picklable trace synthesis for one launched configuration.
+
+    Replaces the old nested closure so synthesis itself can travel to a
+    pool worker as a ``"synth"`` work unit: every field is a plain
+    simulated-process object (address space, allocations, workload log —
+    no live handles).  Calling the task is deterministic — the builder
+    seeds its RNG from ``seed`` — and geometry-independent: traces
+    depend on the address-space layout and the sampling parameters,
+    never on the TLB, which is what lets a geometry sweep (and the
+    trace store) share one synthesis.
+    """
+
+    engine: str
+    space: object
+    layout: object
+    unk: object
+    scratch: list
+    eos_table: object
+    flame_table: object
+    flux_scratch: object
+    log: object
+    replication: int
+    fine_sample_blocks: int
+    seed: int
+    fine_kinds: tuple
+
+    #: marks the task safe to ship to a pool worker (the session checks
+    #: this duck-typed flag before scheduling synthesis work units)
+    picklable = True
+
+    def __call__(self):
+        rep = self.log.representative_step()
+        builder_cls = (FastTraceBuilder if self.engine == "fast"
+                       else TraceBuilder)
+        builder = builder_cls(
+            space=self.space, layout=self.layout, unk=self.unk,
+            scratch=self.scratch, eos_table=self.eos_table,
+            flame_table=self.flame_table, log=self.log,
+            flux_scratch=self.flux_scratch,
+            replication=self.replication,
+            fine_sample_blocks=self.fine_sample_blocks, seed=self.seed,
+        )
+        stream_traces = [builder.invocation_stream_trace(rep, inv)
+                         for inv in rep.invocations]
+        fine_traces = []
+        for i, inv in enumerate(rep.invocations):
+            if inv.unit in self.fine_kinds:
+                trace, scale = builder.fine_unit_trace(rep, inv)
+                fine_traces.append((i, trace, scale))
+        return stream_traces, fine_traces
+
+
 def resolve_engine(engine: str | None = None, params=None) -> str:
     """Pick the replay engine.  Precedence, highest first:
 
@@ -296,35 +350,20 @@ class PerformancePipeline:
 
     def _synthesize_closure(self, engine, proc, layout, unk, scratch,
                             eos_table, flame_table, flux_scratch):
-        """The trace-synthesis thunk one replay request carries.
+        """The trace-synthesis task one replay request carries.
 
-        Geometry-independent: the traces depend on the address-space
-        layout and the engine's builder, never on the TLB — which is
-        what lets a geometry sweep share one synthesis."""
-        rep = self.log.representative_step()
-
-        def synthesize():
-            # stream pass (capacity behaviour) per invocation, plus fine
-            # passes (inner-loop behaviour) for the fine-granularity units
-            builder_cls = (FastTraceBuilder if engine == "fast"
-                           else TraceBuilder)
-            builder = builder_cls(
-                space=proc.space, layout=layout, unk=unk, scratch=scratch,
-                eos_table=eos_table, flame_table=flame_table, log=self.log,
-                flux_scratch=flux_scratch,
-                replication=self.replication,
-                fine_sample_blocks=self.fine_sample_blocks, seed=self.seed,
-            )
-            stream_traces = [builder.invocation_stream_trace(rep, inv)
-                             for inv in rep.invocations]
-            fine_traces: list[tuple[int, "PageTrace", float]] = []
-            for i, inv in enumerate(rep.invocations):
-                if inv.unit in self._fine_kinds:
-                    trace, scale = builder.fine_unit_trace(rep, inv)
-                    fine_traces.append((i, trace, scale))
-            return stream_traces, fine_traces
-
-        return synthesize
+        A picklable :class:`SynthesisTask` (stream pass per invocation,
+        fine passes for the fine-granularity units), so the session may
+        run it on a pool worker and persist the bundle in the trace
+        store instead of synthesizing serially in the requester."""
+        return SynthesisTask(
+            engine=engine, space=proc.space, layout=layout, unk=unk,
+            scratch=scratch, eos_table=eos_table, flame_table=flame_table,
+            flux_scratch=flux_scratch, log=self.log,
+            replication=self.replication,
+            fine_sample_blocks=self.fine_sample_blocks, seed=self.seed,
+            fine_kinds=tuple(sorted(self._fine_kinds)),
+        )
 
     def _config_key(self, engine, machine, proc, allocations) -> str:
         # the replay is a pure function of these inputs; anything else
@@ -335,6 +374,22 @@ class PerformancePipeline:
             str(TRACE_SCHEMA), self.log.digest(),
             _layout_signature(proc.space, allocations),
             geometry_digest(machine.tlb), engine,
+            str(self.seed), str(self.replication),
+            str(self.fine_sample_blocks),
+            ",".join(sorted(self._fine_kinds)),
+        )
+        if self.rank_signature:
+            parts = parts + (self.rank_signature,)
+        return hashlib.sha256("/".join(parts).encode()).hexdigest()[:40]
+
+    def _trace_key(self, proc, allocations) -> str:
+        # the synthesis inputs only: geometry never shapes a trace, and
+        # the two builders are property-tested RNG-lockstep identical,
+        # so the engine is deliberately excluded — a warm trace store
+        # serves a new geometry *and* a new engine without synthesis
+        parts = (
+            "trace", str(TRACE_SCHEMA), self.log.digest(),
+            _layout_signature(proc.space, allocations),
             str(self.seed), str(self.replication),
             str(self.fine_sample_blocks),
             ",".join(sorted(self._fine_kinds)),
@@ -362,6 +417,7 @@ class PerformancePipeline:
             synthesize=self._synthesize_closure(
                 engine, proc, layout, unk, scratch, eos_table, flame_table,
                 flux_scratch),
+            trace_key=self._trace_key(proc, allocations),
         )
 
     def _replay(self, engine, proc, layout, unk, scratch, eos_table,
@@ -371,7 +427,8 @@ class PerformancePipeline:
         replay = self.session.replay(config_key=request.config_key,
                                      geometry=request.geometry,
                                      engine=engine,
-                                     synthesize=request.synthesize)
+                                     synthesize=request.synthesize,
+                                     trace_key=request.trace_key)
         return self._finish(engine, self.machine, proc, replay)
 
     def _finish(self, engine, machine, proc, replay) -> PerfReport:
@@ -463,7 +520,8 @@ class PerformancePipeline:
                 flux_scratch)
             replays = self.session.replay_sweep(
                 config_keys=keys, geometries=[m.tlb for m in machines],
-                engine=engine, synthesize=synthesize)
+                engine=engine, synthesize=synthesize,
+                trace_key=self._trace_key(proc, allocations))
             return [self._finish(engine, m, proc, r)
                     for m, r in zip(machines, replays)]
         finally:
@@ -517,5 +575,5 @@ PerformancePipeline.run` would; the replay requests are then handed to
         return [pipe.run() for pipe in pipelines]
 
 
-__all__ = ["PerformancePipeline", "PerfReport", "UnitTotals",
-           "resolve_engine", "run_batch"]
+__all__ = ["PerformancePipeline", "PerfReport", "SynthesisTask",
+           "UnitTotals", "resolve_engine", "run_batch"]

@@ -29,6 +29,17 @@ A :class:`ReplaySession` amortises that matrix three ways:
    on-disk layout, sharding, and LRU size bounds live in
    :class:`~repro.perfmodel.store.ReplayStore`.
 
+4. **The trace tier.**  Below the replay-result cache sits a
+   content-addressed store of the synthesized traces themselves
+   (:class:`~repro.perfmodel.tracestore.TraceStore`).  Synthesis is a
+   pure function of the workload + address-space layout + sampling
+   parameters — never of the TLB geometry or replay engine — so a warm
+   trace store lets a *new* geometry/engine over a known workload skip
+   synthesis entirely, cross-process, and the mapped bundles hand
+   traces to pool workers by reference instead of pickling arrays.
+   Distinct synthesis misses within a batch are themselves schedulable
+   work units, run across the replay executor's pool.
+
 The hard contract, inherited from the fast-path work: counters are
 **bit-identical** to per-config :class:`PerformancePipeline` runs on both
 engines.  Dedup relies only on (a) SHA-256 collision resistance and (b)
@@ -45,7 +56,7 @@ from __future__ import annotations
 import hashlib
 import struct
 import threading
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator
@@ -62,6 +73,14 @@ from repro.perfmodel.store import (
     ReplayStore,
     resolve_cache_bytes,
     resolve_cache_dir,
+)
+from repro.perfmodel.tracestore import (
+    TraceBundle,
+    TraceStore,
+    resolve_trace_cache_bytes,
+    resolve_trace_cache_dir,
+    resolve_trace_thp,
+    trace_cache_configured,
 )
 from repro.util.artifacts import ArtifactError
 from repro.util.errors import ConfigurationError
@@ -125,6 +144,10 @@ class SessionStats:
     fine_deduped: int = 0
     #: persisted memo()isations served instead of recomputed
     memo_hits: int = 0
+    #: trace syntheses that actually ran (anywhere — requester or pool)
+    synthesis_count: int = 0
+    #: syntheses skipped because the trace tier already held the bundle
+    trace_store_hits: int = 0
 
 
 @dataclass
@@ -152,6 +175,11 @@ class ReplayRequest:
     engine: str
     synthesize: Callable[[], tuple[list[PageTrace],
                                    list[tuple[int, PageTrace, float]]]]
+    #: content key of the synthesis inputs (workload digest + layout
+    #: signature + sampling parameters; geometry- and engine-free).
+    #: ``None`` keeps the legacy behaviour: synthesis always runs in the
+    #: requester and nothing is persisted below the replay cache.
+    trace_key: str | None = None
 
 
 class ReplaySession:
@@ -166,12 +194,25 @@ class ReplaySession:
 
     def __init__(self, store_dir: str | Path | None = None, *,
                  persist: bool = True, share: bool = True,
-                 max_bytes: int | None = None) -> None:
+                 max_bytes: int | None = None,
+                 trace_dir: str | Path | None = None,
+                 trace_max_bytes: int | None = None,
+                 trace_thp: bool | None = None) -> None:
         self.share = share
         self.persist = persist and share
         self._store_dir = Path(store_dir) if store_dir is not None else None
+        self._explicit_store_dir = store_dir is not None
         self._max_bytes = max_bytes
         self._store_obj: ReplayStore | None = None
+        #: the trace tier: explicit ``trace_dir``, else REPRO_TRACE_CACHE
+        #: (off|auto|<dir>), else nested under an explicit ``store_dir``,
+        #: else the XDG default — active only while the session persists
+        self._trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self._trace_max_bytes = trace_max_bytes
+        self._trace_thp = trace_thp
+        self._trace_store_obj: TraceStore | None = None
+        self._trace_off = False
+        self._bundles: dict[str, TraceBundle] = {}
         self._configs: dict[str, ReplayResult] = {}
         self._traces: dict[str, list[TLBStats]] = {}
         self._memos: dict[str, Any] = {}
@@ -237,22 +278,187 @@ class ReplaySession:
         except (OSError, ArtifactError):
             self.persist = False  # e.g. read-only cache dir: degrade quietly
 
+    # --- the trace tier ---------------------------------------------------
+    def _trace_store(self) -> TraceStore | None:
+        """The session's persistent trace-bundle store, or ``None``.
+
+        Active only for sharing, persisting sessions (the trace tier
+        sits *below* the replay cache — a memory-only session keeps its
+        bundles in memory).  Resolution precedence: an explicit
+        ``trace_dir`` argument, then ``REPRO_TRACE_CACHE``
+        (``off|auto|<dir>``), then — under the ``auto`` default — nested
+        as ``<store_dir>/traces`` when the session was given an explicit
+        replay store directory (so throwaway test stores stay
+        self-contained), else the XDG default.  An uncreatable directory
+        degrades the trace tier off, never the session.
+        """
+        if not self.share or self._trace_off:
+            return None
+        if self._store() is None:  # replay persistence off or degraded
+            return None
+        if self._trace_store_obj is None:
+            trace_dir = self._trace_dir
+            if trace_dir is None:
+                if self._explicit_store_dir and not trace_cache_configured():
+                    trace_dir = Path(self._store_dir) / "traces"
+                else:
+                    trace_dir = resolve_trace_cache_dir()
+                    if trace_dir is None:  # REPRO_TRACE_CACHE=off
+                        self._trace_off = True
+                        return None
+            max_bytes = self._trace_max_bytes
+            if max_bytes is None:
+                max_bytes = resolve_trace_cache_bytes()
+            thp = self._trace_thp
+            if thp is None:
+                thp = resolve_trace_thp()
+            store = TraceStore(trace_dir, max_bytes=max_bytes, thp=thp)
+            try:
+                store.ensure()
+            except OSError:
+                self._trace_off = True
+                return None
+            self._trace_store_obj = store
+        return self._trace_store_obj
+
+    @property
+    def trace_store(self) -> TraceStore | None:
+        """The trace tier's store (for metrics/eviction), if any."""
+        return self._trace_store()
+
+    def _save_bundle(self, store: TraceStore, key: str,
+                     bundle: TraceBundle) -> TraceBundle | None:
+        """Persist a fresh bundle and map it back (zero-copy views); a
+        failed save degrades the trace tier off and returns ``None``."""
+        try:
+            store.save_bundle(key, bundle.stream, bundle.fine)
+        except (OSError, ArtifactError):
+            self._trace_off = True
+            return None
+        return store.load_bundle(key)
+
+    def _synthesize_once(self, trace_key: str | None,
+                         synthesize: Callable) -> TraceBundle:
+        """Resolve one synthesis through the trace tier, inline.
+
+        Bundle-cache hit (memory or store) skips synthesis and counts
+        ``trace_store_hits``; a miss synthesizes in the caller, persists
+        the bundle when the tier is active, and counts
+        ``synthesis_count``.
+        """
+        key = trace_key if self.share else None
+        if key is not None:
+            hit = self._bundles.get(key)
+            if hit is None:
+                store = self._trace_store()
+                if store is not None:
+                    hit = store.load_bundle(key)
+                    if hit is not None:
+                        self._bundles[key] = hit
+            if hit is not None:
+                self.stats.trace_store_hits += 1
+                return hit
+        self.stats.synthesis_count += 1
+        stream, fine = synthesize()
+        bundle = TraceBundle(stream=list(stream), fine=list(fine))
+        if key is not None:
+            store = self._trace_store()
+            if store is not None:
+                mapped = self._save_bundle(store, key, bundle)
+                if mapped is not None:
+                    bundle = mapped
+            self._bundles[key] = bundle
+        return bundle
+
+    def _resolve_syntheses(self, pending: list[tuple[int, "ReplayRequest"]],
+                           executor) -> dict[int, TraceBundle]:
+        """Resolve every pending request's synthesis to a trace bundle.
+
+        Answers what it can from the bundle caches, then schedules the
+        *distinct* misses as ``"synth"`` work units — across the replay
+        executor's pool when the trace tier is active and the tasks are
+        picklable (workers persist the bundle; the requester maps it) —
+        and synthesizes inline otherwise.  Accounting is as-if-
+        sequential: one ``synthesis_count`` per distinct miss, one
+        ``trace_store_hits`` per request that would have found the store
+        warm, independent of the job count.
+        """
+        out: dict[int, TraceBundle] = {}
+        store = self._trace_store()
+        waiting: dict[str, list[int]] = {}
+        tasks: dict[str, Callable] = {}
+        for i, req in pending:
+            key = req.trace_key if self.share else None
+            if key is None:
+                out[i] = self._synthesize_once(None, req.synthesize)
+                continue
+            hit = self._bundles.get(key)
+            if hit is None and store is not None:
+                hit = store.load_bundle(key)
+                if hit is not None:
+                    self._bundles[key] = hit
+            if hit is not None:
+                self.stats.trace_store_hits += 1
+                out[i] = hit
+                continue
+            if key in waiting:
+                # an earlier batch entry synthesizes this bundle;
+                # sequential execution would find the store warm here
+                self.stats.trace_store_hits += 1
+                waiting[key].append(i)
+                continue
+            waiting[key] = [i]
+            tasks[key] = req.synthesize
+        if not tasks:
+            return out
+        self.stats.synthesis_count += len(tasks)
+        keys = list(tasks)
+        done: dict[str, TraceBundle | None] = {}
+        schedulable = (store is not None
+                       and all(getattr(tasks[k], "picklable", False)
+                               for k in keys))
+        if schedulable:
+            units = [("synth", k, tasks[k], str(store.root), store.thp)
+                     for k in keys]
+            with store.pinned(*(f"syn-{k}" for k in keys)):
+                try:
+                    executor.run_units(units)
+                except Exception:  # noqa: BLE001 — synthesis must not be lost
+                    self._trace_off = True
+                else:
+                    for k in keys:
+                        done[k] = store.load_bundle(k)
+        for k in keys:
+            bundle = done.get(k)
+            if bundle is None:
+                stream, fine = tasks[k]()
+                bundle = TraceBundle(stream=list(stream), fine=list(fine))
+                store = self._trace_store()
+                if store is not None:
+                    mapped = self._save_bundle(store, k, bundle)
+                    if mapped is not None:
+                        bundle = mapped
+            self._bundles[k] = bundle
+            for i in waiting[k]:
+                out[i] = bundle
+        return out
+
     # --- replay ----------------------------------------------------------
     def replay(self, *, config_key: str, geometry: TLBGeometry, engine: str,
                synthesize: Callable[[], tuple[list[PageTrace],
                                               list[tuple[int, PageTrace,
                                                          float]]]],
-               ) -> ReplayResult:
+               trace_key: str | None = None) -> ReplayResult:
         """Replay one configuration, reusing every cached piece.
 
-        ``synthesize`` is only called on a config-level miss — a warm
-        store answers without building a single trace.  This is the
-        single-request form of :meth:`replay_batch`; counters and cache
-        behaviour are identical by construction.
+        ``synthesize`` is only called on a config-level miss *and* a
+        trace-tier miss — a warm store answers without building a single
+        trace.  This is the single-request form of :meth:`replay_batch`;
+        counters and cache behaviour are identical by construction.
         """
         return self.replay_batch([ReplayRequest(
             config_key=config_key, geometry=geometry, engine=engine,
-            synthesize=synthesize)])[0]
+            synthesize=synthesize, trace_key=trace_key)])[0]
 
     def replay_batch(self, requests: list[ReplayRequest], *,
                      executor=None) -> list[ReplayResult]:
@@ -320,27 +526,38 @@ class ReplaySession:
         if not pending:
             return results  # type: ignore[return-value]
 
-        # --- plan: synthesize misses, dedupe distinct work units.  Unit
+        if executor is None:
+            executor = self._executor_for_batch()
+
+        # --- resolve synthesis through the trace tier: bundle-cache
+        # hits skip it, distinct misses run (possibly across the pool)
+        # and persist their bundles for the next request and process
+        bundles = self._resolve_syntheses(pending, executor)
+
+        # --- plan: dedupe distinct work units across the batch.  Unit
         # keys are content digests, so the accounting below is exactly
         # what sequential execution would have recorded: the first
         # requester of a unit computes it, later requesters hit the
-        # (by then warm) trace cache.
+        # (by then warm) trace cache.  Store-backed bundles put a
+        # :class:`~repro.perfmodel.tracestore.TraceRef` in the unit —
+        # pool workers map the payload instead of unpickling it.
         stream_units: dict[object, tuple] = {}   # ukey -> work unit
         fine_units: dict[object, tuple] = {}
         plans = []
         for i, req in pending:
-            stream_traces, fine_traces = req.synthesize()
+            bundle = bundles[i]
+            stream_traces, fine_traces = bundle.stream, bundle.fine
             geo = geometry_digest(req.geometry)
             computed = False
 
             # stream pass: one shared TLB for the whole sequence -> the
             # sequence deduplicates only as a whole
-            bundle = hashlib.sha256()
-            bundle.update(
+            bundle_hash = hashlib.sha256()
+            bundle_hash.update(
                 f"stream/{req.engine}/{geo}/{len(stream_traces)}".encode())
             for t in stream_traces:
-                bundle.update(trace_digest(t).encode())
-            bundle_key = _hexdigest(bundle)
+                bundle_hash.update(trace_digest(t).encode())
+            bundle_key = _hexdigest(bundle_hash)
             stream_cached = self._cached_traces(bundle_key)
             stream_ukey: object = bundle_key if self.share else (bundle_key, i)
             if (stream_cached is not None
@@ -350,7 +567,8 @@ class ReplaySession:
                 self.stats.trace_hits += 1
             else:
                 stream_units[stream_ukey] = ("stream", req.engine,
-                                             req.geometry, stream_traces)
+                                             req.geometry,
+                                             bundle.stream_payload())
                 computed = True
 
             # fine passes: independent (fresh) TLB per trace -> each
@@ -358,7 +576,7 @@ class ReplaySession:
             # configurations (and across the batch)
             digests = [trace_digest(t) for _, t, _ in fine_traces]
             fine_sources: dict[str, tuple] = {}  # digest -> source
-            for d, (_, t, _) in zip(digests, fine_traces):
+            for pos, d in enumerate(digests):
                 if d in fine_sources:
                     self.stats.fine_deduped += 1
                     continue
@@ -374,7 +592,8 @@ class ReplaySession:
                     if not self.share:
                         fine_ukey = (req.engine, geo, d, i)
                     fine_units[fine_ukey] = ("fine", req.engine,
-                                             req.geometry, [t])
+                                             req.geometry,
+                                             bundle.fine_payload(pos))
                     fine_sources[d] = ("unit", fine_ukey)
                     computed = True
             if computed:
@@ -389,14 +608,22 @@ class ReplaySession:
                 "fine_sources": fine_sources,
             })
 
-        # --- execute every distinct unit (possibly on worker processes)
+        # --- execute every distinct unit (possibly on worker processes).
+        # Bundles referenced by units are pinned so a concurrent save's
+        # budget enforcement cannot evict a file a worker is about to map
         ukeys = list(stream_units) + list(fine_units)
         units = [stream_units[k] for k in stream_units] + \
                 [fine_units[k] for k in fine_units]
-        if executor is None:
-            executor = self._executor_for_batch()
-        outputs = executor.run_units(units)
+        tstore = self._trace_store()
+        used_keys = ({b.key for b in bundles.values() if b.key}
+                     if tstore is not None else set())
+        guard = (tstore.pinned(*(f"syn-{k}" for k in sorted(used_keys)))
+                 if used_keys else nullcontext())
+        with guard:
+            outputs = executor.run_units(units)
         by_ukey = dict(zip(ukeys, outputs))
+        if tstore is not None and tstore.max_bytes is not None:
+            tstore.enforce_budget()
 
         # --- merge by digest, persist, assemble in request order
         for plan in plans:
@@ -442,20 +669,21 @@ class ReplaySession:
                      synthesize: Callable[[], tuple[list[PageTrace],
                                                     list[tuple[int, PageTrace,
                                                                float]]]],
-                     ) -> list[ReplayResult]:
+                     trace_key: str | None = None) -> list[ReplayResult]:
         """Thread-safe entry point for :meth:`_replay_sweep` (see
         :meth:`replay_batch` for the locking contract)."""
         with self._lock:
             return self._replay_sweep(config_keys=config_keys,
                                       geometries=geometries, engine=engine,
-                                      synthesize=synthesize)
+                                      synthesize=synthesize,
+                                      trace_key=trace_key)
 
     def _replay_sweep(self, *, config_keys: list[str],
                       geometries: list[TLBGeometry], engine: str,
                       synthesize: Callable[[], tuple[list[PageTrace],
                                                      list[tuple[int, PageTrace,
                                                                 float]]]],
-                      ) -> list[ReplayResult]:
+                      trace_key: str | None = None) -> list[ReplayResult]:
         """Replay one trace set under many TLB geometries in one pass.
 
         The geometry-sweep analogue of :meth:`replay_batch`: synthesis
@@ -495,7 +723,8 @@ class ReplaySession:
         if not pending:
             return results  # type: ignore[return-value]
 
-        stream_traces, fine_traces = synthesize()
+        bundle = self._synthesize_once(trace_key, synthesize)
+        stream_traces, fine_traces = bundle.stream, bundle.fine
         fine_digests = [trace_digest(t) for _, t, _ in fine_traces]
         trace_by_digest: dict[str, PageTrace] = {}
         for d, (_, t, _) in zip(fine_digests, fine_traces):
@@ -505,12 +734,12 @@ class ReplaySession:
         stream_need: list[int] = []
         for i in pending:
             geo = geometry_digest(geometries[i])
-            bundle = hashlib.sha256()
-            bundle.update(
+            bundle_hash = hashlib.sha256()
+            bundle_hash.update(
                 f"stream/{engine}/{geo}/{len(stream_traces)}".encode())
             for t in stream_traces:
-                bundle.update(trace_digest(t).encode())
-            bundle_key = _hexdigest(bundle)
+                bundle_hash.update(trace_digest(t).encode())
+            bundle_key = _hexdigest(bundle_hash)
             computed = False
             stream_stats = self._cached_traces(bundle_key)
             if (stream_stats is not None
@@ -595,11 +824,22 @@ class ReplaySession:
         return self._executor
 
     def close(self) -> None:
-        """Release the executor's worker pool, if one was ever forked."""
+        """Release the executor's worker pool, if one was ever forked.
+
+        Idempotent and non-final: the next batch lazily re-creates the
+        executor, so closing between legs (or in ``session_scope``
+        teardown) never strands a session.
+        """
         ex = getattr(self, "_executor", None)
         if ex is not None:
             ex.close()
             self._executor = None
+
+    def __enter__(self) -> "ReplaySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _cached_traces(self, key: str) -> list[TLBStats] | None:
         if not self.share:
@@ -731,8 +971,15 @@ def set_default_session(session: ReplaySession | None) -> None:
 
 
 @contextmanager
-def session_scope(session: ReplaySession) -> Iterator[ReplaySession]:
-    """Temporarily replace the default session (bench and tests)."""
+def session_scope(session: ReplaySession, *,
+                  close: bool = False) -> Iterator[ReplaySession]:
+    """Temporarily replace the default session (bench and tests).
+
+    ``close=True`` additionally shuts the session's executor pool down
+    in teardown — forked replay workers must not outlive the scope that
+    forked them.  (Closing is non-final: a later batch re-creates the
+    pool, so ``close=True`` is safe for sessions that are reused.)
+    """
     global _DEFAULT
     previous = _DEFAULT
     _DEFAULT = session
@@ -740,6 +987,8 @@ def session_scope(session: ReplaySession) -> Iterator[ReplaySession]:
         yield session
     finally:
         _DEFAULT = previous
+        if close:
+            session.close()
 
 
 __all__ = ["ReplaySession", "ReplayResult", "ReplayRequest", "SessionStats",

@@ -67,45 +67,51 @@ _LOW_WATER = 0.8
 _SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
 
 
-def resolve_cache_dir(value: str | os.PathLike | None = None) -> Path | None:
+def resolve_cache_dir(value: str | os.PathLike | None = None, *,
+                      env: str = "REPRO_REPLAY_CACHE",
+                      default_subdir: str = "replays") -> Path | None:
     """Resolve the replay-cache directory with the ``off|auto|<dir>`` contract.
 
-    ``value=None`` reads ``REPRO_REPLAY_CACHE`` (the *only* place that
-    environment variable is consulted).  Returns ``None`` for ``off``
-    (and its synonyms ``0``/``none``/``false``), the XDG default
-    (``$XDG_CACHE_HOME/repro/replays``, ``~/.cache`` fallback) for
-    ``auto``/empty/unset, and the named directory otherwise.  A value
+    ``value=None`` reads *env* — ``REPRO_REPLAY_CACHE`` by default (the
+    *only* place that environment variable is consulted; the trace tier
+    passes ``REPRO_TRACE_CACHE``/``traces`` through the same contract).
+    Returns ``None`` for ``off`` (and its synonyms
+    ``0``/``none``/``false``), the XDG default
+    (``$XDG_CACHE_HOME/repro/<default_subdir>``, ``~/.cache`` fallback)
+    for ``auto``/empty/unset, and the named directory otherwise.  A value
     naming an existing *non-directory* raises
     :class:`ConfigurationError` — better at configuration time than as
     a mysterious ``OSError`` inside the first save.
     """
     if value is None:
-        value = os.environ.get("REPRO_REPLAY_CACHE", "auto")
+        value = os.environ.get(env, "auto")
     text = os.fspath(value).strip() if not isinstance(value, str) else value.strip()
     low = text.lower()
     if low in _OFF_VALUES:
         return None
     if low in _AUTO_VALUES or text == "":
         base = Path(os.environ.get("XDG_CACHE_HOME", Path.home() / ".cache"))
-        return base / "repro" / "replays"
+        return base / "repro" / default_subdir
     path = Path(text)
     if path.exists() and not path.is_dir():
         raise ConfigurationError(
-            f"REPRO_REPLAY_CACHE={text!r} names an existing non-directory; "
+            f"{env}={text!r} names an existing non-directory; "
             f"expected 'off', 'auto', or a directory path")
     return path
 
 
-def resolve_cache_bytes(value: str | int | None = None) -> int | None:
+def resolve_cache_bytes(value: str | int | None = None, *,
+                        env: str = "REPRO_REPLAY_CACHE_BYTES") -> int | None:
     """Resolve the store's byte budget (``None`` = unbounded).
 
-    ``value=None`` reads ``REPRO_REPLAY_CACHE_BYTES``.  Accepts a plain
-    byte count or a ``K``/``M``/``G`` binary suffix (``256M``);
-    ``0``/``off``/``none``/empty/unset mean unbounded.  Anything else —
-    including a negative count — raises :class:`ConfigurationError`.
+    ``value=None`` reads *env* (``REPRO_REPLAY_CACHE_BYTES`` by
+    default).  Accepts a plain byte count or a ``K``/``M``/``G`` binary
+    suffix (``256M``); ``0``/``off``/``none``/empty/unset mean
+    unbounded.  Anything else — including a negative count — raises
+    :class:`ConfigurationError`.
     """
     if value is None:
-        value = os.environ.get("REPRO_REPLAY_CACHE_BYTES", "")
+        value = os.environ.get(env, "")
     if isinstance(value, int):
         if value < 0:
             raise ConfigurationError(
@@ -122,7 +128,7 @@ def resolve_cache_bytes(value: str | int | None = None) -> int | None:
         n = int(text)
     except ValueError:
         raise ConfigurationError(
-            f"REPRO_REPLAY_CACHE_BYTES={value!r} is not a byte count "
+            f"{env}={value!r} is not a byte count "
             f"(expected an integer, optionally with a K/M/G suffix)") from None
     if n < 0:
         raise ConfigurationError(
@@ -183,6 +189,11 @@ class ReplayStore:
     max_bytes: int | None = None
     stats: StoreStats = field(default_factory=StoreStats)
 
+    #: payload filename suffix — subclasses persisting a different
+    #: artifact kind (the trace tier's raw binaries) override this so
+    #: the shared sharding/LRU/pinning machinery finds their entries
+    suffix = ".pkl"
+
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         self._lock = threading.RLock()
@@ -191,11 +202,12 @@ class ReplayStore:
 
     # --- layout -----------------------------------------------------------
     def path_for(self, name: str) -> Path:
-        """The sharded payload path for *name* (``<root>/<xx>/<name>.pkl``)."""
-        return self.root / shard_for(name) / f"{name}.pkl"
+        """The sharded payload path for *name*
+        (``<root>/<xx>/<name><suffix>``)."""
+        return self.root / shard_for(name) / f"{name}{self.suffix}"
 
     def _flat_path(self, name: str) -> Path:
-        return self.root / f"{name}.pkl"
+        return self.root / f"{name}{self.suffix}"
 
     def ensure(self) -> None:
         """Create the root and migrate any flat pre-shard layout, once.
@@ -218,8 +230,8 @@ class ReplayStore:
         (the checksum line names the file, which keeps its name).  A
         racing second migrator simply finds fewer files to move.
         """
-        for path in sorted(self.root.glob("*.pkl")):
-            name = path.name[:-len(".pkl")]
+        for path in sorted(self.root.glob(f"*{self.suffix}")):
+            name = path.name[:-len(self.suffix)]
             dest = self.path_for(name)
             try:
                 dest.parent.mkdir(parents=True, exist_ok=True)
@@ -325,7 +337,7 @@ class ReplayStore:
         entries: list[_Entry] = []
         if not self.root.is_dir():
             return entries
-        for path in self.root.glob("**/*.pkl"):
+        for path in self.root.glob(f"**/*{self.suffix}"):
             try:
                 st = path.stat()
             except OSError:
@@ -373,7 +385,7 @@ class ReplayStore:
             for entry in entries:
                 if total - freed <= target_bytes:
                     break
-                name = entry.path.name[:-len(".pkl")]
+                name = entry.path.name[:-len(self.suffix)]
                 if name in self._pins:
                     self.stats.pinned_skips += 1
                     continue

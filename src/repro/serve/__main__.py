@@ -59,15 +59,21 @@ async def run_server(service: ExperimentService, *, host: str, port: int,
             loop.add_signal_handler(sig, stop.set)
         except (NotImplementedError, RuntimeError):
             pass  # non-main thread / platform without signal support
-    await stop.wait()
-    await server.close()
-    if report_path is not None:
-        report_path.parent.mkdir(parents=True, exist_ok=True)
-        report_path.write_text(
-            json.dumps(service.service_report(), indent=2, sort_keys=True)
-            + "\n")
-        print(f"wrote {report_path}", flush=True)
-    service.close()
+    try:
+        await stop.wait()
+        await server.close()
+        if report_path is not None:
+            report_path.parent.mkdir(parents=True, exist_ok=True)
+            report_path.write_text(
+                json.dumps(service.service_report(), indent=2, sort_keys=True)
+                + "\n")
+            print(f"wrote {report_path}", flush=True)
+    finally:
+        # every exit path — clean SIGTERM, a failing report write, a
+        # cancelled loop — must tear the compute pool and the session's
+        # forked replay workers down; anything else leaks worker
+        # processes past the service's own lifetime
+        service.close()
     return 0
 
 
@@ -101,17 +107,21 @@ def main(argv: list[str] | None = None) -> int:
 
     logging.basicConfig(level=logging.INFO,
                         format="%(asctime)s %(name)s %(message)s")
-    service = build_service(cache_dir=args.cache_dir,
-                            cache_bytes=args.cache_bytes,
-                            workers=args.workers,
-                            request_timeout_s=args.request_timeout,
-                            admission_limit=args.admission_limit)
-    try:
-        return asyncio.run(run_server(service, host=args.host,
-                                      port=args.port,
-                                      report_path=args.report))
-    except KeyboardInterrupt:
-        return 0
+    # the context manager (close() is idempotent) covers what run_server
+    # cannot: a KeyboardInterrupt unwinding out of asyncio.run on
+    # platforms where the signal handler could not be installed used to
+    # leak the session's forked replay workers past service exit
+    with build_service(cache_dir=args.cache_dir,
+                       cache_bytes=args.cache_bytes,
+                       workers=args.workers,
+                       request_timeout_s=args.request_timeout,
+                       admission_limit=args.admission_limit) as service:
+        try:
+            return asyncio.run(run_server(service, host=args.host,
+                                          port=args.port,
+                                          report_path=args.report))
+        except KeyboardInterrupt:
+            return 0
 
 
 if __name__ == "__main__":

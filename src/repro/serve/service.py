@@ -313,7 +313,10 @@ class ExperimentService:
         m.set("serve_replay_hits_total", s.memory_hits, layer="memory")
         m.set("serve_replay_hits_total", s.disk_hits, layer="disk")
         m.set("serve_replay_hits_total", s.trace_hits, layer="trace")
+        m.set("serve_replay_hits_total", s.trace_store_hits,
+              layer="trace-store")
         m.set("serve_replay_memo_hits_total", s.memo_hits)
+        m.set("serve_synthesis_total", s.synthesis_count)
         store = self.session.store
         if store is not None:
             m.set("serve_store_evictions_total", store.stats.evictions)
@@ -321,6 +324,13 @@ class ExperimentService:
                   store.stats.evicted_bytes)
             m.set("serve_store_migrated_total", store.stats.migrated)
             m.set("serve_store_corrupt_total", store.stats.corrupt)
+        tstore = self.session.trace_store
+        if tstore is not None:
+            m.set("serve_trace_store_mapped_bytes_total",
+                  tstore.stats.mapped_bytes)
+            m.set("serve_trace_store_thp_advised_total",
+                  tstore.stats.thp_advised)
+            m.set("serve_trace_store_corrupt_total", tstore.stats.corrupt)
         # the resilience experiment's last fabric run, when one has run
         # in this process: rank recoveries are service-level events (a
         # recovering backend is why requests shed or miss deadlines)
@@ -363,12 +373,27 @@ class ExperimentService:
             },
             "session": asdict(session),
             "store": store.describe() if store is not None else None,
+            "trace_store": (self.session.trace_store.describe()
+                            if self.session.trace_store is not None
+                            else None),
             "metrics": self.metrics.render_dict(),
         }
 
     def close(self) -> None:
+        """Shut the compute pool and the session's replay workers down.
+
+        Idempotent — the SIGTERM path and an enclosing ``with`` block
+        may both call it.  This is what keeps forked replay workers from
+        outliving the service process.
+        """
         self._pool.shutdown(wait=True, cancel_futures=True)
         self.session.close()
+
+    def __enter__(self) -> "ExperimentService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 __all__ = ["ExperimentService", "ReportResponse", "UnknownExperimentError",

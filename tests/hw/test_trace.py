@@ -85,6 +85,44 @@ class TestFootprint:
         assert t.footprint_bytes() == 2 * 1024 * 1024 + 65536
 
 
+class TestZeroCopy:
+    """Construction must never copy arrays that are already int64 —
+    mmap-backed traces from the trace store would silently go resident."""
+
+    def test_int64_arrays_kept_by_identity(self):
+        page = np.array([P, 2 * P], dtype=np.int64)
+        size = np.full(2, P, dtype=np.int64)
+        weight = np.ones(2, dtype=np.int64)
+        t = PageTrace(page, size, weight)
+        assert t.page is page
+        assert t.size is size
+        assert t.weight is weight
+
+    def test_readonly_views_preserved(self):
+        base = np.arange(6, dtype=np.int64)
+        base.setflags(write=False)
+        page, size, weight = base[0:2], base[2:4], base[4:6]
+        t = PageTrace(page, size, weight)
+        assert t.page is page
+        assert not t.page.flags.writeable
+
+    def test_memmap_backed_not_copied(self, tmp_path):
+        path = tmp_path / "payload.bin"
+        np.arange(6, dtype=np.int64).tofile(path)
+        mm = np.memmap(path, dtype=np.int64, mode="r")
+        t = PageTrace(mm[0:2], mm[2:4], mm[4:6])
+        assert isinstance(t.page, np.memmap)
+        assert t.page.base is not None  # still a view of the mapping
+        assert not t.page.flags.writeable
+        assert t.nbytes == 6 * 8
+
+    def test_other_dtypes_still_converted(self):
+        t = PageTrace(np.array([1.0, 2.0]), np.array([P, P]),
+                      np.array([1, 1], dtype=np.int32))
+        assert t.page.dtype == np.int64
+        assert t.weight.dtype == np.int64
+
+
 class TestInterleave:
     def test_round_robin(self):
         a, b = make([1, 2]), make([10, 20])

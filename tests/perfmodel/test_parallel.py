@@ -17,7 +17,7 @@ from repro.experiments.workloads import sod_problem_worklog
 from repro.hw.a64fx import A64FX, XEON_E5_2683V3
 from repro.perfmodel.parallel import ReplayExecutor, resolve_jobs
 from repro.perfmodel.pipeline import PerformancePipeline, run_batch
-from repro.perfmodel.session import ReplaySession
+from repro.perfmodel.session import ReplaySession, session_scope
 from repro.toolchain.compiler import FUJITSU, GNU
 from repro.util.errors import ConfigurationError
 
@@ -164,6 +164,105 @@ class TestExecutorFallback:
         ex = ReplayExecutor(1)
         ex.run_units([])
         assert ex._pool is None
+
+
+class TestTraceTier:
+    """The zero-copy handoff end to end: cold runs synthesize across the
+    pool and ship traces by reference; a warm trace store over a fresh
+    replay store skips synthesis entirely."""
+
+    def _run(self, log, tmp_path, name, traces, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_JOBS", "2")
+        session = ReplaySession(store_dir=str(tmp_path / name),
+                                trace_dir=traces)
+        try:
+            reports = run_batch(_batch_pipelines(log, session))
+        finally:
+            executor = session._executor
+            session.close()
+        return [_fingerprint(r) for r in reports], session.stats, executor
+
+    def test_warm_trace_store_skips_synthesis(self, tmp_path, sod_log,
+                                              monkeypatch):
+        traces = tmp_path / "traces"
+        cold_prints, cold_stats, cold_ex = self._run(
+            sod_log, tmp_path, "replays-cold", traces, monkeypatch)
+        assert cold_stats.synthesis_count > 0
+        # the pool path ships references, never arrays
+        assert cold_ex.traces_pickled_bytes == 0
+        assert cold_ex.traces_mapped_bytes > 0
+        assert cold_ex.fallbacks == 0
+
+        # a *fresh* replay store over the warm trace store: every replay
+        # runs again, but synthesis is gone — the bundles map from disk
+        warm_prints, warm_stats, warm_ex = self._run(
+            sod_log, tmp_path, "replays-warm", traces, monkeypatch)
+        assert warm_stats.synthesis_count == 0
+        assert warm_stats.trace_store_hits > 0
+        assert warm_stats.replays == cold_stats.replays
+        assert warm_ex.traces_pickled_bytes == 0
+        assert warm_prints == cold_prints
+
+        # and both are bit-identical to the serial, disabled reference
+        ref = [_fingerprint(r) for r in run_batch(
+            _batch_pipelines(sod_log, ReplaySession.disabled()))]
+        assert cold_prints == ref
+
+    def test_trace_cache_off_disables_the_tier(self, tmp_path, sod_log,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        monkeypatch.setenv("REPRO_REPLAY_JOBS", "1")
+        session = ReplaySession(store_dir=str(tmp_path / "replays"))
+        try:
+            run_batch(_batch_pipelines(sod_log, session))
+        finally:
+            session.close()
+        # the persistent tier is off (nothing written anywhere), though
+        # the in-session bundle memory cache still dedupes synthesis
+        assert session.trace_store is None
+        assert not (tmp_path / "replays" / "traces").exists()
+
+
+class TestLifecycle:
+    """Worker pools must not outlive the scope that forked them."""
+
+    def _session_with_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_JOBS", "2")
+        session = ReplaySession(persist=False)
+        executor = session._executor_for_batch()
+        executor._ensure_pool()
+        assert executor._pool is not None
+        return session, executor
+
+    def test_session_scope_close_shuts_the_pool(self, monkeypatch):
+        session, executor = self._session_with_pool(monkeypatch)
+        with session_scope(session, close=True):
+            pass
+        assert executor._pool is None
+
+    def test_session_scope_default_keeps_the_pool(self, monkeypatch):
+        session, executor = self._session_with_pool(monkeypatch)
+        try:
+            with session_scope(session):
+                pass
+            assert executor._pool is not None
+        finally:
+            session.close()
+
+    def test_session_context_manager_closes(self, monkeypatch):
+        session, executor = self._session_with_pool(monkeypatch)
+        with session:
+            pass
+        assert executor._pool is None
+
+    def test_close_is_idempotent_and_nonfinal(self, sod_log):
+        session = ReplaySession(persist=False)
+        session.close()
+        session.close()
+        # non-final: the next batch lazily re-creates the executor
+        report = PerformancePipeline(sod_log, FUJITSU, session=session).run()
+        assert report.n_steps > 0
+        session.close()
 
 
 class TestRacingWriters:

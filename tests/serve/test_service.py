@@ -116,6 +116,50 @@ class TestServing:
         service.close()
 
 
+class TestShutdown:
+    """Service exit must tear the session's replay workers down — the
+    leak this guards against: a SIGINT that skipped ``close()`` left
+    forked pool workers running past the service process."""
+
+    def _service_with_pool(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY_JOBS", "2")
+        service = make_service(tmp_path)
+        executor = service.session._executor_for_batch()
+        executor._ensure_pool()
+        assert executor._pool is not None
+        return service, executor
+
+    def test_close_shuts_the_replay_pool(self, tmp_path, monkeypatch):
+        service, executor = self._service_with_pool(tmp_path, monkeypatch)
+        service.close()
+        assert executor._pool is None
+        assert service.session._executor is None
+
+    def test_context_manager_closes_on_error(self, tmp_path, monkeypatch):
+        service, executor = self._service_with_pool(tmp_path, monkeypatch)
+        with pytest.raises(RuntimeError):
+            with service:
+                raise RuntimeError("request loop died")
+        assert executor._pool is None
+
+    def test_close_is_idempotent(self, tmp_path, fake):
+        service = make_service(tmp_path)
+        asyncio.run(service.report("fake-exp", quick=True))
+        service.close()
+        service.close()  # the SIGTERM path and a finally may both call it
+
+    def test_trace_tier_metrics_mirrored(self, tmp_path, fake):
+        service = make_service(tmp_path)
+        asyncio.run(service.report("fake-exp", quick=True))
+        doc = service.service_report()  # mirrors the session backends
+        assert "trace_store" in doc
+        m = service.metrics
+        assert m.counter_value("serve_synthesis_total") == 0
+        assert m.counter_value("serve_replay_hits_total",
+                               layer="trace-store") == 0
+        service.close()
+
+
 class TestCoalescingAndPinning:
     def test_concurrent_requests_coalesce_and_pin(self, tmp_path,
                                                   monkeypatch):
